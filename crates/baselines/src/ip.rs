@@ -1,0 +1,191 @@
+//! A minimal IP-like packet layer for the MANET baselines.
+//!
+//! Off-the-grid IP needs an address per node (the paper §I notes address
+//! auto-configuration is its own problem); we simply use the simulator node
+//! id. Packets carry realistic header overhead so air-time comparisons
+//! against NDN packets are fair.
+
+use dapes_netsim::node::NodeId;
+
+/// Broadcast destination address.
+pub const BROADCAST: u32 = u32::MAX;
+/// IP header bytes charged to every packet (IPv4 header).
+pub const IP_HEADER: usize = 20;
+
+/// Upper-layer protocol discriminator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// DSDV routing update.
+    Dsdv,
+    /// Bithoc application HELLO flood.
+    Hello,
+    /// TCP-lite segment.
+    Tcp,
+    /// UDP-lite datagram.
+    Udp,
+    /// DSR control (RREQ/RREP/RERR) with source-routed header.
+    Dsr,
+}
+
+impl Proto {
+    fn to_byte(self) -> u8 {
+        match self {
+            Proto::Dsdv => 0,
+            Proto::Hello => 1,
+            Proto::Tcp => 2,
+            Proto::Udp => 3,
+            Proto::Dsr => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => Proto::Dsdv,
+            1 => Proto::Hello,
+            2 => Proto::Tcp,
+            3 => Proto::Udp,
+            4 => Proto::Dsr,
+            _ => return None,
+        })
+    }
+}
+
+/// An IP-like packet travelling hop-by-hop over the broadcast radio.
+///
+/// `next_hop` names the intended MAC receiver of this frame (other nodes
+/// drop it), while `dst` is the end-to-end destination. DSR-style source
+/// routes ride in `route`: the remaining relays after `next_hop`, in order,
+/// excluding the destination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IpPacket {
+    /// Originating node.
+    pub src: u32,
+    /// Final destination ([`BROADCAST`] floods).
+    pub dst: u32,
+    /// Link-layer intended receiver for this hop ([`BROADCAST`] = everyone).
+    pub next_hop: u32,
+    /// Remaining relays after `next_hop` (DSR source route), may be empty.
+    pub route: Vec<u32>,
+    /// Remaining hop budget.
+    pub ttl: u8,
+    /// Upper-layer protocol.
+    pub proto: Proto,
+    /// Upper-layer bytes.
+    pub payload: Vec<u8>,
+}
+
+impl IpPacket {
+    /// Creates a packet with a fresh TTL.
+    pub fn new(src: u32, dst: u32, proto: Proto, payload: Vec<u8>) -> Self {
+        IpPacket {
+            src,
+            dst,
+            next_hop: dst,
+            route: Vec::new(),
+            ttl: 32,
+            proto,
+            payload,
+        }
+    }
+
+    /// Serializes (header + source route + payload). The source route bytes
+    /// are charged to the packet just like a real DSR header.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(IP_HEADER + 1 + self.route.len() * 4 + self.payload.len());
+        out.extend_from_slice(&self.src.to_be_bytes());
+        out.extend_from_slice(&self.dst.to_be_bytes());
+        out.extend_from_slice(&self.next_hop.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.proto.to_byte());
+        // Pad to the 20-byte IPv4 header size for honest air time.
+        out.extend_from_slice(&[0u8; IP_HEADER - 14]);
+        out.push(self.route.len() as u8);
+        for hop in &self.route {
+            out.extend_from_slice(&hop.to_be_bytes());
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a packet serialized with [`IpPacket::encode`].
+    pub fn decode(wire: &[u8]) -> Option<Self> {
+        if wire.len() < IP_HEADER + 1 {
+            return None;
+        }
+        let route_len = wire[IP_HEADER] as usize;
+        let payload_start = IP_HEADER + 1 + route_len * 4;
+        if wire.len() < payload_start {
+            return None;
+        }
+        let mut route = Vec::with_capacity(route_len);
+        for i in 0..route_len {
+            let off = IP_HEADER + 1 + i * 4;
+            route.push(u32::from_be_bytes(wire[off..off + 4].try_into().ok()?));
+        }
+        Some(IpPacket {
+            src: u32::from_be_bytes(wire[0..4].try_into().ok()?),
+            dst: u32::from_be_bytes(wire[4..8].try_into().ok()?),
+            next_hop: u32::from_be_bytes(wire[8..12].try_into().ok()?),
+            route,
+            ttl: wire[12],
+            proto: Proto::from_byte(wire[13])?,
+            payload: wire[payload_start..].to_vec(),
+        })
+    }
+
+    /// Whether this frame is addressed (at this hop) to `node`.
+    pub fn for_hop(&self, node: NodeId) -> bool {
+        self.next_hop == BROADCAST || self.next_hop == node.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let p = IpPacket {
+            src: 1,
+            dst: 2,
+            next_hop: 3,
+            route: vec![4, 5],
+            ttl: 9,
+            proto: Proto::Tcp,
+            payload: vec![1, 2, 3],
+        };
+        let wire = p.encode();
+        assert_eq!(wire.len(), IP_HEADER + 1 + 8 + 3);
+        assert_eq!(IpPacket::decode(&wire), Some(p));
+    }
+
+    #[test]
+    fn empty_route_round_trip() {
+        let p = IpPacket::new(1, 2, Proto::Udp, vec![9]);
+        assert_eq!(IpPacket::decode(&p.encode()), Some(p));
+    }
+
+    #[test]
+    fn decode_rejects_short_input() {
+        assert!(IpPacket::decode(&[0; 10]).is_none());
+        assert!(IpPacket::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn hop_addressing() {
+        let mut p = IpPacket::new(1, 2, Proto::Udp, vec![]);
+        p.next_hop = 5;
+        assert!(p.for_hop(NodeId(5)));
+        assert!(!p.for_hop(NodeId(6)));
+        p.next_hop = BROADCAST;
+        assert!(p.for_hop(NodeId(6)));
+    }
+
+    #[test]
+    fn all_protos_round_trip() {
+        for proto in [Proto::Dsdv, Proto::Hello, Proto::Tcp, Proto::Udp, Proto::Dsr] {
+            let p = IpPacket::new(0, 1, proto, vec![7]);
+            assert_eq!(IpPacket::decode(&p.encode()).expect("ok").proto, proto);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! IP/MANET baselines for the DAPES reproduction: **Bithoc** and **Ekta**.
+//!
+//! The paper's Fig. 10 compares DAPES against two IP-based peer-to-peer file
+//! sharing systems for mobile ad-hoc networks:
+//!
+//! * [`bithoc`] — BitTorrent-over-MANET with proactive [`dsdv`] routing,
+//!   application-layer scoped HELLO flooding and TCP-like reliable piece
+//!   transfer;
+//! * [`ekta`] — a Pastry-style DHT integrated with reactive [`dsr`] routing,
+//!   fetching pieces over UDP.
+//!
+//! Both run on the same [`dapes_netsim`] radio as DAPES and tally their
+//! transmissions by frame kind, so the overhead comparison of Fig. 10b is
+//! apples-to-apples. See `DESIGN.md` for the documented simplifications
+//! (static DHT membership, out-of-band torrent metadata).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bithoc;
+pub mod dsdv;
+pub mod dsr;
+pub mod ekta;
+pub mod ip;
+pub mod swarm;
+
+/// Glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::bithoc::{BithocConfig, BithocPeer, BithocRole};
+    pub use crate::dsdv::Dsdv;
+    pub use crate::dsr::{Dsr, DsrMessage};
+    pub use crate::ekta::{EktaConfig, EktaPeer, EktaRole};
+    pub use crate::ip::IpPacket;
+    pub use crate::swarm::{kinds, SwarmSpec};
+}
+
+pub use prelude::*;

@@ -1,0 +1,108 @@
+//! Shared workload description and frame kinds for the IP baselines.
+
+use dapes_netsim::radio::FrameKind;
+
+/// Frame kinds for baseline overhead accounting (DAPES uses 1–8).
+pub mod kinds {
+    use super::FrameKind;
+
+    /// DSDV periodic/triggered routing update.
+    pub const DSDV_UPDATE: FrameKind = FrameKind(20);
+    /// Bithoc application-layer HELLO flood.
+    pub const HELLO: FrameKind = FrameKind(21);
+    /// TCP-lite control segment (request/ack/handshake).
+    pub const TCP_CTRL: FrameKind = FrameKind(22);
+    /// TCP-lite data segment.
+    pub const TCP_DATA: FrameKind = FrameKind(23);
+    /// DSR route request flood.
+    pub const RREQ: FrameKind = FrameKind(24);
+    /// DSR route reply.
+    pub const RREP: FrameKind = FrameKind(25);
+    /// DSR route error.
+    pub const RERR: FrameKind = FrameKind(26);
+    /// DHT publish/lookup/response messages.
+    pub const DHT: FrameKind = FrameKind(27);
+    /// Ekta piece request (UDP).
+    pub const PIECE_REQ: FrameKind = FrameKind(28);
+    /// Ekta piece data (UDP).
+    pub const PIECE_DATA: FrameKind = FrameKind(29);
+
+    /// Everything Bithoc transmits (the paper's Bithoc overhead set).
+    pub const ALL_BITHOC: [FrameKind; 4] = [DSDV_UPDATE, HELLO, TCP_CTRL, TCP_DATA];
+    /// Everything Ekta transmits (the paper's Ekta overhead set).
+    pub const ALL_EKTA: [FrameKind; 6] = [RREQ, RREP, RERR, DHT, PIECE_REQ, PIECE_DATA];
+}
+
+/// The file-collection workload as the IP baselines see it.
+///
+/// BitTorrent-style systems learn this from a torrent file out of band; we
+/// hand it to every participant directly (favouring the baselines — they
+/// pay no metadata-distribution cost, unlike DAPES).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwarmSpec {
+    /// Total pieces (1 piece = 1 KB packet, matching the DAPES workload).
+    pub total_pieces: usize,
+    /// Pieces per file (lookup granularity for Ekta).
+    pub pieces_per_file: usize,
+    /// Piece payload bytes.
+    pub piece_size: usize,
+}
+
+impl SwarmSpec {
+    /// The paper's default: ten 1 MB files at 1 KB packets.
+    pub fn paper_default() -> Self {
+        SwarmSpec {
+            total_pieces: 9770,
+            pieces_per_file: 977,
+            piece_size: 1024,
+        }
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.total_pieces.div_ceil(self.pieces_per_file.max(1))
+    }
+
+    /// File index of a piece.
+    pub fn file_of(&self, piece: usize) -> usize {
+        piece / self.pieces_per_file.max(1)
+    }
+
+    /// Piece range of a file.
+    pub fn file_range(&self, file: usize) -> std::ops::Range<usize> {
+        let start = file * self.pieces_per_file;
+        start..(start + self.pieces_per_file).min(self.total_pieces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_geometry() {
+        let s = SwarmSpec {
+            total_pieces: 10,
+            pieces_per_file: 4,
+            piece_size: 1024,
+        };
+        assert_eq!(s.file_count(), 3);
+        assert_eq!(s.file_of(0), 0);
+        assert_eq!(s.file_of(4), 1);
+        assert_eq!(s.file_range(2), 8..10);
+    }
+
+    #[test]
+    fn paper_default_matches_workload() {
+        let s = SwarmSpec::paper_default();
+        assert_eq!(s.total_pieces, 9770);
+        assert_eq!(s.file_count(), 10);
+    }
+
+    #[test]
+    fn kind_sets_are_disjoint() {
+        for b in kinds::ALL_BITHOC {
+            assert!(!kinds::ALL_EKTA.contains(&b));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks for the hot paths of the DAPES stack:
+//! bitmap algebra, rarity computation, wire codecs, forwarder pipeline,
+//! Merkle verification, and SHA-256.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dapes_core::prelude::*;
+use dapes_crypto::merkle::MerkleTree;
+use dapes_crypto::sha256::sha256;
+use dapes_crypto::signing::TrustAnchor;
+use dapes_ndn::prelude::*;
+use dapes_netsim::time::SimTime;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1024];
+    c.bench_function("sha256_1kb", |b| b.iter(|| sha256(black_box(&data))));
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let n = 10_240; // the paper's default collection
+    let mut a = Bitmap::new(n);
+    let mut b = Bitmap::new(n);
+    for i in (0..n).step_by(3) {
+        a.set(i);
+    }
+    for i in (0..n).step_by(2) {
+        b.set(i);
+    }
+    c.bench_function("bitmap_marginal_10k", |bch| {
+        bch.iter(|| black_box(&a).count_set_and_missing_from(black_box(&b)))
+    });
+    c.bench_function("bitmap_wire_roundtrip_10k", |bch| {
+        bch.iter(|| Bitmap::from_wire(&black_box(&a).to_wire()))
+    });
+}
+
+fn bench_rarity(c: &mut Criterion) {
+    let n = 10_240;
+    let bitmaps: Vec<Bitmap> = (0..8)
+        .map(|k| {
+            let mut b = Bitmap::new(n);
+            for i in (k..n).step_by(5) {
+                b.set(i);
+            }
+            b
+        })
+        .collect();
+    c.bench_function("rarity_10k_8peers", |bch| {
+        bch.iter(|| dapes_core::rpf::rarity_counts(n, black_box(bitmaps.iter())))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let anchor = TrustAnchor::from_seed(b"bench");
+    let key = anchor.keypair("p");
+    let data = Data::new(
+        Name::from_uri("/damaged-bridge-1533783192/file-0/42"),
+        vec![0u8; 1024],
+    )
+    .signed(&key);
+    let wire = data.encode();
+    c.bench_function("data_encode_1kb", |b| b.iter(|| black_box(&data).encode()));
+    c.bench_function("data_decode_1kb", |b| {
+        b.iter(|| Data::decode(black_box(&wire)).expect("ok"))
+    });
+    let interest = Interest::new(Name::from_uri("/damaged-bridge-1533783192/file-0/42"))
+        .with_nonce(7)
+        .with_app_parameters(vec![0u8; 1288]);
+    let iwire = interest.encode();
+    c.bench_function("interest_decode_with_bitmap", |b| {
+        b.iter(|| Interest::decode(black_box(&iwire)).expect("ok"))
+    });
+}
+
+fn bench_forwarder(c: &mut Criterion) {
+    c.bench_function("forwarder_interest_pipeline", |b| {
+        let mut fwd = Forwarder::new(ForwarderConfig::default());
+        fwd.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        let mut nonce = 0u32;
+        b.iter(|| {
+            nonce = nonce.wrapping_add(1);
+            let i = Interest::new(Name::from_uri("/col/f/1")).with_nonce(nonce);
+            fwd.process_interest(SimTime::ZERO, black_box(&i), FaceId::APP)
+        })
+    });
+    c.bench_function("cs_prefix_lookup_4k", |b| {
+        let mut cs = ContentStore::new(4096);
+        for i in 0..4096u32 {
+            cs.insert(
+                Data::new(Name::from_uri(&format!("/col/f/{i}")), vec![0; 32]),
+                SimTime::ZERO,
+            );
+        }
+        let prefix = Name::from_uri("/col/f/2048");
+        b.iter(|| cs.lookup(black_box(&prefix), true, false, SimTime::ZERO))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..977u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    c.bench_function("merkle_build_977", |b| {
+        b.iter(|| MerkleTree::from_leaves(black_box(&leaves).iter().map(|v| v.as_slice())))
+    });
+    let tree = MerkleTree::from_leaves(leaves.iter().map(|v| v.as_slice()));
+    let root = tree.root();
+    let hashes: Vec<_> = (0..leaves.len())
+        .map(|i| dapes_crypto::merkle::leaf_hash(&leaves[i]))
+        .collect();
+    c.bench_function("merkle_verify_file_977", |b| {
+        b.iter(|| MerkleTree::verify_leaves(black_box(&root), black_box(hashes.clone())))
+    });
+}
+
+fn bench_peba(c: &mut Criterion) {
+    use dapes_netsim::time::SimDuration;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut sched = AdvertScheduler::new(
+        true,
+        SimDuration::from_millis(20),
+        SimDuration::from_millis(2),
+    );
+    let mut union = Bitmap::new(10_240);
+    for i in (0..10_240).step_by(2) {
+        union.set(i);
+    }
+    sched.record_transmitted(&union);
+    let mut mine = Bitmap::new(10_240);
+    for i in (1..10_240).step_by(4) {
+        mine.set(i);
+    }
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("peba_delay_decision_10k", |b| {
+        b.iter(|| sched.delay_for(black_box(&mine), &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_bitmap,
+    bench_rarity,
+    bench_wire,
+    bench_forwarder,
+    bench_merkle,
+    bench_peba
+);
+criterion_main!(benches);

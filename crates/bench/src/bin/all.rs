@@ -1,0 +1,8 @@
+//! Runs every figure and table of the paper's evaluation in order.
+fn main() {
+    let profile = dapes_bench::Profile::from_env_args();
+    for name in dapes_bench::ALL_EXPERIMENTS {
+        println!("\n########## {name} ##########");
+        dapes_bench::run_figure(name, profile);
+    }
+}

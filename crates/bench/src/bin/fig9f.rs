@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig9f experiment. `--profile quick|paper`.
+fn main() {
+    let profile = dapes_bench::Profile::from_env_args();
+    dapes_bench::run_figure("fig9f", profile);
+}

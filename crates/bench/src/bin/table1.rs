@@ -1,0 +1,5 @@
+//! Reproduces the paper's Table I feasibility study. `--profile quick|paper`.
+fn main() {
+    let profile = dapes_bench::Profile::from_env_args();
+    dapes_bench::run_figure("table1", profile);
+}

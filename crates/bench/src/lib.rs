@@ -1,0 +1,27 @@
+//! Experiment harness reproducing every table and figure of the DAPES
+//! paper's evaluation (§VI).
+//!
+//! Each figure has a binary (`cargo run --release -p dapes-bench --bin
+//! fig9a`) and all of them run via the `all` binary. Two profiles exist:
+//!
+//! * `--profile quick` (default) — the same 44-node topology and sweep axes
+//!   with a scaled-down collection, finishing in minutes;
+//! * `--profile paper` — the paper's exact workload (10 × 1 MB files, ten
+//!   trials), which takes hours.
+//!
+//! The measured numbers land next to the paper's qualitative expectations;
+//! `EXPERIMENTS.md` in the repository root records a full measured-vs-paper
+//! comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod profile;
+pub mod report;
+pub mod scenario;
+pub mod table1;
+
+pub use figures::{run_figure, ALL_EXPERIMENTS};
+pub use profile::Profile;
+pub use scenario::{run_trial, run_trials, Protocol, ScenarioParams, Summary, TrialResult};

@@ -1,0 +1,285 @@
+//! Data-advertisement prioritization and PEBA collision mitigation
+//! (paper §IV-F).
+//!
+//! When several peers must transmit bitmaps during an encounter, the first
+//! transmission goes to the peer with the most data; every later
+//! transmission is prioritized by how many packets the sender holds that
+//! are *missing from the union of already-transmitted bitmaps*. Without
+//! PEBA, peers linearly scale a default transmission window by that
+//! fraction and collide whenever their fractions are close. PEBA
+//! ("Priority-based Exponential Backoff Algorithm") reacts to a detected
+//! collision by doubling a slot count and placing peers into priority
+//! groups — ≥ half of the missing packets → first group, otherwise second —
+//! preserving the prioritization semantics while separating transmissions.
+
+use crate::bitmap::Bitmap;
+use dapes_netsim::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Per-collection, per-encounter advertisement transmission state.
+#[derive(Clone, Debug)]
+pub struct AdvertScheduler {
+    /// Union of all bitmaps transmitted so far in this encounter.
+    union: Option<Bitmap>,
+    /// PEBA slot count; 0 until the first collision of the encounter.
+    slots: u32,
+    peba_enabled: bool,
+    window: SimDuration,
+    slot_len: SimDuration,
+}
+
+impl AdvertScheduler {
+    /// Creates a scheduler.
+    ///
+    /// `window` is the default transmission window (paper: 20 ms);
+    /// `slot_len` is the PEBA slot duration, sized to roughly one bitmap
+    /// transmission (paper footnote 4: average packet size and channel
+    /// state).
+    pub fn new(peba_enabled: bool, window: SimDuration, slot_len: SimDuration) -> Self {
+        AdvertScheduler {
+            union: None,
+            slots: 0,
+            peba_enabled,
+            window,
+            slot_len,
+        }
+    }
+
+    /// Resets for a new encounter (the paper's priority groups and slots
+    /// are per-encounter).
+    pub fn reset(&mut self) {
+        self.union = None;
+        self.slots = 0;
+    }
+
+    /// Whether any bitmap has been heard or sent this encounter.
+    pub fn has_union(&self) -> bool {
+        self.union.is_some()
+    }
+
+    /// Marginal coverage of `mine`: how many packets it holds that the
+    /// already-transmitted union lacks. Before any transmission this is
+    /// simply the number of packets held.
+    pub fn marginal(&self, mine: &Bitmap) -> usize {
+        match &self.union {
+            None => mine.count_set(),
+            Some(u) if u.len() == mine.len() => mine.count_set_and_missing_from(u),
+            // Union for a different layout (shouldn't happen): treat as new.
+            Some(_) => mine.count_set(),
+        }
+    }
+
+    /// The priority fraction: `marginal / packets missing from the union`
+    /// (or the fraction of all packets held, for the first transmission).
+    pub fn priority_fraction(&self, mine: &Bitmap) -> f64 {
+        match &self.union {
+            None => mine.fraction_set(),
+            Some(u) if u.len() == mine.len() => {
+                let missing = u.count_missing();
+                if missing == 0 {
+                    0.0
+                } else {
+                    self.marginal(mine) as f64 / missing as f64
+                }
+            }
+            Some(_) => mine.fraction_set(),
+        }
+    }
+
+    /// Computes the transmission delay for our bitmap, or `None` when the
+    /// union already covers everything we could add (transmission would be
+    /// pure overhead; cancel it).
+    ///
+    /// This is the *linear* prioritization: `window / fraction`, clamped to
+    /// `10 × window` so peers with little to add still eventually speak.
+    pub fn delay_for(&self, mine: &Bitmap, rng: &mut SmallRng) -> Option<SimDuration> {
+        if self.marginal(mine) == 0 {
+            return None;
+        }
+        let fraction = self.priority_fraction(mine).clamp(1e-6, 1.0);
+        let scaled = (self.window.as_micros() as f64 / fraction).round() as u64;
+        let clamped = scaled.min(self.window.as_micros() * 10);
+        // Small jitter (one slot) so identical fractions don't always align.
+        let jitter = rng.gen_range(0..=self.slot_len.as_micros() / 4);
+        Some(SimDuration::from_micros(clamped + jitter))
+    }
+
+    /// Records a bitmap transmission heard (or our own successful one):
+    /// folds it into the union.
+    pub fn record_transmitted(&mut self, bitmap: &Bitmap) {
+        match &mut self.union {
+            Some(u) if u.len() == bitmap.len() => u.union_with(bitmap),
+            _ => self.union = Some(bitmap.clone()),
+        }
+    }
+
+    /// Reacts to a detected collision of our own bitmap transmission,
+    /// returning the PEBA retry delay. With PEBA disabled, falls back to
+    /// re-drawing the linear delay.
+    pub fn collision_backoff(&mut self, mine: &Bitmap, rng: &mut SmallRng) -> SimDuration {
+        if !self.peba_enabled {
+            return self
+                .delay_for(mine, rng)
+                .unwrap_or(SimDuration::from_micros(self.window.as_micros()));
+        }
+        // Double the slots (two on the first collision of the encounter).
+        self.slots = (self.slots.max(1) * 2).min(64);
+        let groups = 2u32;
+        let per_group = (self.slots / groups).max(1);
+        let group = if self.priority_fraction(mine) >= 0.5 {
+            0
+        } else {
+            1
+        };
+        let slot = rng.gen_range(group * per_group..(group + 1) * per_group);
+        self.slot_len * slot as u64 + SimDuration::from_micros(rng.gen_range(0..100))
+    }
+
+    /// Current PEBA slot count (0 before any collision this encounter).
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    fn bm(bits: &str) -> Bitmap {
+        let mut b = Bitmap::new(bits.len());
+        for (i, c) in bits.chars().enumerate() {
+            if c == '1' {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    fn sched(peba: bool) -> AdvertScheduler {
+        AdvertScheduler::new(
+            peba,
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(2),
+        )
+    }
+
+    #[test]
+    fn first_transmission_prefers_most_data() {
+        // Paper: "for the transmission of the first bitmap during an
+        // encounter, the peer that has most of the data receives priority".
+        let s = sched(true);
+        let mut r = rng();
+        let rich = s.delay_for(&bm("1111111110"), &mut r).expect("has data");
+        let poor = s.delay_for(&bm("1000000000"), &mut r).expect("has data");
+        assert!(rich < poor, "rich {rich:?} should precede poor {poor:?}");
+    }
+
+    #[test]
+    fn empty_peer_does_not_transmit_first() {
+        let s = sched(true);
+        assert_eq!(s.delay_for(&bm("0000"), &mut rng()), None);
+    }
+
+    #[test]
+    fn subsequent_priority_uses_marginal_coverage() {
+        // Fig. 5: after A's bitmap, C (3 of 6 missing) beats B (2) and D (1).
+        let mut s = sched(true);
+        s.record_transmitted(&bm("1001011000")); // A
+        let mut r = rng();
+        let c = s.delay_for(&bm("0000000111"), &mut r).expect("c");
+        let b = s.delay_for(&bm("0110001000"), &mut r).expect("b");
+        let d = s.delay_for(&bm("1001100000"), &mut r).expect("d");
+        assert!(c < b, "C={c:?} should precede B={b:?}");
+        assert!(b < d, "B={b:?} should precede D={d:?}");
+    }
+
+    #[test]
+    fn covered_peer_cancels() {
+        let mut s = sched(true);
+        s.record_transmitted(&bm("1111000000"));
+        // This peer's packets are all inside the union: nothing to add.
+        assert_eq!(s.delay_for(&bm("1100000000"), &mut rng()), None);
+    }
+
+    #[test]
+    fn union_accumulates_across_transmissions() {
+        let mut s = sched(true);
+        s.record_transmitted(&bm("1100"));
+        s.record_transmitted(&bm("0011"));
+        assert_eq!(s.marginal(&bm("1111")), 0);
+        assert_eq!(s.delay_for(&bm("1111"), &mut rng()), None);
+    }
+
+    #[test]
+    fn peba_collision_creates_two_slots_and_groups() {
+        // Fig. 5 walk-through: B and C collide after A's bitmap; C (>= 1/2
+        // of the missing packets) joins group 0, B (< 1/2) group 1.
+        let mut sc = sched(true);
+        sc.record_transmitted(&bm("1001011000"));
+        let mut sb = sc.clone();
+        let mut r = rng();
+        let dc = sc.collision_backoff(&bm("0000000111"), &mut r);
+        let db = sb.collision_backoff(&bm("0110001000"), &mut r);
+        assert_eq!(sc.slots(), 2);
+        // With two slots and one slot per group, C always draws slot 0 and
+        // B always draws slot 1.
+        assert!(dc < SimDuration::from_millis(2), "C in first slot, got {dc:?}");
+        assert!(db >= SimDuration::from_millis(2), "B in second slot, got {db:?}");
+    }
+
+    #[test]
+    fn peba_slots_double_on_repeat_collisions() {
+        let mut s = sched(true);
+        s.record_transmitted(&bm("1001011000"));
+        let mut r = rng();
+        let my = bm("0110001000");
+        s.collision_backoff(&my, &mut r);
+        assert_eq!(s.slots(), 2);
+        s.collision_backoff(&my, &mut r);
+        assert_eq!(s.slots(), 4);
+        s.collision_backoff(&my, &mut r);
+        assert_eq!(s.slots(), 8);
+    }
+
+    #[test]
+    fn reset_clears_union_and_slots() {
+        let mut s = sched(true);
+        s.record_transmitted(&bm("1111"));
+        s.collision_backoff(&bm("0001"), &mut rng());
+        assert!(s.has_union());
+        assert!(s.slots() > 0);
+        s.reset();
+        assert!(!s.has_union());
+        assert_eq!(s.slots(), 0);
+        // After reset the first-transmission rule applies again.
+        assert!(s.delay_for(&bm("0001"), &mut rng()).is_some());
+    }
+
+    #[test]
+    fn without_peba_backoff_redraws_linear_delay() {
+        let mut s = sched(false);
+        s.record_transmitted(&bm("1001011000"));
+        let d = s.collision_backoff(&bm("0110001000"), &mut rng());
+        assert!(d > SimDuration::ZERO);
+        assert_eq!(s.slots(), 0, "no slotting without PEBA");
+    }
+
+    #[test]
+    fn delay_clamped_for_tiny_fractions() {
+        let mut s = sched(true);
+        // Union missing 9999 packets; we hold 1 of them.
+        let mut big_union = Bitmap::new(10_000);
+        big_union.set(0);
+        s.record_transmitted(&big_union);
+        let mut mine = Bitmap::new(10_000);
+        mine.set(5);
+        let d = s.delay_for(&mine, &mut rng()).expect("one to add");
+        assert!(d <= SimDuration::from_millis(200) + SimDuration::from_millis(1));
+    }
+}

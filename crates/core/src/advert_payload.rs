@@ -1,0 +1,57 @@
+//! Wire payloads for bitmap advertisements.
+//!
+//! A bitmap Interest carries the *sender's* bitmap in its
+//! ApplicationParameters (paper §IV-D: "each such Interest carries the
+//! sender's bitmap"); a bitmap Data carries the *replier's* bitmap in its
+//! Content. Both use the same `peer id || bitmap` encoding.
+
+use crate::bitmap::Bitmap;
+
+/// Encodes `peer || bitmap` for Interest parameters or Data content.
+pub fn encode_bitmap_params(peer: u32, bitmap: &Bitmap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + Bitmap::wire_size(bitmap.len()));
+    out.extend_from_slice(&peer.to_be_bytes());
+    out.extend_from_slice(&bitmap.to_wire());
+    out
+}
+
+/// Decodes a payload produced by [`encode_bitmap_params`].
+pub fn decode_bitmap_params(wire: &[u8]) -> Option<(u32, Bitmap)> {
+    if wire.len() < 4 {
+        return None;
+    }
+    let peer = u32::from_be_bytes(wire[..4].try_into().ok()?);
+    let bitmap = Bitmap::from_wire(&wire[4..])?;
+    Some((peer, bitmap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = Bitmap::new(100);
+        b.set(1);
+        b.set(99);
+        let wire = encode_bitmap_params(77, &b);
+        let (peer, back) = decode_bitmap_params(&wire).expect("round trip");
+        assert_eq!(peer, 77);
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let wire = encode_bitmap_params(1, &Bitmap::new(64));
+        assert!(decode_bitmap_params(&wire[..3]).is_none());
+        assert!(decode_bitmap_params(&wire[..wire.len() - 1]).is_none());
+        assert!(decode_bitmap_params(&[]).is_none());
+    }
+
+    #[test]
+    fn size_matches_paper_example() {
+        // 10240-packet collection: 4 (peer) + 4 (len) + 1280 (bits).
+        let wire = encode_bitmap_params(1, &Bitmap::new(10_240));
+        assert_eq!(wire.len(), 1288);
+    }
+}

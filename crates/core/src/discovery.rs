@@ -1,0 +1,217 @@
+//! Peer and file-collection discovery (paper §IV-B).
+//!
+//! Peers periodically broadcast *discovery Interests*; receivers answer with
+//! discovery Data listing the metadata names of the collections they hold.
+//! The beacon period adapts: frequent while peers are around, backing off
+//! exponentially in isolation.
+
+use dapes_ndn::name::Name;
+use dapes_netsim::time::{SimDuration, SimTime};
+
+/// Adaptive discovery beacon timing.
+#[derive(Clone, Debug)]
+pub struct DiscoveryState {
+    period: SimDuration,
+    min_period: SimDuration,
+    max_period: SimDuration,
+    /// How recently a peer must have been heard to count as "encountered".
+    recent_window: SimDuration,
+    last_peer_heard: Option<SimTime>,
+}
+
+impl DiscoveryState {
+    /// Creates the beacon state. The period starts at `min_period`.
+    pub fn new(min_period: SimDuration, max_period: SimDuration, recent_window: SimDuration) -> Self {
+        DiscoveryState {
+            period: min_period,
+            min_period,
+            max_period,
+            recent_window,
+            last_peer_heard: None,
+        }
+    }
+
+    /// Notes that any peer was heard (any DAPES frame counts).
+    pub fn note_peer_heard(&mut self, now: SimTime) {
+        self.last_peer_heard = Some(now);
+    }
+
+    /// Computes the delay until the next beacon and advances the internal
+    /// period: reset to the minimum when peers were heard recently,
+    /// otherwise doubled up to the maximum.
+    pub fn next_period(&mut self, now: SimTime) -> SimDuration {
+        let recently = self
+            .last_peer_heard
+            .is_some_and(|t| now.since(t) <= self.recent_window);
+        if recently {
+            self.period = self.min_period;
+        } else {
+            self.period = SimDuration::from_micros(
+                (self.period.as_micros() * 2).min(self.max_period.as_micros()),
+            );
+        }
+        self.period
+    }
+
+    /// The current period without advancing it.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+}
+
+/// One collection offered in a discovery reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OfferedCollection {
+    /// The collection name.
+    pub collection: Name,
+    /// The full metadata name (`/<collection>/metadata-file/<digest8>`).
+    pub metadata: Name,
+}
+
+/// The payload of a discovery Data packet (and, in reduced form, the peer
+/// id carried in discovery Interests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiscoveryInfo {
+    /// The advertising peer.
+    pub peer: u32,
+    /// Collections the peer can serve metadata for.
+    pub offers: Vec<OfferedCollection>,
+}
+
+impl DiscoveryInfo {
+    /// Serializes to bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.peer.to_be_bytes());
+        out.extend_from_slice(&(self.offers.len() as u16).to_be_bytes());
+        for offer in &self.offers {
+            for name in [&offer.collection, &offer.metadata] {
+                let uri = name.to_string();
+                out.extend_from_slice(&(uri.len() as u16).to_be_bytes());
+                out.extend_from_slice(uri.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the [`DiscoveryInfo::to_wire`] encoding.
+    pub fn from_wire(wire: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = wire.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let peer = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        let count = u16::from_be_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+        let mut offers = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut names = Vec::with_capacity(2);
+            for _ in 0..2 {
+                let len = u16::from_be_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+                let uri = std::str::from_utf8(take(&mut pos, len)?).ok()?;
+                names.push(Name::from_uri(uri));
+            }
+            let metadata = names.pop().expect("two names");
+            let collection = names.pop().expect("two names");
+            offers.push(OfferedCollection {
+                collection,
+                metadata,
+            });
+        }
+        if pos != wire.len() {
+            return None;
+        }
+        Some(DiscoveryInfo { peer, offers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> DiscoveryState {
+        DiscoveryState::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(8),
+            SimDuration::from_secs(5),
+        )
+    }
+
+    #[test]
+    fn period_backs_off_in_isolation() {
+        let mut s = state();
+        let t = SimTime::from_secs(100);
+        assert_eq!(s.next_period(t), SimDuration::from_secs(2));
+        assert_eq!(s.next_period(t), SimDuration::from_secs(4));
+        assert_eq!(s.next_period(t), SimDuration::from_secs(8));
+        assert_eq!(s.next_period(t), SimDuration::from_secs(8), "capped");
+    }
+
+    #[test]
+    fn period_resets_when_peers_around() {
+        let mut s = state();
+        let mut t = SimTime::from_secs(100);
+        s.next_period(t);
+        s.next_period(t);
+        assert_eq!(s.period(), SimDuration::from_secs(4));
+        s.note_peer_heard(t);
+        t = t + SimDuration::from_secs(1);
+        assert_eq!(s.next_period(t), SimDuration::from_secs(1), "back to min");
+    }
+
+    #[test]
+    fn stale_peer_sighting_does_not_reset() {
+        let mut s = state();
+        let t0 = SimTime::from_secs(100);
+        s.note_peer_heard(t0);
+        // 6 s later the sighting is outside the 5 s window.
+        let t1 = t0 + SimDuration::from_secs(6);
+        assert_eq!(s.next_period(t1), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn info_round_trip() {
+        let info = DiscoveryInfo {
+            peer: 42,
+            offers: vec![
+                OfferedCollection {
+                    collection: Name::from_uri("/damaged-bridge-1533783192"),
+                    metadata: Name::from_uri("/damaged-bridge-1533783192/metadata-file/A23D1F9B"),
+                },
+                OfferedCollection {
+                    collection: Name::from_uri("/road-closure-1"),
+                    metadata: Name::from_uri("/road-closure-1/metadata-file/00FF00FF"),
+                },
+            ],
+        };
+        let wire = info.to_wire();
+        assert_eq!(DiscoveryInfo::from_wire(&wire), Some(info));
+    }
+
+    #[test]
+    fn empty_offer_list_round_trips() {
+        let info = DiscoveryInfo {
+            peer: 7,
+            offers: vec![],
+        };
+        assert_eq!(DiscoveryInfo::from_wire(&info.to_wire()), Some(info));
+    }
+
+    #[test]
+    fn from_wire_rejects_corruption() {
+        let info = DiscoveryInfo {
+            peer: 1,
+            offers: vec![OfferedCollection {
+                collection: Name::from_uri("/c"),
+                metadata: Name::from_uri("/c/metadata-file/AA"),
+            }],
+        };
+        let wire = info.to_wire();
+        assert!(DiscoveryInfo::from_wire(&wire[..wire.len() - 1]).is_none());
+        assert!(DiscoveryInfo::from_wire(&[]).is_none());
+        let mut trailing = wire;
+        trailing.push(9);
+        assert!(DiscoveryInfo::from_wire(&trailing).is_none());
+    }
+}

@@ -1,0 +1,550 @@
+//! Multi-hop forwarding and suppression (paper §V).
+//!
+//! Every node keeps *short-lived knowledge* about the data available around
+//! it, fed by overheard discovery replies, bitmap exchanges and Data
+//! transmissions. The [`DapesStrategy`] plugs into the NDN forwarder and
+//! decides, per received Interest, whether re-broadcasting it is likely to
+//! bring data back:
+//!
+//! * **Pure forwarders** (§V-A) know nothing of DAPES semantics: they
+//!   forward probabilistically after a random delay, cache overheard Data,
+//!   and hold per-name suppression timers after unanswered forwards.
+//! * **DAPES intermediate nodes** (§V-B) consult neighbor bitmaps: a
+//!   content Interest is forwarded when some neighbor advertises the packet
+//!   and suppressed when the local knowledge says nobody has it, falling
+//!   back to the probabilistic scheme when ignorant.
+
+use crate::bitmap::Bitmap;
+use crate::metadata::PacketIndex;
+use crate::namespace::{self, DapesName};
+use dapes_ndn::face::FaceId;
+use dapes_ndn::forwarder::{Decision, Strategy};
+use dapes_ndn::name::Name;
+use dapes_ndn::packet::Interest;
+use dapes_netsim::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// What a node understands about DAPES.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Full DAPES peer (producer, downloader, or idle DAPES node).
+    Dapes,
+    /// NDN-only node: caches and forwards but has no DAPES semantics.
+    PureForwarder,
+}
+
+/// What we know about one neighbor.
+#[derive(Clone, Debug, Default)]
+pub struct NeighborInfo {
+    /// Last time any frame from this peer was heard.
+    pub last_heard: SimTime,
+    /// Latest advertised bitmap per collection.
+    pub bitmaps: HashMap<Name, Bitmap>,
+    /// Collections the peer has expressed interest in.
+    pub wants: Vec<Name>,
+}
+
+impl NeighborInfo {
+    fn state_bytes(&self) -> usize {
+        self.bitmaps
+            .values()
+            .map(|b| b.state_bytes() + 32)
+            .sum::<usize>()
+            + self.wants.iter().map(Name::state_bytes).sum::<usize>()
+            + 16
+    }
+}
+
+/// Shared multi-hop state: knowledge store, suppression timers, and the
+/// forwarding-accuracy bookkeeping behind the paper's "83 % of forwarded
+/// Interests brought data back" claim.
+#[derive(Debug)]
+pub struct MultihopState {
+    /// This node's role.
+    pub role: NodeRole,
+    /// Whether multi-hop forwarding is enabled at all (Fig. 9g "single-hop"
+    /// disables it).
+    pub enabled: bool,
+    /// Probability of forwarding when no knowledge applies (paper default
+    /// 20 %).
+    pub forward_prob: f64,
+    /// Per-neighbor knowledge.
+    pub neighbors: HashMap<u32, NeighborInfo>,
+    /// Packet indices for collections whose metadata we hold, needed to
+    /// interpret bitmap bits.
+    pub indices: HashMap<Name, PacketIndex>,
+    /// Bits we ourselves hold per collection (so the strategy does not
+    /// re-broadcast Interests the application can answer).
+    pub have: HashMap<Name, Bitmap>,
+    /// Suppressed names and when the suppression lapses.
+    pub suppressed: HashMap<Name, SimTime>,
+    /// Interests we forwarded and when, awaiting a data response.
+    pub pending_response: HashMap<Name, SimTime>,
+    /// Forwarded Interests that brought data back.
+    pub forward_successes: u64,
+    /// Forwarded Interests that timed out.
+    pub forward_failures: u64,
+    /// How long to wait for a response before suppressing.
+    pub response_timeout: SimDuration,
+    /// How long a suppression lasts.
+    pub suppress_duration: SimDuration,
+    /// Neighbor expiry: entries older than this are dropped.
+    pub neighbor_timeout: SimDuration,
+    rng: SmallRng,
+}
+
+impl MultihopState {
+    /// Creates the state for a node.
+    pub fn new(role: NodeRole, enabled: bool, forward_prob: f64, seed: u64) -> Self {
+        MultihopState {
+            role,
+            enabled,
+            forward_prob,
+            neighbors: HashMap::new(),
+            indices: HashMap::new(),
+            have: HashMap::new(),
+            suppressed: HashMap::new(),
+            pending_response: HashMap::new(),
+            forward_successes: 0,
+            forward_failures: 0,
+            response_timeout: SimDuration::from_millis(400),
+            suppress_duration: SimDuration::from_secs(2),
+            neighbor_timeout: SimDuration::from_secs(5),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Notes that `peer` was heard at `now`.
+    pub fn note_peer(&mut self, peer: u32, now: SimTime) -> &mut NeighborInfo {
+        let info = self.neighbors.entry(peer).or_default();
+        info.last_heard = now;
+        info
+    }
+
+    /// Records a neighbor's bitmap for a collection.
+    pub fn record_bitmap(&mut self, peer: u32, collection: &Name, bitmap: Bitmap, now: SimTime) {
+        let info = self.note_peer(peer, now);
+        info.bitmaps.insert(collection.clone(), bitmap);
+        if !info.wants.contains(collection) {
+            info.wants.push(collection.clone());
+        }
+    }
+
+    /// Records that a neighbor holds one packet (observed from a Data
+    /// transmission).
+    pub fn note_neighbor_has(&mut self, peer: u32, collection: &Name, global_idx: usize, now: SimTime) {
+        let info = self.note_peer(peer, now);
+        if let Some(bm) = info.bitmaps.get_mut(collection) {
+            if global_idx < bm.len() {
+                bm.set(global_idx);
+            }
+        }
+    }
+
+    /// Records that a neighbor is interested in a collection.
+    pub fn note_neighbor_wants(&mut self, peer: u32, collection: &Name, now: SimTime) {
+        let info = self.note_peer(peer, now);
+        if !info.wants.contains(collection) {
+            info.wants.push(collection.clone());
+        }
+    }
+
+    /// Whether any neighbor knowledge says a packet is available nearby.
+    pub fn neighbor_has_packet(&self, collection: &Name, global_idx: usize) -> Option<bool> {
+        let mut any_bitmap = false;
+        for info in self.neighbors.values() {
+            if let Some(bm) = info.bitmaps.get(collection) {
+                any_bitmap = true;
+                if global_idx < bm.len() && bm.get(global_idx) {
+                    return Some(true);
+                }
+            }
+        }
+        if any_bitmap {
+            Some(false)
+        } else {
+            None // no knowledge at all
+        }
+    }
+
+    /// Whether any neighbor is known to care about a collection.
+    pub fn any_neighbor_interested(&self, collection: &Name) -> bool {
+        self.neighbors
+            .values()
+            .any(|i| i.wants.contains(collection) || i.bitmaps.contains_key(collection))
+    }
+
+    /// Called when Data for `name` is observed: resolves a pending forward.
+    pub fn note_data_seen(&mut self, name: &Name) {
+        if self.pending_response.remove(name).is_some() {
+            self.forward_successes += 1;
+        }
+        // Fresh data also lifts an existing suppression for the name.
+        self.suppressed.remove(name);
+    }
+
+    /// Called when we actually put a forwarded Interest on the air.
+    pub fn note_forwarded(&mut self, name: &Name, now: SimTime) {
+        self.pending_response.entry(name.clone()).or_insert(now);
+    }
+
+    /// Periodic sweep: expire pending forwards into suppressions and drop
+    /// stale neighbors and lapsed suppressions.
+    pub fn sweep(&mut self, now: SimTime) {
+        let timeout = self.response_timeout;
+        let mut to_suppress = Vec::new();
+        self.pending_response.retain(|name, &mut at| {
+            if now.since(at) > timeout {
+                to_suppress.push(name.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for name in to_suppress {
+            self.forward_failures += 1;
+            self.suppressed.insert(name, now + self.suppress_duration);
+        }
+        self.suppressed.retain(|_, &mut until| until > now);
+        let nt = self.neighbor_timeout;
+        self.neighbors.retain(|_, info| now.since(info.last_heard) <= nt);
+    }
+
+    /// Count of live neighbors.
+    pub fn neighbor_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Forwarding accuracy so far (the §VI-D 83 % metric).
+    pub fn forward_accuracy(&self) -> Option<f64> {
+        let total = self.forward_successes + self.forward_failures;
+        if total == 0 {
+            None
+        } else {
+            Some(self.forward_successes as f64 / total as f64)
+        }
+    }
+
+    /// Approximate bytes of multi-hop state (Table I memory proxy).
+    pub fn state_bytes(&self) -> usize {
+        self.neighbors.values().map(NeighborInfo::state_bytes).sum::<usize>()
+            + self.suppressed.keys().map(Name::state_bytes).sum::<usize>()
+            + self.pending_response.keys().map(Name::state_bytes).sum::<usize>()
+    }
+
+    /// Should we re-broadcast `interest` heard from the air?
+    pub fn should_forward(&mut self, interest: &Interest, now: SimTime) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let name = interest.name();
+        if self
+            .suppressed
+            .get(name)
+            .is_some_and(|&until| until > now)
+        {
+            return false;
+        }
+        match self.role {
+            NodeRole::PureForwarder => self.probabilistic(),
+            NodeRole::Dapes => self.dapes_decision(interest, now),
+        }
+    }
+
+    fn probabilistic(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.forward_prob
+    }
+
+    fn dapes_decision(&mut self, interest: &Interest, _now: SimTime) -> bool {
+        match namespace::classify(interest.name()) {
+            Some(DapesName::Content {
+                collection,
+                file,
+                seq,
+            }) => {
+                // If we can answer ourselves, the application will; no
+                // re-broadcast needed.
+                if let (Some(idx), Some(have)) =
+                    (self.indices.get(&collection), self.have.get(&collection))
+                {
+                    if let Some(g) = idx.global_index(&file, seq) {
+                        if g < have.len() && have.get(g) {
+                            return false;
+                        }
+                        return match self.neighbor_has_packet(&collection, g) {
+                            Some(true) => true,   // knowledge says data is out there
+                            Some(false) => false, // knowledge says nobody has it
+                            None => self.probabilistic(),
+                        };
+                    }
+                }
+                // No metadata for this collection: behave like a pure
+                // forwarder, but only if someone nearby seems interested.
+                if self.any_neighbor_interested(&collection) {
+                    true
+                } else {
+                    self.probabilistic()
+                }
+            }
+            Some(DapesName::Bitmap { collection, .. }) => {
+                // Forward a bitmap Interest when a neighbor could add
+                // packets the requester misses.
+                let requester_bitmap = interest
+                    .app_parameters()
+                    .and_then(crate::advert_payload::decode_bitmap_params)
+                    .map(|(_, bm)| bm);
+                match requester_bitmap {
+                    Some(req) => {
+                        let mut any = false;
+                        for info in self.neighbors.values() {
+                            if let Some(nb) = info.bitmaps.get(&collection) {
+                                any = true;
+                                if nb.len() == req.len() && nb.count_set_and_missing_from(&req) > 0
+                                {
+                                    return true;
+                                }
+                            }
+                        }
+                        if any {
+                            false
+                        } else {
+                            self.probabilistic()
+                        }
+                    }
+                    None => self.probabilistic(),
+                }
+            }
+            Some(DapesName::Metadata { collection, .. }) => {
+                if self.any_neighbor_interested(&collection) {
+                    true
+                } else {
+                    self.probabilistic()
+                }
+            }
+            Some(DapesName::Discovery { .. }) | None => self.probabilistic(),
+        }
+    }
+}
+
+/// The forwarder strategy wired to the shared [`MultihopState`].
+///
+/// Interests from the local application are always sent to the wireless
+/// face; Interests heard from the air are delivered to the application (if
+/// the FIB says so) and re-broadcast only when [`MultihopState`] approves.
+pub struct DapesStrategy {
+    shared: Rc<RefCell<MultihopState>>,
+}
+
+impl DapesStrategy {
+    /// Creates the strategy around shared state.
+    pub fn new(shared: Rc<RefCell<MultihopState>>) -> Self {
+        DapesStrategy { shared }
+    }
+}
+
+impl Strategy for DapesStrategy {
+    fn decide(
+        &mut self,
+        interest: &Interest,
+        ingress: FaceId,
+        nexthops: &[FaceId],
+        now: SimTime,
+    ) -> Decision {
+        let mut faces = Vec::new();
+        for &face in nexthops {
+            match face {
+                FaceId::APP => faces.push(FaceId::APP),
+                FaceId::WIRELESS => {
+                    if ingress == FaceId::APP {
+                        // Our own Interest: always goes to the air.
+                        faces.push(FaceId::WIRELESS);
+                    } else if self.shared.borrow_mut().should_forward(interest, now) {
+                        faces.push(FaceId::WIRELESS);
+                    }
+                }
+                other => faces.push(other),
+            }
+        }
+        if faces.is_empty() {
+            Decision::Suppress
+        } else {
+            Decision::Forward(faces)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn content_interest(uri: &str) -> Interest {
+        Interest::new(Name::from_uri(uri)).with_nonce(1)
+    }
+
+    fn state(role: NodeRole, prob: f64) -> MultihopState {
+        MultihopState::new(role, true, prob, 42)
+    }
+
+    fn col() -> Name {
+        Name::from_uri("/col")
+    }
+
+    fn setup_indexed(ms: &mut MultihopState, have_bits: &[usize], total: usize) {
+        let idx = PacketIndex::new(vec![("f".into(), total as u32)]);
+        ms.indices.insert(col(), idx);
+        let mut have = Bitmap::new(total);
+        for &b in have_bits {
+            have.set(b);
+        }
+        ms.have.insert(col(), have);
+    }
+
+    #[test]
+    fn disabled_never_forwards() {
+        let mut ms = MultihopState::new(NodeRole::Dapes, false, 1.0, 1);
+        assert!(!ms.should_forward(&content_interest("/col/f/0"), SimTime::ZERO));
+    }
+
+    #[test]
+    fn pure_forwarder_is_probabilistic() {
+        let mut always = state(NodeRole::PureForwarder, 1.0);
+        let mut never = state(NodeRole::PureForwarder, 0.0);
+        let i = content_interest("/col/f/0");
+        assert!(always.should_forward(&i, SimTime::ZERO));
+        assert!(!never.should_forward(&i, SimTime::ZERO));
+        // ~20 %: out of many draws, some but not all forward.
+        let mut some = state(NodeRole::PureForwarder, 0.2);
+        let n = (0..1000)
+            .filter(|_| some.should_forward(&i, SimTime::ZERO))
+            .count();
+        assert!((100..350).contains(&n), "got {n} of 1000 at p=0.2");
+    }
+
+    #[test]
+    fn dapes_forwards_when_neighbor_has_packet() {
+        let mut ms = state(NodeRole::Dapes, 0.0);
+        setup_indexed(&mut ms, &[], 10);
+        let mut nb = Bitmap::new(10);
+        nb.set(3);
+        ms.record_bitmap(9, &col(), nb, SimTime::ZERO);
+        assert!(ms.should_forward(&content_interest("/col/f/3"), SimTime::ZERO));
+    }
+
+    #[test]
+    fn dapes_suppresses_when_knowledge_says_nobody_has_it() {
+        let mut ms = state(NodeRole::Dapes, 1.0); // even with p=1
+        setup_indexed(&mut ms, &[], 10);
+        ms.record_bitmap(9, &col(), Bitmap::new(10), SimTime::ZERO);
+        assert!(!ms.should_forward(&content_interest("/col/f/3"), SimTime::ZERO));
+    }
+
+    #[test]
+    fn dapes_does_not_forward_what_it_can_answer() {
+        let mut ms = state(NodeRole::Dapes, 1.0);
+        setup_indexed(&mut ms, &[3], 10);
+        let mut nb = Bitmap::new(10);
+        nb.set(3);
+        ms.record_bitmap(9, &col(), nb, SimTime::ZERO);
+        assert!(!ms.should_forward(&content_interest("/col/f/3"), SimTime::ZERO));
+    }
+
+    #[test]
+    fn dapes_without_knowledge_falls_back_to_probability() {
+        let mut ms = state(NodeRole::Dapes, 0.0);
+        setup_indexed(&mut ms, &[], 10);
+        // No neighbor bitmaps at all.
+        assert!(!ms.should_forward(&content_interest("/col/f/3"), SimTime::ZERO));
+        let mut ms2 = state(NodeRole::Dapes, 1.0);
+        setup_indexed(&mut ms2, &[], 10);
+        assert!(ms2.should_forward(&content_interest("/col/f/3"), SimTime::ZERO));
+    }
+
+    #[test]
+    fn suppression_blocks_then_lapses() {
+        let mut ms = state(NodeRole::PureForwarder, 1.0);
+        let name = Name::from_uri("/col/f/0");
+        ms.note_forwarded(&name, SimTime::ZERO);
+        // No data within the timeout -> suppression starts at sweep.
+        ms.sweep(SimTime::from_secs(1));
+        assert_eq!(ms.forward_failures, 1);
+        assert!(!ms.should_forward(&content_interest("/col/f/0"), SimTime::from_secs(1)));
+        // After the suppression lapses, forwarding resumes.
+        ms.sweep(SimTime::from_secs(4));
+        assert!(ms.should_forward(&content_interest("/col/f/0"), SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn data_resolves_pending_forward_as_success() {
+        let mut ms = state(NodeRole::PureForwarder, 1.0);
+        let name = Name::from_uri("/col/f/0");
+        ms.note_forwarded(&name, SimTime::ZERO);
+        ms.note_data_seen(&name);
+        ms.sweep(SimTime::from_secs(10));
+        assert_eq!(ms.forward_successes, 1);
+        assert_eq!(ms.forward_failures, 0);
+        assert_eq!(ms.forward_accuracy(), Some(1.0));
+    }
+
+    #[test]
+    fn neighbors_expire() {
+        let mut ms = state(NodeRole::Dapes, 0.2);
+        ms.note_peer(1, SimTime::ZERO);
+        ms.note_peer(2, SimTime::from_secs(8));
+        ms.sweep(SimTime::from_secs(10));
+        assert_eq!(ms.neighbor_count(), 1, "peer 1 expired");
+    }
+
+    #[test]
+    fn note_neighbor_has_updates_bitmap() {
+        let mut ms = state(NodeRole::Dapes, 0.0);
+        ms.record_bitmap(1, &col(), Bitmap::new(10), SimTime::ZERO);
+        assert_eq!(ms.neighbor_has_packet(&col(), 4), Some(false));
+        ms.note_neighbor_has(1, &col(), 4, SimTime::ZERO);
+        assert_eq!(ms.neighbor_has_packet(&col(), 4), Some(true));
+        assert_eq!(ms.neighbor_has_packet(&Name::from_uri("/other"), 0), None);
+    }
+
+    #[test]
+    fn strategy_always_airs_local_interests() {
+        let shared = Rc::new(RefCell::new(MultihopState::new(
+            NodeRole::Dapes,
+            true,
+            0.0,
+            1,
+        )));
+        let mut strat = DapesStrategy::new(shared.clone());
+        let i = content_interest("/col/f/0");
+        let d = strat.decide(&i, FaceId::APP, &[FaceId::WIRELESS], SimTime::ZERO);
+        assert_eq!(d, Decision::Forward(vec![FaceId::WIRELESS]));
+    }
+
+    #[test]
+    fn strategy_gates_relayed_interests() {
+        let shared = Rc::new(RefCell::new(MultihopState::new(
+            NodeRole::PureForwarder,
+            true,
+            0.0,
+            1,
+        )));
+        let mut strat = DapesStrategy::new(shared.clone());
+        let i = content_interest("/col/f/0");
+        let d = strat.decide(&i, FaceId::WIRELESS, &[FaceId::APP, FaceId::WIRELESS], SimTime::ZERO);
+        // p=0: only the app face survives.
+        assert_eq!(d, Decision::Forward(vec![FaceId::APP]));
+        shared.borrow_mut().forward_prob = 1.0;
+        let d = strat.decide(&i, FaceId::WIRELESS, &[FaceId::APP, FaceId::WIRELESS], SimTime::ZERO);
+        assert_eq!(d, Decision::Forward(vec![FaceId::APP, FaceId::WIRELESS]));
+    }
+
+    #[test]
+    fn state_bytes_track_knowledge() {
+        let mut ms = state(NodeRole::Dapes, 0.2);
+        let before = ms.state_bytes();
+        ms.record_bitmap(1, &col(), Bitmap::new(1000), SimTime::ZERO);
+        assert!(ms.state_bytes() > before);
+    }
+}

@@ -1,0 +1,1574 @@
+//! The DAPES peer: the application state machine tying together discovery,
+//! metadata retrieval, bitmap advertisements, RPF fetching, PEBA, and
+//! multi-hop forwarding (paper Fig. 3).
+//!
+//! One [`DapesPeer`] is a [`NetStack`]: it owns an NDN forwarder whose
+//! wireless face is the simulator's broadcast channel, and implements every
+//! peer role of the paper:
+//!
+//! * **producer** — call [`DapesPeer::add_production`];
+//! * **downloader** — configure [`WantPolicy`];
+//! * **intermediate DAPES node** — any peer with `WantPolicy::Nothing`
+//!   still overhears, builds knowledge and forwards per §V-B;
+//! * **pure forwarder** — construct with [`DapesPeer::pure_forwarder`]:
+//!   NDN-only caching and probabilistic forwarding per §V-A.
+
+use crate::advert::AdvertScheduler;
+use crate::advert_payload::{decode_bitmap_params, encode_bitmap_params};
+use crate::bitmap::Bitmap;
+use crate::collection::{regenerate_packet, Collection};
+use crate::config::DapesConfig;
+use crate::discovery::{DiscoveryInfo, DiscoveryState, OfferedCollection};
+use crate::metadata::{Metadata, MetadataAssembler, PacketIndex, PacketVerification};
+use crate::multihop::{DapesStrategy, MultihopState, NodeRole};
+use crate::namespace::{self, DapesName};
+use crate::rpf::{fetch_order, rarity_counts, EncounterHistory, RpfVariant};
+use crate::stats::{kinds, PeerStats};
+use dapes_crypto::merkle::leaf_hash;
+use dapes_crypto::signing::TrustAnchor;
+use dapes_crypto::Digest;
+use dapes_ndn::face::FaceId;
+use dapes_ndn::forwarder::{Action, Forwarder, ForwarderConfig};
+use dapes_ndn::name::Name;
+use dapes_ndn::packet::{Data, Interest, Packet};
+use dapes_netsim::node::{NetStack, NodeCtx, TimerHandle, TxOutcome};
+use dapes_netsim::radio::{Frame, FrameKind};
+use dapes_netsim::time::{SimDuration, SimTime};
+use rand::Rng;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Which collections a peer tries to download.
+#[derive(Clone, Debug, Default)]
+pub enum WantPolicy {
+    /// Download nothing (producers, intermediate nodes).
+    #[default]
+    Nothing,
+    /// Download every discovered collection.
+    Everything,
+    /// Download these collections only.
+    Collections(Vec<Name>),
+}
+
+impl WantPolicy {
+    fn wants(&self, collection: &Name) -> bool {
+        match self {
+            WantPolicy::Nothing => false,
+            WantPolicy::Everything => true,
+            WantPolicy::Collections(list) => list.contains(collection),
+        }
+    }
+}
+
+const TOKEN_TICK: u64 = 1 << 56;
+const TOKEN_DISCOVERY: u64 = 2 << 56;
+const TOKEN_PENDING: u64 = 3 << 56;
+const TOKEN_MASK: u64 = 0xff << 56;
+
+#[derive(Debug)]
+enum PendingPayload {
+    /// A fully built packet to transmit.
+    Raw(Vec<u8>),
+    /// Our bitmap reply for a collection, rebuilt at fire time.
+    BitmapReply {
+        collection: Name,
+        reply_name: Name,
+    },
+    /// Our own advertisement round (a bitmap Interest), built at fire time.
+    BitmapInterest { collection: Name },
+    /// Our discovery reply, built at fire time.
+    DiscoveryReply,
+}
+
+#[derive(Debug)]
+struct Pending {
+    payload: PendingPayload,
+    kind: FrameKind,
+    timer: TimerHandle,
+    /// Cancel when Data with this exact name is overheard.
+    cancel_on_data: Option<Name>,
+    /// Cancel when an Interest with this (name, nonce) is overheard again —
+    /// someone else forwarded it first.
+    cancel_on_nonce: Option<(Name, u32)>,
+    /// Record as a forwarded Interest for suppression bookkeeping.
+    forwarded_name: Option<Name>,
+}
+
+#[derive(Debug)]
+struct InflightTx {
+    /// Collection whose bitmap we transmitted, for PEBA feedback.
+    bitmap_collection: Option<Name>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    FetchingMetadata,
+    Active,
+    Complete,
+}
+
+struct Download {
+    collection: Name,
+    metadata_name: Name,
+    phase: Phase,
+    assembler: MetadataAssembler,
+    /// Outstanding metadata segment requests: seg -> (sent, retx count).
+    meta_outstanding: HashMap<u32, (SimTime, u32)>,
+    metadata: Option<Rc<Metadata>>,
+    index: Option<PacketIndex>,
+    have: Bitmap,
+    /// Per-packet content leaf hashes retained until the file verifies
+    /// (Merkle format), then dropped.
+    leaf_hashes: Vec<Option<Digest>>,
+    files_verified: Vec<bool>,
+    /// Outstanding content requests: global idx -> (sent, retx count).
+    outstanding: HashMap<usize, (SimTime, u32)>,
+    /// Cached fetch order, consumed from the back.
+    queue: Vec<usize>,
+    queue_dirty: bool,
+    bitmaps_this_encounter: usize,
+    advert_rounds_this_encounter: usize,
+    /// Highest advertisement round seen per origin peer: a new round opens
+    /// a fresh prioritization burst (resets the transmitted-bitmap union).
+    rounds_seen: HashMap<u32, u64>,
+    last_advert: Option<SimTime>,
+    advert: AdvertScheduler,
+    history: EncounterHistory,
+    completed_at: Option<SimTime>,
+}
+
+impl Download {
+    fn state_bytes(&self) -> usize {
+        self.have.state_bytes()
+            + self.leaf_hashes.iter().flatten().count() * 32
+            + self.metadata.as_ref().map_or(0, |m| m.state_bytes())
+            + self.outstanding.len() * 24
+            + self.queue.len() * 8
+            + self.history.state_bytes()
+    }
+}
+
+/// A collection this peer produces or fully seeds.
+struct Seed {
+    collection: Rc<Collection>,
+    segments: Rc<Vec<Data>>,
+}
+
+/// The DAPES application peer (a [`NetStack`] for the simulator).
+pub struct DapesPeer {
+    id: u32,
+    cfg: DapesConfig,
+    anchor: TrustAnchor,
+    role: NodeRole,
+    forwarder: Forwarder,
+    shared: Rc<RefCell<MultihopState>>,
+    seeding: HashMap<Name, Seed>,
+    downloads: HashMap<Name, Download>,
+    wanted: WantPolicy,
+    discovery: DiscoveryState,
+    advert_round: u64,
+    pending: HashMap<u64, Pending>,
+    inflight: HashMap<u64, InflightTx>,
+    next_pending: u64,
+    encounter_active: bool,
+    stats: PeerStats,
+}
+
+impl DapesPeer {
+    /// Creates a full DAPES peer.
+    pub fn new(id: u32, cfg: DapesConfig, anchor: TrustAnchor, wanted: WantPolicy) -> Self {
+        Self::with_role(id, cfg, anchor, wanted, NodeRole::Dapes)
+    }
+
+    /// Creates a pure forwarder (§V-A): caches overheard Data, forwards
+    /// probabilistically, no DAPES semantics.
+    pub fn pure_forwarder(id: u32, cfg: DapesConfig, anchor: TrustAnchor) -> Self {
+        Self::with_role(id, cfg, anchor, WantPolicy::Nothing, NodeRole::PureForwarder)
+    }
+
+    fn with_role(
+        id: u32,
+        cfg: DapesConfig,
+        anchor: TrustAnchor,
+        wanted: WantPolicy,
+        role: NodeRole,
+    ) -> Self {
+        let mut shared = MultihopState::new(role, cfg.multihop, cfg.forward_prob, id as u64 + 17);
+        shared.response_timeout = cfg.response_timeout;
+        shared.suppress_duration = cfg.suppress_duration;
+        shared.neighbor_timeout = cfg.neighbor_timeout;
+        let shared = Rc::new(RefCell::new(shared));
+        let fwd_cfg = ForwarderConfig {
+            cs_capacity: cfg.cs_capacity,
+            cache_unsolicited: role == NodeRole::PureForwarder,
+            rebroadcast_faces: vec![FaceId::WIRELESS],
+            deliver_on_aggregate: vec![FaceId::APP],
+        };
+        let mut forwarder =
+            Forwarder::with_strategy(fwd_cfg, Box::new(DapesStrategy::new(shared.clone())));
+        forwarder
+            .fib_mut()
+            .register(Name::root(), FaceId::WIRELESS);
+        if role == NodeRole::Dapes {
+            let dapes = Name::from_uri(namespace::APP_PREFIX);
+            forwarder.fib_mut().register(dapes.clone(), FaceId::APP);
+            forwarder.fib_mut().register(dapes, FaceId::WIRELESS);
+        }
+        let discovery = DiscoveryState::new(cfg.discovery_min, cfg.discovery_max, cfg.discovery_recent);
+        DapesPeer {
+            id,
+            cfg,
+            anchor,
+            role,
+            forwarder,
+            shared,
+            seeding: HashMap::new(),
+            downloads: HashMap::new(),
+            wanted,
+            discovery,
+            advert_round: 0,
+            pending: HashMap::new(),
+            inflight: HashMap::new(),
+            next_pending: 0,
+            encounter_active: false,
+            stats: PeerStats::default(),
+        }
+    }
+
+    /// The peer id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Registers a collection this peer produces: it seeds all packets and
+    /// serves signed metadata.
+    pub fn add_production(&mut self, collection: Rc<Collection>) {
+        let name = collection.name().clone();
+        let segments = Rc::new(collection.metadata_segments(&self.anchor));
+        let total = collection.total_packets();
+        {
+            let mut sh = self.shared.borrow_mut();
+            sh.indices.insert(name.clone(), collection.index().clone());
+            sh.have.insert(name.clone(), Bitmap::full(total));
+        }
+        self.register_collection_prefix(&name);
+        self.seeding.insert(
+            name,
+            Seed {
+                collection,
+                segments,
+            },
+        );
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &PeerStats {
+        &self.stats
+    }
+
+    /// Completion time across all wanted collections, once reached.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.stats.completed_at
+    }
+
+    /// Whether every tracked download finished.
+    pub fn downloads_complete(&self) -> bool {
+        !self.downloads.is_empty() && self.downloads.values().all(|d| d.phase == Phase::Complete)
+    }
+
+    /// Download progress for a collection in `[0, 1]`.
+    pub fn progress(&self, collection: &Name) -> Option<f64> {
+        self.downloads.get(collection).map(|d| d.have.fraction_set())
+    }
+
+    /// The multi-hop forwarding accuracy (§VI-D's 83 % metric).
+    pub fn forward_accuracy(&self) -> Option<f64> {
+        self.shared.borrow().forward_accuracy()
+    }
+
+    /// The NDN forwarder's decision statistics.
+    pub fn forwarder_stats(&self) -> dapes_ndn::forwarder::ForwarderStats {
+        *self.forwarder.stats()
+    }
+
+    /// Number of scheduled-but-unfired transmissions (diagnostics).
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Forward success/failure counters.
+    pub fn forward_counts(&self) -> (u64, u64) {
+        let sh = self.shared.borrow();
+        (sh.forward_successes, sh.forward_failures)
+    }
+
+    fn register_collection_prefix(&mut self, collection: &Name) {
+        self.forwarder
+            .fib_mut()
+            .register(collection.clone(), FaceId::APP);
+        self.forwarder
+            .fib_mut()
+            .register(collection.clone(), FaceId::WIRELESS);
+    }
+
+    // ------------------------------------------------------------------
+    // Outbound plumbing
+    // ------------------------------------------------------------------
+
+    fn jitter(&self, ctx: &mut NodeCtx<'_>) -> SimDuration {
+        let w = self.cfg.tx_window.as_micros().max(1);
+        SimDuration::from_micros(ctx.rng().gen_range(0..w))
+    }
+
+    /// Sends our own Interest through the forwarder (creating PIT state) and
+    /// broadcasts it with jitter.
+    ///
+    /// If the Interest aggregates into an existing PIT entry (a
+    /// retransmission, or an entry created by an overheard neighbor
+    /// Interest), the forwarder returns no send action — but the frame must
+    /// still go on the air, since consumer retransmissions are how losses
+    /// recover. A Content-Store hit on our own Interest is delivered
+    /// straight to the application.
+    fn express_interest(&mut self, ctx: &mut NodeCtx<'_>, interest: Interest, kind: FrameKind) {
+        let actions = self
+            .forwarder
+            .process_interest(ctx.now, &interest, FaceId::APP);
+        ctx.note_state_inserts(1);
+        let mut handled = false;
+        for action in actions {
+            match action {
+                Action::SendInterest {
+                    face: FaceId::WIRELESS,
+                    interest,
+                } => {
+                    let delay = self.jitter(ctx);
+                    ctx.send_frame(interest.encode(), kind, 0, delay);
+                    handled = true;
+                }
+                Action::SendData {
+                    face: FaceId::APP,
+                    data,
+                } => {
+                    self.handle_app_data(ctx, &data);
+                    handled = true;
+                }
+                _ => {}
+            }
+        }
+        if !handled {
+            let delay = self.jitter(ctx);
+            ctx.send_frame(interest.encode(), kind, 0, delay);
+        }
+    }
+
+    /// Pushes produced Data through the forwarder (consuming our PIT entry
+    /// and caching) and broadcasts whatever comes out.
+    fn emit_data(&mut self, ctx: &mut NodeCtx<'_>, data: Data, kind: FrameKind) {
+        let (actions, _) = self.forwarder.process_data(ctx.now, &data, FaceId::APP);
+        let mut sent = false;
+        for action in actions {
+            if let Action::SendData { face, data } = action {
+                if face == FaceId::WIRELESS && !sent {
+                    ctx.send_frame(data.encode(), kind, 0, SimDuration::ZERO);
+                    sent = true;
+                }
+            }
+        }
+        if !sent {
+            // No PIT entry (e.g. the requester's entry lapsed): broadcast
+            // anyway — the data was explicitly requested moments ago.
+            ctx.send_frame(data.encode(), kind, 0, SimDuration::ZERO);
+        }
+    }
+
+    fn schedule_pending(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        payload: PendingPayload,
+        kind: FrameKind,
+        delay: SimDuration,
+        cancel_on_data: Option<Name>,
+        cancel_on_nonce: Option<(Name, u32)>,
+        forwarded_name: Option<Name>,
+    ) -> u64 {
+        self.next_pending += 1;
+        let id = self.next_pending;
+        let timer = ctx.set_timer(delay, TOKEN_PENDING | id);
+        self.pending.insert(
+            id,
+            Pending {
+                payload,
+                kind,
+                timer,
+                cancel_on_data,
+                cancel_on_nonce,
+                forwarded_name,
+            },
+        );
+        id
+    }
+
+    fn cancel_pending_where<F: Fn(&Pending) -> bool>(&mut self, ctx: &mut NodeCtx<'_>, pred: F) {
+        let ids: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| pred(p))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            if let Some(p) = self.pending.remove(&id) {
+                ctx.cancel_timer(p.timer);
+            }
+        }
+    }
+
+    fn fire_pending(&mut self, ctx: &mut NodeCtx<'_>, id: u64) {
+        let Some(p) = self.pending.remove(&id) else {
+            return;
+        };
+        match p.payload {
+            PendingPayload::Raw(wire) => {
+                if let Some(name) = &p.forwarded_name {
+                    self.shared.borrow_mut().note_forwarded(name, ctx.now);
+                    self.stats.interests_forwarded += 1;
+                }
+                ctx.send_frame(wire, p.kind, 0, SimDuration::ZERO);
+            }
+            PendingPayload::DiscoveryReply => {
+                let info = DiscoveryInfo {
+                    peer: self.id,
+                    offers: self.current_offers(),
+                };
+                let data = Data::new(
+                    namespace::discovery_reply_name(self.id),
+                    info.to_wire(),
+                )
+                // Short freshness: discovery state changes as peers move, so
+                // caches must not answer discovery probes indefinitely.
+                .with_freshness_ms(1_000)
+                .signed(&self.anchor.keypair(&format!("peer-{}", self.id)));
+                self.emit_data(ctx, data, kinds::DISCOVERY_DATA);
+            }
+            PendingPayload::BitmapReply {
+                collection,
+                reply_name,
+            } => {
+                let Some(my) = self.my_bitmap(&collection) else {
+                    return;
+                };
+                // Re-check marginal coverage right before transmitting: the
+                // union may have grown while we waited.
+                let marginal = self
+                    .downloads
+                    .get(&collection)
+                    .map(|d| d.advert.marginal(&my))
+                    .unwrap_or_else(|| my.count_set());
+                if self.downloads.contains_key(&collection) && marginal == 0 {
+                    self.stats.bitmaps_cancelled += 1;
+                    return;
+                }
+                let data = Data::new(reply_name, encode_bitmap_params(self.id, &my))
+                    .signed(&self.anchor.keypair(&format!("peer-{}", self.id)));
+                self.stats.bitmaps_sent += 1;
+                self.next_pending += 1;
+                let tx_token = self.next_pending;
+                self.inflight.insert(
+                    tx_token,
+                    InflightTx {
+                        bitmap_collection: Some(collection),
+                    },
+                );
+                // Route through the forwarder to consume the bitmap
+                // Interest's PIT entry, then broadcast with the tx token so
+                // PEBA sees the collision outcome.
+                let (actions, _) = self.forwarder.process_data(ctx.now, &data, FaceId::APP);
+                let mut sent = false;
+                for action in actions {
+                    if let Action::SendData { face, data } = action {
+                        if face == FaceId::WIRELESS && !sent {
+                            ctx.send_frame(data.encode(), kinds::BITMAP_DATA, tx_token, SimDuration::ZERO);
+                            sent = true;
+                        }
+                    }
+                }
+                if !sent {
+                    ctx.send_frame(data.encode(), kinds::BITMAP_DATA, tx_token, SimDuration::ZERO);
+                }
+            }
+            PendingPayload::BitmapInterest { collection } => {
+                let Some(my) = self.my_bitmap(&collection) else {
+                    return;
+                };
+                self.advert_round += 1;
+                let name = namespace::bitmap_interest_name(&collection, self.id, self.advert_round);
+                let interest = Interest::new(name)
+                    .with_can_be_prefix(true)
+                    .with_nonce(ctx.rng().gen())
+                    .with_lifetime_ms(2_000)
+                    .with_app_parameters(encode_bitmap_params(self.id, &my));
+                self.stats.bitmaps_sent += 1;
+                self.next_pending += 1;
+                let tx_token = self.next_pending;
+                self.inflight.insert(
+                    tx_token,
+                    InflightTx {
+                        bitmap_collection: Some(collection.clone()),
+                    },
+                );
+                let actions = self
+                    .forwarder
+                    .process_interest(ctx.now, &interest, FaceId::APP);
+                for action in actions {
+                    if let Action::SendInterest { face, interest } = action {
+                        if face == FaceId::WIRELESS {
+                            ctx.send_frame(
+                                interest.encode(),
+                                kinds::BITMAP_INTEREST,
+                                tx_token,
+                                SimDuration::ZERO,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn current_offers(&self) -> Vec<OfferedCollection> {
+        let mut offers: Vec<OfferedCollection> = self
+            .seeding
+            .values()
+            .map(|s| OfferedCollection {
+                collection: s.collection.name().clone(),
+                metadata: s.collection.metadata_name(),
+            })
+            .collect();
+        for d in self.downloads.values() {
+            if d.metadata.is_some() {
+                offers.push(OfferedCollection {
+                    collection: d.collection.clone(),
+                    metadata: d.metadata_name.clone(),
+                });
+            }
+        }
+        offers
+    }
+
+    fn my_bitmap(&self, collection: &Name) -> Option<Bitmap> {
+        if let Some(seed) = self.seeding.get(collection) {
+            return Some(Bitmap::full(seed.collection.total_packets()));
+        }
+        self.downloads.get(collection).map(|d| d.have.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Discovery & downloads
+    // ------------------------------------------------------------------
+
+    fn send_discovery_interest(&mut self, ctx: &mut NodeCtx<'_>) {
+        let interest = Interest::new(namespace::discovery_prefix())
+            .with_can_be_prefix(true)
+            .with_must_be_fresh(true)
+            .with_nonce(ctx.rng().gen())
+            .with_lifetime_ms(1_000)
+            .with_app_parameters(self.id.to_be_bytes().to_vec());
+        self.stats.discovery_sent += 1;
+        self.express_interest(ctx, interest, kinds::DISCOVERY_INTEREST);
+    }
+
+    fn handle_discovery_info(&mut self, ctx: &mut NodeCtx<'_>, info: &DiscoveryInfo) {
+        if info.peer == self.id {
+            return;
+        }
+        {
+            let mut sh = self.shared.borrow_mut();
+            let entry = sh.note_peer(info.peer, ctx.now);
+            let _ = entry;
+            for offer in &info.offers {
+                sh.note_neighbor_wants(info.peer, &offer.collection, ctx.now);
+            }
+        }
+        self.discovery.note_peer_heard(ctx.now);
+        for offer in &info.offers {
+            let wanted = self.wanted.wants(&offer.collection)
+                && !self.downloads.contains_key(&offer.collection)
+                && !self.seeding.contains_key(&offer.collection);
+            if wanted {
+                self.start_download(ctx, offer);
+            }
+        }
+    }
+
+    fn start_download(&mut self, ctx: &mut NodeCtx<'_>, offer: &OfferedCollection) {
+        ctx.note_state_inserts(1);
+        self.register_collection_prefix(&offer.collection);
+        let download = Download {
+            collection: offer.collection.clone(),
+            metadata_name: offer.metadata.clone(),
+            phase: Phase::FetchingMetadata,
+            assembler: MetadataAssembler::new(),
+            meta_outstanding: HashMap::new(),
+            metadata: None,
+            index: None,
+            have: Bitmap::new(0),
+            leaf_hashes: Vec::new(),
+            files_verified: Vec::new(),
+            outstanding: HashMap::new(),
+            queue: Vec::new(),
+            queue_dirty: true,
+            bitmaps_this_encounter: 0,
+            advert_rounds_this_encounter: 0,
+            rounds_seen: HashMap::new(),
+            last_advert: None,
+            advert: AdvertScheduler::new(self.cfg.peba, self.cfg.tx_window, self.cfg.slot_len),
+            history: EncounterHistory::new(self.cfg.encounter_history),
+            completed_at: None,
+        };
+        self.downloads.insert(offer.collection.clone(), download);
+        self.request_metadata_segment(ctx, &offer.collection, 0);
+    }
+
+    fn request_metadata_segment(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name, seg: u32) {
+        let Some(d) = self.downloads.get_mut(collection) else {
+            return;
+        };
+        let name = namespace::metadata_segment_name(&d.metadata_name, seg as u64);
+        d.meta_outstanding.insert(seg, (ctx.now, 0));
+        let interest = Interest::new(name)
+            .with_nonce(ctx.rng().gen())
+            .with_lifetime_ms(2_000);
+        self.express_interest(ctx, interest, kinds::METADATA_INTEREST);
+    }
+
+    fn handle_metadata_segment(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name, data: &Data) {
+        if !data.verify(&self.anchor) {
+            self.stats.verify_failures += 1;
+            return;
+        }
+        let Some(seg) = data.name().last().and_then(|c| c.to_seq()) else {
+            return;
+        };
+        let Some(d) = self.downloads.get_mut(collection) else {
+            return;
+        };
+        if d.phase != Phase::FetchingMetadata {
+            return;
+        }
+        if !d.metadata_name.is_prefix_of(data.name()) {
+            return; // different metadata version
+        }
+        d.meta_outstanding.remove(&(seg as u32));
+        let completed = d.assembler.feed(seg as u32, data.content());
+        // Request more segments (windowed).
+        if completed.is_none() {
+            let missing = d.assembler.missing();
+            let window = self.cfg.fetch_window.max(1);
+            let to_request: Vec<u32> = missing
+                .into_iter()
+                .filter(|s| !d.meta_outstanding.contains_key(s))
+                .take(window.saturating_sub(d.meta_outstanding.len()))
+                .collect();
+            for seg in to_request {
+                self.request_metadata_segment(ctx, collection, seg);
+            }
+            return;
+        }
+        let Some(meta) = completed else { return };
+        // Validate the digest in the metadata name binds to this body.
+        let expected = d
+            .metadata_name
+            .last()
+            .map(|c| String::from_utf8_lossy(c.as_bytes()).to_string());
+        if expected.as_deref() != Some(meta.digest8().as_str()) {
+            self.stats.verify_failures += 1;
+            return;
+        }
+        self.activate_download(ctx, collection, meta);
+    }
+
+    fn activate_download(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name, meta: Metadata) {
+        let total = meta.total_packets();
+        let index = meta.index();
+        let files = meta.files.len();
+        {
+            let mut sh = self.shared.borrow_mut();
+            sh.indices.insert(collection.clone(), index.clone());
+            sh.have.insert(collection.clone(), Bitmap::new(total));
+        }
+        let Some(d) = self.downloads.get_mut(collection) else {
+            return;
+        };
+        d.metadata = Some(Rc::new(meta));
+        d.index = Some(index);
+        d.have = Bitmap::new(total);
+        d.leaf_hashes = vec![None; total];
+        d.files_verified = vec![false; files];
+        d.phase = Phase::Active;
+        d.queue_dirty = true;
+        ctx.note_state_inserts(2);
+        // Open the first advertisement round immediately.
+        self.open_advert_round(ctx, collection);
+    }
+
+    fn open_advert_round(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name) {
+        // The bitmap budget (Fig. 9c/9d) gates when *data fetching* starts,
+        // via `required_before_fetch`; periodic re-advertisement itself must
+        // continue for as long as the download runs, or knowledge of the
+        // data available nearby would rot away with neighbor expiry and
+        // fetching would stall (especially in single-hop mode).
+        let Some(d) = self.downloads.get_mut(collection) else {
+            return;
+        };
+        if d.phase != Phase::Active {
+            return;
+        }
+        d.last_advert = Some(ctx.now);
+        d.advert_rounds_this_encounter += 1;
+        let delay = self.jitter(ctx);
+        self.schedule_pending(
+            ctx,
+            PendingPayload::BitmapInterest {
+                collection: collection.clone(),
+            },
+            kinds::BITMAP_INTEREST,
+            delay,
+            None,
+            None,
+            None,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Bitmap handling
+    // ------------------------------------------------------------------
+
+    fn handle_bitmap_seen(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        collection: &Name,
+        peer: u32,
+        bitmap: &Bitmap,
+    ) {
+        if peer == self.id {
+            return;
+        }
+        self.discovery.note_peer_heard(ctx.now);
+        self.shared
+            .borrow_mut()
+            .record_bitmap(peer, collection, bitmap.clone(), ctx.now);
+        ctx.note_state_inserts(1);
+        let Some(d) = self.downloads.get_mut(collection) else {
+            return;
+        };
+        self.stats.bitmaps_heard += 1;
+        d.bitmaps_this_encounter += 1;
+        d.history.record(peer, bitmap.clone());
+        d.queue_dirty = true;
+        d.advert.record_transmitted(bitmap);
+        // Re-evaluate our own pending bitmap transmissions for this
+        // collection against the grown union.
+        let my = d.have.clone();
+        let marginal = d.advert.marginal(&my);
+        let new_delay = if marginal == 0 {
+            None
+        } else {
+            let mut rng_delay = None;
+            if let Some(del) = d.advert.delay_for(&my, ctx.rng()) {
+                rng_delay = Some(del);
+            }
+            rng_delay
+        };
+        let ids: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| {
+                matches!(&p.payload, PendingPayload::BitmapReply { collection: c, .. } if c == collection)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            match new_delay {
+                None => {
+                    if let Some(p) = self.pending.remove(&id) {
+                        ctx.cancel_timer(p.timer);
+                        self.stats.bitmaps_cancelled += 1;
+                    }
+                }
+                Some(delay) => {
+                    if let Some(p) = self.pending.get_mut(&id) {
+                        ctx.cancel_timer(p.timer);
+                        p.timer = ctx.set_timer(delay, TOKEN_PENDING | id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_bitmap_interest(&mut self, ctx: &mut NodeCtx<'_>, interest: &Interest) {
+        let Some((collection, origin, round, _)) = namespace::parse_bitmap_name(interest.name())
+        else {
+            return;
+        };
+        if origin == self.id {
+            return;
+        }
+        // A new advertisement round from this origin starts a fresh
+        // prioritization burst (paper §IV-F operates per transmission
+        // burst): without this, one lost reply would never be re-sent
+        // because the old union already "covers" us.
+        if let Some(d) = self.downloads.get_mut(&collection) {
+            let newest = d.rounds_seen.entry(origin).or_insert(0);
+            if round > *newest {
+                *newest = round;
+                d.advert.reset();
+            }
+        }
+        // The Interest carries the origin's bitmap: learn it.
+        if let Some((peer, bm)) = interest.app_parameters().and_then(decode_bitmap_params) {
+            self.handle_bitmap_seen(ctx, &collection, peer, &bm);
+        }
+        // Reply with our bitmap if we can describe this collection.
+        let Some(my) = self.my_bitmap(&collection) else {
+            return;
+        };
+        if my.is_empty() {
+            return; // metadata not ready yet
+        }
+        let delay = match self.downloads.get_mut(&collection) {
+            Some(d) => d.advert.delay_for(&my, ctx.rng()),
+            None => {
+                // Seeding: full bitmap, first-transmission priority.
+                AdvertScheduler::new(self.cfg.peba, self.cfg.tx_window, self.cfg.slot_len)
+                    .delay_for(&my, ctx.rng())
+            }
+        };
+        let Some(delay) = delay else {
+            self.stats.bitmaps_cancelled += 1;
+            return;
+        };
+        let reply_name = namespace::bitmap_reply_name(interest.name(), self.id);
+        self.schedule_pending(
+            ctx,
+            PendingPayload::BitmapReply {
+                collection,
+                reply_name,
+            },
+            kinds::BITMAP_DATA,
+            delay,
+            None,
+            None,
+            None,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Content fetching
+    // ------------------------------------------------------------------
+
+    fn rebuild_queue(&mut self, collection: &Name) {
+        let sh = self.shared.borrow();
+        let Some(d) = self.downloads.get_mut(collection) else {
+            return;
+        };
+        let Some(_) = d.metadata.as_ref() else { return };
+        let total = d.have.len();
+        let missing: Vec<usize> = d
+            .have
+            .iter_missing()
+            .filter(|i| !d.outstanding.contains_key(i))
+            .collect();
+        let rarity = match self.cfg.rpf {
+            RpfVariant::LocalNeighborhood => {
+                let bitmaps: Vec<&Bitmap> = sh
+                    .neighbors
+                    .values()
+                    .filter_map(|info| info.bitmaps.get(collection))
+                    .collect();
+                rarity_counts(total, bitmaps.into_iter())
+            }
+            RpfVariant::EncounterBased => rarity_counts(total, d.history.bitmaps()),
+        };
+        let seed = (self.id as u64) << 32 | (total as u64 & 0xffff_ffff);
+        let ordered = fetch_order(missing, &rarity, self.cfg.start, seed);
+        // Partition: packets known to be nearby first; speculative
+        // (multi-hop) requests afterwards. Reverse so `pop` takes the front.
+        let mut available = Vec::new();
+        let mut speculative = Vec::new();
+        for idx in ordered {
+            match sh.neighbor_has_packet(collection, idx) {
+                Some(true) => available.push(idx),
+                Some(false) | None => speculative.push(idx),
+            }
+        }
+        let multihop = sh.enabled;
+        drop(sh);
+        let mut queue = available;
+        if multihop {
+            queue.extend(speculative);
+        }
+        queue.reverse();
+        d.queue = queue;
+        d.queue_dirty = false;
+    }
+
+    fn refill_fetches(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name) {
+        let interested = {
+            let sh = self.shared.borrow();
+            sh.neighbors
+                .values()
+                .filter(|i| i.wants.contains(collection) || i.bitmaps.contains_key(collection))
+                .count()
+        };
+        let Some(d) = self.downloads.get(collection) else {
+            return;
+        };
+        if d.phase != Phase::Active {
+            return;
+        }
+        if interested == 0 {
+            return; // nobody around: pause fetching
+        }
+        let required = self.cfg.schedule.required_before_fetch(interested);
+        if d.bitmaps_this_encounter < required {
+            return;
+        }
+        if d.queue_dirty {
+            self.rebuild_queue(collection);
+        }
+        loop {
+            let Some(d) = self.downloads.get_mut(collection) else {
+                return;
+            };
+            if d.outstanding.len() >= self.cfg.fetch_window || d.queue.is_empty() {
+                break;
+            }
+            let idx = d.queue.pop().expect("checked non-empty");
+            if (idx < d.have.len() && d.have.get(idx)) || d.outstanding.contains_key(&idx) {
+                continue;
+            }
+            let Some(name) = d
+                .index
+                .as_ref()
+                .and_then(|ix| ix.packet_name(collection, idx))
+            else {
+                continue;
+            };
+            d.outstanding.insert(idx, (ctx.now, 0));
+            self.stats.interests_sent += 1;
+            let interest = Interest::new(name).with_nonce(ctx.rng().gen());
+            self.express_interest(ctx, interest, kinds::CONTENT_INTEREST);
+        }
+    }
+
+    fn handle_content_data(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name, data: &Data) {
+        let Some(d) = self.downloads.get_mut(collection) else {
+            return;
+        };
+        if d.phase != Phase::Active {
+            return;
+        }
+        let (Some(meta), Some(index)) = (d.metadata.clone(), d.index.as_ref()) else {
+            return;
+        };
+        let Some(DapesName::Content { file, seq, .. }) = namespace::classify(data.name()) else {
+            return;
+        };
+        let Some(idx) = index.global_index(&file, seq) else {
+            return;
+        };
+        if d.have.get(idx) {
+            d.outstanding.remove(&idx);
+            return;
+        }
+        match meta.verify_packet(idx, data.content()) {
+            PacketVerification::Failed => {
+                self.stats.verify_failures += 1;
+                d.outstanding.remove(&idx);
+                d.queue_dirty = true;
+                return;
+            }
+            PacketVerification::Verified => {
+                self.stats.packets_verified += 1;
+            }
+            PacketVerification::Deferred => {
+                d.leaf_hashes[idx] = Some(leaf_hash(data.content()));
+            }
+        }
+        d.outstanding.remove(&idx);
+        d.have.set(idx);
+        self.stats.data_received += 1;
+        if let Some(have) = self.shared.borrow_mut().have.get_mut(collection) {
+            if idx < have.len() {
+                have.set(idx);
+            }
+        }
+        // File-completion check (Merkle verification happens here).
+        let (file_pos, _) = index.locate(idx).expect("located above");
+        let range = index.file_range(file_pos).expect("valid file");
+        if !d.files_verified[file_pos] && range.clone().all(|i| d.have.get(i)) {
+            let ok = match meta.format {
+                crate::metadata::MetadataFormat::PacketDigest => true,
+                crate::metadata::MetadataFormat::MerkleRoots => {
+                    let leaves: Vec<Digest> = range
+                        .clone()
+                        .map(|i| d.leaf_hashes[i].expect("all present"))
+                        .collect();
+                    let root = meta.files[file_pos].root;
+                    match root {
+                        Some(r) => dapes_crypto::merkle::MerkleTree::verify_leaves(&r, leaves),
+                        None => false,
+                    }
+                }
+            };
+            if ok {
+                d.files_verified[file_pos] = true;
+                self.stats.packets_verified += match meta.format {
+                    crate::metadata::MetadataFormat::MerkleRoots => range.len() as u64,
+                    crate::metadata::MetadataFormat::PacketDigest => 0,
+                };
+                for i in range {
+                    d.leaf_hashes[i] = None; // content hashes no longer needed
+                }
+            } else {
+                // Whole file failed: drop and refetch it.
+                self.stats.verify_failures += 1;
+                for i in range {
+                    d.have.clear(i);
+                    d.leaf_hashes[i] = None;
+                }
+                d.queue_dirty = true;
+            }
+        }
+        if d.files_verified.iter().all(|&v| v) {
+            d.phase = Phase::Complete;
+            d.completed_at = Some(ctx.now);
+            if self
+                .downloads
+                .values()
+                .all(|dl| dl.phase == Phase::Complete)
+            {
+                self.stats.complete(ctx.now);
+            }
+        }
+        self.refill_fetches(ctx, collection);
+    }
+
+    // ------------------------------------------------------------------
+    // Serving
+    // ------------------------------------------------------------------
+
+    fn serve_interest(&mut self, ctx: &mut NodeCtx<'_>, interest: &Interest) {
+        match namespace::classify(interest.name()) {
+            Some(DapesName::Discovery { .. }) => {
+                if let Some(params) = interest.app_parameters() {
+                    if params.len() == 4 {
+                        let peer = u32::from_be_bytes(params.try_into().expect("4 bytes"));
+                        if peer != self.id {
+                            self.shared.borrow_mut().note_peer(peer, ctx.now);
+                            self.discovery.note_peer_heard(ctx.now);
+                        }
+                    }
+                }
+                if self.current_offers().is_empty() {
+                    return;
+                }
+                // One pending reply at a time; a burst of probes from
+                // several peers is answered by a single broadcast.
+                if self
+                    .pending
+                    .values()
+                    .any(|p| matches!(p.payload, PendingPayload::DiscoveryReply))
+                {
+                    return;
+                }
+                let delay = self.jitter(ctx);
+                self.schedule_pending(
+                    ctx,
+                    PendingPayload::DiscoveryReply,
+                    kinds::DISCOVERY_DATA,
+                    delay,
+                    None,
+                    None,
+                    None,
+                );
+            }
+            Some(DapesName::Bitmap { .. }) => self.handle_bitmap_interest(ctx, interest),
+            Some(DapesName::Metadata { collection, segment, .. }) => {
+                let Some(seg) = segment else { return };
+                if self.reply_pending_for(interest.name()) {
+                    return;
+                }
+                let data = self.metadata_segment_for(&collection, seg as u32);
+                if let Some(data) = data {
+                    let delay = self.jitter(ctx);
+                    self.schedule_pending(
+                        ctx,
+                        PendingPayload::Raw(data.encode()),
+                        kinds::METADATA_DATA,
+                        delay,
+                        Some(data.name().clone()),
+                        None,
+                        None,
+                    );
+                }
+            }
+            Some(DapesName::Content { collection, file, seq }) => {
+                if self.reply_pending_for(interest.name()) {
+                    return;
+                }
+                let data = self.content_packet_for(&collection, &file, seq);
+                if let Some(data) = data {
+                    self.stats.packets_served += 1;
+                    let delay = self.jitter(ctx);
+                    self.schedule_pending(
+                        ctx,
+                        PendingPayload::Raw(data.encode()),
+                        kinds::CONTENT_DATA,
+                        delay,
+                        Some(data.name().clone()),
+                        None,
+                        None,
+                    );
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Whether a reply for exactly this data name is already queued.
+    fn reply_pending_for(&self, name: &Name) -> bool {
+        self.pending
+            .values()
+            .any(|p| p.cancel_on_data.as_ref() == Some(name) && p.forwarded_name.is_none())
+    }
+
+    fn metadata_segment_for(&self, collection: &Name, seg: u32) -> Option<Data> {
+        if let Some(seed) = self.seeding.get(collection) {
+            return seed.segments.get(seg as usize).cloned();
+        }
+        let d = self.downloads.get(collection)?;
+        let meta = d.metadata.as_ref()?;
+        let segments = meta.to_segments(collection, &self.anchor.keypair(&meta.producer));
+        segments.get(seg as usize).cloned()
+    }
+
+    fn content_packet_for(&self, collection: &Name, file: &str, seq: u64) -> Option<Data> {
+        if let Some(seed) = self.seeding.get(collection) {
+            let idx = seed.collection.index().global_index(file, seq)?;
+            return seed.collection.packet_data(idx, &self.anchor);
+        }
+        let d = self.downloads.get(collection)?;
+        let meta = d.metadata.as_ref()?;
+        let idx = d.index.as_ref()?.global_index(file, seq)?;
+        if idx >= d.have.len() || !d.have.get(idx) {
+            return None;
+        }
+        regenerate_packet(collection, meta, idx, &self.anchor)
+    }
+
+    // ------------------------------------------------------------------
+    // Periodic housekeeping
+    // ------------------------------------------------------------------
+
+    fn tick(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.shared.borrow_mut().sweep(ctx.now);
+        self.forwarder.expire(ctx.now);
+
+        // Encounter transitions.
+        let neighbors = self.shared.borrow().neighbor_count();
+        if neighbors == 0 && self.encounter_active {
+            self.encounter_active = false;
+            for d in self.downloads.values_mut() {
+                d.advert.reset();
+                d.bitmaps_this_encounter = 0;
+                d.advert_rounds_this_encounter = 0;
+                d.rounds_seen.clear();
+                d.queue_dirty = true;
+            }
+        } else if neighbors > 0 && !self.encounter_active {
+            self.encounter_active = true;
+        }
+
+        let collections: Vec<Name> = self.downloads.keys().cloned().collect();
+        for collection in collections {
+            self.sweep_download(ctx, &collection);
+        }
+        ctx.set_timer(self.cfg.tick, TOKEN_TICK);
+    }
+
+    fn sweep_download(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name) {
+        let now = ctx.now;
+        let retx_timeout = self.cfg.retx_timeout;
+        let max_retx = self.cfg.max_retx;
+
+        // Metadata retransmissions.
+        let mut meta_retx: Vec<u32> = Vec::new();
+        let mut advert_due = false;
+        {
+            let Some(d) = self.downloads.get_mut(collection) else {
+                return;
+            };
+            match d.phase {
+                Phase::FetchingMetadata => {
+                    for (&seg, (sent, retx)) in d.meta_outstanding.iter_mut() {
+                        if now.since(*sent) > retx_timeout {
+                            *sent = now;
+                            *retx += 1;
+                            if *retx <= max_retx {
+                                meta_retx.push(seg);
+                            }
+                        }
+                    }
+                }
+                Phase::Active => {
+                    // Content retransmissions / requeues.
+                    let mut requeue: Vec<usize> = Vec::new();
+                    let mut resend: Vec<usize> = Vec::new();
+                    for (&idx, (sent, retx)) in d.outstanding.iter_mut() {
+                        if now.since(*sent) > retx_timeout {
+                            if *retx >= max_retx {
+                                requeue.push(idx);
+                            } else {
+                                *sent = now;
+                                *retx += 1;
+                                resend.push(idx);
+                            }
+                        }
+                    }
+                    for idx in requeue {
+                        d.outstanding.remove(&idx);
+                        d.queue_dirty = true;
+                    }
+                    let names: Vec<Name> = resend
+                        .into_iter()
+                        .filter_map(|idx| {
+                            d.index
+                                .as_ref()
+                                .and_then(|ix| ix.packet_name(collection, idx))
+                        })
+                        .collect();
+                    self.stats.retransmissions += names.len() as u64;
+                    for name in names {
+                        // Retransmissions bypass the forwarder: the PIT entry
+                        // (downstream APP) already exists; a fresh nonce lets
+                        // neighbors treat it as new.
+                        let interest = Interest::new(name).with_nonce(ctx.rng().gen());
+                        let delay_us = ctx.rng().gen_range(0..self.cfg.tx_window.as_micros().max(1));
+                        ctx.send_frame(
+                            interest.encode(),
+                            kinds::CONTENT_INTEREST,
+                            0,
+                            SimDuration::from_micros(delay_us),
+                        );
+                    }
+                    let Some(d) = self.downloads.get_mut(collection) else {
+                        return;
+                    };
+                    advert_due = d
+                        .last_advert
+                        .is_none_or(|t| now.since(t) >= self.cfg.advert_interval);
+                }
+                Phase::Complete => {}
+            }
+        }
+        for seg in meta_retx {
+            self.stats.retransmissions += 1;
+            self.request_metadata_segment(ctx, collection, seg);
+        }
+        if advert_due && self.encounter_active {
+            self.open_advert_round(ctx, collection);
+        }
+        self.refill_fetches(ctx, collection);
+    }
+}
+
+impl NetStack for DapesPeer {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(self.cfg.tick, TOKEN_TICK);
+        if self.role == NodeRole::Dapes {
+            // Stagger first beacons across the window to avoid a start-up
+            // collision storm.
+            let delay = SimDuration::from_micros(
+                ctx.rng().gen_range(0..self.cfg.discovery_min.as_micros().max(1)),
+            );
+            ctx.set_timer(delay, TOKEN_DISCOVERY);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        match token & TOKEN_MASK {
+            TOKEN_TICK => self.tick(ctx),
+            TOKEN_DISCOVERY => {
+                self.send_discovery_interest(ctx);
+                let period = self.discovery.next_period(ctx.now);
+                ctx.set_timer(period, TOKEN_DISCOVERY);
+            }
+            TOKEN_PENDING => self.fire_pending(ctx, token & !TOKEN_MASK),
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame) {
+        let Ok(packet) = Packet::decode(&frame.payload) else {
+            return;
+        };
+        if self.role == NodeRole::Dapes {
+            self.discovery.note_peer_heard(ctx.now);
+            self.shared.borrow_mut().note_peer(frame.src.0, ctx.now);
+        }
+        match packet {
+            Packet::Interest(interest) => {
+                // Someone else re-broadcast an Interest we were also about
+                // to forward: ours is now redundant.
+                let key = (interest.name().clone(), interest.nonce());
+                self.cancel_pending_where(ctx, |p| {
+                    p.cancel_on_nonce.as_ref() == Some(&key)
+                });
+                let actions =
+                    self.forwarder
+                        .process_interest(ctx.now, &interest, FaceId::WIRELESS);
+                ctx.note_state_inserts(1);
+                for action in actions {
+                    match action {
+                        Action::SendInterest { face: FaceId::APP, interest } => {
+                            if self.role == NodeRole::Dapes {
+                                self.serve_interest(ctx, &interest);
+                            }
+                        }
+                        Action::SendInterest { face: FaceId::WIRELESS, mut interest } => {
+                            // Multi-hop re-broadcast approved by the
+                            // strategy: schedule with a random delay and
+                            // cancellation rules (§V-A).
+                            if !interest.decrement_hop_limit() {
+                                continue;
+                            }
+                            let delay = self.jitter(ctx);
+                            let name = interest.name().clone();
+                            let nonce = interest.nonce();
+                            self.schedule_pending(
+                                ctx,
+                                PendingPayload::Raw(interest.encode()),
+                                frame.kind,
+                                delay,
+                                Some(name.clone()),
+                                Some((name.clone(), nonce)),
+                                Some(name),
+                            );
+                        }
+                        Action::SendData { face: FaceId::WIRELESS, data } => {
+                            // Content Store hit: answer from cache after a
+                            // polite delay, cancelled if someone else does.
+                            let delay = self.jitter(ctx);
+                            self.schedule_pending(
+                                ctx,
+                                PendingPayload::Raw(data.encode()),
+                                response_kind_for(&data),
+                                delay,
+                                Some(data.name().clone()),
+                                None,
+                                None,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Packet::Data(data) => {
+                // Any data transmission cancels our duplicate pending
+                // responses/forwards and settles multi-hop bookkeeping.
+                let dname = data.name().clone();
+                self.cancel_pending_where(ctx, |p| {
+                    p.cancel_on_data.as_ref() == Some(&dname)
+                });
+                self.shared.borrow_mut().note_data_seen(&dname);
+
+                // DAPES-level overhearing before the forwarder pipeline.
+                if self.role == NodeRole::Dapes {
+                    match namespace::classify(&dname) {
+                        Some(DapesName::Bitmap { collection, replier, .. }) => {
+                            if let Some((peer, bm)) =
+                                decode_bitmap_params(data.content())
+                            {
+                                let peer = replier.unwrap_or(peer);
+                                self.handle_bitmap_seen(ctx, &collection, peer, &bm);
+                            }
+                        }
+                        Some(DapesName::Discovery { .. }) => {
+                            if let Some(info) = DiscoveryInfo::from_wire(data.content()) {
+                                self.handle_discovery_info(ctx, &info);
+                            }
+                        }
+                        Some(DapesName::Content { collection, file, seq }) => {
+                            // Note the sender has this packet.
+                            let idx = {
+                                let sh = self.shared.borrow();
+                                sh.indices
+                                    .get(&collection)
+                                    .and_then(|ix| ix.global_index(&file, seq))
+                            };
+                            if let Some(idx) = idx {
+                                self.shared.borrow_mut().note_neighbor_has(
+                                    frame.src.0,
+                                    &collection,
+                                    idx,
+                                    ctx.now,
+                                );
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+
+                let (actions, _solicited) =
+                    self.forwarder.process_data(ctx.now, &data, FaceId::WIRELESS);
+                for action in actions {
+                    match action {
+                        Action::SendData { face: FaceId::APP, data } => {
+                            self.handle_app_data(ctx, &data);
+                        }
+                        Action::SendData { face: FaceId::WIRELESS, data } => {
+                            // Multi-hop data return: re-broadcast for the
+                            // next hop, unless someone beats us to it.
+                            let delay = self.jitter(ctx);
+                            self.schedule_pending(
+                                ctx,
+                                PendingPayload::Raw(data.encode()),
+                                frame.kind,
+                                delay,
+                                Some(data.name().clone()),
+                                None,
+                                None,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+
+                // Opportunistic use of overheard content/metadata even when
+                // our PIT did not ask for it.
+                if self.role == NodeRole::Dapes {
+                    match namespace::classify(&dname) {
+                        Some(DapesName::Content { collection, .. }) => {
+                            if data.verify(&self.anchor) {
+                                self.handle_content_data(ctx, &collection, &data);
+                            }
+                        }
+                        Some(DapesName::Metadata { collection, .. }) => {
+                            self.handle_metadata_segment(ctx, &collection, &data);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut NodeCtx<'_>, outcome: TxOutcome) {
+        if outcome.token == 0 {
+            return;
+        }
+        let Some(inflight) = self.inflight.remove(&outcome.token) else {
+            return;
+        };
+        let Some(collection) = inflight.bitmap_collection else {
+            return;
+        };
+        let Some(my) = self.my_bitmap(&collection) else {
+            return;
+        };
+        if let Some(d) = self.downloads.get_mut(&collection) {
+            if outcome.collided && self.cfg.peba {
+                // PEBA: retry in a prioritized slot.
+                self.stats.peba_backoffs += 1;
+                let delay = d.advert.collision_backoff(&my, ctx.rng());
+                let reply_name = namespace::bitmap_reply_name(
+                    &namespace::bitmap_interest_name(&collection, self.id, self.advert_round),
+                    self.id,
+                );
+                self.schedule_pending(
+                    ctx,
+                    PendingPayload::BitmapReply {
+                        collection,
+                        reply_name,
+                    },
+                    kinds::BITMAP_DATA,
+                    delay,
+                    None,
+                    None,
+                    None,
+                );
+            } else if outcome.collided {
+                // Without PEBA: linear re-draw.
+                let delay = d.advert.collision_backoff(&my, ctx.rng());
+                let reply_name = namespace::bitmap_reply_name(
+                    &namespace::bitmap_interest_name(&collection, self.id, self.advert_round),
+                    self.id,
+                );
+                self.schedule_pending(
+                    ctx,
+                    PendingPayload::BitmapReply {
+                        collection,
+                        reply_name,
+                    },
+                    kinds::BITMAP_DATA,
+                    delay,
+                    None,
+                    None,
+                    None,
+                );
+            } else {
+                d.advert.record_transmitted(&my);
+            }
+        }
+    }
+
+    fn live_state_bytes(&self) -> usize {
+        self.forwarder.state_bytes()
+            + self.shared.borrow().state_bytes()
+            + self
+                .downloads
+                .values()
+                .map(Download::state_bytes)
+                .sum::<usize>()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl DapesPeer {
+    fn handle_app_data(&mut self, ctx: &mut NodeCtx<'_>, data: &Data) {
+        match namespace::classify(data.name()) {
+            Some(DapesName::Metadata { collection, .. }) => {
+                self.handle_metadata_segment(ctx, &collection, data);
+            }
+            Some(DapesName::Content { collection, .. }) => {
+                if data.verify(&self.anchor) {
+                    self.handle_content_data(ctx, &collection, data);
+                } else {
+                    self.stats.verify_failures += 1;
+                }
+            }
+            // Bitmap and discovery data were already handled during
+            // overhearing.
+            _ => {}
+        }
+    }
+}
+
+fn response_kind_for(data: &Data) -> FrameKind {
+    match namespace::classify(data.name()) {
+        Some(DapesName::Discovery { .. }) => kinds::DISCOVERY_DATA,
+        Some(DapesName::Bitmap { .. }) => kinds::BITMAP_DATA,
+        Some(DapesName::Metadata { .. }) => kinds::METADATA_DATA,
+        Some(DapesName::Content { .. }) => kinds::CONTENT_DATA,
+        None => FrameKind::UNKNOWN,
+    }
+}

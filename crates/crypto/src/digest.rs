@@ -1,0 +1,152 @@
+//! The 32-byte digest type shared by all primitives in this crate.
+
+use std::fmt;
+
+/// A 256-bit digest, the output of [`crate::sha256::sha256`] and the node
+/// label type of [`crate::merkle::MerkleTree`].
+///
+/// # Examples
+///
+/// ```
+/// use dapes_crypto::sha256::sha256;
+///
+/// let d = sha256(b"abc");
+/// assert_eq!(
+///     d.to_string(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as a sentinel for "no digest yet".
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Wraps raw bytes as a digest.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the digest, returning the raw bytes.
+    pub fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Parses a digest from a byte slice.
+    ///
+    /// Returns `None` unless `bytes` is exactly 32 bytes long.
+    pub fn from_slice(bytes: &[u8]) -> Option<Self> {
+        let arr: [u8; 32] = bytes.try_into().ok()?;
+        Some(Digest(arr))
+    }
+
+    /// A short 8-hex-character prefix, handy for log lines and name
+    /// components like the paper's `metadata-file/A23D1F9B`.
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Truncates the digest to `n` bytes (used for compact name components).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn truncated(&self, n: usize) -> Vec<u8> {
+        assert!(n <= 32, "digest is only 32 bytes");
+        self.0[..n].to_vec()
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.short_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_all_zero() {
+        assert!(Digest::ZERO.as_bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn from_slice_rejects_wrong_length() {
+        assert!(Digest::from_slice(&[0u8; 31]).is_none());
+        assert!(Digest::from_slice(&[0u8; 33]).is_none());
+        assert!(Digest::from_slice(&[0u8; 32]).is_some());
+    }
+
+    #[test]
+    fn display_is_64_hex_chars() {
+        let d = Digest::from_bytes([0xab; 32]);
+        let s = d.to_string();
+        assert_eq!(s.len(), 64);
+        assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+    }
+
+    #[test]
+    fn short_hex_is_prefix_of_display() {
+        let d = Digest::from_bytes([0x12; 32]);
+        assert!(d.to_string().starts_with(&d.short_hex()));
+        assert_eq!(d.short_hex().len(), 8);
+    }
+
+    #[test]
+    fn truncated_returns_prefix() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let d = Digest::from_bytes(bytes);
+        assert_eq!(d.truncated(4), vec![0, 1, 2, 3]);
+        assert_eq!(d.truncated(0), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "digest is only 32 bytes")]
+    fn truncated_panics_past_32() {
+        Digest::ZERO.truncated(33);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Digest::ZERO).is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let d = Digest::from_bytes([7u8; 32]);
+        assert_eq!(Digest::from_bytes(d.into_bytes()), d);
+        assert_eq!(Digest::from_slice(d.as_ref()), Some(d));
+    }
+}

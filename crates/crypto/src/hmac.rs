@@ -1,0 +1,140 @@
+//! HMAC-SHA256 (RFC 2104), the MAC behind the trust-anchor signature scheme.
+
+use crate::digest::Digest;
+use crate::sha256::{sha256, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte block are first hashed, per RFC 2104.
+///
+/// # Examples
+///
+/// ```
+/// use dapes_crypto::hmac::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+/// assert_eq!(
+///     tag.to_string(),
+///     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        key_block[..32].copy_from_slice(sha256(key).as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finalize()
+}
+
+/// Constant-time equality of two digests.
+///
+/// The simulator is not attacker-facing, but verification code should still
+/// model the real discipline: compare the whole tag regardless of where the
+/// first mismatch occurs.
+pub fn verify_tag(expected: &Digest, actual: &Digest) -> bool {
+    let mut diff = 0u8;
+    for (a, b) in expected.as_bytes().iter().zip(actual.as_bytes()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_string(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_string(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            tag.to_string(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_string(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = hmac_sha256(b"key-a", b"msg");
+        let b = hmac_sha256(b"key-b", b"msg");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_messages_differ() {
+        let a = hmac_sha256(b"key", b"msg-a");
+        let b = hmac_sha256(b"key", b"msg-b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn verify_tag_detects_single_bit_flip() {
+        let tag = hmac_sha256(b"key", b"msg");
+        assert!(verify_tag(&tag, &tag));
+        let mut bytes = tag.into_bytes();
+        bytes[31] ^= 1;
+        assert!(!verify_tag(&tag, &Digest::from_bytes(bytes)));
+        let mut bytes2 = tag.into_bytes();
+        bytes2[0] ^= 0x80;
+        assert!(!verify_tag(&tag, &Digest::from_bytes(bytes2)));
+    }
+
+    #[test]
+    fn exactly_block_sized_key_is_used_verbatim() {
+        // A 64-byte key must not be hashed; 65 bytes must be.
+        let key64 = [0x11u8; 64];
+        let key65 = [0x11u8; 65];
+        assert_ne!(hmac_sha256(&key64, b"m"), hmac_sha256(&key65, b"m"));
+    }
+}

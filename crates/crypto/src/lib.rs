@@ -1,0 +1,43 @@
+//! Cryptographic primitives for the DAPES reproduction.
+//!
+//! The DAPES paper relies on NDN's cryptographic machinery: every Data packet
+//! is signed at production time, collection metadata is signed by the
+//! collection producer, and packet integrity is verified either through
+//! per-packet digests or Merkle trees (paper §IV-C). This crate provides the
+//! equivalents from scratch:
+//!
+//! * [`sha256`] — a FIPS 180-4 SHA-256 implementation,
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104),
+//! * [`merkle`] — Merkle trees with inclusion proofs (paper's Merkle-tree
+//!   metadata format),
+//! * [`signing`] — a [`Signer`]/[`Verifier`] abstraction. The default scheme
+//!   is an HMAC under a shared *local trust anchor* key, matching the paper's
+//!   assumption (§III) that peers share common local trust anchors. See
+//!   `DESIGN.md` for why this substitution preserves protocol behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use dapes_crypto::{sha256::sha256, signing::{Signer, TrustAnchor}};
+//!
+//! let digest = sha256(b"bridge-picture");
+//! assert_eq!(digest.as_bytes().len(), 32);
+//!
+//! let anchor = TrustAnchor::from_seed(b"rural-area-anchor");
+//! let producer = anchor.keypair("resident-a");
+//! let sig = producer.sign(b"metadata bytes");
+//! assert!(anchor.verify("resident-a", b"metadata bytes", &sig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod hmac;
+pub mod merkle;
+pub mod sha256;
+pub mod signing;
+
+pub use digest::Digest;
+pub use merkle::{MerkleProof, MerkleTree};
+pub use signing::{Signature, Signer, TrustAnchor, Verifier};

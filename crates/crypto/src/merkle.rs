@@ -1,0 +1,325 @@
+//! Merkle trees for the paper's Merkle-tree metadata format (§IV-C).
+//!
+//! The collection producer builds one tree per file (or one for the whole
+//! collection) and ships only the root hash in the metadata. Receivers can
+//! verify all packets of a file once they hold the full leaf set, or verify a
+//! single packet early if the sender attaches a [`MerkleProof`].
+//!
+//! Interior nodes hash a domain-separated concatenation of their children so
+//! that a leaf can never be confused with an interior node (second-preimage
+//! hardening), and odd nodes are promoted unchanged rather than duplicated.
+
+use crate::digest::Digest;
+use crate::sha256::Sha256;
+
+const LEAF_TAG: u8 = 0x00;
+const NODE_TAG: u8 = 0x01;
+
+/// Hashes a leaf payload with leaf domain separation.
+pub fn leaf_hash(payload: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_TAG]);
+    h.update(payload);
+    h.finalize()
+}
+
+/// Hashes two child digests with interior-node domain separation.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[NODE_TAG]);
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finalize()
+}
+
+/// A Merkle tree over a sequence of leaf payloads.
+///
+/// # Examples
+///
+/// ```
+/// use dapes_crypto::merkle::MerkleTree;
+///
+/// let packets: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_be_bytes().to_vec()).collect();
+/// let tree = MerkleTree::from_leaves(packets.iter().map(|p| p.as_slice()));
+/// let proof = tree.prove(42).expect("leaf 42 exists");
+/// assert!(proof.verify(&tree.root(), &packets[42]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// `levels[0]` is the leaf level; the last level has exactly one digest.
+    levels: Vec<Vec<Digest>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from leaf payloads.
+    ///
+    /// An empty iterator produces a single-node tree whose root is the leaf
+    /// hash of the empty string, so `root()` is always defined.
+    pub fn from_leaves<'a, I>(leaves: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let level0: Vec<Digest> = leaves.into_iter().map(leaf_hash).collect();
+        Self::from_leaf_hashes(if level0.is_empty() {
+            vec![leaf_hash(b"")]
+        } else {
+            level0
+        })
+    }
+
+    /// Builds a tree from precomputed leaf digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_hashes` is empty.
+    pub fn from_leaf_hashes(leaf_hashes: Vec<Digest>) -> Self {
+        assert!(!leaf_hashes.is_empty(), "a merkle tree needs >= 1 leaf");
+        let mut levels = vec![leaf_hashes];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut it = prev.chunks(2);
+            for pair in &mut it {
+                match pair {
+                    [l, r] => next.push(node_hash(l, r)),
+                    // Odd node: promote unchanged (no duplication).
+                    [l] => next.push(*l),
+                    _ => unreachable!("chunks(2) yields 1..=2 items"),
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The digest of leaf `index`, if it exists.
+    pub fn leaf(&self, index: usize) -> Option<Digest> {
+        self.levels[0].get(index).copied()
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    ///
+    /// Returns `None` if `index` is out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib_idx = idx ^ 1;
+            if let Some(sib) = level.get(sib_idx) {
+                siblings.push(ProofStep {
+                    sibling: *sib,
+                    sibling_on_left: sib_idx < idx,
+                });
+            }
+            // When the sibling is missing (odd promotion) the node carries
+            // up unchanged, so no step is recorded.
+            idx /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            leaf_count: self.leaf_count(),
+            siblings,
+        })
+    }
+
+    /// Verifies that `leaf_hashes` recomputes to `expected_root`.
+    ///
+    /// This is the paper's deferred-verification path: once all packets of a
+    /// file are retrieved, hash them and compare against the metadata root.
+    pub fn verify_leaves(expected_root: &Digest, leaf_hashes: Vec<Digest>) -> bool {
+        if leaf_hashes.is_empty() {
+            return false;
+        }
+        MerkleTree::from_leaf_hashes(leaf_hashes).root() == *expected_root
+    }
+}
+
+/// One sibling step of a [`MerkleProof`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The sibling digest combined at this level.
+    pub sibling: Digest,
+    /// Whether the sibling sits to the left of the running hash.
+    pub sibling_on_left: bool,
+}
+
+/// An inclusion proof binding one leaf payload to a tree root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Total number of leaves in the tree the proof was built from.
+    pub leaf_count: usize,
+    /// Bottom-up sibling path.
+    pub siblings: Vec<ProofStep>,
+}
+
+impl MerkleProof {
+    /// Checks the proof against a root for a given leaf payload.
+    pub fn verify(&self, root: &Digest, payload: &[u8]) -> bool {
+        self.verify_leaf_hash(root, leaf_hash(payload))
+    }
+
+    /// Checks the proof given a precomputed leaf digest.
+    pub fn verify_leaf_hash(&self, root: &Digest, leaf: Digest) -> bool {
+        let mut acc = leaf;
+        for step in &self.siblings {
+            acc = if step.sibling_on_left {
+                node_hash(&step.sibling, &acc)
+            } else {
+                node_hash(&acc, &step.sibling)
+            };
+        }
+        acc == *root
+    }
+
+    /// Serialized size in bytes (for overhead accounting).
+    pub fn wire_size(&self) -> usize {
+        // index + count as u32s, then 33 bytes per step (digest + side flag).
+        8 + self.siblings.len() * 33
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("packet-{i}").into_bytes()).collect()
+    }
+
+    fn tree_of(n: usize) -> (MerkleTree, Vec<Vec<u8>>) {
+        let p = payloads(n);
+        let t = MerkleTree::from_leaves(p.iter().map(|v| v.as_slice()));
+        (t, p)
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let (t, p) = tree_of(1);
+        assert_eq!(t.root(), leaf_hash(&p[0]));
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn empty_tree_has_defined_root() {
+        let t = MerkleTree::from_leaves(std::iter::empty());
+        assert_eq!(t.root(), leaf_hash(b""));
+    }
+
+    #[test]
+    fn two_leaves_root_is_pair_hash() {
+        let (t, p) = tree_of(2);
+        assert_eq!(t.root(), node_hash(&leaf_hash(&p[0]), &leaf_hash(&p[1])));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes_and_indices() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100] {
+            let (t, p) = tree_of(n);
+            for i in 0..n {
+                let proof = t.prove(i).expect("in range");
+                assert!(proof.verify(&t.root(), &p[i]), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_payload() {
+        let (t, p) = tree_of(8);
+        let proof = t.prove(3).expect("in range");
+        assert!(!proof.verify(&t.root(), &p[4]));
+        assert!(!proof.verify(&t.root(), b"forged"));
+    }
+
+    #[test]
+    fn proof_rejects_wrong_root() {
+        let (t, p) = tree_of(8);
+        let (other, _) = tree_of(9);
+        let proof = t.prove(0).expect("in range");
+        assert!(!proof.verify(&other.root(), &p[0]));
+    }
+
+    #[test]
+    fn prove_out_of_range_is_none() {
+        let (t, _) = tree_of(4);
+        assert!(t.prove(4).is_none());
+    }
+
+    #[test]
+    fn verify_leaves_accepts_exact_set() {
+        let (t, p) = tree_of(10);
+        let hashes: Vec<Digest> = p.iter().map(|v| leaf_hash(v)).collect();
+        assert!(MerkleTree::verify_leaves(&t.root(), hashes));
+    }
+
+    #[test]
+    fn verify_leaves_rejects_mutation_reorder_truncation() {
+        let (t, p) = tree_of(10);
+        let hashes: Vec<Digest> = p.iter().map(|v| leaf_hash(v)).collect();
+
+        let mut mutated = hashes.clone();
+        mutated[5] = leaf_hash(b"tampered");
+        assert!(!MerkleTree::verify_leaves(&t.root(), mutated));
+
+        let mut reordered = hashes.clone();
+        reordered.swap(0, 9);
+        assert!(!MerkleTree::verify_leaves(&t.root(), reordered));
+
+        let truncated = hashes[..9].to_vec();
+        assert!(!MerkleTree::verify_leaves(&t.root(), truncated));
+
+        assert!(!MerkleTree::verify_leaves(&t.root(), vec![]));
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A 65-byte "payload" that mimics an interior node's input must not
+        // collide with the interior hash.
+        let l = leaf_hash(b"a");
+        let r = leaf_hash(b"b");
+        let mut fake = Vec::new();
+        fake.extend_from_slice(l.as_bytes());
+        fake.extend_from_slice(r.as_bytes());
+        assert_ne!(leaf_hash(&fake), node_hash(&l, &r));
+    }
+
+    #[test]
+    fn odd_promotion_keeps_proofs_short() {
+        // 5 leaves: depth is ceil(log2(5)) = 3; the promoted leaf's proof can
+        // be shorter than depth.
+        let (t, p) = tree_of(5);
+        let proof = t.prove(4).expect("in range");
+        assert!(proof.siblings.len() <= 3);
+        assert!(proof.verify(&t.root(), &p[4]));
+    }
+
+    #[test]
+    fn roots_differ_when_any_leaf_differs() {
+        let (t1, _) = tree_of(16);
+        let mut p2 = payloads(16);
+        p2[7][0] ^= 1;
+        let t2 = MerkleTree::from_leaves(p2.iter().map(|v| v.as_slice()));
+        assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn wire_size_tracks_depth() {
+        let (t, _) = tree_of(1024);
+        let proof = t.prove(0).expect("in range");
+        assert_eq!(proof.wire_size(), 8 + 10 * 33);
+    }
+}

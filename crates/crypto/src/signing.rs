@@ -1,0 +1,278 @@
+//! Signing under shared local trust anchors.
+//!
+//! The paper assumes (§III) that peers "have common 'local' trust anchors
+//! established" and use them to decide whether the collection producer is
+//! trusted. We model the anchor as a shared secret from which per-producer
+//! keys are derived; signatures are HMAC-SHA256 tags under the producer key.
+//! Any peer holding the anchor can verify any producer's signature — exactly
+//! the verification capability the protocol requires — without big-integer
+//! public-key arithmetic the protocol never observes. The substitution is
+//! recorded in `DESIGN.md`.
+//!
+//! Key derivation is two-step: `producer name → key id → signing key`. Only
+//! the key id travels on the wire, and verification needs nothing but the
+//! anchor and the key id, mirroring how NDN verifiers locate a key by its
+//! KeyLocator. All signing flows through the [`Signer`]/[`Verifier`] traits,
+//! so a real asymmetric scheme can be dropped in without touching protocol
+//! code.
+
+use crate::digest::Digest;
+use crate::hmac::{hmac_sha256, verify_tag};
+use crate::sha256::sha256;
+use std::fmt;
+use std::sync::Arc;
+
+/// A detached signature: the signing key's identifier plus the tag bytes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Identifies the producer key that made this signature.
+    pub key_id: KeyId,
+    /// The 32-byte tag.
+    pub tag: Digest,
+}
+
+impl Signature {
+    /// Size on the wire: key id + tag.
+    pub const WIRE_SIZE: usize = 8 + 32;
+
+    /// Serializes to bytes for embedding in a packet's SignatureValue.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_SIZE);
+        out.extend_from_slice(&self.key_id.0.to_be_bytes());
+        out.extend_from_slice(self.tag.as_bytes());
+        out
+    }
+
+    /// Parses a signature serialized by [`Signature::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::WIRE_SIZE {
+            return None;
+        }
+        let key_id = KeyId(u64::from_be_bytes(bytes[..8].try_into().ok()?));
+        let tag = Digest::from_slice(&bytes[8..])?;
+        Some(Signature { key_id, tag })
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature(key={:x}, tag={})", self.key_id.0, self.tag.short_hex())
+    }
+}
+
+/// Compact identifier of a producer key, carried on the wire in place of a
+/// full NDN KeyLocator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub u64);
+
+impl fmt::Debug for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyId({:016x})", self.0)
+    }
+}
+
+/// Anything that can produce signatures over byte strings.
+pub trait Signer {
+    /// Signs `message`, returning a detached signature.
+    fn sign(&self, message: &[u8]) -> Signature;
+    /// The key identifier that will appear in produced signatures.
+    fn key_id(&self) -> KeyId;
+}
+
+/// Anything that can check signatures over byte strings.
+pub trait Verifier {
+    /// Returns `true` when `signature` is a valid signature of `message`.
+    fn verify_signature(&self, message: &[u8], signature: &Signature) -> bool;
+}
+
+/// A shared local trust anchor from which per-producer keys derive.
+///
+/// # Examples
+///
+/// ```
+/// use dapes_crypto::signing::{Signer, TrustAnchor, Verifier};
+///
+/// let anchor = TrustAnchor::from_seed(b"rural-area");
+/// let producer = anchor.keypair("resident-a");
+/// let sig = producer.sign(b"collection metadata");
+/// assert!(anchor.verify("resident-a", b"collection metadata", &sig));
+/// assert!(anchor.verify_signature(b"collection metadata", &sig));
+/// assert!(!anchor.verify_signature(b"tampered", &sig));
+/// ```
+#[derive(Clone)]
+pub struct TrustAnchor {
+    secret: Arc<[u8; 32]>,
+}
+
+impl fmt::Debug for TrustAnchor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret.
+        write!(f, "TrustAnchor(..)")
+    }
+}
+
+impl TrustAnchor {
+    /// Derives an anchor from an arbitrary seed.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        TrustAnchor {
+            secret: Arc::new(sha256(seed).into_bytes()),
+        }
+    }
+
+    /// The key id a given producer name maps to.
+    pub fn key_id_for(&self, producer_name: &str) -> KeyId {
+        let name_key = hmac_sha256(&self.secret[..], producer_name.as_bytes());
+        let d = sha256(name_key.as_bytes());
+        KeyId(u64::from_be_bytes(d.as_bytes()[..8].try_into().expect("8 bytes")))
+    }
+
+    /// Derives the signing key bound to a key id.
+    fn signing_key(&self, key_id: KeyId) -> [u8; 32] {
+        hmac_sha256(&self.secret[..], &key_id.0.to_be_bytes()).into_bytes()
+    }
+
+    /// Creates the signing half for a named producer.
+    pub fn keypair(&self, producer_name: &str) -> ProducerKey {
+        let key_id = self.key_id_for(producer_name);
+        ProducerKey {
+            key: self.signing_key(key_id),
+            key_id,
+            name: producer_name.to_owned(),
+        }
+    }
+
+    /// Verifies a signature claimed to be from `producer_name`.
+    ///
+    /// This checks both that the signature's key id is the one derived from
+    /// `producer_name` (producer authentication) and that the tag verifies
+    /// (integrity).
+    pub fn verify(&self, producer_name: &str, message: &[u8], signature: &Signature) -> bool {
+        self.key_id_for(producer_name) == signature.key_id
+            && self.verify_signature(message, signature)
+    }
+}
+
+impl Verifier for TrustAnchor {
+    /// Verifies a signature using only the key id it carries.
+    fn verify_signature(&self, message: &[u8], signature: &Signature) -> bool {
+        let key = self.signing_key(signature.key_id);
+        verify_tag(&hmac_sha256(&key, message), &signature.tag)
+    }
+}
+
+/// The signing half handed to a collection producer.
+#[derive(Clone)]
+pub struct ProducerKey {
+    key: [u8; 32],
+    key_id: KeyId,
+    name: String,
+}
+
+impl fmt::Debug for ProducerKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProducerKey({}, {:?})", self.name, self.key_id)
+    }
+}
+
+impl ProducerKey {
+    /// The producer's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Signer for ProducerKey {
+    fn sign(&self, message: &[u8]) -> Signature {
+        Signature {
+            key_id: self.key_id,
+            tag: hmac_sha256(&self.key, message),
+        }
+    }
+
+    fn key_id(&self) -> KeyId {
+        self.key_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_signature_verifies_with_name() {
+        let anchor = TrustAnchor::from_seed(b"seed");
+        let key = anchor.keypair("alice");
+        let sig = key.sign(b"hello");
+        assert!(anchor.verify("alice", b"hello", &sig));
+    }
+
+    #[test]
+    fn name_free_verification_succeeds() {
+        let anchor = TrustAnchor::from_seed(b"seed");
+        let sig = anchor.keypair("alice").sign(b"metadata");
+        assert!(anchor.verify_signature(b"metadata", &sig));
+        assert!(!anchor.verify_signature(b"other", &sig));
+    }
+
+    #[test]
+    fn wrong_name_or_message_fails() {
+        let anchor = TrustAnchor::from_seed(b"seed");
+        let key = anchor.keypair("alice");
+        let sig = key.sign(b"hello");
+        assert!(!anchor.verify("bob", b"hello", &sig));
+        assert!(!anchor.verify("alice", b"hellO", &sig));
+    }
+
+    #[test]
+    fn different_anchors_do_not_cross_verify() {
+        let a1 = TrustAnchor::from_seed(b"one");
+        let a2 = TrustAnchor::from_seed(b"two");
+        let sig = a1.keypair("alice").sign(b"m");
+        assert!(!a2.verify("alice", b"m", &sig));
+        assert!(!a2.verify_signature(b"m", &sig));
+    }
+
+    #[test]
+    fn distinct_producers_have_distinct_key_ids() {
+        let anchor = TrustAnchor::from_seed(b"seed");
+        assert_ne!(anchor.key_id_for("alice"), anchor.key_id_for("bob"));
+        assert_eq!(anchor.keypair("alice").key_id(), anchor.key_id_for("alice"));
+    }
+
+    #[test]
+    fn tampered_key_id_fails() {
+        let anchor = TrustAnchor::from_seed(b"seed");
+        let mut sig = anchor.keypair("alice").sign(b"m");
+        sig.key_id = KeyId(sig.key_id.0 ^ 1);
+        assert!(!anchor.verify_signature(b"m", &sig));
+        assert!(!anchor.verify("alice", b"m", &sig));
+    }
+
+    #[test]
+    fn tampered_tag_fails() {
+        let anchor = TrustAnchor::from_seed(b"seed");
+        let mut sig = anchor.keypair("alice").sign(b"m");
+        let mut bytes = sig.tag.into_bytes();
+        bytes[0] ^= 1;
+        sig.tag = Digest::from_bytes(bytes);
+        assert!(!anchor.verify("alice", b"m", &sig));
+    }
+
+    #[test]
+    fn signature_bytes_round_trip() {
+        let anchor = TrustAnchor::from_seed(b"seed");
+        let sig = anchor.keypair("p").sign(b"x");
+        let bytes = sig.to_bytes();
+        assert_eq!(bytes.len(), Signature::WIRE_SIZE);
+        assert_eq!(Signature::from_bytes(&bytes), Some(sig));
+        assert!(Signature::from_bytes(&bytes[..39]).is_none());
+        assert!(Signature::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn debug_never_prints_secret() {
+        let anchor = TrustAnchor::from_seed(b"super-secret");
+        let dbg = format!("{anchor:?}");
+        assert!(!dbg.contains("super"));
+    }
+}

@@ -1,0 +1,290 @@
+//! The Content Store: an in-network cache of Data packets.
+//!
+//! Pure forwarders in DAPES "store data transmissions they overhear in their
+//! CS, thus satisfying received requests with cached data" (paper §V-A); the
+//! CS is also what lets a repo or any intermediate node answer Interests for
+//! popular collection packets without reaching the producer.
+//!
+//! The store implements NDN freshness semantics: a Data packet is *fresh*
+//! until its FreshnessPeriod elapses after insertion, and Interests carrying
+//! MustBeFresh are only satisfied by fresh entries. Signalling data
+//! (discovery replies, bitmaps) relies on this to avoid being answered from
+//! stale caches forever; immutable collection packets carry no freshness
+//! and are served from cache indefinitely.
+
+use crate::name::Name;
+use crate::packet::Data;
+use dapes_netsim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Clone, Debug)]
+struct CsEntry {
+    data: Data,
+    inserted: SimTime,
+}
+
+impl CsEntry {
+    fn is_fresh(&self, now: SimTime) -> bool {
+        self.data.freshness_ms() > 0
+            && now.since(self.inserted) <= SimDuration::from_millis(self.data.freshness_ms())
+    }
+}
+
+/// A capacity-bounded Data cache with FIFO eviction, prefix lookup and
+/// freshness semantics.
+///
+/// # Examples
+///
+/// ```
+/// use dapes_ndn::cs::ContentStore;
+/// use dapes_ndn::packet::Data;
+/// use dapes_ndn::name::Name;
+/// use dapes_netsim::time::SimTime;
+///
+/// let mut cs = ContentStore::new(2);
+/// let t = SimTime::ZERO;
+/// cs.insert(Data::new(Name::from_uri("/col/f/0"), vec![0]), t);
+/// assert!(cs.lookup(&Name::from_uri("/col/f/0"), false, false, t).is_some());
+/// assert!(cs.lookup(&Name::from_uri("/col"), true, false, t).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ContentStore {
+    entries: BTreeMap<Name, CsEntry>,
+    fifo: VecDeque<Name>,
+    capacity: usize,
+    bytes: usize,
+}
+
+impl ContentStore {
+    /// Creates a store holding at most `capacity` packets.
+    pub fn new(capacity: usize) -> Self {
+        ContentStore {
+            entries: BTreeMap::new(),
+            fifo: VecDeque::new(),
+            capacity,
+            bytes: 0,
+        }
+    }
+
+    /// Number of cached packets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate bytes of cached state (Table I memory proxy).
+    pub fn state_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Inserts a Data packet, evicting the oldest entry when full.
+    /// Re-inserting an existing name refreshes the stored packet (and its
+    /// freshness clock) without consuming extra capacity.
+    pub fn insert(&mut self, data: Data, now: SimTime) {
+        let name = data.name().clone();
+        let size = data.content().len() + name.state_bytes() + 64;
+        if let Some(old) = self.entries.insert(
+            name.clone(),
+            CsEntry {
+                data,
+                inserted: now,
+            },
+        ) {
+            let old_size = old.data.content().len() + name.state_bytes() + 64;
+            self.bytes = self.bytes.saturating_sub(old_size) + size;
+            return;
+        }
+        self.bytes += size;
+        self.fifo.push_back(name);
+        while self.entries.len() > self.capacity {
+            if let Some(victim) = self.fifo.pop_front() {
+                if let Some(old) = self.entries.remove(&victim) {
+                    self.bytes = self
+                        .bytes
+                        .saturating_sub(old.data.content().len() + victim.state_bytes() + 64);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Looks up a packet for an Interest with the given semantics:
+    /// `can_be_prefix` also matches names extending `name`;
+    /// `must_be_fresh` only matches entries still within their
+    /// FreshnessPeriod.
+    pub fn lookup(
+        &self,
+        name: &Name,
+        can_be_prefix: bool,
+        must_be_fresh: bool,
+        now: SimTime,
+    ) -> Option<&Data> {
+        if can_be_prefix {
+            self.entries
+                .range(name.clone()..)
+                .take_while(|(n, _)| name.is_prefix_of(n))
+                .find(|(_, e)| !must_be_fresh || e.is_fresh(now))
+                .map(|(_, e)| &e.data)
+        } else {
+            self.entries
+                .get(name)
+                .filter(|e| !must_be_fresh || e.is_fresh(now))
+                .map(|e| &e.data)
+        }
+    }
+
+    /// Exact-name lookup ignoring freshness.
+    pub fn lookup_exact(&self, name: &Name) -> Option<&Data> {
+        self.entries.get(name).map(|e| &e.data)
+    }
+
+    /// Prefix lookup ignoring freshness.
+    pub fn lookup_prefix(&self, prefix: &Name) -> Option<&Data> {
+        self.lookup(prefix, true, false, SimTime::ZERO)
+    }
+
+    /// Removes everything (used when resetting a node).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.fifo.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(uri: &str) -> Data {
+        Data::new(Name::from_uri(uri), vec![0; 16])
+    }
+
+    fn fresh_data(uri: &str, freshness_ms: u64) -> Data {
+        Data::new(Name::from_uri(uri), vec![0; 16]).with_freshness_ms(freshness_ms)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn exact_hit_and_miss() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/col/f/0"), t(0));
+        assert!(cs.lookup_exact(&Name::from_uri("/col/f/0")).is_some());
+        assert!(cs.lookup_exact(&Name::from_uri("/col/f/1")).is_none());
+    }
+
+    #[test]
+    fn prefix_hit() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/col/f/3"), t(0));
+        assert!(cs.lookup_prefix(&Name::from_uri("/col")).is_some());
+        assert!(cs.lookup_prefix(&Name::from_uri("/col/f")).is_some());
+        assert!(cs.lookup_prefix(&Name::from_uri("/col/g")).is_none());
+        assert!(cs.lookup_prefix(&Name::from_uri("/other")).is_none());
+    }
+
+    #[test]
+    fn prefix_does_not_match_sibling() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/cole/f/0"), t(0));
+        // "/col" is a string prefix of "/cole" but not a name prefix.
+        assert!(cs.lookup_prefix(&Name::from_uri("/col")).is_none());
+    }
+
+    #[test]
+    fn exact_name_prefix_query_finds_itself() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/col"), t(0));
+        assert!(cs.lookup_prefix(&Name::from_uri("/col")).is_some());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut cs = ContentStore::new(2);
+        cs.insert(data("/a"), t(0));
+        cs.insert(data("/b"), t(1));
+        cs.insert(data("/c"), t(2));
+        assert_eq!(cs.len(), 2);
+        assert!(cs.lookup_exact(&Name::from_uri("/a")).is_none(), "oldest evicted");
+        assert!(cs.lookup_exact(&Name::from_uri("/b")).is_some());
+        assert!(cs.lookup_exact(&Name::from_uri("/c")).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate() {
+        let mut cs = ContentStore::new(2);
+        cs.insert(data("/a"), t(0));
+        cs.insert(data("/a"), t(1));
+        cs.insert(data("/b"), t(2));
+        assert_eq!(cs.len(), 2);
+        assert!(cs.lookup_exact(&Name::from_uri("/a")).is_some());
+    }
+
+    #[test]
+    fn must_be_fresh_rejects_nonfresh_data() {
+        let mut cs = ContentStore::new(10);
+        // No freshness period: never satisfies MustBeFresh.
+        cs.insert(data("/d/x"), t(0));
+        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(0)).is_none());
+        assert!(cs.lookup(&Name::from_uri("/d/x"), false, false, t(0)).is_some());
+    }
+
+    #[test]
+    fn freshness_expires_over_time() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(fresh_data("/d/x", 1_000), t(10));
+        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(10)).is_some());
+        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(11)).is_some());
+        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(12)).is_none());
+        // Still served to freshness-agnostic Interests.
+        assert!(cs.lookup(&Name::from_uri("/d/x"), false, false, t(12)).is_some());
+    }
+
+    #[test]
+    fn reinsert_restarts_freshness_clock() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(fresh_data("/d/x", 1_000), t(0));
+        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(5)).is_none());
+        cs.insert(fresh_data("/d/x", 1_000), t(5));
+        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(5)).is_some());
+    }
+
+    #[test]
+    fn prefix_lookup_skips_stale_finds_fresh() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/p/a"), t(0)); // stale forever
+        cs.insert(fresh_data("/p/b", 10_000), t(0));
+        let got = cs
+            .lookup(&Name::from_uri("/p"), true, true, t(1))
+            .expect("fresh entry further in the range");
+        assert_eq!(got.name().to_string(), "/p/b");
+    }
+
+    #[test]
+    fn lookup_respects_can_be_prefix_flag() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/col/f/0"), t(0));
+        assert!(cs.lookup(&Name::from_uri("/col"), true, false, t(0)).is_some());
+        assert!(cs.lookup(&Name::from_uri("/col"), false, false, t(0)).is_none());
+    }
+
+    #[test]
+    fn state_bytes_grow_and_shrink() {
+        let mut cs = ContentStore::new(1);
+        assert_eq!(cs.state_bytes(), 0);
+        cs.insert(data("/a"), t(0));
+        let b1 = cs.state_bytes();
+        assert!(b1 > 0);
+        cs.insert(data("/b"), t(1)); // evicts /a
+        assert!(cs.state_bytes() > 0);
+        cs.clear();
+        assert_eq!(cs.state_bytes(), 0);
+    }
+}

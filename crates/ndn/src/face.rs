@@ -1,0 +1,51 @@
+//! Faces: the forwarder's attachment points.
+//!
+//! In this off-the-grid setting every node has exactly two faces — the local
+//! application and the broadcast wireless channel — but the forwarder keeps
+//! the general NFD face abstraction so tests can build richer topologies.
+
+use std::fmt;
+
+/// Identifies a face of a forwarder.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaceId(pub u32);
+
+impl FaceId {
+    /// The local application face.
+    pub const APP: FaceId = FaceId(0);
+    /// The broadcast wireless face.
+    pub const WIRELESS: FaceId = FaceId(1);
+}
+
+impl fmt::Debug for FaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaceId::APP => write!(f, "face(app)"),
+            FaceId::WIRELESS => write!(f, "face(wifi)"),
+            FaceId(n) => write!(f, "face({n})"),
+        }
+    }
+}
+
+impl fmt::Display for FaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_faces_are_distinct() {
+        assert_ne!(FaceId::APP, FaceId::WIRELESS);
+    }
+
+    #[test]
+    fn debug_names_well_known_faces() {
+        assert_eq!(format!("{:?}", FaceId::APP), "face(app)");
+        assert_eq!(format!("{:?}", FaceId::WIRELESS), "face(wifi)");
+        assert_eq!(format!("{:?}", FaceId(7)), "face(7)");
+    }
+}

@@ -1,0 +1,164 @@
+//! The Forwarding Information Base.
+//!
+//! The FIB maps name prefixes to next-hop faces by longest-prefix match
+//! (paper Fig. 1). In the DAPES deployment it is small — the application
+//! registers its prefixes on the app face and everything else defaults to
+//! the wireless broadcast face — but the implementation is a faithful LPM
+//! table so richer topologies work too.
+
+use crate::face::FaceId;
+use crate::name::Name;
+use std::collections::BTreeMap;
+
+/// A longest-prefix-match table from name prefixes to next-hop faces.
+///
+/// # Examples
+///
+/// ```
+/// use dapes_ndn::fib::Fib;
+/// use dapes_ndn::face::FaceId;
+/// use dapes_ndn::name::Name;
+///
+/// let mut fib = Fib::new();
+/// fib.register(Name::from_uri("/"), FaceId::WIRELESS);
+/// fib.register(Name::from_uri("/dapes"), FaceId::APP);
+/// assert_eq!(fib.longest_prefix_match(&Name::from_uri("/dapes/discovery")), &[FaceId::APP]);
+/// assert_eq!(fib.longest_prefix_match(&Name::from_uri("/col/f/0")), &[FaceId::WIRELESS]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Fib {
+    entries: BTreeMap<Name, Vec<FaceId>>,
+}
+
+impl Fib {
+    /// Creates an empty FIB.
+    pub fn new() -> Self {
+        Fib::default()
+    }
+
+    /// Registers `face` as a next hop for `prefix`. Registering the same
+    /// pair twice is a no-op.
+    pub fn register(&mut self, prefix: Name, face: FaceId) {
+        let faces = self.entries.entry(prefix).or_default();
+        if !faces.contains(&face) {
+            faces.push(face);
+        }
+    }
+
+    /// Removes a next hop; drops the entry when no hops remain.
+    pub fn unregister(&mut self, prefix: &Name, face: FaceId) {
+        if let Some(faces) = self.entries.get_mut(prefix) {
+            faces.retain(|&f| f != face);
+            if faces.is_empty() {
+                self.entries.remove(prefix);
+            }
+        }
+    }
+
+    /// Longest-prefix-match lookup. Returns the next hops of the longest
+    /// registered prefix of `name`, or an empty slice when nothing matches.
+    pub fn longest_prefix_match(&self, name: &Name) -> &[FaceId] {
+        for k in (0..=name.len()).rev() {
+            if let Some(faces) = self.entries.get(&name.prefix(k)) {
+                return faces;
+            }
+        }
+        &[]
+    }
+
+    /// Number of registered prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the FIB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate bytes of state.
+    pub fn state_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(n, f)| n.state_bytes() + f.len() * 4)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(uri: &str) -> Name {
+        Name::from_uri(uri)
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut fib = Fib::new();
+        fib.register(name("/"), FaceId(10));
+        fib.register(name("/a"), FaceId(11));
+        fib.register(name("/a/b"), FaceId(12));
+        assert_eq!(fib.longest_prefix_match(&name("/a/b/c")), &[FaceId(12)]);
+        assert_eq!(fib.longest_prefix_match(&name("/a/x")), &[FaceId(11)]);
+        assert_eq!(fib.longest_prefix_match(&name("/z")), &[FaceId(10)]);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let mut fib = Fib::new();
+        fib.register(name("/a"), FaceId(1));
+        assert!(fib.longest_prefix_match(&name("/b")).is_empty());
+        assert!(Fib::new().longest_prefix_match(&name("/a")).is_empty());
+    }
+
+    #[test]
+    fn exact_name_matches_its_own_prefix_entry() {
+        let mut fib = Fib::new();
+        fib.register(name("/a/b"), FaceId(1));
+        assert_eq!(fib.longest_prefix_match(&name("/a/b")), &[FaceId(1)]);
+    }
+
+    #[test]
+    fn multiple_next_hops_preserved_in_order() {
+        let mut fib = Fib::new();
+        fib.register(name("/a"), FaceId(1));
+        fib.register(name("/a"), FaceId(2));
+        fib.register(name("/a"), FaceId(1)); // duplicate ignored
+        assert_eq!(fib.longest_prefix_match(&name("/a")), &[FaceId(1), FaceId(2)]);
+    }
+
+    #[test]
+    fn unregister_removes_hop_then_entry() {
+        let mut fib = Fib::new();
+        fib.register(name("/a"), FaceId(1));
+        fib.register(name("/a"), FaceId(2));
+        fib.unregister(&name("/a"), FaceId(1));
+        assert_eq!(fib.longest_prefix_match(&name("/a")), &[FaceId(2)]);
+        fib.unregister(&name("/a"), FaceId(2));
+        assert!(fib.longest_prefix_match(&name("/a")).is_empty());
+        assert!(fib.is_empty());
+    }
+
+    #[test]
+    fn lpm_equals_naive_scan() {
+        // Cross-check the BTreeMap walk against a brute-force scan.
+        let mut fib = Fib::new();
+        let prefixes = ["/", "/a", "/a/b", "/a/b/c", "/b", "/b/c/d"];
+        for (i, p) in prefixes.iter().enumerate() {
+            fib.register(name(p), FaceId(i as u32));
+        }
+        let queries = ["/a/b/c/d", "/a/b/x", "/a", "/b/c", "/b/c/d/e", "/c", "/"];
+        for q in queries {
+            let qn = name(q);
+            let naive = prefixes
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| name(p).is_prefix_of(&qn))
+                .max_by_key(|(_, p)| name(p).len())
+                .map(|(i, _)| FaceId(i as u32));
+            let got = fib.longest_prefix_match(&qn).first().copied();
+            assert_eq!(got, naive, "query {q}");
+        }
+    }
+}

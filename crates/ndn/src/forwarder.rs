@@ -1,0 +1,614 @@
+//! The NDN forwarding pipeline (the paper's Fig. 1).
+//!
+//! The [`Forwarder`] is sans-IO: callers feed it packets with the face they
+//! arrived on and apply the returned [`Action`]s (send a packet out a face).
+//! Host integration — mapping [`crate::face::FaceId::WIRELESS`] to simulator
+//! frames and [`crate::face::FaceId::APP`] to application callbacks — lives
+//! with the protocol stacks.
+//!
+//! Pipeline for an incoming Interest:
+//!
+//! 1. **CS lookup** — a cached Data packet satisfies the Interest directly.
+//! 2. **PIT lookup** — a duplicate nonce is dropped; a same-name pending
+//!    Interest is aggregated (no forwarding).
+//! 3. **FIB LPM + strategy** — otherwise the [`Strategy`] chooses the egress
+//!    faces (or suppresses), which is where DAPES's §V forwarding /
+//!    suppression logic plugs in.
+//!
+//! Incoming Data consumes matching PIT entries and flows to their
+//! downstreams; unsolicited Data is cached when the forwarder is configured
+//! as an overhearing "pure forwarder" (§V-A).
+
+use crate::cs::ContentStore;
+use crate::face::FaceId;
+use crate::fib::Fib;
+use crate::name::Name;
+use crate::packet::{Data, Interest};
+use crate::pit::{Pit, PitInsert};
+use dapes_netsim::time::{SimDuration, SimTime};
+
+/// An output the caller must perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Send an Interest out a face.
+    SendInterest {
+        /// Egress face.
+        face: FaceId,
+        /// The Interest to send.
+        interest: Interest,
+    },
+    /// Send a Data packet out a face.
+    SendData {
+        /// Egress face.
+        face: FaceId,
+        /// The Data to send.
+        data: Data,
+    },
+}
+
+/// A forwarding decision from a [`Strategy`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Forward out these faces.
+    Forward(Vec<FaceId>),
+    /// Do not forward (DAPES suppression).
+    Suppress,
+}
+
+/// Chooses egress faces for Interests that need forwarding.
+pub trait Strategy {
+    /// Decides forwarding for `interest` arriving on `ingress`, given the
+    /// FIB's `nexthops` (already excluding `ingress`).
+    fn decide(
+        &mut self,
+        interest: &Interest,
+        ingress: FaceId,
+        nexthops: &[FaceId],
+        now: SimTime,
+    ) -> Decision;
+}
+
+/// The default NDN multicast behaviour: forward to every FIB next hop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BroadcastStrategy;
+
+impl Strategy for BroadcastStrategy {
+    fn decide(
+        &mut self,
+        _interest: &Interest,
+        _ingress: FaceId,
+        nexthops: &[FaceId],
+        _now: SimTime,
+    ) -> Decision {
+        if nexthops.is_empty() {
+            Decision::Suppress
+        } else {
+            Decision::Forward(nexthops.to_vec())
+        }
+    }
+}
+
+/// Forwarder configuration.
+#[derive(Clone, Debug)]
+pub struct ForwarderConfig {
+    /// Content Store capacity in packets.
+    pub cs_capacity: usize,
+    /// Cache Data that matched no PIT entry (pure-forwarder overhearing).
+    pub cache_unsolicited: bool,
+    /// Faces on which Data may be sent back out the face it arrived on.
+    /// Point-to-point NDN never does this, but over a shared broadcast
+    /// face it is exactly how multi-hop Data returns: an intermediate node
+    /// whose PIT records the broadcast face as downstream must re-broadcast
+    /// the Data so the original requester (another hop away) receives it.
+    pub rebroadcast_faces: Vec<FaceId>,
+    /// Faces (typically the local application) that still receive an
+    /// Interest when it aggregates into an existing PIT entry. Aggregation
+    /// suppresses *network* re-forwarding, but a producer application must
+    /// see every distinct probe — ndn-cxx InterestFilter semantics. Without
+    /// this, a peer's own pending `/dapes/discovery` beacon would swallow
+    /// all neighbor probes for the shared discovery name.
+    pub deliver_on_aggregate: Vec<FaceId>,
+}
+
+impl Default for ForwarderConfig {
+    fn default() -> Self {
+        ForwarderConfig {
+            cs_capacity: 4096,
+            cache_unsolicited: false,
+            rebroadcast_faces: Vec::new(),
+            deliver_on_aggregate: Vec::new(),
+        }
+    }
+}
+
+/// Statistics the forwarder keeps about its own decisions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForwarderStats {
+    /// Interests answered from the Content Store.
+    pub cs_hits: u64,
+    /// Interests that created a new PIT entry and were forwarded.
+    pub forwarded_interests: u64,
+    /// Interests aggregated onto an existing PIT entry.
+    pub aggregated_interests: u64,
+    /// Interests dropped as duplicate nonces.
+    pub duplicate_interests: u64,
+    /// Interests the strategy suppressed.
+    pub suppressed_interests: u64,
+    /// Data packets that satisfied pending Interests.
+    pub satisfied_data: u64,
+    /// Data packets that arrived unsolicited.
+    pub unsolicited_data: u64,
+}
+
+/// The NDN forwarding daemon for one node.
+pub struct Forwarder {
+    cs: ContentStore,
+    pit: Pit,
+    fib: Fib,
+    cfg: ForwarderConfig,
+    strategy: Box<dyn Strategy>,
+    stats: ForwarderStats,
+}
+
+impl std::fmt::Debug for Forwarder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Forwarder")
+            .field("cs_len", &self.cs.len())
+            .field("pit_len", &self.pit.len())
+            .field("fib_len", &self.fib.len())
+            .finish()
+    }
+}
+
+impl Forwarder {
+    /// Creates a forwarder with the default broadcast strategy.
+    pub fn new(cfg: ForwarderConfig) -> Self {
+        Self::with_strategy(cfg, Box::new(BroadcastStrategy))
+    }
+
+    /// Creates a forwarder with a custom strategy (DAPES multi-hop logic).
+    pub fn with_strategy(cfg: ForwarderConfig, strategy: Box<dyn Strategy>) -> Self {
+        Forwarder {
+            cs: ContentStore::new(cfg.cs_capacity),
+            pit: Pit::new(),
+            fib: Fib::new(),
+            cfg,
+            strategy,
+            stats: ForwarderStats::default(),
+        }
+    }
+
+    /// The FIB, for prefix registration.
+    pub fn fib_mut(&mut self) -> &mut Fib {
+        &mut self.fib
+    }
+
+    /// The Content Store (read access).
+    pub fn cs(&self) -> &ContentStore {
+        &self.cs
+    }
+
+    /// Mutable Content Store access (producers pre-populate their packets).
+    pub fn cs_mut(&mut self) -> &mut ContentStore {
+        &mut self.cs
+    }
+
+    /// The PIT (read access).
+    pub fn pit(&self) -> &Pit {
+        &self.pit
+    }
+
+    /// Decision statistics.
+    pub fn stats(&self) -> &ForwarderStats {
+        &self.stats
+    }
+
+    /// Approximate bytes of forwarder state (CS + PIT + FIB), the Table I
+    /// memory proxy.
+    pub fn state_bytes(&self) -> usize {
+        self.cs.state_bytes() + self.pit.state_bytes() + self.fib.state_bytes()
+    }
+
+    /// Processes an incoming Interest per the Fig. 1 pipeline.
+    pub fn process_interest(
+        &mut self,
+        now: SimTime,
+        interest: &Interest,
+        ingress: FaceId,
+    ) -> Vec<Action> {
+        // 1. Content Store.
+        if let Some(data) = self.cs.lookup(
+            interest.name(),
+            interest.can_be_prefix(),
+            interest.must_be_fresh(),
+            now,
+        ) {
+            self.stats.cs_hits += 1;
+            return vec![Action::SendData {
+                face: ingress,
+                data: data.clone(),
+            }];
+        }
+
+        // 2. PIT.
+        let expiry = now + SimDuration::from_millis(interest.lifetime_ms());
+        match self.pit.insert(
+            interest.name(),
+            interest.nonce(),
+            interest.can_be_prefix(),
+            ingress,
+            expiry,
+        ) {
+            PitInsert::DuplicateNonce => {
+                self.stats.duplicate_interests += 1;
+                Vec::new()
+            }
+            PitInsert::Aggregated => {
+                self.stats.aggregated_interests += 1;
+                let mut actions: Vec<Action> = self
+                    .fib
+                    .longest_prefix_match(interest.name())
+                    .iter()
+                    .copied()
+                    .filter(|f| *f != ingress && self.cfg.deliver_on_aggregate.contains(f))
+                    .map(|face| Action::SendInterest {
+                        face,
+                        interest: interest.clone(),
+                    })
+                    .collect();
+                // Consumer retransmission: a new nonce for a still-pending
+                // name re-forwards upstream once the suppression interval
+                // elapsed (NFD strategies behave the same way) — without
+                // this, one lost Data on a multi-hop path would stall the
+                // transfer for the whole Interest lifetime.
+                let retx_ok = self
+                    .pit
+                    .entry_mut(interest.name())
+                    .is_some_and(|e| match e.last_forward {
+                        None => true,
+                        Some(t) => now.since(t) >= SimDuration::from_millis(200),
+                    });
+                if retx_ok {
+                    let nexthops: Vec<FaceId> = self
+                        .fib
+                        .longest_prefix_match(interest.name())
+                        .iter()
+                        .copied()
+                        .filter(|&f| {
+                            f != ingress || self.cfg.rebroadcast_faces.contains(&f)
+                        })
+                        .collect();
+                    if let Decision::Forward(faces) =
+                        self.strategy.decide(interest, ingress, &nexthops, now)
+                    {
+                        let mut forwarded = false;
+                        for face in faces {
+                            let allowed = face != ingress
+                                || self.cfg.rebroadcast_faces.contains(&face);
+                            if allowed
+                                && !self.cfg.deliver_on_aggregate.contains(&face)
+                            {
+                                forwarded = true;
+                                actions.push(Action::SendInterest {
+                                    face,
+                                    interest: interest.clone(),
+                                });
+                            }
+                        }
+                        if forwarded {
+                            if let Some(e) = self.pit.entry_mut(interest.name()) {
+                                e.last_forward = Some(now);
+                            }
+                        }
+                    }
+                }
+                actions
+            }
+            PitInsert::New => {
+                // 3. FIB + strategy. The ingress face stays a candidate
+                // when it is a broadcast face: re-broadcasting out the same
+                // radio is exactly what multi-hop Interest relay means.
+                let nexthops: Vec<FaceId> = self
+                    .fib
+                    .longest_prefix_match(interest.name())
+                    .iter()
+                    .copied()
+                    .filter(|&f| f != ingress || self.cfg.rebroadcast_faces.contains(&f))
+                    .collect();
+                match self.strategy.decide(interest, ingress, &nexthops, now) {
+                    Decision::Suppress => {
+                        self.stats.suppressed_interests += 1;
+                        Vec::new()
+                    }
+                    Decision::Forward(faces) => {
+                        self.stats.forwarded_interests += 1;
+                        if let Some(e) = self.pit.entry_mut(interest.name()) {
+                            e.last_forward = Some(now);
+                        }
+                        faces
+                            .into_iter()
+                            .filter(|&f| {
+                                f != ingress || self.cfg.rebroadcast_faces.contains(&f)
+                            })
+                            .map(|face| Action::SendInterest {
+                                face,
+                                interest: interest.clone(),
+                            })
+                            .collect()
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes an incoming Data packet. Returns the actions plus whether
+    /// the packet was solicited (matched a PIT entry).
+    pub fn process_data(
+        &mut self,
+        now: SimTime,
+        data: &Data,
+        ingress: FaceId,
+    ) -> (Vec<Action>, bool) {
+        let matched = self.pit.take_matching(data.name());
+        if matched.is_empty() {
+            self.stats.unsolicited_data += 1;
+            if self.cfg.cache_unsolicited {
+                self.cs.insert(data.clone(), now);
+            }
+            return (Vec::new(), false);
+        }
+        self.stats.satisfied_data += 1;
+        self.cs.insert(data.clone(), now);
+        let mut actions = Vec::new();
+        for entry in matched {
+            for face in entry.downstreams {
+                if face != ingress || self.cfg.rebroadcast_faces.contains(&face) {
+                    actions.push(Action::SendData {
+                        face,
+                        data: data.clone(),
+                    });
+                }
+            }
+        }
+        (actions, true)
+    }
+
+    /// Expires stale PIT entries, returning their names (used by DAPES pure
+    /// forwarders to arm suppression timers, §V-A).
+    pub fn expire(&mut self, now: SimTime) -> Vec<Name> {
+        self.pit.expire(now)
+    }
+
+    /// The soonest PIT expiry, to drive a cleanup timer.
+    pub fn next_pit_expiry(&self) -> Option<SimTime> {
+        self.pit.next_expiry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd() -> Forwarder {
+        let mut f = Forwarder::new(ForwarderConfig::default());
+        // App owns /app, everything else goes to the air.
+        f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        f.fib_mut().register(Name::from_uri("/app"), FaceId::APP);
+        f
+    }
+
+    fn interest(uri: &str, nonce: u32) -> Interest {
+        Interest::new(Name::from_uri(uri)).with_nonce(nonce)
+    }
+
+    fn data(uri: &str) -> Data {
+        Data::new(Name::from_uri(uri), vec![7; 8])
+    }
+
+    fn now() -> SimTime {
+        SimTime::from_secs(1)
+    }
+
+    #[test]
+    fn interest_forwards_via_fib() {
+        let mut f = fwd();
+        let actions = f.process_interest(now(), &interest("/col/f/0", 1), FaceId::APP);
+        assert_eq!(
+            actions,
+            vec![Action::SendInterest {
+                face: FaceId::WIRELESS,
+                interest: interest("/col/f/0", 1)
+            }]
+        );
+        assert_eq!(f.stats().forwarded_interests, 1);
+    }
+
+    #[test]
+    fn interest_for_app_prefix_goes_to_app() {
+        let mut f = fwd();
+        let actions = f.process_interest(now(), &interest("/app/x", 1), FaceId::WIRELESS);
+        assert_eq!(
+            actions,
+            vec![Action::SendInterest {
+                face: FaceId::APP,
+                interest: interest("/app/x", 1)
+            }]
+        );
+    }
+
+    #[test]
+    fn cs_hit_short_circuits() {
+        let mut f = fwd();
+        f.cs_mut().insert(data("/col/f/0"), now());
+        let actions = f.process_interest(now(), &interest("/col/f/0", 1), FaceId::WIRELESS);
+        assert_eq!(
+            actions,
+            vec![Action::SendData {
+                face: FaceId::WIRELESS,
+                data: data("/col/f/0")
+            }]
+        );
+        assert_eq!(f.stats().cs_hits, 1);
+        assert!(f.pit().is_empty(), "no PIT entry on CS hit");
+    }
+
+    #[test]
+    fn cs_prefix_hit_requires_can_be_prefix() {
+        let mut f = fwd();
+        f.cs_mut().insert(data("/col/f/0"), now());
+        let miss = f.process_interest(now(), &interest("/col", 1), FaceId::APP);
+        assert!(matches!(miss[0], Action::SendInterest { .. }));
+        let hit = f.process_interest(
+            now(),
+            &interest("/col", 2).with_can_be_prefix(true),
+            FaceId::APP,
+        );
+        assert!(matches!(hit[0], Action::SendData { .. }));
+    }
+
+    #[test]
+    fn duplicate_nonce_dropped_aggregation_silent() {
+        let mut f = fwd();
+        f.process_interest(now(), &interest("/a", 1), FaceId::APP);
+        // Same nonce from elsewhere: loop → drop.
+        assert!(f
+            .process_interest(now(), &interest("/a", 1), FaceId::WIRELESS)
+            .is_empty());
+        assert_eq!(f.stats().duplicate_interests, 1);
+        // New nonce, same name: aggregate → no forward.
+        assert!(f
+            .process_interest(now(), &interest("/a", 2), FaceId::WIRELESS)
+            .is_empty());
+        assert_eq!(f.stats().aggregated_interests, 1);
+    }
+
+    #[test]
+    fn data_follows_pit_back_to_all_downstreams() {
+        let mut f = fwd();
+        f.process_interest(now(), &interest("/a", 1), FaceId::APP);
+        f.process_interest(now(), &interest("/a", 2), FaceId(9));
+        let (actions, solicited) = f.process_data(now(), &data("/a"), FaceId::WIRELESS);
+        assert!(solicited);
+        let faces: Vec<FaceId> = actions
+            .iter()
+            .map(|a| match a {
+                Action::SendData { face, .. } => *face,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(faces, vec![FaceId::APP, FaceId(9)]);
+        // Satisfied data is cached.
+        assert!(f.cs().lookup_exact(&Name::from_uri("/a")).is_some());
+        assert!(f.pit().is_empty());
+    }
+
+    #[test]
+    fn data_not_sent_back_to_its_ingress() {
+        let mut f = fwd();
+        f.process_interest(now(), &interest("/a", 1), FaceId::WIRELESS);
+        let (actions, solicited) = f.process_data(now(), &data("/a"), FaceId::WIRELESS);
+        assert!(solicited);
+        assert!(actions.is_empty(), "sole downstream is the ingress face");
+    }
+
+    #[test]
+    fn unsolicited_data_dropped_by_default_cached_by_pure_forwarder() {
+        let mut f = fwd();
+        let (actions, solicited) = f.process_data(now(), &data("/x"), FaceId::WIRELESS);
+        assert!(!solicited);
+        assert!(actions.is_empty());
+        assert!(f.cs().lookup_exact(&Name::from_uri("/x")).is_none());
+        assert_eq!(f.stats().unsolicited_data, 1);
+
+        let mut pf = Forwarder::new(ForwarderConfig {
+            cache_unsolicited: true,
+            ..ForwarderConfig::default()
+        });
+        pf.process_data(now(), &data("/x"), FaceId::WIRELESS);
+        assert!(pf.cs().lookup_exact(&Name::from_uri("/x")).is_some());
+    }
+
+    #[test]
+    fn suppressing_strategy_blocks_forwarding() {
+        struct Never;
+        impl Strategy for Never {
+            fn decide(&mut self, _: &Interest, _: FaceId, _: &[FaceId], _: SimTime) -> Decision {
+                Decision::Suppress
+            }
+        }
+        let mut f = Forwarder::with_strategy(ForwarderConfig::default(), Box::new(Never));
+        f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        assert!(f
+            .process_interest(now(), &interest("/a", 1), FaceId::APP)
+            .is_empty());
+        assert_eq!(f.stats().suppressed_interests, 1);
+        // PIT entry still exists: data flowing past later is delivered.
+        assert!(f.pit().contains(&Name::from_uri("/a")));
+    }
+
+    #[test]
+    fn strategy_cannot_forward_back_to_ingress() {
+        struct Echo;
+        impl Strategy for Echo {
+            fn decide(&mut self, _: &Interest, ingress: FaceId, _: &[FaceId], _: SimTime) -> Decision {
+                Decision::Forward(vec![ingress])
+            }
+        }
+        let mut f = Forwarder::with_strategy(ForwarderConfig::default(), Box::new(Echo));
+        f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        assert!(f
+            .process_interest(now(), &interest("/a", 1), FaceId::WIRELESS)
+            .is_empty());
+    }
+
+    #[test]
+    fn rebroadcast_face_relays_data_back_out() {
+        // An intermediate node that forwarded an Interest heard on the
+        // broadcast face must re-broadcast the returning Data.
+        let mut f = Forwarder::new(ForwarderConfig {
+            rebroadcast_faces: vec![FaceId::WIRELESS],
+            ..ForwarderConfig::default()
+        });
+        f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        f.process_interest(now(), &interest("/a", 1), FaceId::WIRELESS);
+        let (actions, solicited) = f.process_data(now(), &data("/a"), FaceId::WIRELESS);
+        assert!(solicited);
+        assert_eq!(
+            actions,
+            vec![Action::SendData {
+                face: FaceId::WIRELESS,
+                data: data("/a")
+            }]
+        );
+    }
+
+    #[test]
+    fn pit_expiry_reports_names() {
+        let mut f = fwd();
+        f.process_interest(now(), &interest("/a", 1).with_lifetime_ms(1000), FaceId::APP);
+        assert_eq!(f.next_pit_expiry(), Some(now() + SimDuration::from_secs(1)));
+        let expired = f.expire(now() + SimDuration::from_secs(2));
+        assert_eq!(expired, vec![Name::from_uri("/a")]);
+        // Late data is now unsolicited.
+        let (_, solicited) = f.process_data(now(), &data("/a"), FaceId::WIRELESS);
+        assert!(!solicited);
+    }
+
+    #[test]
+    fn no_fib_match_suppresses() {
+        let mut f = Forwarder::new(ForwarderConfig::default());
+        assert!(f
+            .process_interest(now(), &interest("/a", 1), FaceId::APP)
+            .is_empty());
+        assert_eq!(f.stats().suppressed_interests, 1);
+    }
+
+    #[test]
+    fn state_bytes_cover_tables() {
+        let mut f = fwd();
+        let base = f.state_bytes();
+        f.cs_mut().insert(data("/a"), now());
+        f.process_interest(now(), &interest("/b", 1), FaceId::APP);
+        assert!(f.state_bytes() > base);
+    }
+}

@@ -1,0 +1,357 @@
+//! Hierarchical NDN names.
+//!
+//! A [`Name`] is a sequence of opaque byte [`Component`]s, written in URI
+//! form as `/component1/component2/...`. DAPES names collections, files and
+//! packets this way: `/damaged-bridge-1533783192/bridge-picture/0` (paper
+//! §IV-A). Ordering follows NDN canonical order (shorter component first,
+//! then lexicographic), which makes a name sort before every name it is a
+//! prefix of — the property the CS/FIB rely on for prefix searches.
+
+use std::fmt;
+
+/// One name component: opaque bytes, displayed with URI percent-escaping.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Component(Vec<u8>);
+
+impl Component {
+    /// Creates a component from raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Component(bytes.into())
+    }
+
+    /// Creates a component from UTF-8 text.
+    pub fn from_str_component(s: &str) -> Self {
+        Component(s.as_bytes().to_vec())
+    }
+
+    /// Creates a component holding a decimal sequence number, as DAPES uses
+    /// for packet indices.
+    pub fn from_seq(seq: u64) -> Self {
+        Component(seq.to_string().into_bytes())
+    }
+
+    /// Raw bytes of the component.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Parses the component as a decimal sequence number.
+    pub fn to_seq(&self) -> Option<u64> {
+        std::str::from_utf8(&self.0).ok()?.parse().ok()
+    }
+
+    /// Component length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the component is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl PartialOrd for Component {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// NDN canonical order: shorter components sort first; equal lengths compare
+/// lexicographically.
+impl Ord for Component {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .len()
+            .cmp(&other.0.len())
+            .then_with(|| self.0.cmp(&other.0))
+    }
+}
+
+impl fmt::Debug for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~') {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "%{b:02X}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for Component {
+    fn from(s: &str) -> Self {
+        Component::from_str_component(s)
+    }
+}
+
+impl From<u64> for Component {
+    fn from(seq: u64) -> Self {
+        Component::from_seq(seq)
+    }
+}
+
+/// A hierarchical NDN name.
+///
+/// # Examples
+///
+/// ```
+/// use dapes_ndn::name::Name;
+///
+/// let n = Name::from_uri("/damaged-bridge-1533783192/bridge-picture/0");
+/// assert_eq!(n.len(), 3);
+/// assert!(Name::from_uri("/damaged-bridge-1533783192").is_prefix_of(&n));
+/// assert_eq!(n.component(2).and_then(|c| c.to_seq()), Some(0));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Name {
+    components: Vec<Component>,
+}
+
+impl Name {
+    /// The empty (root) name `/`.
+    pub fn root() -> Self {
+        Name::default()
+    }
+
+    /// Builds a name from components.
+    pub fn from_components(components: Vec<Component>) -> Self {
+        Name { components }
+    }
+
+    /// Parses a URI like `/a/b/0`. Percent-escapes (`%2F`) decode to raw
+    /// bytes. Empty segments are ignored, so `/a//b` equals `/a/b` and `/`
+    /// is the root name.
+    pub fn from_uri(uri: &str) -> Self {
+        let mut components = Vec::new();
+        for seg in uri.split('/') {
+            if seg.is_empty() {
+                continue;
+            }
+            components.push(Component(unescape(seg)));
+        }
+        Name { components }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The `i`th component.
+    pub fn component(&self, i: usize) -> Option<&Component> {
+        self.components.get(i)
+    }
+
+    /// The final component.
+    pub fn last(&self) -> Option<&Component> {
+        self.components.last()
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Returns a new name with `component` appended.
+    #[must_use]
+    pub fn child(&self, component: impl Into<Component>) -> Name {
+        let mut components = self.components.clone();
+        components.push(component.into());
+        Name { components }
+    }
+
+    /// Appends a component in place.
+    pub fn push(&mut self, component: impl Into<Component>) {
+        self.components.push(component.into());
+    }
+
+    /// The first `k` components as a new name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.len()`.
+    #[must_use]
+    pub fn prefix(&self, k: usize) -> Name {
+        assert!(k <= self.components.len(), "prefix longer than name");
+        Name {
+            components: self.components[..k].to_vec(),
+        }
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Name) -> bool {
+        self.components.len() <= other.components.len()
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| a == b)
+    }
+
+    /// Approximate heap footprint, for the Table I memory proxy.
+    pub fn state_bytes(&self) -> usize {
+        self.components.iter().map(|c| c.len() + 8).sum::<usize>() + 24
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "/");
+        }
+        for c in &self.components {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<&str> for Name {
+    fn from(uri: &str) -> Self {
+        Name::from_uri(uri)
+    }
+}
+
+fn unescape(seg: &str) -> Vec<u8> {
+    let bytes = seg.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let Ok(v) = u8::from_str_radix(&seg[i + 1..i + 3], 16) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uri_round_trip() {
+        let n = Name::from_uri("/damaged-bridge-1533783192/bridge-picture/0");
+        assert_eq!(n.to_string(), "/damaged-bridge-1533783192/bridge-picture/0");
+        assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn root_name() {
+        assert_eq!(Name::root().to_string(), "/");
+        assert_eq!(Name::from_uri("/"), Name::root());
+        assert!(Name::root().is_prefix_of(&Name::from_uri("/a")));
+    }
+
+    #[test]
+    fn empty_segments_collapse() {
+        assert_eq!(Name::from_uri("/a//b/"), Name::from_uri("/a/b"));
+    }
+
+    #[test]
+    fn escaping_round_trips_binary() {
+        let c = Component::from_bytes(vec![0x00, 0x2f, 0xff, b'a']);
+        let shown = c.to_string();
+        assert_eq!(shown, "%00%2F%FFa");
+        let parsed = Name::from_uri(&format!("/{shown}"));
+        assert_eq!(parsed.component(0), Some(&c));
+    }
+
+    #[test]
+    fn prefix_relationships() {
+        let a = Name::from_uri("/a/b");
+        let ab = Name::from_uri("/a/b/c");
+        assert!(a.is_prefix_of(&ab));
+        assert!(a.is_prefix_of(&a));
+        assert!(!ab.is_prefix_of(&a));
+        assert!(!Name::from_uri("/a/x").is_prefix_of(&ab));
+        assert_eq!(ab.prefix(2), a);
+        assert_eq!(ab.prefix(0), Name::root());
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix longer than name")]
+    fn prefix_past_end_panics() {
+        let _ = Name::from_uri("/a").prefix(2);
+    }
+
+    #[test]
+    fn child_and_push_append() {
+        let n = Name::from_uri("/col").child("file").child(7u64);
+        assert_eq!(n.to_string(), "/col/file/7");
+        let mut m = Name::from_uri("/col");
+        m.push("file");
+        m.push(7u64);
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn seq_components_parse() {
+        let n = Name::from_uri("/c/f/123");
+        assert_eq!(n.last().and_then(|c| c.to_seq()), Some(123));
+        assert_eq!(Name::from_uri("/c/f/xyz").last().and_then(|c| c.to_seq()), None);
+    }
+
+    #[test]
+    fn canonical_order_puts_prefix_first() {
+        let a = Name::from_uri("/a");
+        let ab = Name::from_uri("/a/b");
+        let b = Name::from_uri("/b");
+        assert!(a < ab, "prefix sorts before extension");
+        assert!(ab < b, "then lexicographic");
+        // Shorter component sorts first regardless of bytes.
+        let short = Name::from_uri("/z");
+        let long = Name::from_uri("/aa");
+        assert!(short < long);
+    }
+
+    #[test]
+    fn ordering_groups_prefixes_contiguously() {
+        // Everything prefixed by /col sorts in one contiguous run, which the
+        // content store's prefix lookup depends on.
+        let mut names = vec![
+            Name::from_uri("/col/f/10"),
+            Name::from_uri("/col"),
+            Name::from_uri("/zzz"),
+            Name::from_uri("/col/f/2"),
+            Name::from_uri("/az"),
+            Name::from_uri("/col/a"),
+        ];
+        names.sort();
+        let col = Name::from_uri("/col");
+        let in_run: Vec<bool> = names.iter().map(|n| col.is_prefix_of(n)).collect();
+        let first = in_run.iter().position(|&b| b).expect("some");
+        let last = in_run.iter().rposition(|&b| b).expect("some");
+        assert!(in_run[first..=last].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn state_bytes_nonzero() {
+        assert!(Name::from_uri("/a/b").state_bytes() > 0);
+    }
+}

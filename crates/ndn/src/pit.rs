@@ -1,0 +1,274 @@
+//! The Pending Interest Table.
+//!
+//! The PIT records forwarded Interests awaiting Data (paper Fig. 1): it
+//! aggregates same-name requests, suppresses duplicate nonces (which is what
+//! stops broadcast re-flooding loops), and routes returning Data back to the
+//! downstream faces that asked for it.
+
+use crate::face::FaceId;
+use crate::name::Name;
+use dapes_netsim::time::SimTime;
+use std::collections::HashMap;
+
+/// One pending Interest.
+#[derive(Clone, Debug)]
+pub struct PitEntry {
+    /// The Interest name.
+    pub name: Name,
+    /// Whether any aggregated Interest had CanBePrefix set.
+    pub can_be_prefix: bool,
+    /// Faces that asked for this data.
+    pub downstreams: Vec<FaceId>,
+    /// Nonces seen for this name (duplicate suppression).
+    pub nonces: Vec<u32>,
+    /// When the entry expires.
+    pub expiry: SimTime,
+    /// When the Interest was last forwarded upstream (consumer
+    /// retransmissions may re-forward after a suppression interval).
+    pub last_forward: Option<SimTime>,
+}
+
+impl PitEntry {
+    /// Approximate bytes of state (Table I memory proxy).
+    pub fn state_bytes(&self) -> usize {
+        self.name.state_bytes() + self.downstreams.len() * 4 + self.nonces.len() * 4 + 32
+    }
+}
+
+/// Result of inserting an Interest into the PIT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PitInsert {
+    /// First Interest for this name: forward it.
+    New,
+    /// Same name, new nonce, new downstream: aggregated, do not forward.
+    Aggregated,
+    /// Nonce already seen: a duplicate or loop, drop silently.
+    DuplicateNonce,
+}
+
+/// The Pending Interest Table.
+#[derive(Clone, Debug, Default)]
+pub struct Pit {
+    entries: HashMap<Name, PitEntry>,
+}
+
+impl Pit {
+    /// Creates an empty PIT.
+    pub fn new() -> Self {
+        Pit::default()
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the PIT is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate bytes of state.
+    pub fn state_bytes(&self) -> usize {
+        self.entries.values().map(PitEntry::state_bytes).sum()
+    }
+
+    /// Records an incoming Interest.
+    pub fn insert(
+        &mut self,
+        name: &Name,
+        nonce: u32,
+        can_be_prefix: bool,
+        ingress: FaceId,
+        expiry: SimTime,
+    ) -> PitInsert {
+        match self.entries.get_mut(name) {
+            None => {
+                self.entries.insert(
+                    name.clone(),
+                    PitEntry {
+                        name: name.clone(),
+                        can_be_prefix,
+                        downstreams: vec![ingress],
+                        nonces: vec![nonce],
+                        expiry,
+                        last_forward: None,
+                    },
+                );
+                PitInsert::New
+            }
+            Some(entry) => {
+                if entry.nonces.contains(&nonce) {
+                    return PitInsert::DuplicateNonce;
+                }
+                entry.nonces.push(nonce);
+                entry.can_be_prefix |= can_be_prefix;
+                entry.expiry = entry.expiry.max(expiry);
+                if !entry.downstreams.contains(&ingress) {
+                    entry.downstreams.push(ingress);
+                }
+                PitInsert::Aggregated
+            }
+        }
+    }
+
+    /// Whether a pending entry exists for `name` (exact).
+    pub fn contains(&self, name: &Name) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Mutable access to an entry (forwarders update `last_forward`).
+    pub fn entry_mut(&mut self, name: &Name) -> Option<&mut PitEntry> {
+        self.entries.get_mut(name)
+    }
+
+    /// Removes and returns all entries a Data packet with `data_name`
+    /// satisfies: the exact-name entry, plus any prefix entries that were
+    /// inserted with CanBePrefix.
+    pub fn take_matching(&mut self, data_name: &Name) -> Vec<PitEntry> {
+        let mut matched = Vec::new();
+        if let Some(e) = self.entries.remove(data_name) {
+            matched.push(e);
+        }
+        // Check strict prefixes for CanBePrefix entries. Names are short
+        // (typically <= 4 components), so this loop is cheap.
+        for k in 0..data_name.len() {
+            let prefix = data_name.prefix(k);
+            let is_cbp = self.entries.get(&prefix).is_some_and(|e| e.can_be_prefix);
+            if is_cbp {
+                matched.push(self.entries.remove(&prefix).expect("just checked"));
+            }
+        }
+        matched
+    }
+
+    /// Removes entries that expired at or before `now`, returning their
+    /// names (DAPES pure forwarders start suppression timers off these).
+    pub fn expire(&mut self, now: SimTime) -> Vec<Name> {
+        let expired: Vec<Name> = self
+            .entries
+            .values()
+            .filter(|e| e.expiry <= now)
+            .map(|e| e.name.clone())
+            .collect();
+        for name in &expired {
+            self.entries.remove(name);
+        }
+        expired
+    }
+
+    /// The soonest expiry among pending entries, to drive a cleanup timer.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.entries.values().map(|e| e.expiry).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn name(uri: &str) -> Name {
+        Name::from_uri(uri)
+    }
+
+    #[test]
+    fn first_insert_is_new() {
+        let mut pit = Pit::new();
+        assert_eq!(
+            pit.insert(&name("/a"), 1, false, FaceId::APP, t(4)),
+            PitInsert::New
+        );
+        assert!(pit.contains(&name("/a")));
+    }
+
+    #[test]
+    fn same_name_new_nonce_aggregates() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/a"), 1, false, FaceId::APP, t(4));
+        assert_eq!(
+            pit.insert(&name("/a"), 2, false, FaceId::WIRELESS, t(5)),
+            PitInsert::Aggregated
+        );
+        let entries = pit.take_matching(&name("/a"));
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].downstreams, vec![FaceId::APP, FaceId::WIRELESS]);
+        assert_eq!(entries[0].expiry, t(5), "expiry extended");
+    }
+
+    #[test]
+    fn duplicate_nonce_detected() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/a"), 1, false, FaceId::APP, t(4));
+        assert_eq!(
+            pit.insert(&name("/a"), 1, false, FaceId::WIRELESS, t(4)),
+            PitInsert::DuplicateNonce
+        );
+    }
+
+    #[test]
+    fn same_downstream_not_duplicated() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/a"), 1, false, FaceId::APP, t(4));
+        pit.insert(&name("/a"), 2, false, FaceId::APP, t(4));
+        let entries = pit.take_matching(&name("/a"));
+        assert_eq!(entries[0].downstreams, vec![FaceId::APP]);
+    }
+
+    #[test]
+    fn data_matches_exact_entry() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/col/f/0"), 1, false, FaceId::APP, t(4));
+        assert_eq!(pit.take_matching(&name("/col/f/0")).len(), 1);
+        assert!(pit.is_empty());
+    }
+
+    #[test]
+    fn data_matches_can_be_prefix_entry() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/col"), 1, true, FaceId::APP, t(4));
+        let matched = pit.take_matching(&name("/col/f/0"));
+        assert_eq!(matched.len(), 1);
+        assert_eq!(matched[0].name, name("/col"));
+    }
+
+    #[test]
+    fn data_does_not_match_non_prefix_entry() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/col"), 1, false, FaceId::APP, t(4));
+        assert!(pit.take_matching(&name("/col/f/0")).is_empty());
+        assert!(pit.contains(&name("/col")), "entry still pending");
+    }
+
+    #[test]
+    fn data_matches_exact_and_prefix_simultaneously() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/col/f/0"), 1, false, FaceId::APP, t(4));
+        pit.insert(&name("/col"), 2, true, FaceId::WIRELESS, t(4));
+        let matched = pit.take_matching(&name("/col/f/0"));
+        assert_eq!(matched.len(), 2);
+    }
+
+    #[test]
+    fn expiry_removes_and_reports() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/a"), 1, false, FaceId::APP, t(4));
+        pit.insert(&name("/b"), 2, false, FaceId::APP, t(8));
+        assert_eq!(pit.next_expiry(), Some(t(4)));
+        let expired = pit.expire(t(5));
+        assert_eq!(expired, vec![name("/a")]);
+        assert_eq!(pit.len(), 1);
+        assert_eq!(pit.expire(t(5)), Vec::<Name>::new());
+    }
+
+    #[test]
+    fn state_bytes_reflect_entries() {
+        let mut pit = Pit::new();
+        assert_eq!(pit.state_bytes(), 0);
+        pit.insert(&name("/a/b/c"), 1, false, FaceId::APP, t(4));
+        assert!(pit.state_bytes() > 0);
+    }
+}

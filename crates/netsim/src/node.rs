@@ -1,0 +1,216 @@
+//! Node identity, the protocol-stack trait, and the callback context.
+//!
+//! Protocol stacks (NDN forwarders, DAPES peers, Bithoc/Ekta peers) implement
+//! [`NetStack`]. Callbacks receive a [`NodeCtx`] that *buffers* commands —
+//! frame transmissions, timer arms/cancels — which the world applies after
+//! the callback returns, so stacks never re-enter the simulator.
+
+use crate::radio::{Frame, FrameKind};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use std::any::Any;
+use std::fmt;
+
+/// Identifies a node in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle to a pending timer, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerHandle(pub(crate) u64);
+
+/// Outcome of a frame transmission, reported to the sender.
+///
+/// `collided` is true when another transmission overlapped in time with ours
+/// and its sender was within our radio range — i.e. we could have heard the
+/// contention ourselves, which is how DAPES's PEBA detects bitmap collisions
+/// (paper §IV-F).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxOutcome {
+    /// The kind tag the stack attached to the frame.
+    pub kind: FrameKind,
+    /// Token the stack attached when sending, for correlating outcomes.
+    pub token: u64,
+    /// Whether the transmission overlapped another audible transmission.
+    pub collided: bool,
+}
+
+/// A protocol stack living on one node.
+///
+/// All methods take `&mut self` plus a command-buffering [`NodeCtx`]; the
+/// simulator is single-threaded and callbacks never nest.
+pub trait NetStack {
+    /// Invoked once at simulation start.
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>);
+
+    /// A frame was received (wireless is broadcast: every frame any in-range
+    /// node transmits arrives here, which is also how overhearing works).
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame);
+
+    /// A timer armed through [`NodeCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64);
+
+    /// One of this node's transmissions finished (with collision feedback).
+    fn on_tx_done(&mut self, _ctx: &mut NodeCtx<'_>, _outcome: TxOutcome) {}
+
+    /// Bytes of live protocol state, the paper's Table I memory-overhead
+    /// proxy. Stacks should report their CS/PIT/knowledge-store footprint.
+    fn live_state_bytes(&self) -> usize {
+        0
+    }
+
+    /// Downcast support for extracting metrics after a run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A buffered command produced during a stack callback.
+#[derive(Debug)]
+pub(crate) enum Command {
+    Send {
+        payload: Vec<u8>,
+        kind: FrameKind,
+        token: u64,
+        delay: SimDuration,
+    },
+    SetTimer {
+        handle: TimerHandle,
+        at: SimTime,
+        token: u64,
+    },
+    CancelTimer {
+        handle: TimerHandle,
+    },
+}
+
+/// The context handed to every [`NetStack`] callback.
+pub struct NodeCtx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The node this callback runs on.
+    pub node: NodeId,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) commands: Vec<Command>,
+    pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) api_calls: &'a mut u64,
+    pub(crate) state_inserts: &'a mut u64,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Queues a broadcast frame for transmission after `delay`.
+    ///
+    /// The delay models protocol-level jitter (e.g. DAPES's 20 ms random
+    /// transmission window); the MAC adds carrier-sense deferral on top.
+    /// `token` is echoed in [`TxOutcome`] so stacks can tell which of their
+    /// transmissions collided.
+    pub fn send_frame(&mut self, payload: Vec<u8>, kind: FrameKind, token: u64, delay: SimDuration) {
+        *self.api_calls += 1;
+        self.commands.push(Command::Send {
+            payload,
+            kind,
+            token,
+            delay,
+        });
+    }
+
+    /// Arms a timer to fire at `self.now + delay`, delivering `token` to
+    /// [`NetStack::on_timer`]. Returns a handle usable with
+    /// [`NodeCtx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        *self.api_calls += 1;
+        *self.next_timer_id += 1;
+        let handle = TimerHandle(*self.next_timer_id);
+        let at = self.now + delay;
+        self.commands.push(Command::SetTimer { handle, at, token });
+        handle
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired timer
+    /// is a harmless no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        *self.api_calls += 1;
+        self.commands.push(Command::CancelTimer { handle });
+    }
+
+    /// Deterministic randomness for protocol jitter.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Records `n` state-table insertions (the Table I page-fault proxy).
+    pub fn note_state_inserts(&mut self, n: u64) {
+        *self.state_inserts += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_buffers_commands_and_counts_api_calls() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut next = 0u64;
+        let mut api = 0u64;
+        let mut ins = 0u64;
+        let mut ctx = NodeCtx {
+            now: SimTime::from_secs(1),
+            node: NodeId(3),
+            rng: &mut rng,
+            commands: Vec::new(),
+            next_timer_id: &mut next,
+            api_calls: &mut api,
+            state_inserts: &mut ins,
+        };
+        ctx.send_frame(vec![1, 2, 3], FrameKind(7), 0, SimDuration::ZERO);
+        let h = ctx.set_timer(SimDuration::from_millis(5), 42);
+        ctx.cancel_timer(h);
+        ctx.note_state_inserts(2);
+        let commands = ctx.commands;
+        assert_eq!(commands.len(), 3);
+        assert_eq!(api, 3);
+        assert_eq!(ins, 2);
+        match &commands[1] {
+            Command::SetTimer { at, token, .. } => {
+                assert_eq!(*at, SimTime::from_micros(1_005_000));
+                assert_eq!(*token, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timer_handles_are_unique() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut next = 0u64;
+        let mut api = 0u64;
+        let mut ins = 0u64;
+        let mut ctx = NodeCtx {
+            now: SimTime::ZERO,
+            node: NodeId(0),
+            rng: &mut rng,
+            commands: Vec::new(),
+            next_timer_id: &mut next,
+            api_calls: &mut api,
+            state_inserts: &mut ins,
+        };
+        let a = ctx.set_timer(SimDuration::ZERO, 0);
+        let b = ctx.set_timer(SimDuration::ZERO, 0);
+        assert_ne!(a, b);
+    }
+}

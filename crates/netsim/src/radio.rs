@@ -1,0 +1,140 @@
+//! Radio/PHY modelling: frames, frame kinds, and 802.11b-flavoured timing.
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+use std::fmt;
+
+/// Protocol-assigned tag identifying what a frame carries, used for the
+/// per-kind overhead breakdowns of the paper's Fig. 9b/9h/10b.
+///
+/// Kind values are allocated by the protocol crates; the simulator treats
+/// them opaquely. By convention `0` is "unknown".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FrameKind(pub u16);
+
+impl FrameKind {
+    /// The default "unclassified" kind.
+    pub const UNKNOWN: FrameKind = FrameKind(0);
+}
+
+impl fmt::Debug for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kind#{}", self.0)
+    }
+}
+
+/// A broadcast MAC frame in flight or delivered.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Protocol tag for accounting.
+    pub kind: FrameKind,
+    /// Upper-layer bytes (e.g. an NDN Interest/Data wire encoding).
+    pub payload: Vec<u8>,
+    /// Globally unique transmission sequence number.
+    pub seq: u64,
+}
+
+impl Frame {
+    /// Bytes on the air including the MAC overhead.
+    pub fn air_bytes(&self, phy: &PhyConfig) -> usize {
+        self.payload.len() + phy.mac_header_bytes
+    }
+}
+
+/// Physical/MAC layer parameters.
+///
+/// Defaults model IEEE 802.11b at 11 Mb/s as used in the paper (§VI-B1):
+/// 192 µs PLCP preamble+header, 20 µs slots, 50 µs DIFS, 34-byte MAC
+/// header+FCS, and a 10 % independent loss rate.
+#[derive(Clone, Debug)]
+pub struct PhyConfig {
+    /// Payload bit rate in megabits per second.
+    pub rate_mbps: f64,
+    /// PLCP preamble + header duration prepended to every frame.
+    pub preamble: SimDuration,
+    /// MAC slot time (backoff quantum).
+    pub slot: SimDuration,
+    /// DIFS idle period before transmission after busy medium.
+    pub difs: SimDuration,
+    /// How long a transmission must have been on the air before other nodes'
+    /// carrier sense detects it. Two nodes starting within this window of
+    /// each other collide — the effect PEBA's slotting is designed around.
+    pub sense_delay: SimDuration,
+    /// MAC header + FCS bytes added to every payload.
+    pub mac_header_bytes: usize,
+    /// Independent per-receiver loss probability in `[0, 1]`.
+    pub loss_rate: f64,
+    /// Initial contention window in slots (doubles on deferral).
+    pub cw_min: u32,
+    /// Maximum contention window in slots.
+    pub cw_max: u32,
+}
+
+impl Default for PhyConfig {
+    fn default() -> Self {
+        PhyConfig {
+            rate_mbps: 11.0,
+            preamble: SimDuration::from_micros(192),
+            slot: SimDuration::from_micros(20),
+            difs: SimDuration::from_micros(50),
+            sense_delay: SimDuration::from_micros(15),
+            mac_header_bytes: 34,
+            loss_rate: 0.10,
+            cw_min: 32,
+            cw_max: 1024,
+        }
+    }
+}
+
+impl PhyConfig {
+    /// Air time of a frame with `payload_len` upper-layer bytes.
+    pub fn tx_duration(&self, payload_len: usize) -> SimDuration {
+        let bits = ((payload_len + self.mac_header_bytes) * 8) as f64;
+        let micros = bits / self.rate_mbps; // Mb/s == bits/µs
+        self.preamble + SimDuration::from_micros(micros.ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_80211b() {
+        let phy = PhyConfig::default();
+        assert_eq!(phy.rate_mbps, 11.0);
+        assert_eq!(phy.loss_rate, 0.10);
+    }
+
+    #[test]
+    fn tx_duration_scales_with_size() {
+        let phy = PhyConfig::default();
+        let small = phy.tx_duration(100);
+        let large = phy.tx_duration(1000);
+        assert!(large > small);
+        // 1 KB + 34 B header at 11 Mb/s ≈ 753 µs + 192 µs preamble.
+        let expect = 192 + ((1024 + 34) * 8) as u64 * 100 / 1100;
+        let got = phy.tx_duration(1024).as_micros();
+        assert!((got as i64 - expect as i64).abs() <= 2, "got {got}, expect ~{expect}");
+    }
+
+    #[test]
+    fn zero_payload_still_costs_preamble_and_header() {
+        let phy = PhyConfig::default();
+        assert!(phy.tx_duration(0) > phy.preamble);
+    }
+
+    #[test]
+    fn air_bytes_includes_header() {
+        let phy = PhyConfig::default();
+        let f = Frame {
+            src: NodeId(0),
+            kind: FrameKind(1),
+            payload: vec![0; 100],
+            seq: 0,
+        };
+        assert_eq!(f.air_bytes(&phy), 134);
+    }
+}

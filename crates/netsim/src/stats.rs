@@ -1,0 +1,112 @@
+//! Run-wide accounting: transmissions by kind, collisions, losses, and the
+//! system-load proxies used for the paper's Table I.
+
+use crate::radio::FrameKind;
+use std::collections::HashMap;
+
+/// Counters accumulated over a simulation run.
+///
+/// *Transmissions* count frames put on the air (the paper's "number of
+/// transmissions" overhead metric); deliveries/losses/collisions count
+/// per-receiver outcomes.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Frames transmitted (one per send, regardless of receiver count).
+    pub tx_frames: u64,
+    /// Upper-layer payload bytes transmitted.
+    pub tx_payload_bytes: u64,
+    /// Frames transmitted, broken down by protocol kind.
+    pub tx_by_kind: HashMap<FrameKind, u64>,
+    /// Per-receiver deliveries that succeeded.
+    pub delivered: u64,
+    /// Per-receiver drops due to overlapping transmissions.
+    pub collision_drops: u64,
+    /// Transmissions during which the sender could hear a colliding sender.
+    pub tx_collisions: u64,
+    /// Per-receiver drops due to random channel loss.
+    pub channel_losses: u64,
+    /// MAC deferrals due to carrier sense.
+    pub mac_deferrals: u64,
+    /// Event dispatches (Table I context-switch proxy).
+    pub event_dispatches: u64,
+    /// Stack → simulator API calls (Table I system-call proxy).
+    pub api_calls: u64,
+    /// Protocol state-table insertions (Table I page-fault proxy).
+    pub state_inserts: u64,
+    /// Per-node transmission counts, indexed by `NodeId.0`.
+    pub tx_per_node: Vec<u64>,
+}
+
+impl Stats {
+    /// Creates zeroed stats for `n` nodes.
+    pub fn new(n_nodes: usize) -> Self {
+        Stats {
+            tx_per_node: vec![0; n_nodes],
+            ..Stats::default()
+        }
+    }
+
+    /// Records one transmission.
+    pub(crate) fn record_tx(&mut self, node: usize, kind: FrameKind, payload_len: usize) {
+        self.tx_frames += 1;
+        self.tx_payload_bytes += payload_len as u64;
+        *self.tx_by_kind.entry(kind).or_insert(0) += 1;
+        if let Some(slot) = self.tx_per_node.get_mut(node) {
+            *slot += 1;
+        }
+    }
+
+    /// Total transmissions for a set of kinds (a figure's overhead series).
+    pub fn tx_for_kinds(&self, kinds: &[FrameKind]) -> u64 {
+        kinds
+            .iter()
+            .map(|k| self.tx_by_kind.get(k).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Fraction of per-receiver outcomes that were collision drops.
+    pub fn collision_fraction(&self) -> f64 {
+        let total = self.delivered + self.collision_drops + self.channel_losses;
+        if total == 0 {
+            0.0
+        } else {
+            self.collision_drops as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tx_updates_all_views() {
+        let mut s = Stats::new(3);
+        s.record_tx(1, FrameKind(5), 100);
+        s.record_tx(1, FrameKind(5), 50);
+        s.record_tx(2, FrameKind(6), 10);
+        assert_eq!(s.tx_frames, 3);
+        assert_eq!(s.tx_payload_bytes, 160);
+        assert_eq!(s.tx_by_kind[&FrameKind(5)], 2);
+        assert_eq!(s.tx_per_node, vec![0, 2, 1]);
+        assert_eq!(s.tx_for_kinds(&[FrameKind(5), FrameKind(6)]), 3);
+        assert_eq!(s.tx_for_kinds(&[FrameKind(9)]), 0);
+    }
+
+    #[test]
+    fn out_of_range_node_does_not_panic() {
+        let mut s = Stats::new(1);
+        s.record_tx(7, FrameKind(1), 1);
+        assert_eq!(s.tx_frames, 1);
+    }
+
+    #[test]
+    fn collision_fraction_handles_empty() {
+        let s = Stats::new(0);
+        assert_eq!(s.collision_fraction(), 0.0);
+        let mut s = Stats::new(0);
+        s.delivered = 9;
+        s.collision_drops = 1;
+        assert!((s.collision_fraction() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,879 @@
+//! The simulation world: event loop, CSMA MAC, and frame delivery.
+//!
+//! # Model
+//!
+//! * **Broadcast medium.** Every transmission reaches every node within
+//!   `range` metres of the sender (unit disk), minus collision and random
+//!   loss. There is no unicast at the MAC layer; addressing is an
+//!   upper-layer concern, and *overhearing is the default*, which is what
+//!   DAPES's §V multi-hop design exploits.
+//! * **Carrier sense.** A node defers transmission while it can hear another
+//!   transmission, then backs off DIFS + uniform slots with a doubling
+//!   contention window.
+//! * **Collisions.** A receiver drops a frame when any other transmission
+//!   audible to *it* overlaps the frame in time (no capture effect). A
+//!   half-duplex node also cannot receive while transmitting. Senders learn
+//!   whether their own transmission overlapped an audible one via
+//!   [`TxOutcome::collided`] — the signal PEBA reacts to.
+//! * **Loss.** Independent Bernoulli loss per receiver (paper: 10 %).
+
+use crate::geometry::Point;
+use crate::mobility::Mobility;
+use crate::node::{Command, NetStack, NodeCtx, NodeId, TxOutcome};
+use crate::radio::{Frame, FrameKind, PhyConfig};
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// Static configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Field dimensions in metres (paper: 300 × 300).
+    pub field: (f64, f64),
+    /// Radio range in metres (paper sweeps 20–100).
+    pub range: f64,
+    /// PHY/MAC parameters.
+    pub phy: PhyConfig,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            field: (300.0, 300.0),
+            range: 60.0,
+            phy: PhyConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingFrame {
+    payload: Vec<u8>,
+    kind: FrameKind,
+    token: u64,
+}
+
+#[derive(Debug)]
+struct MacState {
+    queue: VecDeque<PendingFrame>,
+    transmitting: bool,
+    cw: u32,
+}
+
+struct NodeSlot {
+    mobility: Box<dyn Mobility>,
+    stack: Option<Box<dyn NetStack>>,
+    mac: MacState,
+}
+
+#[derive(Debug)]
+struct ActiveTx {
+    id: u64,
+    sender: NodeId,
+    sender_pos: Point,
+    start: SimTime,
+    end: SimTime,
+    kind: FrameKind,
+    payload: Vec<u8>,
+    token: u64,
+    seq: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Timer { node: NodeId, token: u64, id: u64 },
+    MacEnqueue { node: NodeId, frame: PendingFrame },
+    MacTry { node: NodeId },
+    TxEnd { tx_id: u64 },
+    MobilityChange { node: NodeId },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dapes_netsim::prelude::*;
+///
+/// let mut world = World::new(WorldConfig::default());
+/// // (add nodes with `add_node`, then)
+/// world.run_until(SimTime::from_secs(10));
+/// assert_eq!(world.now(), SimTime::from_secs(10));
+/// ```
+pub struct World {
+    cfg: WorldConfig,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Event>>,
+    event_seq: u64,
+    nodes: Vec<NodeSlot>,
+    active_tx: Vec<ActiveTx>,
+    next_tx_id: u64,
+    next_frame_seq: u64,
+    next_timer_id: u64,
+    cancelled_timers: HashSet<u64>,
+    rng: SmallRng,
+    stats: Stats,
+    started: bool,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new(cfg: WorldConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        World {
+            cfg,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            event_seq: 0,
+            nodes: Vec::new(),
+            active_tx: Vec::new(),
+            next_tx_id: 0,
+            next_frame_seq: 0,
+            next_timer_id: 0,
+            cancelled_timers: HashSet::new(),
+            rng,
+            stats: Stats::new(0),
+            started: false,
+        }
+    }
+
+    /// Adds a node with the given mobility and protocol stack, returning its
+    /// id. Nodes must be added before the first `run_until` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started.
+    pub fn add_node(&mut self, mobility: Box<dyn Mobility>, stack: Box<dyn NetStack>) -> NodeId {
+        assert!(!self.started, "nodes must be added before the run starts");
+        let id = NodeId(self.nodes.len() as u32);
+        if let Some(t) = mobility.next_change() {
+            self.push_event(t, EventKind::MobilityChange { node: id });
+        }
+        self.nodes.push(NodeSlot {
+            mobility,
+            stack: Some(stack),
+            mac: MacState {
+                queue: VecDeque::new(),
+                transmitting: false,
+                cw: self.cfg.phy.cw_min,
+            },
+        });
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The configured radio range.
+    pub fn range(&self) -> f64 {
+        self.cfg.range
+    }
+
+    /// Position of `node` at the current time.
+    pub fn position_of(&self, node: NodeId) -> Point {
+        self.nodes[node.0 as usize].mobility.position(self.now)
+    }
+
+    /// Nodes currently within radio range of `node` (excluding itself).
+    pub fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
+        let p = self.position_of(node);
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&other| other != node && self.position_of(other).within(&p, self.cfg.range))
+            .collect()
+    }
+
+    /// Immutable downcast access to a node's stack.
+    pub fn stack<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.nodes[node.0 as usize]
+            .stack
+            .as_ref()
+            .and_then(|s| s.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable downcast access to a node's stack.
+    pub fn stack_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.nodes[node.0 as usize]
+            .stack
+            .as_mut()
+            .and_then(|s| s.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Sum of [`NetStack::live_state_bytes`] over all nodes — the Table I
+    /// memory proxy.
+    pub fn live_state_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.stack.as_ref())
+            .map(|s| s.live_state_bytes())
+            .sum()
+    }
+
+    /// Live state bytes of a single node.
+    pub fn node_state_bytes(&self, node: NodeId) -> usize {
+        self.nodes[node.0 as usize]
+            .stack
+            .as_ref()
+            .map_or(0, |s| s.live_state_bytes())
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        self.event_seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.event_seq,
+            kind,
+        }));
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.stats = {
+            let mut s = Stats::new(self.nodes.len());
+            std::mem::swap(&mut s.event_dispatches, &mut self.stats.event_dispatches);
+            s
+        };
+        for i in 0..self.nodes.len() {
+            self.with_stack(NodeId(i as u32), |stack, ctx| stack.on_start(ctx));
+        }
+    }
+
+    /// Runs the event loop until `deadline` (inclusive of events at it).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.stats.event_dispatches += 1;
+            self.dispatch(ev.kind);
+        }
+        self.now = deadline.max(self.now);
+    }
+
+    /// Runs until `pred` returns true (checked after every event) or until
+    /// `deadline`. Returns `true` when the predicate fired.
+    pub fn run_until_cond<F: FnMut(&World) -> bool>(
+        &mut self,
+        deadline: SimTime,
+        mut pred: F,
+    ) -> bool {
+        self.ensure_started();
+        if pred(self) {
+            return true;
+        }
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.time;
+            self.stats.event_dispatches += 1;
+            self.dispatch(ev.kind);
+            if pred(self) {
+                return true;
+            }
+        }
+        self.now = deadline.max(self.now);
+        false
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Timer { node, token, id } => {
+                if !self.cancelled_timers.remove(&id) {
+                    self.with_stack(node, |stack, ctx| stack.on_timer(ctx, token));
+                }
+            }
+            EventKind::MacEnqueue { node, frame } => {
+                self.nodes[node.0 as usize].mac.queue.push_back(frame);
+                self.mac_try(node);
+            }
+            EventKind::MacTry { node } => self.mac_try(node),
+            EventKind::TxEnd { tx_id } => self.finish_tx(tx_id),
+            EventKind::MobilityChange { node } => {
+                let field = self.cfg.field;
+                let slot = &mut self.nodes[node.0 as usize];
+                slot.mobility.on_change(self.now, &mut self.rng, field);
+                if let Some(t) = slot.mobility.next_change() {
+                    let t = t.max(self.now + SimDuration::from_micros(1));
+                    self.push_event(t, EventKind::MobilityChange { node });
+                }
+            }
+        }
+    }
+
+    fn with_stack<F: FnOnce(&mut dyn NetStack, &mut NodeCtx<'_>)>(&mut self, node: NodeId, f: F) {
+        let idx = node.0 as usize;
+        let mut stack = match self.nodes[idx].stack.take() {
+            Some(s) => s,
+            None => return,
+        };
+        let mut commands = Vec::new();
+        {
+            let mut ctx = NodeCtx {
+                now: self.now,
+                node,
+                rng: &mut self.rng,
+                commands: Vec::new(),
+                next_timer_id: &mut self.next_timer_id,
+                api_calls: &mut self.stats.api_calls,
+                state_inserts: &mut self.stats.state_inserts,
+            };
+            f(stack.as_mut(), &mut ctx);
+            std::mem::swap(&mut commands, &mut ctx.commands);
+        }
+        self.nodes[idx].stack = Some(stack);
+        self.apply_commands(node, commands);
+    }
+
+    fn apply_commands(&mut self, node: NodeId, commands: Vec<Command>) {
+        for cmd in commands {
+            match cmd {
+                Command::Send {
+                    payload,
+                    kind,
+                    token,
+                    delay,
+                } => {
+                    let frame = PendingFrame {
+                        payload,
+                        kind,
+                        token,
+                    };
+                    if delay == SimDuration::ZERO {
+                        self.nodes[node.0 as usize].mac.queue.push_back(frame);
+                        self.mac_try(node);
+                    } else {
+                        self.push_event(self.now + delay, EventKind::MacEnqueue { node, frame });
+                    }
+                }
+                Command::SetTimer { handle, at, token } => {
+                    self.push_event(
+                        at.max(self.now),
+                        EventKind::Timer {
+                            node,
+                            token,
+                            id: handle.0,
+                        },
+                    );
+                }
+                Command::CancelTimer { handle } => {
+                    self.cancelled_timers.insert(handle.0);
+                }
+            }
+        }
+    }
+
+    /// Latest end time of any transmission currently audible at `pos`
+    /// (excluding transmissions by `except`). A transmission only becomes
+    /// audible to carrier sense `sense_delay` after it starts, so two nodes
+    /// deciding to transmit within that window of each other will collide.
+    fn medium_busy_until(&self, pos: Point, except: NodeId) -> Option<SimTime> {
+        self.active_tx
+            .iter()
+            .filter(|tx| tx.end > self.now && tx.sender != except)
+            .filter(|tx| tx.start + self.cfg.phy.sense_delay <= self.now)
+            .filter(|tx| tx.sender_pos.within(&pos, self.cfg.range))
+            .map(|tx| tx.end)
+            .max()
+    }
+
+    fn mac_try(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if self.nodes[idx].mac.transmitting || self.nodes[idx].mac.queue.is_empty() {
+            return;
+        }
+        let pos = self.nodes[idx].mobility.position(self.now);
+        if let Some(busy_until) = self.medium_busy_until(pos, node) {
+            // Carrier sense: defer to after the busy period plus backoff.
+            self.stats.mac_deferrals += 1;
+            let mac = &mut self.nodes[idx].mac;
+            mac.cw = (mac.cw * 2).min(self.cfg.phy.cw_max);
+            let slots = self.rng.gen_range(0..self.nodes[idx].mac.cw) as u64;
+            let retry = busy_until + self.cfg.phy.difs + self.cfg.phy.slot * slots;
+            self.push_event(retry, EventKind::MacTry { node });
+            return;
+        }
+        let frame = self.nodes[idx]
+            .mac
+            .queue
+            .pop_front()
+            .expect("checked non-empty");
+        self.nodes[idx].mac.cw = self.cfg.phy.cw_min;
+        self.nodes[idx].mac.transmitting = true;
+
+        let duration = self.cfg.phy.tx_duration(frame.payload.len());
+        self.next_tx_id += 1;
+        self.next_frame_seq += 1;
+        let tx_id = self.next_tx_id;
+        self.stats.record_tx(idx, frame.kind, frame.payload.len());
+        self.active_tx.push(ActiveTx {
+            id: tx_id,
+            sender: node,
+            sender_pos: pos,
+            start: self.now,
+            end: self.now + duration,
+            kind: frame.kind,
+            payload: frame.payload,
+            token: frame.token,
+            seq: self.next_frame_seq,
+        });
+        self.push_event(self.now + duration, EventKind::TxEnd { tx_id });
+    }
+
+    fn finish_tx(&mut self, tx_id: u64) {
+        let tx_idx = match self.active_tx.iter().position(|t| t.id == tx_id) {
+            Some(i) => i,
+            None => return,
+        };
+        let sender = self.active_tx[tx_idx].sender;
+        let sender_pos = self.active_tx[tx_idx].sender_pos;
+        let (start, end) = (self.active_tx[tx_idx].start, self.active_tx[tx_idx].end);
+        let kind = self.active_tx[tx_idx].kind;
+        let token = self.active_tx[tx_idx].token;
+
+        self.nodes[sender.0 as usize].mac.transmitting = false;
+
+        // Work out per-receiver outcomes before dispatching any callbacks so
+        // that reactions to this frame cannot affect its own delivery.
+        let mut deliveries: Vec<NodeId> = Vec::new();
+        for j in 0..self.nodes.len() {
+            let receiver = NodeId(j as u32);
+            if receiver == sender || self.nodes[j].stack.is_none() {
+                continue;
+            }
+            let rpos = self.nodes[j].mobility.position(self.now);
+            if !sender_pos.within(&rpos, self.cfg.range) {
+                continue;
+            }
+            // Interference: any other transmission overlapping [start, end)
+            // whose sender is audible at the receiver. A transmission by the
+            // receiver itself trivially satisfies the distance test, which
+            // models half-duplex radios.
+            let collided = self.active_tx.iter().any(|o| {
+                o.id != tx_id
+                    && o.start < end
+                    && o.end > start
+                    && o.sender_pos.within(&rpos, self.cfg.range)
+            });
+            if collided {
+                self.stats.collision_drops += 1;
+                continue;
+            }
+            if self.cfg.phy.loss_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.phy.loss_rate {
+                self.stats.channel_losses += 1;
+                continue;
+            }
+            self.stats.delivered += 1;
+            deliveries.push(receiver);
+        }
+
+        // Sender-side collision feedback: another overlapping transmission
+        // whose sender we could hear.
+        let sender_collided = self.active_tx.iter().any(|o| {
+            o.id != tx_id
+                && o.start < end
+                && o.end > start
+                && o.sender_pos.within(&sender_pos, self.cfg.range)
+        });
+        if sender_collided {
+            self.stats.tx_collisions += 1;
+        }
+
+        let frame = Frame {
+            src: sender,
+            kind,
+            payload: std::mem::take(&mut self.active_tx[tx_idx].payload),
+            seq: self.active_tx[tx_idx].seq,
+        };
+
+        for receiver in deliveries {
+            self.with_stack(receiver, |stack, ctx| stack.on_frame(ctx, &frame));
+        }
+        self.with_stack(sender, |stack, ctx| {
+            stack.on_tx_done(
+                ctx,
+                TxOutcome {
+                    kind,
+                    token,
+                    collided: sender_collided,
+                },
+            )
+        });
+
+        // Keep finished transmissions briefly for interference history, then
+        // prune. 100 ms safely exceeds any frame's air time.
+        let horizon = SimDuration::from_millis(100);
+        let now = self.now;
+        self.active_tx
+            .retain(|t| t.end + horizon > now && !(t.id == tx_id && t.payload.is_empty() && t.end + horizon <= now));
+        // Drain the sender's queue if more frames wait.
+        self.push_event(self.now, EventKind::MacTry { node: sender });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::Stationary;
+    use std::any::Any;
+
+    /// Test stack: broadcasts `n` beacons at fixed intervals and records
+    /// everything it hears.
+    #[derive(Debug, Default)]
+    struct Chatter {
+        beacons: u32,
+        interval_ms: u64,
+        heard: Vec<(u64, NodeId)>,
+        outcomes: Vec<TxOutcome>,
+    }
+
+    impl Chatter {
+        fn new(beacons: u32, interval_ms: u64) -> Self {
+            Chatter {
+                beacons,
+                interval_ms,
+                ..Chatter::default()
+            }
+        }
+    }
+
+    impl NetStack for Chatter {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if self.beacons > 0 {
+                ctx.set_timer(SimDuration::from_millis(self.interval_ms), 1);
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, frame: &Frame) {
+            self.heard.push((frame.seq, frame.src));
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+            assert_eq!(token, 1);
+            ctx.send_frame(vec![0xAB; 100], FrameKind(9), 0, SimDuration::ZERO);
+            self.beacons -= 1;
+            if self.beacons > 0 {
+                ctx.set_timer(SimDuration::from_millis(self.interval_ms), 1);
+            }
+        }
+        fn on_tx_done(&mut self, _ctx: &mut NodeCtx<'_>, outcome: TxOutcome) {
+            self.outcomes.push(outcome);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn lossless() -> WorldConfig {
+        let mut cfg = WorldConfig::default();
+        cfg.phy.loss_rate = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn in_range_nodes_receive_frames() {
+        let mut w = World::new(lossless());
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(3, 10)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(30.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.run_until(SimTime::from_secs(1));
+        let b_stack: &Chatter = w.stack(b).expect("chatter");
+        assert_eq!(b_stack.heard.len(), 3);
+        assert!(b_stack.heard.iter().all(|&(_, src)| src == a));
+    }
+
+    #[test]
+    fn out_of_range_nodes_hear_nothing() {
+        let mut w = World::new(lossless());
+        let _a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(3, 10)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(100.0, 0.0))), // > 60 m range
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.run_until(SimTime::from_secs(1));
+        assert!(w.stack::<Chatter>(b).expect("chatter").heard.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_transmissions_collide() {
+        // Both transmitters fire at exactly t=10ms; the observer, in range
+        // of both, must receive neither.
+        let mut w = World::new(lossless());
+        let _a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(1, 10)),
+        );
+        let _b = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Chatter::new(1, 10)),
+        );
+        let c = w.add_node(
+            Box::new(Stationary::new(Point::new(5.0, 5.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.run_until(SimTime::from_secs(1));
+        assert!(w.stack::<Chatter>(c).expect("chatter").heard.is_empty());
+        assert!(w.stats().collision_drops >= 1 || w.stats().mac_deferrals >= 1);
+    }
+
+    #[test]
+    fn hidden_terminal_collision_at_middle_receiver() {
+        // A and B are out of range of each other (120 m apart, 60 m range)
+        // but both in range of C in the middle: the classic hidden-terminal
+        // case that carrier sensing cannot prevent.
+        let mut w = World::new(lossless());
+        let _a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(1, 10)),
+        );
+        let _b = w.add_node(
+            Box::new(Stationary::new(Point::new(120.0, 0.0))),
+            Box::new(Chatter::new(1, 10)),
+        );
+        let c = w.add_node(
+            Box::new(Stationary::new(Point::new(60.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.run_until(SimTime::from_secs(1));
+        assert!(w.stack::<Chatter>(c).expect("chatter").heard.is_empty());
+        assert_eq!(w.stats().collision_drops, 2);
+    }
+
+    #[test]
+    fn carrier_sense_serializes_audible_transmitters() {
+        // A and B are in range of each other; B wants to transmit while A's
+        // frame is on the air, so B defers and both frames arrive at C.
+        let mut cfg = lossless();
+        cfg.phy.rate_mbps = 0.1; // stretch air time so overlap would be certain
+        let mut w = World::new(cfg);
+        let _a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(1, 10)),
+        );
+        let _b = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Chatter::new(1, 11)), // 1 ms later: inside A's long frame
+        );
+        let c = w.add_node(
+            Box::new(Stationary::new(Point::new(5.0, 5.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.run_until(SimTime::from_secs(5));
+        assert_eq!(w.stack::<Chatter>(c).expect("chatter").heard.len(), 2);
+        assert!(w.stats().mac_deferrals >= 1);
+    }
+
+    #[test]
+    fn sender_collision_feedback_reaches_stack() {
+        let mut w = World::new(lossless());
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(1, 10)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Chatter::new(1, 10)),
+        );
+        w.run_until(SimTime::from_secs(1));
+        // Identical start instants: carrier sense cannot help (neither frame
+        // was on the air when the other checked), so both collide.
+        let oa = &w.stack::<Chatter>(a).expect("chatter").outcomes;
+        let ob = &w.stack::<Chatter>(b).expect("chatter").outcomes;
+        assert_eq!(oa.len(), 1);
+        assert_eq!(ob.len(), 1);
+        assert!(oa[0].collided && ob[0].collided);
+    }
+
+    #[test]
+    fn loss_rate_drops_some_frames() {
+        let mut cfg = WorldConfig::default();
+        cfg.phy.loss_rate = 0.5;
+        cfg.seed = 7;
+        let mut w = World::new(cfg);
+        let _a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(200, 5)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.run_until(SimTime::from_secs(10));
+        let heard = w.stack::<Chatter>(b).expect("chatter").heard.len();
+        assert!(heard > 50 && heard < 150, "heard {heard} of 200 at 50% loss");
+        assert!(w.stats().channel_losses > 0);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut cfg = WorldConfig::default();
+            cfg.seed = seed;
+            let mut w = World::new(cfg);
+            for i in 0..6 {
+                w.add_node(
+                    Box::new(Stationary::new(Point::new(10.0 * i as f64, 0.0))),
+                    Box::new(Chatter::new(20, 7 + i as u64)),
+                );
+            }
+            w.run_until(SimTime::from_secs(5));
+            (
+                w.stats().tx_frames,
+                w.stats().delivered,
+                w.stats().channel_losses,
+                w.stats().collision_drops,
+            )
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100)); // different seed, different losses
+    }
+
+    #[test]
+    fn stats_count_transmissions_per_node_and_kind() {
+        let mut w = World::new(lossless());
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(5, 10)),
+        );
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.stats().tx_frames, 5);
+        assert_eq!(w.stats().tx_per_node[a.0 as usize], 5);
+        assert_eq!(w.stats().tx_by_kind[&FrameKind(9)], 5);
+    }
+
+    #[test]
+    fn run_until_cond_stops_early() {
+        let mut w = World::new(lossless());
+        w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(100, 10)),
+        );
+        let fired =
+            w.run_until_cond(SimTime::from_secs(10), |w| w.stats().tx_frames >= 3);
+        assert!(fired);
+        assert!(w.now() < SimTime::from_secs(10));
+        assert_eq!(w.stats().tx_frames, 3);
+    }
+
+    #[test]
+    fn neighbors_reflect_positions() {
+        let mut w = World::new(lossless());
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(30.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        let c = w.add_node(
+            Box::new(Stationary::new(Point::new(200.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        assert_eq!(w.neighbors_of(a), vec![b]);
+        assert_eq!(w.neighbors_of(c), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn timers_cancel() {
+        #[derive(Debug, Default)]
+        struct Canceller {
+            fired: Vec<u64>,
+        }
+        impl NetStack for Canceller {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                let h = ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.cancel_timer(h);
+            }
+            fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: &Frame) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(lossless());
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Canceller::default()),
+        );
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.stack::<Canceller>(a).expect("stack").fired, vec![2]);
+    }
+
+    #[test]
+    fn mobile_node_moves_between_queries() {
+        let mut w = World::new(lossless());
+        let a = w.add_node(
+            Box::new(crate::mobility::RandomDirection::new(Point::new(150.0, 150.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        let p0 = w.position_of(a);
+        w.run_until(SimTime::from_secs(30));
+        let p1 = w.position_of(a);
+        assert!(p0.distance(&p1) > 1.0, "node did not move: {p0:?} -> {p1:?}");
+    }
+}
