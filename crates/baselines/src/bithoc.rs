@@ -7,8 +7,8 @@
 //! reliable exchange (request + data + ack, all unicast hop-by-hop), and
 //! fall back to far peers for pieces absent nearby.
 
-use crate::ip::{IpPacket, Proto, BROADCAST};
 use crate::dsdv::Dsdv;
+use crate::ip::{IpPacket, Proto, BROADCAST};
 use crate::swarm::{kinds, SwarmSpec};
 use dapes_core::bitmap::Bitmap;
 use dapes_netsim::node::{NetStack, NodeCtx, NodeId};
@@ -16,7 +16,7 @@ use dapes_netsim::radio::{Frame, FrameKind};
 use dapes_netsim::time::{SimDuration, SimTime};
 use rand::Rng;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const TOKEN_TICK: u64 = 1;
 const TOKEN_DSDV: u64 = 2;
@@ -41,16 +41,33 @@ pub enum BithocRole {
 
 #[derive(Clone, Debug)]
 enum AppMsg {
-    Hello { peer: u32, seq: u32, scope: u8, bitmap: Bitmap },
-    Req { piece: u32 },
-    DataSeg { piece: u32, len: u32 },
-    Ack { piece: u32 },
+    Hello {
+        peer: u32,
+        seq: u32,
+        scope: u8,
+        bitmap: Bitmap,
+    },
+    Req {
+        piece: u32,
+    },
+    DataSeg {
+        piece: u32,
+        len: u32,
+    },
+    Ack {
+        piece: u32,
+    },
 }
 
 impl AppMsg {
     fn encode(&self) -> Vec<u8> {
         match self {
-            AppMsg::Hello { peer, seq, scope, bitmap } => {
+            AppMsg::Hello {
+                peer,
+                seq,
+                scope,
+                bitmap,
+            } => {
                 let mut out = vec![0u8, *scope];
                 out.extend_from_slice(&peer.to_be_bytes());
                 out.extend_from_slice(&seq.to_be_bytes());
@@ -87,7 +104,12 @@ impl AppMsg {
                 let peer = u32::from_be_bytes(wire.get(2..6)?.try_into().ok()?);
                 let seq = u32::from_be_bytes(wire.get(6..10)?.try_into().ok()?);
                 let bitmap = Bitmap::from_wire(wire.get(10..)?)?;
-                Some(AppMsg::Hello { peer, seq, scope, bitmap })
+                Some(AppMsg::Hello {
+                    peer,
+                    seq,
+                    scope,
+                    bitmap,
+                })
             }
             1 => Some(AppMsg::Req {
                 piece: u32::from_be_bytes(wire.get(2..6)?.try_into().ok()?),
@@ -165,16 +187,16 @@ pub struct BithocPeer {
     spec: SwarmSpec,
     dsdv: Dsdv,
     have: Bitmap,
-    peers: HashMap<u32, KnownPeer>,
+    peers: BTreeMap<u32, KnownPeer>,
     /// piece -> (holder, sent, retx count)
-    outstanding: HashMap<u32, (u32, SimTime, u32)>,
+    outstanding: BTreeMap<u32, (u32, SimTime, u32)>,
     completed_at: Option<SimTime>,
     /// Pieces tried and permanently failed this encounter window.
-    stalled_until: HashMap<u32, SimTime>,
+    stalled_until: BTreeMap<u32, SimTime>,
     /// Our HELLO sequence counter.
     hello_seq: u32,
     /// Highest HELLO sequence relayed per origin (flood dedup).
-    hello_seen: HashMap<u32, u32>,
+    hello_seen: BTreeMap<u32, u32>,
     /// Last triggered DSDV update (rate limit).
     last_triggered_dsdv: SimTime,
 }
@@ -193,12 +215,12 @@ impl BithocPeer {
             spec,
             dsdv: Dsdv::new(me),
             have,
-            peers: HashMap::new(),
-            outstanding: HashMap::new(),
+            peers: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
             completed_at: None,
-            stalled_until: HashMap::new(),
+            stalled_until: BTreeMap::new(),
             hello_seq: 0,
-            hello_seen: HashMap::new(),
+            hello_seen: BTreeMap::new(),
             last_triggered_dsdv: SimTime::ZERO,
         }
     }
@@ -219,7 +241,10 @@ impl BithocPeer {
     }
 
     fn jitter(&self, ctx: &mut NodeCtx<'_>) -> SimDuration {
-        SimDuration::from_micros(ctx.rng().gen_range(0..self.cfg.tx_window.as_micros().max(1)))
+        SimDuration::from_micros(
+            ctx.rng()
+                .gen_range(0..self.cfg.tx_window.as_micros().max(1)),
+        )
     }
 
     fn send_ip(&mut self, ctx: &mut NodeCtx<'_>, packet: IpPacket, kind: FrameKind) {
@@ -278,7 +303,7 @@ impl BithocPeer {
         if close.is_empty() && self.peers.is_empty() {
             return;
         }
-        let rarity = dapes_core::rpf::rarity_counts(self.spec.total_pieces, close.into_iter());
+        let rarity = dapes_core::rpf::rarity_counts(self.spec.total_pieces, close);
         let mut missing: Vec<usize> = self
             .have
             .iter_missing()
@@ -322,7 +347,12 @@ impl BithocPeer {
 
     fn on_app_msg(&mut self, ctx: &mut NodeCtx<'_>, src: u32, msg: AppMsg) {
         match msg {
-            AppMsg::Hello { peer, scope, bitmap, .. } => {
+            AppMsg::Hello {
+                peer,
+                scope,
+                bitmap,
+                ..
+            } => {
                 if peer == self.me || self.role == BithocRole::Router {
                     return;
                 }
@@ -388,12 +418,14 @@ impl NetStack for BithocPeer {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         ctx.set_timer(self.cfg.tick, TOKEN_TICK);
         let stagger = SimDuration::from_micros(
-            ctx.rng().gen_range(0..self.cfg.dsdv_period.as_micros().max(1)),
+            ctx.rng()
+                .gen_range(0..self.cfg.dsdv_period.as_micros().max(1)),
         );
         ctx.set_timer(stagger, TOKEN_DSDV);
         if self.role != BithocRole::Router {
             let hello_stagger = SimDuration::from_micros(
-                ctx.rng().gen_range(0..self.cfg.hello_period.as_micros().max(1)),
+                ctx.rng()
+                    .gen_range(0..self.cfg.hello_period.as_micros().max(1)),
             );
             ctx.set_timer(hello_stagger, TOKEN_HELLO);
             ctx.set_timer(self.cfg.far_hello_period, TOKEN_FAR_HELLO);
@@ -538,7 +570,12 @@ mod tests {
         let mut bm = Bitmap::new(10);
         bm.set(3);
         let msgs = vec![
-            AppMsg::Hello { peer: 1, seq: 9, scope: 2, bitmap: bm },
+            AppMsg::Hello {
+                peer: 1,
+                seq: 9,
+                scope: 2,
+                bitmap: bm,
+            },
             AppMsg::Req { piece: 9 },
             AppMsg::DataSeg { piece: 9, len: 16 },
             AppMsg::Ack { piece: 9 },
@@ -554,7 +591,10 @@ mod tests {
 
     #[test]
     fn data_segment_carries_piece_payload_weight() {
-        let m = AppMsg::DataSeg { piece: 0, len: 1024 };
+        let m = AppMsg::DataSeg {
+            piece: 0,
+            len: 1024,
+        };
         assert!(m.encode().len() >= 1024);
     }
 
@@ -567,7 +607,10 @@ mod tests {
         };
         let seed = BithocPeer::new(0, BithocRole::Seed, spec.clone(), BithocConfig::default());
         assert_eq!(seed.progress(), 1.0);
-        assert!(!seed.is_complete(), "seeds do not report download completion");
+        assert!(
+            !seed.is_complete(),
+            "seeds do not report download completion"
+        );
         let dl = BithocPeer::new(1, BithocRole::Downloader, spec, BithocConfig::default());
         assert_eq!(dl.progress(), 0.0);
     }

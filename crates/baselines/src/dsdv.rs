@@ -9,7 +9,7 @@
 //! overhead" the paper charges to Bithoc.
 
 use dapes_netsim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Metric representing an unreachable destination.
 pub const INFINITY: u16 = u16::MAX;
@@ -40,11 +40,11 @@ pub struct Advertised {
 #[derive(Clone, Debug)]
 pub struct Dsdv {
     me: u32,
-    routes: HashMap<u32, Route>,
+    routes: BTreeMap<u32, Route>,
     /// Our own sequence number (even, incremented by 2 per update).
     my_seqno: u32,
     /// Last time each direct neighbor was heard.
-    neighbor_heard: HashMap<u32, SimTime>,
+    neighbor_heard: BTreeMap<u32, SimTime>,
     /// Neighbors silent past this age are declared broken.
     pub neighbor_timeout: SimDuration,
     /// Destinations that changed since the last update (triggered updates).
@@ -56,9 +56,9 @@ impl Dsdv {
     pub fn new(me: u32) -> Self {
         Dsdv {
             me,
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             my_seqno: 0,
-            neighbor_heard: HashMap::new(),
+            neighbor_heard: BTreeMap::new(),
             neighbor_timeout: SimDuration::from_secs(6),
             dirty: false,
         }
@@ -185,8 +185,7 @@ impl Dsdv {
                 }
                 Some(current) => {
                     let newer = seqno_newer(ad.seqno, current.seqno);
-                    let same_but_better =
-                        ad.seqno == current.seqno && new_metric < current.metric;
+                    let same_but_better = ad.seqno == current.seqno && new_metric < current.metric;
                     if newer || same_but_better {
                         if *current != candidate {
                             self.dirty = true;
@@ -258,8 +257,16 @@ mod tests {
         d.on_update(
             2,
             &[
-                Advertised { dst: 2, metric: 0, seqno: 2 },
-                Advertised { dst: 3, metric: 1, seqno: 4 },
+                Advertised {
+                    dst: 2,
+                    metric: 0,
+                    seqno: 2,
+                },
+                Advertised {
+                    dst: 3,
+                    metric: 1,
+                    seqno: 4,
+                },
             ],
             t(0),
         );
@@ -270,8 +277,24 @@ mod tests {
     #[test]
     fn newer_seqno_wins_even_with_worse_metric() {
         let mut d = Dsdv::new(1);
-        d.on_update(2, &[Advertised { dst: 9, metric: 1, seqno: 4 }], t(0));
-        d.on_update(3, &[Advertised { dst: 9, metric: 5, seqno: 6 }], t(1));
+        d.on_update(
+            2,
+            &[Advertised {
+                dst: 9,
+                metric: 1,
+                seqno: 4,
+            }],
+            t(0),
+        );
+        d.on_update(
+            3,
+            &[Advertised {
+                dst: 9,
+                metric: 5,
+                seqno: 6,
+            }],
+            t(1),
+        );
         assert_eq!(d.next_hop(9), Some(3));
         assert_eq!(d.metric(9), Some(6));
     }
@@ -279,17 +302,49 @@ mod tests {
     #[test]
     fn same_seqno_prefers_lower_metric() {
         let mut d = Dsdv::new(1);
-        d.on_update(2, &[Advertised { dst: 9, metric: 4, seqno: 4 }], t(0));
-        d.on_update(3, &[Advertised { dst: 9, metric: 1, seqno: 4 }], t(1));
+        d.on_update(
+            2,
+            &[Advertised {
+                dst: 9,
+                metric: 4,
+                seqno: 4,
+            }],
+            t(0),
+        );
+        d.on_update(
+            3,
+            &[Advertised {
+                dst: 9,
+                metric: 1,
+                seqno: 4,
+            }],
+            t(1),
+        );
         assert_eq!(d.next_hop(9), Some(3));
-        d.on_update(4, &[Advertised { dst: 9, metric: 3, seqno: 4 }], t(2));
+        d.on_update(
+            4,
+            &[Advertised {
+                dst: 9,
+                metric: 3,
+                seqno: 4,
+            }],
+            t(2),
+        );
         assert_eq!(d.next_hop(9), Some(3), "worse metric ignored");
     }
 
     #[test]
     fn neighbor_expiry_invalidates_routes_through_it() {
         let mut d = Dsdv::new(1);
-        d.on_update(2, &[Advertised { dst: 3, metric: 1, seqno: 4 }], t(0));
+        d.on_update(
+            2,
+            &[Advertised {
+                dst: 3,
+                metric: 1,
+                seqno: 4,
+            }],
+            t(0),
+        );
         assert_eq!(d.next_hop(3), Some(2));
         d.expire_neighbors(t(10));
         assert_eq!(d.next_hop(3), None);
@@ -300,9 +355,25 @@ mod tests {
     #[test]
     fn broken_route_recovers_with_newer_seqno() {
         let mut d = Dsdv::new(1);
-        d.on_update(2, &[Advertised { dst: 3, metric: 1, seqno: 4 }], t(0));
+        d.on_update(
+            2,
+            &[Advertised {
+                dst: 3,
+                metric: 1,
+                seqno: 4,
+            }],
+            t(0),
+        );
         d.expire_neighbors(t(10)); // breaks it (seqno becomes odd 5)
-        d.on_update(4, &[Advertised { dst: 3, metric: 2, seqno: 6 }], t(11));
+        d.on_update(
+            4,
+            &[Advertised {
+                dst: 3,
+                metric: 2,
+                seqno: 6,
+            }],
+            t(11),
+        );
         assert_eq!(d.next_hop(3), Some(4));
     }
 
@@ -319,30 +390,70 @@ mod tests {
     #[test]
     fn own_entry_in_updates_is_ignored() {
         let mut d = Dsdv::new(1);
-        d.on_update(2, &[Advertised { dst: 1, metric: 3, seqno: 100 }], t(0));
+        d.on_update(
+            2,
+            &[Advertised {
+                dst: 1,
+                metric: 3,
+                seqno: 100,
+            }],
+            t(0),
+        );
         assert_eq!(d.next_hop(1), None);
     }
 
     #[test]
     fn infinity_adverts_do_not_create_routes() {
         let mut d = Dsdv::new(1);
-        d.on_update(2, &[Advertised { dst: 9, metric: INFINITY, seqno: 5 }], t(0));
+        d.on_update(
+            2,
+            &[Advertised {
+                dst: 9,
+                metric: INFINITY,
+                seqno: 5,
+            }],
+            t(0),
+        );
         assert_eq!(d.next_hop(9), None);
     }
 
     #[test]
     fn infinity_advert_breaks_existing_route() {
         let mut d = Dsdv::new(1);
-        d.on_update(2, &[Advertised { dst: 9, metric: 1, seqno: 4 }], t(0));
-        d.on_update(2, &[Advertised { dst: 9, metric: INFINITY, seqno: 5 }], t(1));
+        d.on_update(
+            2,
+            &[Advertised {
+                dst: 9,
+                metric: 1,
+                seqno: 4,
+            }],
+            t(0),
+        );
+        d.on_update(
+            2,
+            &[Advertised {
+                dst: 9,
+                metric: INFINITY,
+                seqno: 5,
+            }],
+            t(1),
+        );
         assert_eq!(d.next_hop(9), None);
     }
 
     #[test]
     fn encode_decode_round_trip() {
         let ads = vec![
-            Advertised { dst: 1, metric: 0, seqno: 2 },
-            Advertised { dst: 9, metric: INFINITY, seqno: 7 },
+            Advertised {
+                dst: 1,
+                metric: 0,
+                seqno: 2,
+            },
+            Advertised {
+                dst: 9,
+                metric: INFINITY,
+                seqno: 7,
+            },
         ];
         let wire = Dsdv::encode(&ads);
         assert_eq!(Dsdv::decode(&wire), Some(ads));

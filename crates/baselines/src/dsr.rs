@@ -8,7 +8,7 @@
 //! "reactive routing overhead" the paper charges to Ekta.
 
 use dapes_netsim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A DSR control or source-routed message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,14 +55,24 @@ impl DsrMessage {
         }
         let mut out = Vec::new();
         match self {
-            DsrMessage::Rreq { id, origin, target, path } => {
+            DsrMessage::Rreq {
+                id,
+                origin,
+                target,
+                path,
+            } => {
                 out.push(0);
                 out.extend_from_slice(&id.to_be_bytes());
                 out.extend_from_slice(&origin.to_be_bytes());
                 out.extend_from_slice(&target.to_be_bytes());
                 put_path(&mut out, path);
             }
-            DsrMessage::Rrep { origin, target, path, return_path } => {
+            DsrMessage::Rrep {
+                origin,
+                target,
+                path,
+                return_path,
+            } => {
                 out.push(1);
                 out.extend_from_slice(&origin.to_be_bytes());
                 out.extend_from_slice(&target.to_be_bytes());
@@ -101,14 +111,24 @@ impl DsrMessage {
                 let origin = get_u32(wire, &mut pos)?;
                 let target = get_u32(wire, &mut pos)?;
                 let path = get_path(wire, &mut pos)?;
-                Some(DsrMessage::Rreq { id, origin, target, path })
+                Some(DsrMessage::Rreq {
+                    id,
+                    origin,
+                    target,
+                    path,
+                })
             }
             1 => {
                 let origin = get_u32(wire, &mut pos)?;
                 let target = get_u32(wire, &mut pos)?;
                 let path = get_path(wire, &mut pos)?;
                 let return_path = get_path(wire, &mut pos)?;
-                Some(DsrMessage::Rrep { origin, target, path, return_path })
+                Some(DsrMessage::Rrep {
+                    origin,
+                    target,
+                    path,
+                    return_path,
+                })
             }
             2 => {
                 let from = get_u32(wire, &mut pos)?;
@@ -126,9 +146,9 @@ pub struct Dsr {
     me: u32,
     /// Cached full paths (intermediate hops only) keyed by destination,
     /// with the time they were learned: mobile routes go stale quickly.
-    cache: HashMap<u32, (Vec<u32>, SimTime)>,
+    cache: BTreeMap<u32, (Vec<u32>, SimTime)>,
     /// RREQ floods already seen: (origin, id).
-    seen_rreq: HashMap<(u32, u32), ()>,
+    seen_rreq: BTreeMap<(u32, u32), ()>,
     next_rreq_id: u32,
 }
 
@@ -137,8 +157,8 @@ impl Dsr {
     pub fn new(me: u32) -> Self {
         Dsr {
             me,
-            cache: HashMap::new(),
-            seen_rreq: HashMap::new(),
+            cache: BTreeMap::new(),
+            seen_rreq: BTreeMap::new(),
             next_rreq_id: 0,
         }
     }
@@ -157,7 +177,8 @@ impl Dsr {
     /// Drops routes older than `max_age` — in a mobile network cached
     /// source routes rot as relays move out of range.
     pub fn expire_routes(&mut self, now: SimTime, max_age: SimDuration) {
-        self.cache.retain(|_, (_, learned)| now.since(*learned) <= max_age);
+        self.cache
+            .retain(|_, (_, learned)| now.since(*learned) <= max_age);
     }
 
     /// Refreshes a route's age after evidence it still works (a response
@@ -199,13 +220,7 @@ impl Dsr {
     }
 
     /// Handles a RREQ heard from a direct neighbor. Returns what to do.
-    pub fn on_rreq(
-        &mut self,
-        id: u32,
-        origin: u32,
-        target: u32,
-        path: &[u32],
-    ) -> RreqAction {
+    pub fn on_rreq(&mut self, id: u32, origin: u32, target: u32, path: &[u32]) -> RreqAction {
         if origin == self.me || self.seen_rreq.contains_key(&(origin, id)) {
             return RreqAction::Drop;
         }
@@ -280,7 +295,12 @@ mod tests {
     #[test]
     fn message_round_trips() {
         let msgs = vec![
-            DsrMessage::Rreq { id: 1, origin: 2, target: 3, path: vec![4, 5] },
+            DsrMessage::Rreq {
+                id: 1,
+                origin: 2,
+                target: 3,
+                path: vec![4, 5],
+            },
             DsrMessage::Rrep {
                 origin: 2,
                 target: 3,
@@ -327,7 +347,13 @@ mod tests {
     fn own_flood_dropped() {
         let mut d = Dsr::new(1);
         let msg = d.start_discovery(9);
-        if let DsrMessage::Rreq { id, origin, target, path } = msg {
+        if let DsrMessage::Rreq {
+            id,
+            origin,
+            target,
+            path,
+        } = msg
+        {
             assert_eq!(d.on_rreq(id, origin, target, &path), RreqAction::Drop);
         } else {
             panic!("expected RREQ");

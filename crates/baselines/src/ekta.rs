@@ -23,7 +23,7 @@ use dapes_netsim::radio::{Frame, FrameKind};
 use dapes_netsim::time::{SimDuration, SimTime};
 use rand::Rng;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const TOKEN_TICK: u64 = 1;
 const TOKEN_PUBLISH: u64 = 2;
@@ -138,7 +138,9 @@ impl AppMsg {
 
     fn kind(&self) -> FrameKind {
         match self {
-            AppMsg::Publish { .. } | AppMsg::Lookup { .. } | AppMsg::LookupResp { .. } => kinds::DHT,
+            AppMsg::Publish { .. } | AppMsg::Lookup { .. } | AppMsg::LookupResp { .. } => {
+                kinds::DHT
+            }
             AppMsg::PieceReq { .. } => kinds::PIECE_REQ,
             AppMsg::PieceData { .. } => kinds::PIECE_DATA,
         }
@@ -188,18 +190,18 @@ pub struct EktaPeer {
     members: Vec<u32>,
     have: Bitmap,
     /// File -> known holders (from lookup responses).
-    holders: HashMap<u32, Vec<u32>>,
+    holders: BTreeMap<u32, Vec<u32>>,
     /// Records stored at this node as the responsible DHT member.
-    stored_records: HashMap<u32, Vec<u32>>,
+    stored_records: BTreeMap<u32, Vec<u32>>,
     /// Outstanding piece requests: piece -> (holder, sent, retries).
-    outstanding: HashMap<u32, (u32, SimTime, u32)>,
+    outstanding: BTreeMap<u32, (u32, SimTime, u32)>,
     /// Last lookup time and consecutive failures per file (backoff).
-    lookup_sent: HashMap<u32, (SimTime, u32)>,
+    lookup_sent: BTreeMap<u32, (SimTime, u32)>,
     /// Packets awaiting a route: dst -> (expiry, queued messages).
-    route_queue: HashMap<u32, Vec<(SimTime, AppMsg)>>,
+    route_queue: BTreeMap<u32, Vec<(SimTime, AppMsg)>>,
     /// Discovery state per destination: last RREQ time and consecutive
     /// unanswered attempts (exponential backoff against flood storms).
-    discovering: HashMap<u32, (SimTime, u32)>,
+    discovering: BTreeMap<u32, (SimTime, u32)>,
     /// Publish rounds completed, for period escalation.
     publish_rounds: u32,
     completed_at: Option<SimTime>,
@@ -226,12 +228,12 @@ impl EktaPeer {
             dsr: Dsr::new(me),
             members,
             have,
-            holders: HashMap::new(),
-            stored_records: HashMap::new(),
-            outstanding: HashMap::new(),
-            lookup_sent: HashMap::new(),
-            route_queue: HashMap::new(),
-            discovering: HashMap::new(),
+            holders: BTreeMap::new(),
+            stored_records: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            lookup_sent: BTreeMap::new(),
+            route_queue: BTreeMap::new(),
+            discovering: BTreeMap::new(),
             publish_rounds: 0,
             completed_at: None,
         }
@@ -253,7 +255,10 @@ impl EktaPeer {
     }
 
     fn jitter(&self, ctx: &mut NodeCtx<'_>) -> SimDuration {
-        SimDuration::from_micros(ctx.rng().gen_range(0..self.cfg.tx_window.as_micros().max(1)))
+        SimDuration::from_micros(
+            ctx.rng()
+                .gen_range(0..self.cfg.tx_window.as_micros().max(1)),
+        )
     }
 
     fn send_ip(&mut self, ctx: &mut NodeCtx<'_>, packet: IpPacket, kind: FrameKind) {
@@ -295,12 +300,11 @@ impl EktaPeer {
             .unwrap_or((SimTime::ZERO, 0));
         // Exponential backoff: 4 s doubling to 64 s per unanswered attempt.
         let interval = SimDuration::from_secs(4u64 << fails.min(4) as u64);
-        if fails > 0 || last > SimTime::ZERO {
-            if ctx.now.since(last) < interval {
-                return;
-            }
+        if (fails > 0 || last > SimTime::ZERO) && ctx.now.since(last) < interval {
+            return;
         }
-        self.discovering.insert(dst, (ctx.now, fails.saturating_add(1)));
+        self.discovering
+            .insert(dst, (ctx.now, fails.saturating_add(1)));
         let rreq = self.dsr.start_discovery(dst);
         let mut packet = IpPacket::new(self.me, BROADCAST, Proto::Dsr, rreq.encode());
         packet.ttl = 8;
@@ -326,7 +330,9 @@ impl EktaPeer {
         // Announce every fully held file to its responsible member.
         for file in 0..self.spec.file_count() {
             let range = self.spec.file_range(file);
-            let full = range.clone().all(|p| p < self.have.len() && self.have.get(p));
+            let full = range
+                .clone()
+                .all(|p| p < self.have.len() && self.have.get(p));
             if !full {
                 continue;
             }
@@ -358,9 +364,8 @@ impl EktaPeer {
                 .copied()
                 .unwrap_or((SimTime::ZERO, 0));
             // Lookup backoff: base period doubling to 16x while unanswered.
-            let period = SimDuration::from_micros(
-                self.cfg.lookup_period.as_micros() << fails.min(4) as u64,
-            );
+            let period =
+                SimDuration::from_micros(self.cfg.lookup_period.as_micros() << fails.min(4) as u64);
             if last > SimTime::ZERO && now.since(last) < period {
                 continue;
             }
@@ -464,34 +469,50 @@ impl EktaPeer {
             return;
         };
         match msg {
-            DsrMessage::Rreq { id, origin, target, path } => {
-                match self.dsr.on_rreq(id, origin, target, &path) {
-                    RreqAction::Drop => {}
-                    RreqAction::Reply { origin, path, return_path } => {
-                        let rrep = DsrMessage::Rrep {
+            DsrMessage::Rreq {
+                id,
+                origin,
+                target,
+                path,
+            } => match self.dsr.on_rreq(id, origin, target, &path) {
+                RreqAction::Drop => {}
+                RreqAction::Reply {
+                    origin,
+                    path,
+                    return_path,
+                } => {
+                    let rrep = DsrMessage::Rrep {
+                        origin,
+                        target: self.me,
+                        path,
+                        return_path: return_path.clone(),
+                    };
+                    let next = return_path.first().copied().unwrap_or(origin);
+                    let mut p = IpPacket::new(self.me, origin, Proto::Dsr, rrep.encode());
+                    p.next_hop = next;
+                    self.send_ip(ctx, p, kinds::RREP);
+                }
+                RreqAction::Forward { path } => {
+                    if packet.ttl > 1 {
+                        let rreq = DsrMessage::Rreq {
+                            id,
                             origin,
-                            target: self.me,
+                            target,
                             path,
-                            return_path: return_path.clone(),
                         };
-                        let next = return_path.first().copied().unwrap_or(origin);
-                        let mut p = IpPacket::new(self.me, origin, Proto::Dsr, rrep.encode());
-                        p.next_hop = next;
-                        self.send_ip(ctx, p, kinds::RREP);
-                    }
-                    RreqAction::Forward { path } => {
-                        if packet.ttl > 1 {
-                            let rreq = DsrMessage::Rreq { id, origin, target, path };
-                            let mut p =
-                                IpPacket::new(origin, BROADCAST, Proto::Dsr, rreq.encode());
-                            p.ttl = packet.ttl - 1;
-                            p.next_hop = BROADCAST;
-                            self.send_ip(ctx, p, kinds::RREQ);
-                        }
+                        let mut p = IpPacket::new(origin, BROADCAST, Proto::Dsr, rreq.encode());
+                        p.ttl = packet.ttl - 1;
+                        p.next_hop = BROADCAST;
+                        self.send_ip(ctx, p, kinds::RREQ);
                     }
                 }
-            }
-            DsrMessage::Rrep { origin, target, path, mut return_path } => {
+            },
+            DsrMessage::Rrep {
+                origin,
+                target,
+                path,
+                mut return_path,
+            } => {
                 if !packet.for_hop(NodeId(self.me)) {
                     return;
                 }
@@ -508,7 +529,12 @@ impl EktaPeer {
                     return_path.remove(0);
                 }
                 let next = return_path.first().copied().unwrap_or(origin);
-                let rrep = DsrMessage::Rrep { origin, target, path, return_path };
+                let rrep = DsrMessage::Rrep {
+                    origin,
+                    target,
+                    path,
+                    return_path,
+                };
                 let mut p = IpPacket::new(packet.src, origin, Proto::Dsr, rrep.encode());
                 p.ttl = packet.ttl.saturating_sub(1).max(1);
                 p.next_hop = next;
@@ -545,7 +571,8 @@ impl NetStack for EktaPeer {
         ctx.set_timer(self.cfg.tick, TOKEN_TICK);
         if self.role != EktaRole::Router {
             let stagger = SimDuration::from_micros(
-                ctx.rng().gen_range(0..self.cfg.publish_period.as_micros().max(1)),
+                ctx.rng()
+                    .gen_range(0..self.cfg.publish_period.as_micros().max(1)),
             );
             ctx.set_timer(stagger, TOKEN_PUBLISH);
         }
@@ -598,8 +625,7 @@ impl NetStack for EktaPeer {
                 // not need to re-announce every few seconds.
                 self.publish_rounds = self.publish_rounds.saturating_add(1);
                 let period = SimDuration::from_micros(
-                    self.cfg.publish_period.as_micros()
-                        << self.publish_rounds.min(3) as u64,
+                    self.cfg.publish_period.as_micros() << self.publish_rounds.min(3) as u64,
                 );
                 ctx.set_timer(period, TOKEN_PUBLISH);
             }
@@ -657,8 +683,14 @@ mod tests {
     fn app_msgs_round_trip() {
         let msgs = vec![
             AppMsg::Publish { file: 1, holder: 2 },
-            AppMsg::Lookup { file: 1, requester: 3 },
-            AppMsg::LookupResp { file: 1, holders: vec![2, 9] },
+            AppMsg::Lookup {
+                file: 1,
+                requester: 3,
+            },
+            AppMsg::LookupResp {
+                file: 1,
+                holders: vec![2, 9],
+            },
             AppMsg::PieceReq { piece: 77 },
             AppMsg::PieceData { piece: 77, len: 32 },
         ];
@@ -691,7 +723,11 @@ mod tests {
         for file in 0..100 {
             hit.insert(responsible_k(&members, file_key(file), 1)[0]);
         }
-        assert!(hit.len() >= 4, "keys should spread over members, got {}", hit.len());
+        assert!(
+            hit.len() >= 4,
+            "keys should spread over members, got {}",
+            hit.len()
+        );
     }
 
     #[test]
@@ -701,15 +737,30 @@ mod tests {
             pieces_per_file: 4,
             piece_size: 16,
         };
-        let seed = EktaPeer::new(0, EktaRole::Seed, spec.clone(), vec![0, 1], EktaConfig::default());
+        let seed = EktaPeer::new(
+            0,
+            EktaRole::Seed,
+            spec.clone(),
+            vec![0, 1],
+            EktaConfig::default(),
+        );
         assert_eq!(seed.progress(), 1.0);
-        let dl = EktaPeer::new(1, EktaRole::Downloader, spec, vec![0, 1], EktaConfig::default());
+        let dl = EktaPeer::new(
+            1,
+            EktaRole::Downloader,
+            spec,
+            vec![0, 1],
+            EktaConfig::default(),
+        );
         assert_eq!(dl.progress(), 0.0);
     }
 
     #[test]
     fn piece_data_carries_payload_weight() {
-        let m = AppMsg::PieceData { piece: 0, len: 1024 };
+        let m = AppMsg::PieceData {
+            piece: 0,
+            len: 1024,
+        };
         assert!(m.encode().len() >= 1024);
     }
 }

@@ -183,7 +183,13 @@ mod tests {
 
     #[test]
     fn all_protos_round_trip() {
-        for proto in [Proto::Dsdv, Proto::Hello, Proto::Tcp, Proto::Udp, Proto::Dsr] {
+        for proto in [
+            Proto::Dsdv,
+            Proto::Hello,
+            Proto::Tcp,
+            Proto::Udp,
+            Proto::Dsr,
+        ] {
             let p = IpPacket::new(0, 1, proto, vec![7]);
             assert_eq!(IpPacket::decode(&p.encode()).expect("ok").proto, proto);
         }

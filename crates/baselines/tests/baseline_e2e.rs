@@ -1,173 +1,116 @@
-//! End-to-end transfers for the Bithoc and Ekta baselines.
+//! End-to-end transfers for the Bithoc and Ekta baselines, built on the
+//! `dapes-testutil` swarm builder.
 
 use dapes_baselines::prelude::*;
 use dapes_netsim::prelude::*;
+use dapes_testutil::prelude::*;
 
-fn spec() -> SwarmSpec {
-    SwarmSpec {
-        total_pieces: 8,
-        pieces_per_file: 4,
-        piece_size: 1024,
-    }
+fn bithoc(seed: u64) -> BaselineSwarmBuilder {
+    BaselineSwarmBuilder::new(BaselineProtocol::Bithoc, seed)
 }
 
-fn world(seed: u64, loss: f64) -> World {
-    let mut cfg = WorldConfig::default();
-    cfg.seed = seed;
-    cfg.range = 60.0;
-    cfg.phy.loss_rate = loss;
-    World::new(cfg)
-}
-
-fn bithoc(me: u32, role: BithocRole) -> Box<BithocPeer> {
-    Box::new(BithocPeer::new(me, role, spec(), BithocConfig::default()))
-}
-
-fn ekta(me: u32, role: EktaRole, members: Vec<u32>) -> Box<EktaPeer> {
-    Box::new(EktaPeer::new(me, role, spec(), members, EktaConfig::default()))
+fn ekta(seed: u64) -> BaselineSwarmBuilder {
+    BaselineSwarmBuilder::new(BaselineProtocol::Ekta, seed)
 }
 
 #[test]
 fn bithoc_single_hop_download() {
-    let mut w = world(1, 0.0);
-    w.add_node(
-        Box::new(Stationary::new(Point::new(0.0, 0.0))),
-        bithoc(0, BithocRole::Seed),
+    let mut sw = bithoc(1).seed_at(0.0, 0.0).downloader_at(20.0, 0.0).build();
+    assert!(
+        sw.run_until_complete(SimTime::from_secs(120)),
+        "bithoc single-hop download incomplete"
     );
-    let dl = w.add_node(
-        Box::new(Stationary::new(Point::new(20.0, 0.0))),
-        bithoc(1, BithocRole::Downloader),
-    );
-    let done = w.run_until_cond(SimTime::from_secs(120), |w| {
-        w.stack::<BithocPeer>(dl).is_some_and(|p| p.is_complete())
-    });
-    assert!(done, "bithoc single-hop download incomplete");
     // Run on to a fixed instant so periodic DSDV/HELLO traffic registers.
-    w.run_until(SimTime::from_secs(30));
+    sw.run_until(SimTime::from_secs(30));
     // TCP-like overhead appears: data and control segments plus DSDV.
-    assert!(w.stats().tx_for_kinds(&[kinds::TCP_DATA]) >= 8);
-    assert!(w.stats().tx_for_kinds(&[kinds::TCP_CTRL]) >= 8);
-    assert!(w.stats().tx_for_kinds(&[kinds::DSDV_UPDATE]) > 0);
-    assert!(w.stats().tx_for_kinds(&[kinds::HELLO]) > 0);
+    assert!(sw.world.stats().tx_for_kinds(&[kinds::TCP_DATA]) >= 8);
+    assert!(sw.world.stats().tx_for_kinds(&[kinds::TCP_CTRL]) >= 8);
+    assert!(sw.world.stats().tx_for_kinds(&[kinds::DSDV_UPDATE]) > 0);
+    assert!(sw.world.stats().tx_for_kinds(&[kinds::HELLO]) > 0);
 }
 
 #[test]
 fn bithoc_two_hop_download_through_router() {
-    let mut w = world(2, 0.0);
-    w.add_node(
-        Box::new(Stationary::new(Point::new(0.0, 0.0))),
-        bithoc(0, BithocRole::Seed),
+    let mut sw = bithoc(2)
+        .seed_at(0.0, 0.0)
+        .router_at(50.0, 0.0)
+        .downloader_at(100.0, 0.0)
+        .build();
+    assert!(
+        sw.run_until_complete(SimTime::from_secs(240)),
+        "bithoc two-hop download incomplete"
     );
-    w.add_node(
-        Box::new(Stationary::new(Point::new(50.0, 0.0))),
-        bithoc(1, BithocRole::Router),
-    );
-    let dl = w.add_node(
-        Box::new(Stationary::new(Point::new(100.0, 0.0))),
-        bithoc(2, BithocRole::Downloader),
-    );
-    let done = w.run_until_cond(SimTime::from_secs(240), |w| {
-        w.stack::<BithocPeer>(dl).is_some_and(|p| p.is_complete())
-    });
-    assert!(done, "bithoc two-hop download incomplete");
 }
 
 #[test]
 fn bithoc_survives_loss() {
-    let mut w = world(3, 0.10);
-    w.add_node(
-        Box::new(Stationary::new(Point::new(0.0, 0.0))),
-        bithoc(0, BithocRole::Seed),
+    let mut sw = bithoc(3)
+        .loss(0.10)
+        .seed_at(0.0, 0.0)
+        .downloader_at(20.0, 0.0)
+        .build();
+    assert!(
+        sw.run_until_complete(SimTime::from_secs(300)),
+        "bithoc lossy download incomplete"
     );
-    let dl = w.add_node(
-        Box::new(Stationary::new(Point::new(20.0, 0.0))),
-        bithoc(1, BithocRole::Downloader),
-    );
-    let done = w.run_until_cond(SimTime::from_secs(300), |w| {
-        w.stack::<BithocPeer>(dl).is_some_and(|p| p.is_complete())
-    });
-    assert!(done, "bithoc lossy download incomplete");
 }
 
 #[test]
 fn ekta_single_hop_download() {
-    let members = vec![0, 1];
-    let mut w = world(4, 0.0);
-    w.add_node(
-        Box::new(Stationary::new(Point::new(0.0, 0.0))),
-        ekta(0, EktaRole::Seed, members.clone()),
+    let mut sw = ekta(4).seed_at(0.0, 0.0).downloader_at(20.0, 0.0).build();
+    assert!(
+        sw.run_until_complete(SimTime::from_secs(180)),
+        "ekta single-hop download incomplete"
     );
-    let dl = w.add_node(
-        Box::new(Stationary::new(Point::new(20.0, 0.0))),
-        ekta(1, EktaRole::Downloader, members),
+    assert!(sw.world.stats().tx_for_kinds(&[kinds::PIECE_DATA]) >= 8);
+    assert!(
+        sw.world.stats().tx_for_kinds(&[kinds::DHT]) > 0,
+        "publish/lookup traffic expected"
     );
-    let done = w.run_until_cond(SimTime::from_secs(180), |w| {
-        w.stack::<EktaPeer>(dl).is_some_and(|p| p.is_complete())
-    });
-    assert!(done, "ekta single-hop download incomplete");
-    assert!(w.stats().tx_for_kinds(&[kinds::PIECE_DATA]) >= 8);
-    assert!(w.stats().tx_for_kinds(&[kinds::DHT]) > 0, "publish/lookup traffic expected");
-    assert!(w.stats().tx_for_kinds(&[kinds::RREQ]) > 0, "route discovery expected");
+    assert!(
+        sw.world.stats().tx_for_kinds(&[kinds::RREQ]) > 0,
+        "route discovery expected"
+    );
 }
 
 #[test]
 fn ekta_two_hop_download_through_router() {
-    let members = vec![0, 2];
-    let mut w = world(5, 0.0);
-    w.add_node(
-        Box::new(Stationary::new(Point::new(0.0, 0.0))),
-        ekta(0, EktaRole::Seed, members.clone()),
+    let mut sw = ekta(5)
+        .seed_at(0.0, 0.0)
+        .router_at(50.0, 0.0)
+        .downloader_at(100.0, 0.0)
+        .build();
+    assert!(
+        sw.run_until_complete(SimTime::from_secs(300)),
+        "ekta two-hop download incomplete"
     );
-    w.add_node(
-        Box::new(Stationary::new(Point::new(50.0, 0.0))),
-        ekta(1, EktaRole::Router, members.clone()),
-    );
-    let dl = w.add_node(
-        Box::new(Stationary::new(Point::new(100.0, 0.0))),
-        ekta(2, EktaRole::Downloader, members),
-    );
-    let done = w.run_until_cond(SimTime::from_secs(300), |w| {
-        w.stack::<EktaPeer>(dl).is_some_and(|p| p.is_complete())
-    });
-    assert!(done, "ekta two-hop download incomplete");
 }
 
 #[test]
 fn ekta_survives_loss() {
-    let members = vec![0, 1];
-    let mut w = world(6, 0.10);
-    w.add_node(
-        Box::new(Stationary::new(Point::new(0.0, 0.0))),
-        ekta(0, EktaRole::Seed, members.clone()),
+    let mut sw = ekta(6)
+        .loss(0.10)
+        .seed_at(0.0, 0.0)
+        .downloader_at(20.0, 0.0)
+        .build();
+    assert!(
+        sw.run_until_complete(SimTime::from_secs(300)),
+        "ekta lossy download incomplete"
     );
-    let dl = w.add_node(
-        Box::new(Stationary::new(Point::new(20.0, 0.0))),
-        ekta(1, EktaRole::Downloader, members),
-    );
-    let done = w.run_until_cond(SimTime::from_secs(300), |w| {
-        w.stack::<EktaPeer>(dl).is_some_and(|p| p.is_complete())
-    });
-    assert!(done, "ekta lossy download incomplete");
 }
 
 #[test]
 fn baselines_are_deterministic() {
     let run = || {
-        let mut w = world(7, 0.05);
-        w.add_node(
-            Box::new(Stationary::new(Point::new(0.0, 0.0))),
-            bithoc(0, BithocRole::Seed),
-        );
-        let dl = w.add_node(
-            Box::new(Stationary::new(Point::new(20.0, 0.0))),
-            bithoc(1, BithocRole::Downloader),
-        );
-        w.run_until_cond(SimTime::from_secs(200), |w| {
-            w.stack::<BithocPeer>(dl).is_some_and(|p| p.is_complete())
-        });
+        let mut sw = bithoc(7)
+            .loss(0.05)
+            .seed_at(0.0, 0.0)
+            .downloader_at(20.0, 0.0)
+            .build();
+        sw.run_until_complete(SimTime::from_secs(200));
         (
-            w.stack::<BithocPeer>(dl).and_then(|p| p.completed_at()),
-            w.stats().tx_frames,
+            sw.completed_at(sw.downloaders[0]),
+            sw.world.stats().tx_frames,
         )
     };
     assert_eq!(run(), run());
@@ -175,22 +118,40 @@ fn baselines_are_deterministic() {
 
 #[test]
 fn bithoc_multiple_downloaders() {
-    let mut w = world(8, 0.0);
-    w.add_node(
-        Box::new(Stationary::new(Point::new(0.0, 0.0))),
-        bithoc(0, BithocRole::Seed),
+    let mut sw = bithoc(8)
+        .seed_at(0.0, 0.0)
+        .downloader_at(20.0, 0.0)
+        .downloader_at(0.0, 20.0)
+        .build();
+    assert!(
+        sw.run_until_complete(SimTime::from_secs(300)),
+        "both bithoc downloaders should finish"
     );
-    let d1 = w.add_node(
-        Box::new(Stationary::new(Point::new(20.0, 0.0))),
-        bithoc(1, BithocRole::Downloader),
+}
+
+#[test]
+fn bithoc_mobile_ferry_reaches_partitioned_downloader() {
+    // The harness's ferry preset works for baselines too: a router ferries
+    // route + pieces across a partition. Bithoc's proactive DSDV converges
+    // slowly, so the ferry dwells longer than the DAPES equivalent.
+    let mut sw = bithoc(9)
+        .range(50.0)
+        .seed_at(0.0, 0.0)
+        .node(
+            BaselineRole::Downloader,
+            MobilityPreset::Ferry {
+                from: Point::new(10.0, 0.0),
+                to: Point::new(290.0, 0.0),
+                depart: SimTime::from_secs(120),
+                travel: SimDuration::from_secs(60),
+            },
+        )
+        .downloader_at(300.0, 0.0)
+        .build();
+    let done = sw.run_until_complete(SimTime::from_secs(900));
+    assert!(
+        sw.completed(sw.downloaders[0]),
+        "the ferry itself should finish next to the seed"
     );
-    let d2 = w.add_node(
-        Box::new(Stationary::new(Point::new(0.0, 20.0))),
-        bithoc(2, BithocRole::Downloader),
-    );
-    let done = w.run_until_cond(SimTime::from_secs(300), |w| {
-        w.stack::<BithocPeer>(d1).is_some_and(|p| p.is_complete())
-            && w.stack::<BithocPeer>(d2).is_some_and(|p| p.is_complete())
-    });
-    assert!(done, "both bithoc downloaders should finish");
+    assert!(done, "bithoc ferry should eventually serve the far peer");
 }

@@ -74,7 +74,8 @@ fn bench_wire(c: &mut Criterion) {
 fn bench_forwarder(c: &mut Criterion) {
     c.bench_function("forwarder_interest_pipeline", |b| {
         let mut fwd = Forwarder::new(ForwarderConfig::default());
-        fwd.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        fwd.fib_mut()
+            .register(Name::from_uri("/"), FaceId::WIRELESS);
         let mut nonce = 0u32;
         b.iter(|| {
             nonce = nonce.wrapping_add(1);

@@ -11,27 +11,59 @@ fn main() {
         format: MetadataFormat::MerkleRoots,
         producer: "p".into(),
     }));
-    let mut w = World::new(WorldConfig { range: 50.0, seed: 3, ..WorldConfig::default() });
+    let mut w = World::new(WorldConfig {
+        range: 50.0,
+        seed: 3,
+        ..WorldConfig::default()
+    });
     // Seeder that walks away after 60s; carrier that meets village at t=380.
-    let mut prod = DapesPeer::new(0, DapesConfig::default(), anchor.clone(), WantPolicy::Nothing);
+    let mut prod = DapesPeer::new(
+        0,
+        DapesConfig::default(),
+        anchor.clone(),
+        WantPolicy::Nothing,
+    );
     prod.add_production(col);
-    w.add_node(Box::new(ScriptedMobility::new(vec![
-        (SimTime::ZERO, Point::new(0.0, 0.0)),
-        (SimTime::from_secs(60), Point::new(0.0, 0.0)),
-        (SimTime::from_secs(90), Point::new(0.0, 300.0)),
-    ])), Box::new(prod));
-    let carrier = w.add_node(Box::new(ScriptedMobility::new(vec![
-        (SimTime::ZERO, Point::new(10.0, 0.0)),
-        (SimTime::from_secs(300), Point::new(10.0, 0.0)),
-        (SimTime::from_secs(380), Point::new(290.0, 10.0)),
-    ])), Box::new(DapesPeer::new(1, DapesConfig::default(), anchor.clone(), WantPolicy::Everything)));
-    let village = w.add_node(Box::new(Stationary::new(Point::new(290.0, 0.0))),
-        Box::new(DapesPeer::new(2, DapesConfig::default(), anchor, WantPolicy::Everything)));
+    w.add_node(
+        Box::new(ScriptedMobility::new(vec![
+            (SimTime::ZERO, Point::new(0.0, 0.0)),
+            (SimTime::from_secs(60), Point::new(0.0, 0.0)),
+            (SimTime::from_secs(90), Point::new(0.0, 300.0)),
+        ])),
+        Box::new(prod),
+    );
+    let carrier = w.add_node(
+        Box::new(ScriptedMobility::new(vec![
+            (SimTime::ZERO, Point::new(10.0, 0.0)),
+            (SimTime::from_secs(300), Point::new(10.0, 0.0)),
+            (SimTime::from_secs(380), Point::new(290.0, 10.0)),
+        ])),
+        Box::new(DapesPeer::new(
+            1,
+            DapesConfig::default(),
+            anchor.clone(),
+            WantPolicy::Everything,
+        )),
+    );
+    let village = w.add_node(
+        Box::new(Stationary::new(Point::new(290.0, 0.0))),
+        Box::new(DapesPeer::new(
+            2,
+            DapesConfig::default(),
+            anchor,
+            WantPolicy::Everything,
+        )),
+    );
     for t in [60u64, 380, 420, 500, 700, 1000] {
         w.run_until(SimTime::from_secs(t));
         let c = w.stack::<DapesPeer>(carrier).unwrap();
         let v = w.stack::<DapesPeer>(village).unwrap();
-        println!("t={t}: carrier done={} village progress={:?} done={} tx={}",
-            c.downloads_complete(), v.progress(&dapes_ndn::name::Name::from_uri("/c")), v.downloads_complete(), w.stats().tx_frames);
+        println!(
+            "t={t}: carrier done={} village progress={:?} done={} tx={}",
+            c.downloads_complete(),
+            v.progress(&dapes_ndn::name::Name::from_uri("/c")),
+            v.downloads_complete(),
+            w.stats().tx_frames
+        );
     }
 }

@@ -24,26 +24,38 @@ fn cfg_with(f: impl FnOnce(&mut DapesConfig)) -> DapesConfig {
 pub fn fig9a(profile: Profile) {
     println!("{}", profile.describe());
     let series: Vec<(&str, DapesConfig)> = vec![
-        ("same+encounter", cfg_with(|c| {
-            c.rpf = RpfVariant::EncounterBased;
-            c.start = StartPacket::Same;
-            c.schedule = AdvertSchedule::BitmapsFirst(BitmapBudget::All);
-        })),
-        ("rand+encounter", cfg_with(|c| {
-            c.rpf = RpfVariant::EncounterBased;
-            c.start = StartPacket::Random;
-            c.schedule = AdvertSchedule::BitmapsFirst(BitmapBudget::All);
-        })),
-        ("same+local", cfg_with(|c| {
-            c.rpf = RpfVariant::LocalNeighborhood;
-            c.start = StartPacket::Same;
-            c.schedule = AdvertSchedule::BitmapsFirst(BitmapBudget::All);
-        })),
-        ("rand+local", cfg_with(|c| {
-            c.rpf = RpfVariant::LocalNeighborhood;
-            c.start = StartPacket::Random;
-            c.schedule = AdvertSchedule::BitmapsFirst(BitmapBudget::All);
-        })),
+        (
+            "same+encounter",
+            cfg_with(|c| {
+                c.rpf = RpfVariant::EncounterBased;
+                c.start = StartPacket::Same;
+                c.schedule = AdvertSchedule::BitmapsFirst(BitmapBudget::All);
+            }),
+        ),
+        (
+            "rand+encounter",
+            cfg_with(|c| {
+                c.rpf = RpfVariant::EncounterBased;
+                c.start = StartPacket::Random;
+                c.schedule = AdvertSchedule::BitmapsFirst(BitmapBudget::All);
+            }),
+        ),
+        (
+            "same+local",
+            cfg_with(|c| {
+                c.rpf = RpfVariant::LocalNeighborhood;
+                c.start = StartPacket::Same;
+                c.schedule = AdvertSchedule::BitmapsFirst(BitmapBudget::All);
+            }),
+        ),
+        (
+            "rand+local",
+            cfg_with(|c| {
+                c.rpf = RpfVariant::LocalNeighborhood;
+                c.start = StartPacket::Random;
+                c.schedule = AdvertSchedule::BitmapsFirst(BitmapBudget::All);
+            }),
+        ),
     ];
     sweep_ranges(
         profile,
@@ -58,22 +70,34 @@ pub fn fig9a(profile: Profile) {
 pub fn fig9b(profile: Profile) {
     println!("{}", profile.describe());
     let series: Vec<(&str, DapesConfig)> = vec![
-        ("encounter w/o PEBA", cfg_with(|c| {
-            c.rpf = RpfVariant::EncounterBased;
-            c.peba = false;
-        })),
-        ("local w/o PEBA", cfg_with(|c| {
-            c.rpf = RpfVariant::LocalNeighborhood;
-            c.peba = false;
-        })),
-        ("encounter PEBA", cfg_with(|c| {
-            c.rpf = RpfVariant::EncounterBased;
-            c.peba = true;
-        })),
-        ("local PEBA", cfg_with(|c| {
-            c.rpf = RpfVariant::LocalNeighborhood;
-            c.peba = true;
-        })),
+        (
+            "encounter w/o PEBA",
+            cfg_with(|c| {
+                c.rpf = RpfVariant::EncounterBased;
+                c.peba = false;
+            }),
+        ),
+        (
+            "local w/o PEBA",
+            cfg_with(|c| {
+                c.rpf = RpfVariant::LocalNeighborhood;
+                c.peba = false;
+            }),
+        ),
+        (
+            "encounter PEBA",
+            cfg_with(|c| {
+                c.rpf = RpfVariant::EncounterBased;
+                c.peba = true;
+            }),
+        ),
+        (
+            "local PEBA",
+            cfg_with(|c| {
+                c.rpf = RpfVariant::LocalNeighborhood;
+                c.peba = true;
+            }),
+        ),
     ];
     sweep_ranges(
         profile,
@@ -87,7 +111,7 @@ pub fn fig9b(profile: Profile) {
 /// Fig. 9c — download time when peers fetch b bitmaps *before* data.
 pub fn fig9c(profile: Profile) {
     println!("{}", profile.describe());
-    let series = bitmap_budget_series(|b| AdvertSchedule::BitmapsFirst(b));
+    let series = bitmap_budget_series(AdvertSchedule::BitmapsFirst);
     sweep_ranges(
         profile,
         "Fig 9c: download time (s), bitmaps exchanged before data",
@@ -100,7 +124,7 @@ pub fn fig9c(profile: Profile) {
 /// Fig. 9d — download time when bitmap and data exchanges interleave.
 pub fn fig9d(profile: Profile) {
     println!("{}", profile.describe());
-    let series = bitmap_budget_series(|b| AdvertSchedule::Interleaved(b));
+    let series = bitmap_budget_series(AdvertSchedule::Interleaved);
     sweep_ranges(
         profile,
         "Fig 9d: download time (s), interleaved bitmap/data exchange",
@@ -240,12 +264,7 @@ fn header_with_ranges(profile: Profile, first: &str) -> Vec<&'static str> {
     h
 }
 
-fn sweep_ranges(
-    profile: Profile,
-    title: &str,
-    series: &[(&str, DapesConfig)],
-    metric: Metric,
-) {
+fn sweep_ranges(profile: Profile, title: &str, series: &[(&str, DapesConfig)], metric: Metric) {
     let mut table = Table::new(title, &header_with_ranges(profile, "series"));
     for (label, cfg) in series {
         let mut cells = vec![label.to_string()];

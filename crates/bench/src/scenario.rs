@@ -15,7 +15,7 @@ use dapes_crypto::signing::TrustAnchor;
 use dapes_netsim::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Which protocol stack populates the swarm.
@@ -97,7 +97,7 @@ pub struct TrialResult {
     /// Total frames transmitted by all nodes.
     pub transmissions: u64,
     /// Transmissions by protocol frame kind.
-    pub tx_by_kind: HashMap<u16, u64>,
+    pub tx_by_kind: BTreeMap<u16, u64>,
     /// Fraction of forwarded Interests that brought data back (DAPES only).
     pub forward_accuracy: Option<f64>,
     /// Peak observed live protocol state in bytes (Table I memory proxy).
@@ -128,10 +128,11 @@ fn random_point(rng: &mut SmallRng) -> Point {
 
 /// Runs one trial of the paper's scenario and collects the metrics.
 pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
-    let mut wcfg = WorldConfig::default();
-    wcfg.range = params.range;
-    wcfg.seed = params.seed;
-    let mut world = World::new(wcfg);
+    let mut world = World::new(WorldConfig {
+        range: params.range,
+        seed: params.seed,
+        ..WorldConfig::default()
+    });
     let mut placement_rng = SmallRng::seed_from_u64(params.seed ^ 0x9e3779b97f4a7c15);
 
     let collection_name = "/damaged-bridge-1533783192";
@@ -145,18 +146,16 @@ pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
             let collection = Rc::new(Collection::build(CollectionSpec {
                 name: dapes_ndn::name::Name::from_uri(collection_name),
                 files: (0..params.n_files)
-                    .map(|i| dapes_core::collection::FileSpec::new(
-                        format!("file-{i}"),
-                        params.file_size,
-                    ))
+                    .map(|i| {
+                        dapes_core::collection::FileSpec::new(format!("file-{i}"), params.file_size)
+                    })
                     .collect(),
                 packet_size: params.packet_size,
                 format: cfg.metadata_format,
                 producer: "resident-a".into(),
             }));
-            let want = WantPolicy::Collections(vec![dapes_ndn::name::Name::from_uri(
-                collection_name,
-            )]);
+            let want =
+                WantPolicy::Collections(vec![dapes_ndn::name::Name::from_uri(collection_name)]);
             let mut next_id = 0u32;
             // Stationary: node 0 seeds, the rest download.
             for (i, pos) in stationary.iter().enumerate() {
@@ -217,10 +216,10 @@ pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
             let members: Vec<u32> = (0..member_count as u32).collect();
             let mut next_id = 0u32;
             let add = |world: &mut World,
-                           mobility: Box<dyn Mobility>,
-                           brole: BithocRole,
-                           erole: EktaRole,
-                           next_id: &mut u32| {
+                       mobility: Box<dyn Mobility>,
+                       brole: BithocRole,
+                       erole: EktaRole,
+                       next_id: &mut u32| {
                 let id = if is_bithoc {
                     world.add_node(
                         mobility,
@@ -317,9 +316,7 @@ pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
     let mut fwd_total = 0u64;
     for &n in &downloader_nodes {
         let t = match protocol {
-            Protocol::Dapes(_) => world
-                .stack::<DapesPeer>(n)
-                .and_then(|p| p.completed_at()),
+            Protocol::Dapes(_) => world.stack::<DapesPeer>(n).and_then(|p| p.completed_at()),
             Protocol::Bithoc => world.stack::<BithocPeer>(n).and_then(|p| p.completed_at()),
             Protocol::Ekta => world.stack::<EktaPeer>(n).and_then(|p| p.completed_at()),
         };
@@ -347,11 +344,7 @@ pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
         completed,
         downloaders: downloader_nodes.len(),
         transmissions: stats.tx_frames,
-        tx_by_kind: stats
-            .tx_by_kind
-            .iter()
-            .map(|(k, v)| (k.0, *v))
-            .collect(),
+        tx_by_kind: stats.tx_by_kind.iter().map(|(k, v)| (k.0, *v)).collect(),
         forward_accuracy: if fwd_total > 0 {
             Some(fwd_success as f64 / fwd_total as f64)
         } else {
@@ -393,10 +386,8 @@ pub struct Summary {
 impl Summary {
     /// Builds the summary from raw trials.
     pub fn from_results(trials: Vec<TrialResult>) -> Self {
-        let p90_download_time_s = percentile(
-            trials.iter().map(|t| t.avg_download_time_s).collect(),
-            0.90,
-        );
+        let p90_download_time_s =
+            percentile(trials.iter().map(|t| t.avg_download_time_s).collect(), 0.90);
         let p90_transmissions = percentile(
             trials.iter().map(|t| t.transmissions as f64).collect(),
             0.90,

@@ -50,10 +50,11 @@ fn anchor() -> TrustAnchor {
 }
 
 fn world(seed: u64) -> World {
-    let mut cfg = WorldConfig::default();
-    cfg.range = 50.0; // the MacBooks' outdoor range
-    cfg.seed = seed;
-    World::new(cfg)
+    World::new(WorldConfig {
+        range: 50.0, // the MacBooks' outdoor range
+        seed,
+        ..WorldConfig::default()
+    })
 }
 
 fn wp(t: u64, x: f64, y: f64) -> (SimTime, Point) {
@@ -62,11 +63,7 @@ fn wp(t: u64, x: f64, y: f64) -> (SimTime, Point) {
 
 /// Runs a built world until the given downloaders complete (or cap) and
 /// extracts the Table I metrics.
-fn finish(
-    mut w: World,
-    downloaders: Vec<NodeId>,
-    cap: SimTime,
-) -> ScenarioOutcome {
+fn finish(mut w: World, downloaders: Vec<NodeId>, cap: SimTime) -> ScenarioOutcome {
     let mut memory_peak = 0usize;
     let step = SimDuration::from_secs(2);
     let mut now = SimTime::ZERO;
@@ -116,11 +113,21 @@ fn scenario_carrier(profile: Profile, seed: u64) -> ScenarioOutcome {
     // B and C in two disconnected segments 150 m apart.
     let b = w.add_node(
         Box::new(Stationary::new(Point::new(150.0, 0.0))),
-        Box::new(DapesPeer::new(1, DapesConfig::default(), a.clone(), want.clone())),
+        Box::new(DapesPeer::new(
+            1,
+            DapesConfig::default(),
+            a.clone(),
+            want.clone(),
+        )),
     );
     let c = w.add_node(
         Box::new(Stationary::new(Point::new(300.0, 0.0))),
-        Box::new(DapesPeer::new(2, DapesConfig::default(), a.clone(), want.clone())),
+        Box::new(DapesPeer::new(
+            2,
+            DapesConfig::default(),
+            a.clone(),
+            want.clone(),
+        )),
     );
     // Carrier D: dwell near A, walk to B, dwell, walk to C, return.
     let d = w.add_node(
@@ -136,7 +143,12 @@ fn scenario_carrier(profile: Profile, seed: u64) -> ScenarioOutcome {
             wp(720, 150.0, 10.0),
             wp(840, 300.0, 10.0),
         ])),
-        Box::new(DapesPeer::new(3, DapesConfig::default(), a.clone(), want.clone())),
+        Box::new(DapesPeer::new(
+            3,
+            DapesConfig::default(),
+            a.clone(),
+            want.clone(),
+        )),
     );
     // A fifth resident idling near B (the study used 5 MacBooks).
     let e = w.add_node(
@@ -168,7 +180,12 @@ fn scenario_repo(profile: Profile, seed: u64) -> ScenarioOutcome {
     // The repository: a stationary DAPES peer that downloads then serves.
     let repo = w.add_node(
         Box::new(Stationary::new(Point::new(150.0, 130.0))),
-        Box::new(DapesPeer::new(1, DapesConfig::default(), a.clone(), want.clone())),
+        Box::new(DapesPeer::new(
+            1,
+            DapesConfig::default(),
+            a.clone(),
+            want.clone(),
+        )),
     );
     // A and B walk to the rest area after the repo has been seeded, then
     // fetch from it simultaneously (Fig. 8b's arrows 3a/3b).
@@ -178,7 +195,12 @@ fn scenario_repo(profile: Profile, seed: u64) -> ScenarioOutcome {
             wp(180, 0.0, 0.0),
             wp(260, 130.0, 110.0),
         ])),
-        Box::new(DapesPeer::new(2, DapesConfig::default(), a.clone(), want.clone())),
+        Box::new(DapesPeer::new(
+            2,
+            DapesConfig::default(),
+            a.clone(),
+            want.clone(),
+        )),
     );
     let pb = w.add_node(
         Box::new(ScriptedMobility::new(vec![
@@ -186,7 +208,12 @@ fn scenario_repo(profile: Profile, seed: u64) -> ScenarioOutcome {
             wp(180, 300.0, 0.0),
             wp(260, 170.0, 110.0),
         ])),
-        Box::new(DapesPeer::new(3, DapesConfig::default(), a.clone(), want.clone())),
+        Box::new(DapesPeer::new(
+            3,
+            DapesConfig::default(),
+            a.clone(),
+            want.clone(),
+        )),
     );
     // Fifth device roaming into the rest area later still.
     let pe = w.add_node(
@@ -234,7 +261,12 @@ fn scenario_moving(profile: Profile, seed: u64) -> ScenarioOutcome {
             wp(300, 40.0, 20.0),
             wp(420, 110.0, 20.0),
         ])),
-        Box::new(DapesPeer::new(1, DapesConfig::default(), a.clone(), want.clone())),
+        Box::new(DapesPeer::new(
+            1,
+            DapesConfig::default(),
+            a.clone(),
+            want.clone(),
+        )),
     );
     let pc = w.add_node(
         Box::new(ScriptedMobility::new(vec![
@@ -244,7 +276,12 @@ fn scenario_moving(profile: Profile, seed: u64) -> ScenarioOutcome {
             wp(330, 80.0, 30.0),
             wp(420, 150.0, 30.0),
         ])),
-        Box::new(DapesPeer::new(2, DapesConfig::default(), a.clone(), want.clone())),
+        Box::new(DapesPeer::new(
+            2,
+            DapesConfig::default(),
+            a.clone(),
+            want.clone(),
+        )),
     );
     let pd = w.add_node(
         Box::new(ScriptedMobility::new(vec![
@@ -253,7 +290,12 @@ fn scenario_moving(profile: Profile, seed: u64) -> ScenarioOutcome {
             wp(220, 150.0, 75.0),
             wp(320, 120.0, 30.0),
         ])),
-        Box::new(DapesPeer::new(3, DapesConfig::default(), a.clone(), want.clone())),
+        Box::new(DapesPeer::new(
+            3,
+            DapesConfig::default(),
+            a.clone(),
+            want.clone(),
+        )),
     );
     let pe = w.add_node(
         Box::new(ScriptedMobility::new(vec![
@@ -302,9 +344,7 @@ pub fn table1(profile: Profile) {
     println!(
         "paper (absolute): s1 454s/30841tx/14.75MB, s2 418s/24243tx/14.65MB, s3 213s/16102tx/18.65MB"
     );
-    println!(
-        "paper (ordering): time/tx/ctx-sw/syscalls/page-faults s1>s2>s3; memory s3 highest\n"
-    );
+    println!("paper (ordering): time/tx/ctx-sw/syscalls/page-faults s1>s2>s3; memory s3 highest\n");
 }
 
 #[cfg(test)]

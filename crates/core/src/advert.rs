@@ -229,8 +229,14 @@ mod tests {
         assert_eq!(sc.slots(), 2);
         // With two slots and one slot per group, C always draws slot 0 and
         // B always draws slot 1.
-        assert!(dc < SimDuration::from_millis(2), "C in first slot, got {dc:?}");
-        assert!(db >= SimDuration::from_millis(2), "B in second slot, got {db:?}");
+        assert!(
+            dc < SimDuration::from_millis(2),
+            "C in first slot, got {dc:?}"
+        );
+        assert!(
+            db >= SimDuration::from_millis(2),
+            "B in second slot, got {db:?}"
+        );
     }
 
     #[test]
@@ -281,5 +287,102 @@ mod tests {
         mine.set(5);
         let d = s.delay_for(&mine, &mut rng()).expect("one to add");
         assert!(d <= SimDuration::from_millis(200) + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn zero_neighbors_first_transmission_is_within_linear_window() {
+        // An encounter where nothing has been heard yet (no neighbors have
+        // spoken): the delay follows the plain linear rule — at best one
+        // window for a full bitmap, clamped at ten windows for a sparse one
+        // — and never cancels while we hold anything at all.
+        let s = sched(true);
+        let mut r = rng();
+        let full = s.delay_for(&bm("1111111111"), &mut r).expect("full peer");
+        assert!(full >= SimDuration::from_millis(20), "got {full:?}");
+        assert!(
+            full <= SimDuration::from_millis(20) + SimDuration::from_micros(500),
+            "full bitmap waits one window plus jitter, got {full:?}"
+        );
+        let sparse = s.delay_for(&bm("1000000000"), &mut r).expect("sparse peer");
+        assert!(
+            sparse <= SimDuration::from_millis(200) + SimDuration::from_micros(500),
+            "sparse bitmap is clamped at ten windows, got {sparse:?}"
+        );
+    }
+
+    #[test]
+    fn saturated_channel_slots_cap_at_64_and_backoff_stays_bounded() {
+        // A saturated channel: our bitmap transmission collides every
+        // single time. The exponential doubling must stop at 64 slots and
+        // every drawn backoff must stay under the 64-slot horizon, so a
+        // congested encounter cannot push a peer into unbounded silence.
+        let mut s = sched(true);
+        s.record_transmitted(&bm("1001011000"));
+        let mine = bm("0110001000");
+        let mut r = rng();
+        let horizon = SimDuration::from_millis(2) * 64 + SimDuration::from_micros(100);
+        for round in 0..20 {
+            let d = s.collision_backoff(&mine, &mut r);
+            assert!(
+                d <= horizon,
+                "round {round}: backoff {d:?} beyond the 64-slot horizon"
+            );
+        }
+        assert_eq!(s.slots(), 64, "slots must saturate, not keep doubling");
+        // A fresh encounter starts the doubling over.
+        s.reset();
+        s.record_transmitted(&bm("1001011000"));
+        s.collision_backoff(&mine, &mut r);
+        assert_eq!(s.slots(), 2);
+    }
+
+    #[test]
+    fn half_marginal_coverage_lands_in_first_group() {
+        // The paper's grouping rule is ">= half of the missing packets".
+        // Union holds 1111100000: 5 packets missing. A peer adding exactly
+        // 3 (> half) and one adding exactly 2 (< half) must land in
+        // different groups; the boundary case rounds toward the first group.
+        let mut s = sched(true);
+        s.record_transmitted(&bm("1111100000"));
+        let over = bm("0000011100"); // 3 of 5 missing
+        let under = bm("0000000011"); // 2 of 5 missing
+        let mut s_over = s.clone();
+        let mut s_under = s.clone();
+        let mut r = rng();
+        let d_over = s_over.collision_backoff(&over, &mut r);
+        let d_under = s_under.collision_backoff(&under, &mut r);
+        assert!(
+            d_over < SimDuration::from_millis(2),
+            "over-half peer must draw from the first slot group, got {d_over:?}"
+        );
+        assert!(
+            d_under >= SimDuration::from_millis(2),
+            "under-half peer must draw from the second slot group, got {d_under:?}"
+        );
+    }
+
+    #[test]
+    fn delays_are_deterministic_for_equal_seeds() {
+        let draw = || {
+            let mut s = sched(true);
+            s.record_transmitted(&bm("1001011000"));
+            let mut r = rng();
+            let linear = s.delay_for(&bm("0110001000"), &mut r);
+            let backoff = s.collision_backoff(&bm("0110001000"), &mut r);
+            (linear, backoff, s.slots())
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn empty_union_after_covering_transmission_cancels_everyone() {
+        // Once the union covers the whole collection, no peer has marginal
+        // coverage left: every candidate transmission cancels.
+        let mut s = sched(true);
+        s.record_transmitted(&bm("1111111111"));
+        let mut r = rng();
+        assert_eq!(s.delay_for(&bm("1111111111"), &mut r), None);
+        assert_eq!(s.delay_for(&bm("0000000001"), &mut r), None);
+        assert_eq!(s.priority_fraction(&bm("1111111111")), 0.0);
     }
 }

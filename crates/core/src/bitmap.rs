@@ -272,7 +272,11 @@ mod tests {
             }
             let wire = b.to_wire();
             assert_eq!(wire.len(), Bitmap::wire_size(len));
-            assert_eq!(Bitmap::from_wire(&wire).expect("round trip"), b, "len={len}");
+            assert_eq!(
+                Bitmap::from_wire(&wire).expect("round trip"),
+                b,
+                "len={len}"
+            );
         }
     }
 

@@ -120,9 +120,9 @@ impl Collection {
                 }
             }
             let root = match spec.format {
-                MetadataFormat::MerkleRoots => Some(
-                    MerkleTree::from_leaves(leaf_payloads.iter().map(|v| v.as_slice())).root(),
-                ),
+                MetadataFormat::MerkleRoots => {
+                    Some(MerkleTree::from_leaves(leaf_payloads.iter().map(|v| v.as_slice())).root())
+                }
                 MetadataFormat::PacketDigest => None,
             };
             files.push(FileEntry {
@@ -306,8 +306,8 @@ mod tests {
             col.metadata().verify_packet(0, data0.content()),
             PacketVerification::Deferred
         );
-        for (file_pos, range) in (0..col.index().file_count())
-            .map(|p| (p, col.index().file_range(p).expect("range")))
+        for (file_pos, range) in
+            (0..col.index().file_count()).map(|p| (p, col.index().file_range(p).expect("range")))
         {
             let contents: Vec<Vec<u8>> = range
                 .map(|i| col.packet_data(i, &a).expect("packet").content().to_vec())
@@ -345,8 +345,8 @@ mod tests {
         let a = anchor();
         for idx in 0..col.total_packets() {
             let from_collection = col.packet_data(idx, &a).expect("producer packet");
-            let from_metadata = regenerate_packet(col.name(), col.metadata(), idx, &a)
-                .expect("regenerated packet");
+            let from_metadata =
+                regenerate_packet(col.name(), col.metadata(), idx, &a).expect("regenerated packet");
             assert_eq!(from_collection, from_metadata, "packet {idx}");
         }
     }

@@ -177,7 +177,11 @@ mod tests {
         assert_eq!(first.required_before_fetch(5), 3);
         assert_eq!(first.required_before_fetch(1), 1);
         let inter = AdvertSchedule::Interleaved(BitmapBudget::Count(3));
-        assert_eq!(inter.required_before_fetch(5), 1, "interleaved starts after 1");
+        assert_eq!(
+            inter.required_before_fetch(5),
+            1,
+            "interleaved starts after 1"
+        );
         assert_eq!(inter.budget(), BitmapBudget::Count(3));
     }
 

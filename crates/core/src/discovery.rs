@@ -21,7 +21,11 @@ pub struct DiscoveryState {
 
 impl DiscoveryState {
     /// Creates the beacon state. The period starts at `min_period`.
-    pub fn new(min_period: SimDuration, max_period: SimDuration, recent_window: SimDuration) -> Self {
+    pub fn new(
+        min_period: SimDuration,
+        max_period: SimDuration,
+        recent_window: SimDuration,
+    ) -> Self {
         DiscoveryState {
             period: min_period,
             min_period,
@@ -156,7 +160,7 @@ mod tests {
         s.next_period(t);
         assert_eq!(s.period(), SimDuration::from_secs(4));
         s.note_peer_heard(t);
-        t = t + SimDuration::from_secs(1);
+        t += SimDuration::from_secs(1);
         assert_eq!(s.next_period(t), SimDuration::from_secs(1), "back to min");
     }
 

@@ -20,7 +20,7 @@ use dapes_crypto::signing::Signer;
 use dapes_crypto::Digest;
 use dapes_ndn::name::Name;
 use dapes_ndn::packet::Data;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::namespace;
@@ -133,14 +133,14 @@ impl Metadata {
         match self.format {
             MetadataFormat::MerkleRoots => {
                 let Some(root) = entry.root else { return false };
-                let leaves: Vec<Digest> =
-                    packet_contents.iter().map(|c| leaf_hash(c)).collect();
+                let leaves: Vec<Digest> = packet_contents.iter().map(|c| leaf_hash(c)).collect();
                 MerkleTree::verify_leaves(&root, leaves)
             }
             MetadataFormat::PacketDigest => packet_contents.iter().enumerate().all(|(i, c)| {
-                entry.digests.get(i).is_some_and(|expect| {
-                    &sha256(c).as_bytes()[..PACKET_DIGEST_LEN] == expect
-                })
+                entry
+                    .digests
+                    .get(i)
+                    .is_some_and(|expect| &sha256(c).as_bytes()[..PACKET_DIGEST_LEN] == expect)
             }),
         }
     }
@@ -297,7 +297,7 @@ impl Metadata {
 #[derive(Debug, Default)]
 pub struct MetadataAssembler {
     total: Option<u32>,
-    segments: HashMap<u32, Vec<u8>>,
+    segments: BTreeMap<u32, Vec<u8>>,
 }
 
 impl MetadataAssembler {
@@ -540,7 +540,10 @@ mod tests {
     fn packet_digest_verify_file_rechecks_all() {
         let meta = digest_meta();
         assert!(meta.verify_file(1, &[b"l0".to_vec(), b"l1".to_vec()]));
-        assert!(!meta.verify_file(1, &[b"l1".to_vec(), b"l0".to_vec()]), "order matters");
+        assert!(
+            !meta.verify_file(1, &[b"l1".to_vec(), b"l0".to_vec()]),
+            "order matters"
+        );
     }
 
     #[test]
@@ -624,7 +627,10 @@ mod tests {
     fn index_maps_bits_like_the_paper() {
         // Paper §IV-D: first file's packets first; the first packet of the
         // second file is bit 100 for a 100-packet first file.
-        let idx = PacketIndex::new(vec![("bridge-picture".into(), 100), ("bridge-location".into(), 2)]);
+        let idx = PacketIndex::new(vec![
+            ("bridge-picture".into(), 100),
+            ("bridge-location".into(), 2),
+        ]);
         assert_eq!(idx.total_packets(), 102);
         assert_eq!(idx.locate(0), Some((0, 0)));
         assert_eq!(idx.locate(99), Some((0, 99)));
@@ -637,7 +643,10 @@ mod tests {
         let name = idx
             .packet_name(&Name::from_uri("/damaged-bridge-1533783192"), 100)
             .expect("name");
-        assert_eq!(name.to_string(), "/damaged-bridge-1533783192/bridge-location/0");
+        assert_eq!(
+            name.to_string(),
+            "/damaged-bridge-1533783192/bridge-location/0"
+        );
         assert_eq!(idx.file_range(0), Some(0..100));
         assert_eq!(idx.file_range(1), Some(100..102));
     }

@@ -25,7 +25,7 @@ use dapes_netsim::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// What a node understands about DAPES.
@@ -43,7 +43,7 @@ pub struct NeighborInfo {
     /// Last time any frame from this peer was heard.
     pub last_heard: SimTime,
     /// Latest advertised bitmap per collection.
-    pub bitmaps: HashMap<Name, Bitmap>,
+    pub bitmaps: BTreeMap<Name, Bitmap>,
     /// Collections the peer has expressed interest in.
     pub wants: Vec<Name>,
 }
@@ -73,17 +73,17 @@ pub struct MultihopState {
     /// 20 %).
     pub forward_prob: f64,
     /// Per-neighbor knowledge.
-    pub neighbors: HashMap<u32, NeighborInfo>,
+    pub neighbors: BTreeMap<u32, NeighborInfo>,
     /// Packet indices for collections whose metadata we hold, needed to
     /// interpret bitmap bits.
-    pub indices: HashMap<Name, PacketIndex>,
+    pub indices: BTreeMap<Name, PacketIndex>,
     /// Bits we ourselves hold per collection (so the strategy does not
     /// re-broadcast Interests the application can answer).
-    pub have: HashMap<Name, Bitmap>,
+    pub have: BTreeMap<Name, Bitmap>,
     /// Suppressed names and when the suppression lapses.
-    pub suppressed: HashMap<Name, SimTime>,
+    pub suppressed: BTreeMap<Name, SimTime>,
     /// Interests we forwarded and when, awaiting a data response.
-    pub pending_response: HashMap<Name, SimTime>,
+    pub pending_response: BTreeMap<Name, SimTime>,
     /// Forwarded Interests that brought data back.
     pub forward_successes: u64,
     /// Forwarded Interests that timed out.
@@ -104,11 +104,11 @@ impl MultihopState {
             role,
             enabled,
             forward_prob,
-            neighbors: HashMap::new(),
-            indices: HashMap::new(),
-            have: HashMap::new(),
-            suppressed: HashMap::new(),
-            pending_response: HashMap::new(),
+            neighbors: BTreeMap::new(),
+            indices: BTreeMap::new(),
+            have: BTreeMap::new(),
+            suppressed: BTreeMap::new(),
+            pending_response: BTreeMap::new(),
             forward_successes: 0,
             forward_failures: 0,
             response_timeout: SimDuration::from_millis(400),
@@ -136,7 +136,13 @@ impl MultihopState {
 
     /// Records that a neighbor holds one packet (observed from a Data
     /// transmission).
-    pub fn note_neighbor_has(&mut self, peer: u32, collection: &Name, global_idx: usize, now: SimTime) {
+    pub fn note_neighbor_has(
+        &mut self,
+        peer: u32,
+        collection: &Name,
+        global_idx: usize,
+        now: SimTime,
+    ) {
         let info = self.note_peer(peer, now);
         if let Some(bm) = info.bitmaps.get_mut(collection) {
             if global_idx < bm.len() {
@@ -211,7 +217,8 @@ impl MultihopState {
         }
         self.suppressed.retain(|_, &mut until| until > now);
         let nt = self.neighbor_timeout;
-        self.neighbors.retain(|_, info| now.since(info.last_heard) <= nt);
+        self.neighbors
+            .retain(|_, info| now.since(info.last_heard) <= nt);
     }
 
     /// Count of live neighbors.
@@ -231,9 +238,16 @@ impl MultihopState {
 
     /// Approximate bytes of multi-hop state (Table I memory proxy).
     pub fn state_bytes(&self) -> usize {
-        self.neighbors.values().map(NeighborInfo::state_bytes).sum::<usize>()
+        self.neighbors
+            .values()
+            .map(NeighborInfo::state_bytes)
+            .sum::<usize>()
             + self.suppressed.keys().map(Name::state_bytes).sum::<usize>()
-            + self.pending_response.keys().map(Name::state_bytes).sum::<usize>()
+            + self
+                .pending_response
+                .keys()
+                .map(Name::state_bytes)
+                .sum::<usize>()
     }
 
     /// Should we re-broadcast `interest` heard from the air?
@@ -242,11 +256,7 @@ impl MultihopState {
             return false;
         }
         let name = interest.name();
-        if self
-            .suppressed
-            .get(name)
-            .is_some_and(|&until| until > now)
-        {
+        if self.suppressed.get(name).is_some_and(|&until| until > now) {
             return false;
         }
         match self.role {
@@ -532,11 +542,21 @@ mod tests {
         )));
         let mut strat = DapesStrategy::new(shared.clone());
         let i = content_interest("/col/f/0");
-        let d = strat.decide(&i, FaceId::WIRELESS, &[FaceId::APP, FaceId::WIRELESS], SimTime::ZERO);
+        let d = strat.decide(
+            &i,
+            FaceId::WIRELESS,
+            &[FaceId::APP, FaceId::WIRELESS],
+            SimTime::ZERO,
+        );
         // p=0: only the app face survives.
         assert_eq!(d, Decision::Forward(vec![FaceId::APP]));
         shared.borrow_mut().forward_prob = 1.0;
-        let d = strat.decide(&i, FaceId::WIRELESS, &[FaceId::APP, FaceId::WIRELESS], SimTime::ZERO);
+        let d = strat.decide(
+            &i,
+            FaceId::WIRELESS,
+            &[FaceId::APP, FaceId::WIRELESS],
+            SimTime::ZERO,
+        );
         assert_eq!(d, Decision::Forward(vec![FaceId::APP, FaceId::WIRELESS]));
     }
 

@@ -64,10 +64,7 @@ pub fn parse_bitmap_name(name: &Name) -> Option<(Name, u32, u64, Option<u32>)> {
     let collection = Name::from_uri(std::str::from_utf8(name.component(2)?.as_bytes()).ok()?);
     let origin = name.component(3)?.to_seq()? as u32;
     let round = name.component(4)?.to_seq()?;
-    let replier = name
-        .component(5)
-        .and_then(|c| c.to_seq())
-        .map(|s| s as u32);
+    let replier = name.component(5).and_then(|c| c.to_seq()).map(|s| s as u32);
     Some((collection, origin, round, replier))
 }
 
@@ -130,10 +127,7 @@ pub enum DapesName {
 /// are excluded.
 pub fn classify(name: &Name) -> Option<DapesName> {
     if discovery_prefix().is_prefix_of(name) {
-        let replier = name
-            .component(2)
-            .and_then(|c| c.to_seq())
-            .map(|s| s as u32);
+        let replier = name.component(2).and_then(|c| c.to_seq()).map(|s| s as u32);
         return Some(DapesName::Discovery { replier });
     }
     if let Some((collection, origin, round, replier)) = parse_bitmap_name(name) {

@@ -37,7 +37,7 @@ use dapes_netsim::time::{SimDuration, SimTime};
 use rand::Rng;
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Which collections a peer tries to download.
@@ -72,10 +72,7 @@ enum PendingPayload {
     /// A fully built packet to transmit.
     Raw(Vec<u8>),
     /// Our bitmap reply for a collection, rebuilt at fire time.
-    BitmapReply {
-        collection: Name,
-        reply_name: Name,
-    },
+    BitmapReply { collection: Name, reply_name: Name },
     /// Our own advertisement round (a bitmap Interest), built at fire time.
     BitmapInterest { collection: Name },
     /// Our discovery reply, built at fire time.
@@ -115,7 +112,7 @@ struct Download {
     phase: Phase,
     assembler: MetadataAssembler,
     /// Outstanding metadata segment requests: seg -> (sent, retx count).
-    meta_outstanding: HashMap<u32, (SimTime, u32)>,
+    meta_outstanding: BTreeMap<u32, (SimTime, u32)>,
     metadata: Option<Rc<Metadata>>,
     index: Option<PacketIndex>,
     have: Bitmap,
@@ -124,7 +121,7 @@ struct Download {
     leaf_hashes: Vec<Option<Digest>>,
     files_verified: Vec<bool>,
     /// Outstanding content requests: global idx -> (sent, retx count).
-    outstanding: HashMap<usize, (SimTime, u32)>,
+    outstanding: BTreeMap<usize, (SimTime, u32)>,
     /// Cached fetch order, consumed from the back.
     queue: Vec<usize>,
     queue_dirty: bool,
@@ -132,7 +129,7 @@ struct Download {
     advert_rounds_this_encounter: usize,
     /// Highest advertisement round seen per origin peer: a new round opens
     /// a fresh prioritization burst (resets the transmitted-bitmap union).
-    rounds_seen: HashMap<u32, u64>,
+    rounds_seen: BTreeMap<u32, u64>,
     last_advert: Option<SimTime>,
     advert: AdvertScheduler,
     history: EncounterHistory,
@@ -164,13 +161,13 @@ pub struct DapesPeer {
     role: NodeRole,
     forwarder: Forwarder,
     shared: Rc<RefCell<MultihopState>>,
-    seeding: HashMap<Name, Seed>,
-    downloads: HashMap<Name, Download>,
+    seeding: BTreeMap<Name, Seed>,
+    downloads: BTreeMap<Name, Download>,
     wanted: WantPolicy,
     discovery: DiscoveryState,
     advert_round: u64,
-    pending: HashMap<u64, Pending>,
-    inflight: HashMap<u64, InflightTx>,
+    pending: BTreeMap<u64, Pending>,
+    inflight: BTreeMap<u64, InflightTx>,
     next_pending: u64,
     encounter_active: bool,
     stats: PeerStats,
@@ -185,7 +182,13 @@ impl DapesPeer {
     /// Creates a pure forwarder (§V-A): caches overheard Data, forwards
     /// probabilistically, no DAPES semantics.
     pub fn pure_forwarder(id: u32, cfg: DapesConfig, anchor: TrustAnchor) -> Self {
-        Self::with_role(id, cfg, anchor, WantPolicy::Nothing, NodeRole::PureForwarder)
+        Self::with_role(
+            id,
+            cfg,
+            anchor,
+            WantPolicy::Nothing,
+            NodeRole::PureForwarder,
+        )
     }
 
     fn with_role(
@@ -208,15 +211,14 @@ impl DapesPeer {
         };
         let mut forwarder =
             Forwarder::with_strategy(fwd_cfg, Box::new(DapesStrategy::new(shared.clone())));
-        forwarder
-            .fib_mut()
-            .register(Name::root(), FaceId::WIRELESS);
+        forwarder.fib_mut().register(Name::root(), FaceId::WIRELESS);
         if role == NodeRole::Dapes {
             let dapes = Name::from_uri(namespace::APP_PREFIX);
             forwarder.fib_mut().register(dapes.clone(), FaceId::APP);
             forwarder.fib_mut().register(dapes, FaceId::WIRELESS);
         }
-        let discovery = DiscoveryState::new(cfg.discovery_min, cfg.discovery_max, cfg.discovery_recent);
+        let discovery =
+            DiscoveryState::new(cfg.discovery_min, cfg.discovery_max, cfg.discovery_recent);
         DapesPeer {
             id,
             cfg,
@@ -224,13 +226,13 @@ impl DapesPeer {
             role,
             forwarder,
             shared,
-            seeding: HashMap::new(),
-            downloads: HashMap::new(),
+            seeding: BTreeMap::new(),
+            downloads: BTreeMap::new(),
             wanted,
             discovery,
             advert_round: 0,
-            pending: HashMap::new(),
-            inflight: HashMap::new(),
+            pending: BTreeMap::new(),
+            inflight: BTreeMap::new(),
             next_pending: 0,
             encounter_active: false,
             stats: PeerStats::default(),
@@ -280,7 +282,9 @@ impl DapesPeer {
 
     /// Download progress for a collection in `[0, 1]`.
     pub fn progress(&self, collection: &Name) -> Option<f64> {
-        self.downloads.get(collection).map(|d| d.have.fraction_set())
+        self.downloads
+            .get(collection)
+            .map(|d| d.have.fraction_set())
     }
 
     /// The multi-hop forwarding accuracy (§VI-D's 83 % metric).
@@ -383,6 +387,7 @@ impl DapesPeer {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // one call site per cancellation rule
     fn schedule_pending(
         &mut self,
         ctx: &mut NodeCtx<'_>,
@@ -441,14 +446,11 @@ impl DapesPeer {
                     peer: self.id,
                     offers: self.current_offers(),
                 };
-                let data = Data::new(
-                    namespace::discovery_reply_name(self.id),
-                    info.to_wire(),
-                )
-                // Short freshness: discovery state changes as peers move, so
-                // caches must not answer discovery probes indefinitely.
-                .with_freshness_ms(1_000)
-                .signed(&self.anchor.keypair(&format!("peer-{}", self.id)));
+                let data = Data::new(namespace::discovery_reply_name(self.id), info.to_wire())
+                    // Short freshness: discovery state changes as peers move, so
+                    // caches must not answer discovery probes indefinitely.
+                    .with_freshness_ms(1_000)
+                    .signed(&self.anchor.keypair(&format!("peer-{}", self.id)));
                 self.emit_data(ctx, data, kinds::DISCOVERY_DATA);
             }
             PendingPayload::BitmapReply {
@@ -488,13 +490,23 @@ impl DapesPeer {
                 for action in actions {
                     if let Action::SendData { face, data } = action {
                         if face == FaceId::WIRELESS && !sent {
-                            ctx.send_frame(data.encode(), kinds::BITMAP_DATA, tx_token, SimDuration::ZERO);
+                            ctx.send_frame(
+                                data.encode(),
+                                kinds::BITMAP_DATA,
+                                tx_token,
+                                SimDuration::ZERO,
+                            );
                             sent = true;
                         }
                     }
                 }
                 if !sent {
-                    ctx.send_frame(data.encode(), kinds::BITMAP_DATA, tx_token, SimDuration::ZERO);
+                    ctx.send_frame(
+                        data.encode(),
+                        kinds::BITMAP_DATA,
+                        tx_token,
+                        SimDuration::ZERO,
+                    );
                 }
             }
             PendingPayload::BitmapInterest { collection } => {
@@ -609,18 +621,18 @@ impl DapesPeer {
             metadata_name: offer.metadata.clone(),
             phase: Phase::FetchingMetadata,
             assembler: MetadataAssembler::new(),
-            meta_outstanding: HashMap::new(),
+            meta_outstanding: BTreeMap::new(),
             metadata: None,
             index: None,
             have: Bitmap::new(0),
             leaf_hashes: Vec::new(),
             files_verified: Vec::new(),
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             queue: Vec::new(),
             queue_dirty: true,
             bitmaps_this_encounter: 0,
             advert_rounds_this_encounter: 0,
-            rounds_seen: HashMap::new(),
+            rounds_seen: BTreeMap::new(),
             last_advert: None,
             advert: AdvertScheduler::new(self.cfg.peba, self.cfg.tx_window, self.cfg.slot_len),
             history: EncounterHistory::new(self.cfg.encounter_history),
@@ -886,7 +898,7 @@ impl DapesPeer {
                     .values()
                     .filter_map(|info| info.bitmaps.get(collection))
                     .collect();
-                rarity_counts(total, bitmaps.into_iter())
+                rarity_counts(total, bitmaps)
             }
             RpfVariant::EncounterBased => rarity_counts(total, d.history.bitmaps()),
         };
@@ -1095,7 +1107,11 @@ impl DapesPeer {
                 );
             }
             Some(DapesName::Bitmap { .. }) => self.handle_bitmap_interest(ctx, interest),
-            Some(DapesName::Metadata { collection, segment, .. }) => {
+            Some(DapesName::Metadata {
+                collection,
+                segment,
+                ..
+            }) => {
                 let Some(seg) = segment else { return };
                 if self.reply_pending_for(interest.name()) {
                     return;
@@ -1114,7 +1130,11 @@ impl DapesPeer {
                     );
                 }
             }
-            Some(DapesName::Content { collection, file, seq }) => {
+            Some(DapesName::Content {
+                collection,
+                file,
+                seq,
+            }) => {
                 if self.reply_pending_for(interest.name()) {
                     return;
                 }
@@ -1255,7 +1275,9 @@ impl DapesPeer {
                         // (downstream APP) already exists; a fresh nonce lets
                         // neighbors treat it as new.
                         let interest = Interest::new(name).with_nonce(ctx.rng().gen());
-                        let delay_us = ctx.rng().gen_range(0..self.cfg.tx_window.as_micros().max(1));
+                        let delay_us = ctx
+                            .rng()
+                            .gen_range(0..self.cfg.tx_window.as_micros().max(1));
                         ctx.send_frame(
                             interest.encode(),
                             kinds::CONTENT_INTEREST,
@@ -1291,7 +1313,8 @@ impl NetStack for DapesPeer {
             // Stagger first beacons across the window to avoid a start-up
             // collision storm.
             let delay = SimDuration::from_micros(
-                ctx.rng().gen_range(0..self.cfg.discovery_min.as_micros().max(1)),
+                ctx.rng()
+                    .gen_range(0..self.cfg.discovery_min.as_micros().max(1)),
             );
             ctx.set_timer(delay, TOKEN_DISCOVERY);
         }
@@ -1323,21 +1346,23 @@ impl NetStack for DapesPeer {
                 // Someone else re-broadcast an Interest we were also about
                 // to forward: ours is now redundant.
                 let key = (interest.name().clone(), interest.nonce());
-                self.cancel_pending_where(ctx, |p| {
-                    p.cancel_on_nonce.as_ref() == Some(&key)
-                });
-                let actions =
-                    self.forwarder
-                        .process_interest(ctx.now, &interest, FaceId::WIRELESS);
+                self.cancel_pending_where(ctx, |p| p.cancel_on_nonce.as_ref() == Some(&key));
+                let actions = self
+                    .forwarder
+                    .process_interest(ctx.now, &interest, FaceId::WIRELESS);
                 ctx.note_state_inserts(1);
                 for action in actions {
                     match action {
-                        Action::SendInterest { face: FaceId::APP, interest } => {
-                            if self.role == NodeRole::Dapes {
-                                self.serve_interest(ctx, &interest);
-                            }
+                        Action::SendInterest {
+                            face: FaceId::APP,
+                            interest,
+                        } if self.role == NodeRole::Dapes => {
+                            self.serve_interest(ctx, &interest);
                         }
-                        Action::SendInterest { face: FaceId::WIRELESS, mut interest } => {
+                        Action::SendInterest {
+                            face: FaceId::WIRELESS,
+                            mut interest,
+                        } => {
                             // Multi-hop re-broadcast approved by the
                             // strategy: schedule with a random delay and
                             // cancellation rules (§V-A).
@@ -1357,7 +1382,10 @@ impl NetStack for DapesPeer {
                                 Some(name),
                             );
                         }
-                        Action::SendData { face: FaceId::WIRELESS, data } => {
+                        Action::SendData {
+                            face: FaceId::WIRELESS,
+                            data,
+                        } => {
                             // Content Store hit: answer from cache after a
                             // polite delay, cancelled if someone else does.
                             let delay = self.jitter(ctx);
@@ -1379,18 +1407,18 @@ impl NetStack for DapesPeer {
                 // Any data transmission cancels our duplicate pending
                 // responses/forwards and settles multi-hop bookkeeping.
                 let dname = data.name().clone();
-                self.cancel_pending_where(ctx, |p| {
-                    p.cancel_on_data.as_ref() == Some(&dname)
-                });
+                self.cancel_pending_where(ctx, |p| p.cancel_on_data.as_ref() == Some(&dname));
                 self.shared.borrow_mut().note_data_seen(&dname);
 
                 // DAPES-level overhearing before the forwarder pipeline.
                 if self.role == NodeRole::Dapes {
                     match namespace::classify(&dname) {
-                        Some(DapesName::Bitmap { collection, replier, .. }) => {
-                            if let Some((peer, bm)) =
-                                decode_bitmap_params(data.content())
-                            {
+                        Some(DapesName::Bitmap {
+                            collection,
+                            replier,
+                            ..
+                        }) => {
+                            if let Some((peer, bm)) = decode_bitmap_params(data.content()) {
                                 let peer = replier.unwrap_or(peer);
                                 self.handle_bitmap_seen(ctx, &collection, peer, &bm);
                             }
@@ -1400,7 +1428,11 @@ impl NetStack for DapesPeer {
                                 self.handle_discovery_info(ctx, &info);
                             }
                         }
-                        Some(DapesName::Content { collection, file, seq }) => {
+                        Some(DapesName::Content {
+                            collection,
+                            file,
+                            seq,
+                        }) => {
                             // Note the sender has this packet.
                             let idx = {
                                 let sh = self.shared.borrow();
@@ -1422,13 +1454,20 @@ impl NetStack for DapesPeer {
                 }
 
                 let (actions, _solicited) =
-                    self.forwarder.process_data(ctx.now, &data, FaceId::WIRELESS);
+                    self.forwarder
+                        .process_data(ctx.now, &data, FaceId::WIRELESS);
                 for action in actions {
                     match action {
-                        Action::SendData { face: FaceId::APP, data } => {
+                        Action::SendData {
+                            face: FaceId::APP,
+                            data,
+                        } => {
                             self.handle_app_data(ctx, &data);
                         }
-                        Action::SendData { face: FaceId::WIRELESS, data } => {
+                        Action::SendData {
+                            face: FaceId::WIRELESS,
+                            data,
+                        } => {
                             // Multi-hop data return: re-broadcast for the
                             // next hop, unless someone beats us to it.
                             let delay = self.jitter(ctx);
@@ -1450,10 +1489,10 @@ impl NetStack for DapesPeer {
                 // our PIT did not ask for it.
                 if self.role == NodeRole::Dapes {
                     match namespace::classify(&dname) {
-                        Some(DapesName::Content { collection, .. }) => {
-                            if data.verify(&self.anchor) {
-                                self.handle_content_data(ctx, &collection, &data);
-                            }
+                        Some(DapesName::Content { collection, .. })
+                            if data.verify(&self.anchor) =>
+                        {
+                            self.handle_content_data(ctx, &collection, &data);
                         }
                         Some(DapesName::Metadata { collection, .. }) => {
                             self.handle_metadata_segment(ctx, &collection, &data);

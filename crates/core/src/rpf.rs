@@ -91,7 +91,11 @@ where
 {
     let mut rarity = vec![0u32; total_packets];
     for bm in bitmaps {
-        for (i, r) in rarity.iter_mut().enumerate().take(bm.len().min(total_packets)) {
+        for (i, r) in rarity
+            .iter_mut()
+            .enumerate()
+            .take(bm.len().min(total_packets))
+        {
             if !bm.get(i) {
                 *r += 1;
             }
@@ -168,7 +172,11 @@ mod tests {
     fn rarity_handles_shorter_bitmaps() {
         let short = bm("10");
         let rarity = rarity_counts(4, [&short]);
-        assert_eq!(rarity, vec![0, 1, 0, 0], "bits past the bitmap are unknown, not missing");
+        assert_eq!(
+            rarity,
+            vec![0, 1, 0, 0],
+            "bits past the bitmap are unknown, not missing"
+        );
     }
 
     #[test]

@@ -230,9 +230,9 @@ mod tests {
     fn proofs_verify_for_all_sizes_and_indices() {
         for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100] {
             let (t, p) = tree_of(n);
-            for i in 0..n {
+            for (i, payload) in p.iter().enumerate() {
                 let proof = t.prove(i).expect("in range");
-                assert!(proof.verify(&t.root(), &p[i]), "n={n} i={i}");
+                assert!(proof.verify(&t.root(), payload), "n={n} i={i}");
             }
         }
     }

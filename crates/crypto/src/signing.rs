@@ -56,7 +56,12 @@ impl Signature {
 
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Signature(key={:x}, tag={})", self.key_id.0, self.tag.short_hex())
+        write!(
+            f,
+            "Signature(key={:x}, tag={})",
+            self.key_id.0,
+            self.tag.short_hex()
+        )
     }
 }
 
@@ -123,7 +128,9 @@ impl TrustAnchor {
     pub fn key_id_for(&self, producer_name: &str) -> KeyId {
         let name_key = hmac_sha256(&self.secret[..], producer_name.as_bytes());
         let d = sha256(name_key.as_bytes());
-        KeyId(u64::from_be_bytes(d.as_bytes()[..8].try_into().expect("8 bytes")))
+        KeyId(u64::from_be_bytes(
+            d.as_bytes()[..8].try_into().expect("8 bytes"),
+        ))
     }
 
     /// Derives the signing key bound to a key id.

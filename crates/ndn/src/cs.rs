@@ -212,7 +212,10 @@ mod tests {
         cs.insert(data("/b"), t(1));
         cs.insert(data("/c"), t(2));
         assert_eq!(cs.len(), 2);
-        assert!(cs.lookup_exact(&Name::from_uri("/a")).is_none(), "oldest evicted");
+        assert!(
+            cs.lookup_exact(&Name::from_uri("/a")).is_none(),
+            "oldest evicted"
+        );
         assert!(cs.lookup_exact(&Name::from_uri("/b")).is_some());
         assert!(cs.lookup_exact(&Name::from_uri("/c")).is_some());
     }
@@ -232,28 +235,44 @@ mod tests {
         let mut cs = ContentStore::new(10);
         // No freshness period: never satisfies MustBeFresh.
         cs.insert(data("/d/x"), t(0));
-        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(0)).is_none());
-        assert!(cs.lookup(&Name::from_uri("/d/x"), false, false, t(0)).is_some());
+        assert!(cs
+            .lookup(&Name::from_uri("/d/x"), false, true, t(0))
+            .is_none());
+        assert!(cs
+            .lookup(&Name::from_uri("/d/x"), false, false, t(0))
+            .is_some());
     }
 
     #[test]
     fn freshness_expires_over_time() {
         let mut cs = ContentStore::new(10);
         cs.insert(fresh_data("/d/x", 1_000), t(10));
-        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(10)).is_some());
-        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(11)).is_some());
-        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(12)).is_none());
+        assert!(cs
+            .lookup(&Name::from_uri("/d/x"), false, true, t(10))
+            .is_some());
+        assert!(cs
+            .lookup(&Name::from_uri("/d/x"), false, true, t(11))
+            .is_some());
+        assert!(cs
+            .lookup(&Name::from_uri("/d/x"), false, true, t(12))
+            .is_none());
         // Still served to freshness-agnostic Interests.
-        assert!(cs.lookup(&Name::from_uri("/d/x"), false, false, t(12)).is_some());
+        assert!(cs
+            .lookup(&Name::from_uri("/d/x"), false, false, t(12))
+            .is_some());
     }
 
     #[test]
     fn reinsert_restarts_freshness_clock() {
         let mut cs = ContentStore::new(10);
         cs.insert(fresh_data("/d/x", 1_000), t(0));
-        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(5)).is_none());
+        assert!(cs
+            .lookup(&Name::from_uri("/d/x"), false, true, t(5))
+            .is_none());
         cs.insert(fresh_data("/d/x", 1_000), t(5));
-        assert!(cs.lookup(&Name::from_uri("/d/x"), false, true, t(5)).is_some());
+        assert!(cs
+            .lookup(&Name::from_uri("/d/x"), false, true, t(5))
+            .is_some());
     }
 
     #[test]
@@ -271,8 +290,12 @@ mod tests {
     fn lookup_respects_can_be_prefix_flag() {
         let mut cs = ContentStore::new(10);
         cs.insert(data("/col/f/0"), t(0));
-        assert!(cs.lookup(&Name::from_uri("/col"), true, false, t(0)).is_some());
-        assert!(cs.lookup(&Name::from_uri("/col"), false, false, t(0)).is_none());
+        assert!(cs
+            .lookup(&Name::from_uri("/col"), true, false, t(0))
+            .is_some());
+        assert!(cs
+            .lookup(&Name::from_uri("/col"), false, false, t(0))
+            .is_none());
     }
 
     #[test]

@@ -125,7 +125,10 @@ mod tests {
         fib.register(name("/a"), FaceId(1));
         fib.register(name("/a"), FaceId(2));
         fib.register(name("/a"), FaceId(1)); // duplicate ignored
-        assert_eq!(fib.longest_prefix_match(&name("/a")), &[FaceId(1), FaceId(2)]);
+        assert_eq!(
+            fib.longest_prefix_match(&name("/a")),
+            &[FaceId(1), FaceId(2)]
+        );
     }
 
     #[test]

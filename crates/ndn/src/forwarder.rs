@@ -261,33 +261,29 @@ impl Forwarder {
                 // elapsed (NFD strategies behave the same way) — without
                 // this, one lost Data on a multi-hop path would stall the
                 // transfer for the whole Interest lifetime.
-                let retx_ok = self
-                    .pit
-                    .entry_mut(interest.name())
-                    .is_some_and(|e| match e.last_forward {
-                        None => true,
-                        Some(t) => now.since(t) >= SimDuration::from_millis(200),
-                    });
+                let retx_ok =
+                    self.pit
+                        .entry_mut(interest.name())
+                        .is_some_and(|e| match e.last_forward {
+                            None => true,
+                            Some(t) => now.since(t) >= SimDuration::from_millis(200),
+                        });
                 if retx_ok {
                     let nexthops: Vec<FaceId> = self
                         .fib
                         .longest_prefix_match(interest.name())
                         .iter()
                         .copied()
-                        .filter(|&f| {
-                            f != ingress || self.cfg.rebroadcast_faces.contains(&f)
-                        })
+                        .filter(|&f| f != ingress || self.cfg.rebroadcast_faces.contains(&f))
                         .collect();
                     if let Decision::Forward(faces) =
                         self.strategy.decide(interest, ingress, &nexthops, now)
                     {
                         let mut forwarded = false;
                         for face in faces {
-                            let allowed = face != ingress
-                                || self.cfg.rebroadcast_faces.contains(&face);
-                            if allowed
-                                && !self.cfg.deliver_on_aggregate.contains(&face)
-                            {
+                            let allowed =
+                                face != ingress || self.cfg.rebroadcast_faces.contains(&face);
+                            if allowed && !self.cfg.deliver_on_aggregate.contains(&face) {
                                 forwarded = true;
                                 actions.push(Action::SendInterest {
                                     face,
@@ -327,9 +323,7 @@ impl Forwarder {
                         }
                         faces
                             .into_iter()
-                            .filter(|&f| {
-                                f != ingress || self.cfg.rebroadcast_faces.contains(&f)
-                            })
+                            .filter(|&f| f != ingress || self.cfg.rebroadcast_faces.contains(&f))
                             .map(|face| Action::SendInterest {
                                 face,
                                 interest: interest.clone(),
@@ -550,7 +544,13 @@ mod tests {
     fn strategy_cannot_forward_back_to_ingress() {
         struct Echo;
         impl Strategy for Echo {
-            fn decide(&mut self, _: &Interest, ingress: FaceId, _: &[FaceId], _: SimTime) -> Decision {
+            fn decide(
+                &mut self,
+                _: &Interest,
+                ingress: FaceId,
+                _: &[FaceId],
+                _: SimTime,
+            ) -> Decision {
                 Decision::Forward(vec![ingress])
             }
         }
@@ -585,7 +585,11 @@ mod tests {
     #[test]
     fn pit_expiry_reports_names() {
         let mut f = fwd();
-        f.process_interest(now(), &interest("/a", 1).with_lifetime_ms(1000), FaceId::APP);
+        f.process_interest(
+            now(),
+            &interest("/a", 1).with_lifetime_ms(1000),
+            FaceId::APP,
+        );
         assert_eq!(f.next_pit_expiry(), Some(now() + SimDuration::from_secs(1)));
         let expired = f.expire(now() + SimDuration::from_secs(2));
         assert_eq!(expired, vec![Name::from_uri("/a")]);

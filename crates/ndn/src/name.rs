@@ -314,7 +314,10 @@ mod tests {
     fn seq_components_parse() {
         let n = Name::from_uri("/c/f/123");
         assert_eq!(n.last().and_then(|c| c.to_seq()), Some(123));
-        assert_eq!(Name::from_uri("/c/f/xyz").last().and_then(|c| c.to_seq()), None);
+        assert_eq!(
+            Name::from_uri("/c/f/xyz").last().and_then(|c| c.to_seq()),
+            None
+        );
     }
 
     #[test]
@@ -334,7 +337,7 @@ mod tests {
     fn ordering_groups_prefixes_contiguously() {
         // Everything prefixed by /col sorts in one contiguous run, which the
         // content store's prefix lookup depends on.
-        let mut names = vec![
+        let mut names = [
             Name::from_uri("/col/f/10"),
             Name::from_uri("/col"),
             Name::from_uri("/zzz"),

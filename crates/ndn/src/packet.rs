@@ -374,10 +374,7 @@ impl Data {
 
     /// Encodes to wire format.
     pub fn encode(&self) -> Vec<u8> {
-        let key_id = self
-            .signature
-            .as_ref()
-            .map_or(KeyId(0), |s| s.key_id);
+        let key_id = self.signature.as_ref().map_or(KeyId(0), |s| s.key_id);
         let mut body = self.signed_portion(key_id);
         let sig_bytes = self
             .signature
@@ -411,9 +408,7 @@ impl Data {
                             types::CONTENT_TYPE => {
                                 data.content_type = ContentType::from_num(tlv::decode_nonneg(mv)?)
                             }
-                            types::FRESHNESS_PERIOD => {
-                                data.freshness_ms = tlv::decode_nonneg(mv)?
-                            }
+                            types::FRESHNESS_PERIOD => data.freshness_ms = tlv::decode_nonneg(mv)?,
                             _ => {}
                         }
                     }
@@ -584,7 +579,10 @@ mod tests {
         let key = anchor.keypair("p");
         let d = Data::new(Name::from_uri("/col/file/0"), b"x".to_vec()).signed(&key);
         let mut wire = d.encode();
-        let pos = wire.windows(3).position(|w| w == b"col").expect("name present");
+        let pos = wire
+            .windows(3)
+            .position(|w| w == b"col")
+            .expect("name present");
         wire[pos] = b'k';
         let back = Data::decode(&wire).expect("well-formed");
         assert_eq!(back.name().to_string(), "/kol/file/0");
@@ -595,7 +593,10 @@ mod tests {
     fn packet_dispatches_by_outer_type() {
         let i = Interest::new(name()).with_nonce(7);
         let d = Data::new(name(), vec![1]);
-        assert!(matches!(Packet::decode(&i.encode()), Ok(Packet::Interest(_))));
+        assert!(matches!(
+            Packet::decode(&i.encode()),
+            Ok(Packet::Interest(_))
+        ));
         assert!(matches!(Packet::decode(&d.encode()), Ok(Packet::Data(_))));
         assert!(Packet::decode(&[0x99, 0x00]).is_err());
     }

@@ -8,7 +8,7 @@
 use crate::face::FaceId;
 use crate::name::Name;
 use dapes_netsim::time::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One pending Interest.
 #[derive(Clone, Debug)]
@@ -49,7 +49,7 @@ pub enum PitInsert {
 /// The Pending Interest Table.
 #[derive(Clone, Debug, Default)]
 pub struct Pit {
-    entries: HashMap<Name, PitEntry>,
+    entries: BTreeMap<Name, PitEntry>,
 }
 
 impl Pit {

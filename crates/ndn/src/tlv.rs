@@ -225,7 +225,9 @@ pub fn decode_nonneg(value: &[u8]) -> Result<u64, TlvError> {
         2 => Ok(u16::from_be_bytes(value.try_into().expect("len 2")) as u64),
         4 => Ok(u32::from_be_bytes(value.try_into().expect("len 4")) as u64),
         8 => Ok(u64::from_be_bytes(value.try_into().expect("len 8"))),
-        _ => Err(TlvError::BadValue("non-negative integer must be 1/2/4/8 bytes")),
+        _ => Err(TlvError::BadValue(
+            "non-negative integer must be 1/2/4/8 bytes",
+        )),
     }
 }
 
@@ -235,7 +237,19 @@ mod tests {
 
     #[test]
     fn varnum_round_trip_all_widths() {
-        for n in [0u64, 1, 252, 253, 255, 256, 65535, 65536, u32::MAX as u64, u32::MAX as u64 + 1, u64::MAX] {
+        for n in [
+            0u64,
+            1,
+            252,
+            253,
+            255,
+            256,
+            65535,
+            65536,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varnum(&mut buf, n);
             let mut r = TlvReader::new(&buf);
@@ -275,7 +289,10 @@ mod tests {
         let mut r = TlvReader::new(&buf);
         assert!(matches!(
             r.read_expected(types::NONCE),
-            Err(TlvError::UnexpectedType { expected: 0x0a, found: 0x15 })
+            Err(TlvError::UnexpectedType {
+                expected: 0x0a,
+                found: 0x15
+            })
         ));
         // Still readable as its real type.
         assert_eq!(r.read_expected(types::CONTENT).expect("content"), b"x");
@@ -287,7 +304,10 @@ mod tests {
         write_tlv(&mut buf, types::CONTENT, b"x");
         let mut r = TlvReader::new(&buf);
         assert_eq!(r.read_optional(types::NONCE).expect("ok"), None);
-        assert_eq!(r.read_optional(types::CONTENT).expect("ok"), Some(&b"x"[..]));
+        assert_eq!(
+            r.read_optional(types::CONTENT).expect("ok"),
+            Some(&b"x"[..])
+        );
         assert_eq!(r.read_optional(types::CONTENT).expect("ok"), None);
     }
 
@@ -297,7 +317,10 @@ mod tests {
         write_tlv(&mut buf, 0x99, b"junk");
         write_tlv(&mut buf, types::CONTENT, b"payload");
         let mut r = TlvReader::new(&buf);
-        assert_eq!(r.seek_type(types::CONTENT).expect("ok"), Some(&b"payload"[..]));
+        assert_eq!(
+            r.seek_type(types::CONTENT).expect("ok"),
+            Some(&b"payload"[..])
+        );
     }
 
     #[test]
@@ -337,7 +360,10 @@ mod tests {
 
     #[test]
     fn error_display_is_meaningful() {
-        let e = TlvError::UnexpectedType { expected: 5, found: 6 };
+        let e = TlvError::UnexpectedType {
+            expected: 5,
+            found: 6,
+        };
         assert!(e.to_string().contains("0x5"));
     }
 }

@@ -135,8 +135,13 @@ mod tests {
         let w = 300.0;
         let h = 300.0;
         // Heading straight right from the centre.
-        let t = time_to_boundary(Point::new(150.0, 150.0), Velocity { vx: 10.0, vy: 0.0 }, w, h)
-            .expect("moving");
+        let t = time_to_boundary(
+            Point::new(150.0, 150.0),
+            Velocity { vx: 10.0, vy: 0.0 },
+            w,
+            h,
+        )
+        .expect("moving");
         assert!((t - 15.0).abs() < 1e-9);
         // Heading diagonally down-left from near the origin corner.
         let t = time_to_boundary(Point::new(5.0, 10.0), Velocity { vx: -1.0, vy: -2.0 }, w, h)
@@ -148,8 +153,13 @@ mod tests {
 
     #[test]
     fn boundary_time_on_wall_heading_out_is_zero() {
-        let t = time_to_boundary(Point::new(300.0, 150.0), Velocity { vx: 1.0, vy: 0.0 }, 300.0, 300.0)
-            .expect("moving");
+        let t = time_to_boundary(
+            Point::new(300.0, 150.0),
+            Velocity { vx: 1.0, vy: 0.0 },
+            300.0,
+            300.0,
+        )
+        .expect("moving");
         assert_eq!(t, 0.0);
     }
 

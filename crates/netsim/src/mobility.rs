@@ -176,7 +176,11 @@ impl ScriptedMobility {
     /// time, or if the first waypoint is not at `SimTime::ZERO`.
     pub fn new(waypoints: Vec<(SimTime, Point)>) -> Self {
         assert!(!waypoints.is_empty(), "need at least one waypoint");
-        assert_eq!(waypoints[0].0, SimTime::ZERO, "first waypoint must be at t=0");
+        assert_eq!(
+            waypoints[0].0,
+            SimTime::ZERO,
+            "first waypoint must be at t=0"
+        );
         assert!(
             waypoints.windows(2).all(|w| w[0].0 < w[1].0),
             "waypoint times must strictly increase"

@@ -117,7 +117,13 @@ impl<'a> NodeCtx<'a> {
     /// transmission window); the MAC adds carrier-sense deferral on top.
     /// `token` is echoed in [`TxOutcome`] so stacks can tell which of their
     /// transmissions collided.
-    pub fn send_frame(&mut self, payload: Vec<u8>, kind: FrameKind, token: u64, delay: SimDuration) {
+    pub fn send_frame(
+        &mut self,
+        payload: Vec<u8>,
+        kind: FrameKind,
+        token: u64,
+        delay: SimDuration,
+    ) {
         *self.api_calls += 1;
         self.commands.push(Command::Send {
             payload,

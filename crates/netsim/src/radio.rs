@@ -117,7 +117,10 @@ mod tests {
         // 1 KB + 34 B header at 11 Mb/s ≈ 753 µs + 192 µs preamble.
         let expect = 192 + ((1024 + 34) * 8) as u64 * 100 / 1100;
         let got = phy.tx_duration(1024).as_micros();
-        assert!((got as i64 - expect as i64).abs() <= 2, "got {got}, expect ~{expect}");
+        assert!(
+            (got as i64 - expect as i64).abs() <= 2,
+            "got {got}, expect ~{expect}"
+        );
     }
 
     #[test]

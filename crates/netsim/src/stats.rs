@@ -2,7 +2,7 @@
 //! system-load proxies used for the paper's Table I.
 
 use crate::radio::FrameKind;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Counters accumulated over a simulation run.
 ///
@@ -16,7 +16,7 @@ pub struct Stats {
     /// Upper-layer payload bytes transmitted.
     pub tx_payload_bytes: u64,
     /// Frames transmitted, broken down by protocol kind.
-    pub tx_by_kind: HashMap<FrameKind, u64>,
+    pub tx_by_kind: BTreeMap<FrameKind, u64>,
     /// Per-receiver deliveries that succeeded.
     pub delivered: u64,
     /// Per-receiver drops due to overlapping transmissions.

@@ -210,6 +210,23 @@ impl World {
         self.cfg.range
     }
 
+    /// Changes the Bernoulli frame-loss rate from now on. The loss draw for
+    /// a frame happens when its transmission *ends*, so a frame still on
+    /// the air at the switch instant is judged with the new rate — the
+    /// behaviour time-varying loss schedules (e.g. a storm passing through
+    /// a disaster area) need.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "loss rate out of range: {rate}"
+        );
+        self.cfg.phy.loss_rate = rate;
+    }
+
     /// Position of `node` at the current time.
     pub fn position_of(&self, node: NodeId) -> Point {
         self.nodes[node.0 as usize].mobility.position(self.now)
@@ -553,8 +570,7 @@ impl World {
         // prune. 100 ms safely exceeds any frame's air time.
         let horizon = SimDuration::from_millis(100);
         let now = self.now;
-        self.active_tx
-            .retain(|t| t.end + horizon > now && !(t.id == tx_id && t.payload.is_empty() && t.end + horizon <= now));
+        self.active_tx.retain(|t| t.end + horizon > now);
         // Drain the sender's queue if more frames wait.
         self.push_event(self.now, EventKind::MacTry { node: sender });
     }
@@ -758,16 +774,20 @@ mod tests {
         );
         w.run_until(SimTime::from_secs(10));
         let heard = w.stack::<Chatter>(b).expect("chatter").heard.len();
-        assert!(heard > 50 && heard < 150, "heard {heard} of 200 at 50% loss");
+        assert!(
+            heard > 50 && heard < 150,
+            "heard {heard} of 200 at 50% loss"
+        );
         assert!(w.stats().channel_losses > 0);
     }
 
     #[test]
     fn same_seed_same_trace() {
         let run = |seed: u64| {
-            let mut cfg = WorldConfig::default();
-            cfg.seed = seed;
-            let mut w = World::new(cfg);
+            let mut w = World::new(WorldConfig {
+                seed,
+                ..WorldConfig::default()
+            });
             for i in 0..6 {
                 w.add_node(
                     Box::new(Stationary::new(Point::new(10.0 * i as f64, 0.0))),
@@ -806,8 +826,7 @@ mod tests {
             Box::new(Stationary::new(Point::new(0.0, 0.0))),
             Box::new(Chatter::new(100, 10)),
         );
-        let fired =
-            w.run_until_cond(SimTime::from_secs(10), |w| w.stats().tx_frames >= 3);
+        let fired = w.run_until_cond(SimTime::from_secs(10), |w| w.stats().tx_frames >= 3);
         assert!(fired);
         assert!(w.now() < SimTime::from_secs(10));
         assert_eq!(w.stats().tx_frames, 3);
@@ -868,12 +887,17 @@ mod tests {
     fn mobile_node_moves_between_queries() {
         let mut w = World::new(lossless());
         let a = w.add_node(
-            Box::new(crate::mobility::RandomDirection::new(Point::new(150.0, 150.0))),
+            Box::new(crate::mobility::RandomDirection::new(Point::new(
+                150.0, 150.0,
+            ))),
             Box::new(Chatter::new(0, 0)),
         );
         let p0 = w.position_of(a);
         w.run_until(SimTime::from_secs(30));
         let p1 = w.position_of(a);
-        assert!(p0.distance(&p1) > 1.0, "node did not move: {p0:?} -> {p1:?}");
+        assert!(
+            p0.distance(&p1) > 1.0,
+            "node did not move: {p0:?} -> {p1:?}"
+        );
     }
 }

@@ -31,7 +31,12 @@ fn main() {
     });
 
     // Segment 1: producer.
-    let mut producer = DapesPeer::new(0, DapesConfig::default(), anchor.clone(), WantPolicy::Nothing);
+    let mut producer = DapesPeer::new(
+        0,
+        DapesConfig::default(),
+        anchor.clone(),
+        WantPolicy::Nothing,
+    );
     producer.add_production(collection.clone());
     world.add_node(
         Box::new(Stationary::new(Point::new(0.0, 0.0))),
@@ -40,12 +45,22 @@ fn main() {
     // Segment 2: rest stop, 150 m away (out of range).
     let rest_stop = world.add_node(
         Box::new(Stationary::new(Point::new(150.0, 0.0))),
-        Box::new(DapesPeer::new(1, DapesConfig::default(), anchor.clone(), WantPolicy::Everything)),
+        Box::new(DapesPeer::new(
+            1,
+            DapesConfig::default(),
+            anchor.clone(),
+            WantPolicy::Everything,
+        )),
     );
     // Segment 3: village, another 150 m.
     let village = world.add_node(
         Box::new(Stationary::new(Point::new(300.0, 0.0))),
-        Box::new(DapesPeer::new(2, DapesConfig::default(), anchor.clone(), WantPolicy::Everything)),
+        Box::new(DapesPeer::new(
+            2,
+            DapesConfig::default(),
+            anchor.clone(),
+            WantPolicy::Everything,
+        )),
     );
     // The carrier: dwell near the producer, walk to the rest stop, then on
     // to the village.
@@ -57,7 +72,12 @@ fn main() {
             (SimTime::from_secs(300), Point::new(150.0, 10.0)),
             (SimTime::from_secs(380), Point::new(300.0, 10.0)),
         ])),
-        Box::new(DapesPeer::new(3, DapesConfig::default(), anchor, WantPolicy::Everything)),
+        Box::new(DapesPeer::new(
+            3,
+            DapesConfig::default(),
+            anchor,
+            WantPolicy::Everything,
+        )),
     );
 
     let name_of = |n: NodeId| match n {
@@ -69,14 +89,20 @@ fn main() {
     let mut done: Vec<NodeId> = Vec::new();
     let mut t = SimTime::ZERO;
     while done.len() < 3 && t < SimTime::from_secs(1200) {
-        t = t + SimDuration::from_secs(10);
+        t += SimDuration::from_secs(10);
         world.run_until(t);
-        if t.as_micros() % 100_000_000 == 0 {
+        if t.as_micros().is_multiple_of(100_000_000) {
             let v = world.stack::<DapesPeer>(village).expect("v");
             let c = world.stack::<DapesPeer>(carrier).expect("c");
             eprintln!("  carrier stats={:?}", c.stats());
-            eprintln!("dbg t={}: village progress={:?} pending={} stats={:?} world tx={}",
-                t, v.progress(&Name::from_uri("/damaged-bridge-1533783192")), v.pending_count(), v.stats(), world.stats().tx_frames);
+            eprintln!(
+                "dbg t={}: village progress={:?} pending={} stats={:?} world tx={}",
+                t,
+                v.progress(&Name::from_uri("/damaged-bridge-1533783192")),
+                v.pending_count(),
+                v.stats(),
+                world.stats().tx_frames
+            );
         }
         for n in [carrier, rest_stop, village] {
             if !done.contains(&n) {

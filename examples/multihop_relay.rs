@@ -46,7 +46,12 @@ fn main() {
     );
     let intermediate = world.add_node(
         Box::new(Stationary::new(Point::new(50.0, -15.0))),
-        Box::new(DapesPeer::new(2, cfg.clone(), anchor.clone(), WantPolicy::Nothing)),
+        Box::new(DapesPeer::new(
+            2,
+            cfg.clone(),
+            anchor.clone(),
+            WantPolicy::Nothing,
+        )),
     );
     // The requester, out of the producer's range.
     let requester = world.add_node(

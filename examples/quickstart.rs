@@ -41,7 +41,12 @@ fn main() {
         ..WorldConfig::default()
     });
 
-    let mut resident_a = DapesPeer::new(0, DapesConfig::default(), anchor.clone(), WantPolicy::Nothing);
+    let mut resident_a = DapesPeer::new(
+        0,
+        DapesConfig::default(),
+        anchor.clone(),
+        WantPolicy::Nothing,
+    );
     resident_a.add_production(collection.clone());
     world.add_node(
         Box::new(Stationary::new(Point::new(0.0, 0.0))),
@@ -57,7 +62,7 @@ fn main() {
     // Watch the download progress.
     let mut t = SimTime::ZERO;
     loop {
-        t = t + SimDuration::from_secs(5);
+        t += SimDuration::from_secs(5);
         world.run_until(t);
         let peer = world.stack::<DapesPeer>(b).expect("resident B");
         let progress = peer.progress(collection.name()).unwrap_or(0.0);

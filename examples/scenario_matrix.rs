@@ -1,0 +1,40 @@
+//! Drives the `dapes-testutil` scenario matrix from the command line:
+//! sweeps every built-in topology across three seeds and prints one row
+//! per cell, so harness regressions are visible outside the test suites.
+//!
+//! ```console
+//! $ cargo run --release --example scenario_matrix
+//! ```
+
+use dapes_testutil::prelude::*;
+
+fn main() {
+    let matrix = ScenarioMatrix::new()
+        .topologies([
+            Topology::AdjacentPair,
+            Topology::Chain { relays: 1 },
+            Topology::Star { downloaders: 3 },
+            Topology::PartitionedFerry,
+            Topology::MobileSwarm {
+                downloaders: 3,
+                forwarders: 2,
+            },
+        ])
+        .seeds([1, 2, 3]);
+    println!(
+        "{:<24} {:>6} {:>10} {:>10} {:>10} {:>9}",
+        "topology", "seed", "complete", "slowest", "frames", "overhead"
+    );
+    for cell in matrix.run() {
+        println!(
+            "{:<24} {:>6} {:>7}/{:<2} {:>9.1}s {:>10} {:>8.1}%",
+            cell.topology.label(),
+            cell.seed,
+            cell.completed,
+            cell.downloaders,
+            cell.finished_at.map_or(f64::NAN, |t| t.as_secs_f64()),
+            cell.tx_frames,
+            100.0 * cell.overhead_ratio,
+        );
+    }
+}

@@ -1,100 +1,41 @@
 //! Cross-crate integration tests: full protocol stacks on the simulator,
-//! exercising the public API exactly as the examples do.
+//! exercising the public API through the `dapes-testutil` scenario harness.
 
 use dapes::prelude::*;
-use std::rc::Rc;
-
-fn anchor() -> TrustAnchor {
-    TrustAnchor::from_seed(b"integration")
-}
-
-fn collection(files: usize, size: usize) -> Rc<Collection> {
-    Rc::new(Collection::build(CollectionSpec {
-        name: Name::from_uri("/damaged-bridge-1533783192"),
-        files: (0..files)
-            .map(|i| FileSpec::new(format!("file-{i}"), size))
-            .collect(),
-        packet_size: 1024,
-        format: MetadataFormat::MerkleRoots,
-        producer: "resident-a".into(),
-    }))
-}
+use dapes_testutil::prelude::*;
 
 #[test]
 fn dapes_swarm_with_mobility_loss_and_forwarders_completes() {
-    let mut world = World::new(WorldConfig {
-        range: 70.0,
-        seed: 31,
-        ..WorldConfig::default()
-    });
-    let col = collection(2, 8 * 1024);
-    let mut producer = DapesPeer::new(0, DapesConfig::default(), anchor(), WantPolicy::Nothing);
-    producer.add_production(col.clone());
-    world.add_node(
-        Box::new(Stationary::new(Point::new(150.0, 150.0))),
-        Box::new(producer),
-    );
-    let mut downloaders = Vec::new();
-    for i in 1..6u32 {
-        let peer = DapesPeer::new(i, DapesConfig::default(), anchor(), WantPolicy::Everything);
-        downloaders.push(world.add_node(
-            Box::new(RandomDirection::new(Point::new(40.0 * i as f64, 100.0))),
-            Box::new(peer),
-        ));
-    }
-    for i in 6..9u32 {
-        world.add_node(
-            Box::new(RandomDirection::new(Point::new(30.0 * i as f64, 200.0))),
-            Box::new(DapesPeer::pure_forwarder(i, DapesConfig::default(), anchor())),
-        );
-    }
-    let done = world.run_until_cond(SimTime::from_secs(1200), |w| {
-        downloaders
-            .iter()
-            .all(|&d| w.stack::<DapesPeer>(d).is_some_and(|p| p.downloads_complete()))
-    });
+    let mut sc = ScenarioBuilder::new(31)
+        .range(70.0)
+        .loss(0.10) // the paper's default channel loss — the point of the test
+        .collection(2, 8 * 1024)
+        .producer_at(150.0, 150.0)
+        .mobile_downloaders(5)
+        .mobile_pure_forwarders(3)
+        .build();
+    let done = sc.run_until_complete(SimTime::from_secs(1200));
     assert!(done, "mobile swarm should complete under loss");
     // Verified data only.
-    for &d in &downloaders {
-        let p = world.stack::<DapesPeer>(d).expect("peer");
-        assert_eq!(p.stats().verify_failures, 0);
-        assert!(p.stats().packets_verified >= 16);
-    }
+    assert_scenario("mobile-swarm", &sc, &GoldenMetrics::with_min_packets(16));
 }
 
 #[test]
 fn tampered_metadata_is_rejected_end_to_end() {
     // A forged producer (different trust anchor) serves a same-named
     // collection; the downloader must reject its metadata signature.
-    let good_anchor = anchor();
-    let evil_anchor = TrustAnchor::from_seed(b"evil");
-    let col = collection(1, 4 * 1024);
-
-    let mut world = World::new(WorldConfig {
-        range: 60.0,
-        seed: 5,
-        phy: PhyConfig {
-            loss_rate: 0.0,
-            ..PhyConfig::default()
-        },
-        ..WorldConfig::default()
-    });
-    // The *evil* producer signs with the wrong anchor.
-    let mut evil = DapesPeer::new(0, DapesConfig::default(), evil_anchor, WantPolicy::Nothing);
-    evil.add_production(col.clone());
-    world.add_node(
-        Box::new(Stationary::new(Point::new(0.0, 0.0))),
-        Box::new(evil),
-    );
-    let dl = world.add_node(
-        Box::new(Stationary::new(Point::new(20.0, 0.0))),
-        Box::new(DapesPeer::new(1, DapesConfig::default(), good_anchor, WantPolicy::Everything)),
-    );
-    let done = world.run_until_cond(SimTime::from_secs(60), |w| {
-        w.stack::<DapesPeer>(dl).is_some_and(|p| p.downloads_complete())
-    });
+    let mut sc = ScenarioBuilder::new(5)
+        .collection(1, 4 * 1024)
+        .peer_with_anchor(
+            PeerRole::Producer,
+            MobilityPreset::at(0.0, 0.0),
+            rogue_anchor(),
+        )
+        .downloader_at(20.0, 0.0)
+        .build();
+    let done = sc.run_until_complete(SimTime::from_secs(60));
     assert!(!done, "forged collection must never complete");
-    let peer = world.stack::<DapesPeer>(dl).expect("peer");
+    let peer = sc.peer(sc.downloaders[0]).expect("peer");
     assert!(
         peer.stats().verify_failures > 0,
         "signature rejections should be recorded"
@@ -106,48 +47,66 @@ fn repo_pattern_one_transmission_serves_two_peers() {
     // The paper's scenario-2 insight: requests from either peer satisfy
     // both, so co-located downloads cost fewer transmissions than double a
     // single download.
-    let single = {
-        let mut world = World::new(WorldConfig { range: 60.0, seed: 9, ..WorldConfig::default() });
-        let col = collection(1, 16 * 1024);
-        let mut prod = DapesPeer::new(0, DapesConfig::default(), anchor(), WantPolicy::Nothing);
-        prod.add_production(col);
-        world.add_node(Box::new(Stationary::new(Point::new(0.0, 0.0))), Box::new(prod));
-        let d = world.add_node(
-            Box::new(Stationary::new(Point::new(20.0, 0.0))),
-            Box::new(DapesPeer::new(1, DapesConfig::default(), anchor(), WantPolicy::Everything)),
-        );
-        world.run_until_cond(SimTime::from_secs(300), |w| {
-            w.stack::<DapesPeer>(d).is_some_and(|p| p.downloads_complete())
-        });
-        world.stats().tx_frames
+    let frames_with_downloaders = |extra: bool| {
+        // 10% loss as in the original formulation: retransmissions make the
+        // single-download baseline realistic rather than best-case.
+        let mut b = ScenarioBuilder::new(9)
+            .collection(1, 16 * 1024)
+            .loss(0.10)
+            .producer_at(0.0, 0.0)
+            .downloader_at(20.0, 0.0);
+        if extra {
+            b = b.downloader_at(0.0, 20.0);
+        }
+        let mut sc = b.build();
+        sc.run_until_complete(SimTime::from_secs(300));
+        assert!(sc.all_complete());
+        sc.world.stats().tx_frames
     };
-    let double = {
-        let mut world = World::new(WorldConfig { range: 60.0, seed: 9, ..WorldConfig::default() });
-        let col = collection(1, 16 * 1024);
-        let mut prod = DapesPeer::new(0, DapesConfig::default(), anchor(), WantPolicy::Nothing);
-        prod.add_production(col);
-        world.add_node(Box::new(Stationary::new(Point::new(0.0, 0.0))), Box::new(prod));
-        let d1 = world.add_node(
-            Box::new(Stationary::new(Point::new(20.0, 0.0))),
-            Box::new(DapesPeer::new(1, DapesConfig::default(), anchor(), WantPolicy::Everything)),
-        );
-        let d2 = world.add_node(
-            Box::new(Stationary::new(Point::new(0.0, 20.0))),
-            Box::new(DapesPeer::new(2, DapesConfig::default(), anchor(), WantPolicy::Everything)),
-        );
-        world.run_until_cond(SimTime::from_secs(300), |w| {
-            [d1, d2]
-                .iter()
-                .all(|&d| w.stack::<DapesPeer>(d).is_some_and(|p| p.downloads_complete()))
-        });
-        world.stats().tx_frames
-    };
+    let single = frames_with_downloaders(false);
+    let double = frames_with_downloaders(true);
     assert!(
         (double as f64) < 1.9 * single as f64,
         "two co-located downloads ({double} frames) should cost less than \
          2x one download ({single} frames): broadcast data and PIT \
          aggregation let one transmission serve both peers"
     );
+}
+
+#[test]
+fn scenario_matrix_sweeps_topologies_and_seeds() {
+    // The harness's acceptance matrix: four topologies x three seeds, every
+    // cell green under the golden invariants (completion, zero verification
+    // failures, full frame classification).
+    let cells = ScenarioMatrix::new()
+        .topologies([
+            Topology::AdjacentPair,
+            Topology::Chain { relays: 1 },
+            Topology::Star { downloaders: 3 },
+            Topology::PartitionedFerry,
+        ])
+        .seeds([1, 2, 3])
+        .run();
+    assert_eq!(cells.len(), 12);
+    for cell in &cells {
+        assert_eq!(
+            cell.completed,
+            cell.downloaders,
+            "{}/seed-{} left downloads incomplete",
+            cell.topology.label(),
+            cell.seed
+        );
+        assert!(cell.tx_frames > 0);
+        assert!(cell.finished_at.is_some());
+    }
+    // The same matrix re-run must be bit-identical: the harness promises
+    // deterministic scenarios, not just passing ones.
+    let again = ScenarioMatrix::new()
+        .topologies([Topology::AdjacentPair, Topology::Chain { relays: 1 }])
+        .seeds([1, 2, 3])
+        .check_determinism(true)
+        .run();
+    assert_eq!(again.len(), 6);
 }
 
 #[test]
@@ -163,6 +122,12 @@ fn umbrella_prelude_exposes_all_layers() {
 
 #[test]
 fn bench_scenario_api_runs_one_tiny_trial() {
+    // The seed's original parameters (2 stationary repositories 150 m
+    // apart at 80 m range, one mobile downloader, no intermediates, 300 s)
+    // only completed for RNG-stream-specific walks and went flaky when the
+    // RNG backend changed; this configuration matches the in-crate
+    // `dapes-bench` scenario tests, which complete on mobility rather than
+    // luck.
     use dapes_bench::{run_trial, Protocol, ScenarioParams};
     let params = ScenarioParams {
         range: 80.0,
@@ -170,13 +135,18 @@ fn bench_scenario_api_runs_one_tiny_trial() {
         file_size: 2048,
         packet_size: 1024,
         seed: 3,
-        max_sim: SimTime::from_secs(300),
+        max_sim: SimTime::from_secs(1500),
         stationary: 2,
-        mobile_downloaders: 1,
-        intermediates: 0,
-        pure_forwarders: 0,
+        mobile_downloaders: 2,
+        intermediates: 1,
+        pure_forwarders: 1,
     };
     let r = run_trial(&Protocol::Dapes(DapesConfig::default()), &params);
-    assert_eq!(r.downloaders, 2);
-    assert!(r.completed >= 1);
+    assert_eq!(r.downloaders, 3);
+    assert!(
+        r.completed >= 2,
+        "expected most downloaders to finish, got {}/{}",
+        r.completed,
+        r.downloaders
+    );
 }

@@ -3,8 +3,8 @@
 // Explicit imports: the NDN forwarding `Strategy` trait in the umbrella
 // prelude would shadow proptest's `Strategy`.
 use dapes::prelude::{
-    Bitmap, Component, ContentStore, Data, Fib, FaceId, Interest, Metadata, MetadataFormat,
-    Name, StartPacket, TrustAnchor,
+    Bitmap, Component, ContentStore, Data, FaceId, Fib, Interest, Metadata, MetadataFormat, Name,
+    StartPacket, TrustAnchor,
 };
 use dapes_crypto::merkle::MerkleTree;
 use dapes_netsim::time::SimTime;
@@ -217,6 +217,164 @@ proptest! {
                 SimTime::from_secs(i as u64),
             );
             prop_assert!(cs.len() <= capacity);
+        }
+    }
+
+    // --- raw TLV layer (crates/ndn/src/tlv.rs) ---
+
+    #[test]
+    fn tlv_varnum_round_trips(n in any::<u64>()) {
+        use dapes_ndn::tlv::{write_varnum, TlvReader};
+        let mut wire = Vec::new();
+        write_varnum(&mut wire, n);
+        let mut reader = TlvReader::new(&wire);
+        prop_assert_eq!(reader.read_varnum().unwrap(), n);
+        prop_assert!(reader.is_at_end());
+    }
+
+    #[test]
+    fn tlv_write_read_round_trips(
+        entries in proptest::collection::vec(
+            (1u64..1_000_000, proptest::collection::vec(any::<u8>(), 0..32)),
+            0..8,
+        ),
+    ) {
+        use dapes_ndn::tlv::{write_tlv, TlvReader};
+        let mut wire = Vec::new();
+        for (typ, value) in &entries {
+            write_tlv(&mut wire, *typ, value);
+        }
+        let mut reader = TlvReader::new(&wire);
+        for (typ, value) in &entries {
+            let (t, v) = reader.read_tlv().unwrap();
+            prop_assert_eq!(t, *typ);
+            prop_assert_eq!(v, value.as_slice());
+        }
+        prop_assert!(reader.is_at_end());
+    }
+
+    #[test]
+    fn tlv_truncation_never_panics(
+        typ in 1u64..100_000,
+        value in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in any::<usize>(),
+    ) {
+        use dapes_ndn::tlv::{write_tlv, TlvReader};
+        let mut wire = Vec::new();
+        write_tlv(&mut wire, typ, &value);
+        let cut = cut % wire.len().max(1);
+        // Any prefix must decode to an error, not a crash or a phantom TLV.
+        let mut reader = TlvReader::new(&wire[..cut]);
+        prop_assert!(reader.read_tlv().is_err());
+    }
+
+    // --- bitmap set/merge/count invariants (crates/core/src/bitmap.rs) ---
+
+    #[test]
+    fn bitmap_iterators_partition_the_domain(len in 0usize..600, seed in any::<u64>()) {
+        let mut bm = Bitmap::new(len);
+        let mut state = seed;
+        for i in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            if state & 1 == 1 { bm.set(i); }
+        }
+        let set: Vec<usize> = bm.iter_set().collect();
+        let missing: Vec<usize> = bm.iter_missing().collect();
+        prop_assert_eq!(set.len(), bm.count_set());
+        prop_assert_eq!(missing.len(), bm.count_missing());
+        let mut all: Vec<usize> = set.iter().chain(missing.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..len).collect::<Vec<_>>());
+        for &i in &set { prop_assert!(bm.get(i)); }
+        for &i in &missing { prop_assert!(!bm.get(i)); }
+    }
+
+    #[test]
+    fn bitmap_union_is_commutative_idempotent_and_monotone(
+        len in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let mut a = Bitmap::new(len);
+        let mut b = Bitmap::new(len);
+        let mut state = seed;
+        for i in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+            if state & 1 == 1 { a.set(i); }
+            if state & 2 == 2 { b.set(i); }
+        }
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Idempotent: folding either operand in again changes nothing.
+        let mut abb = ab.clone();
+        abb.union_with(&b);
+        prop_assert_eq!(&abb, &ab);
+        // Monotone: the union dominates both operands everywhere.
+        prop_assert!(ab.count_set() >= a.count_set());
+        prop_assert!(ab.count_set() >= b.count_set());
+        for i in a.iter_set() { prop_assert!(ab.get(i)); }
+        for i in b.iter_set() { prop_assert!(ab.get(i)); }
+        // Marginal coverage of either operand against the union is zero.
+        prop_assert_eq!(a.count_set_and_missing_from(&ab), 0);
+        prop_assert_eq!(b.count_set_and_missing_from(&ab), 0);
+    }
+
+    #[test]
+    fn bitmap_set_then_clear_restores_counts(len in 1usize..256, probe in any::<usize>()) {
+        let mut bm = Bitmap::new(len);
+        let i = probe % len;
+        prop_assert!(!bm.get(i));
+        prop_assert!(bm.set(i), "first set reports a change");
+        prop_assert!(!bm.set(i), "second set reports no change");
+        prop_assert_eq!(bm.count_set(), 1);
+        bm.clear(i);
+        prop_assert!(!bm.get(i));
+        prop_assert_eq!(bm.count_set(), 0);
+        prop_assert_eq!(bm.count_missing(), len);
+    }
+
+    // --- Merkle proofs (crates/crypto/src/merkle.rs) ---
+
+    #[test]
+    fn merkle_proof_rejects_wrong_root_and_tampered_payload(
+        leaf_count in 2usize..48,
+        probe in any::<usize>(),
+        flip in any::<u8>(),
+    ) {
+        let leaves: Vec<Vec<u8>> =
+            (0..leaf_count).map(|i| format!("leaf-{i}").into_bytes()).collect();
+        let tree = MerkleTree::from_leaves(leaves.iter().map(|v| v.as_slice()));
+        let idx = probe % leaf_count;
+        let proof = tree.prove(idx).unwrap();
+        prop_assert!(proof.verify(&tree.root(), &leaves[idx]));
+        // Against a different tree's root the same proof must fail.
+        let other_tree = MerkleTree::from_leaves(
+            (0..leaf_count).map(|i| format!("other-{i}")).collect::<Vec<_>>()
+                .iter().map(|v| v.as_bytes()),
+        );
+        prop_assert!(!proof.verify(&other_tree.root(), &leaves[idx]));
+        // A tampered payload must fail against the true root.
+        let mut tampered = leaves[idx].clone();
+        let pos = probe % tampered.len();
+        tampered[pos] ^= flip | 1; // guaranteed to change at least one bit
+        prop_assert!(!proof.verify(&tree.root(), &tampered));
+    }
+
+    #[test]
+    fn merkle_verify_leaves_matches_root(leaf_count in 1usize..64) {
+        let leaves: Vec<Vec<u8>> =
+            (0..leaf_count).map(|i| format!("leaf-{i}").into_bytes()).collect();
+        let tree = MerkleTree::from_leaves(leaves.iter().map(|v| v.as_slice()));
+        let hashes: Vec<_> =
+            leaves.iter().map(|l| dapes_crypto::merkle::leaf_hash(l)).collect();
+        prop_assert!(MerkleTree::verify_leaves(&tree.root(), hashes.clone()));
+        // Reordering two leaves must break verification.
+        if leaf_count >= 2 {
+            let mut swapped = hashes;
+            swapped.swap(0, leaf_count - 1);
+            prop_assert!(!MerkleTree::verify_leaves(&tree.root(), swapped));
         }
     }
 }
