@@ -1,0 +1,101 @@
+//! Hot-path throughput benchmark: runs the dense relay swarm under the
+//! legacy (pre-refactor) and zero-copy cost models and writes
+//! `BENCH_hotpath.json`.
+//!
+//! ```text
+//! cargo run --release -p dapes-bench --bin hotpath            # dense (280 nodes)
+//! cargo run --release -p dapes-bench --bin hotpath -- --quick # CI smoke
+//! cargo run ... -- --out path/to/BENCH_hotpath.json
+//! ```
+
+use dapes_bench::hotpath::{render_report, run_hotpath, HotpathMode, HotpathParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_owned());
+    let mut params = if quick {
+        HotpathParams::smoke()
+    } else {
+        HotpathParams::dense()
+    };
+    // Optional overrides for exploring the parameter space.
+    let arg = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
+    if let Some(n) = arg("--nodes") {
+        params.nodes = n.parse().expect("--nodes");
+    }
+    if let Some(f) = arg("--field") {
+        params.field = f.parse().expect("--field");
+    }
+    if let Some(p) = arg("--period-ms") {
+        params.beacon_period_ms = p.parse().expect("--period-ms");
+    }
+    if let Some(b) = arg("--beacons") {
+        params.beacons = b.parse().expect("--beacons");
+    }
+    if let Some(r) = arg("--relay-prob") {
+        params.relay_prob = r.parse().expect("--relay-prob");
+    }
+    if let Some(p) = arg("--payload") {
+        params.payload_bytes = p.parse().expect("--payload");
+    }
+    eprintln!(
+        "perf_hotpath: {} nodes, {} beacons each, field {} m, range {} m",
+        params.nodes, params.beacons, params.field, params.range
+    );
+
+    // Warm up BOTH cost models at small scale so neither timed run pays
+    // first-touch costs, then interleave two timed repetitions per mode and
+    // keep each mode's best run — this cancels run-ordering effects
+    // (allocator arenas, page cache) instead of favoring whichever mode
+    // runs later.
+    let warmup = HotpathParams {
+        nodes: params.nodes.min(40),
+        beacons: 2,
+        ..params
+    };
+    let _ = run_hotpath(&warmup, HotpathMode::Legacy);
+    let _ = run_hotpath(&warmup, HotpathMode::ZeroCopy);
+
+    let pick_best = |a: dapes_bench::hotpath::HotpathResult,
+                     b: dapes_bench::hotpath::HotpathResult| {
+        if a.wall_secs <= b.wall_secs {
+            a
+        } else {
+            b
+        }
+    };
+    let baseline = pick_best(
+        run_hotpath(&params, HotpathMode::Legacy),
+        run_hotpath(&params, HotpathMode::Legacy),
+    );
+    eprintln!(
+        "  legacy   : {:>8.0} events/s  ({:.2} s wall, {} events, {} bytes cloned)",
+        baseline.events_per_sec, baseline.wall_secs, baseline.events, baseline.bytes_cloned
+    );
+    let optimized = pick_best(
+        run_hotpath(&params, HotpathMode::ZeroCopy),
+        run_hotpath(&params, HotpathMode::ZeroCopy),
+    );
+    eprintln!(
+        "  zero-copy: {:>8.0} events/s  ({:.2} s wall, {} events, {} bytes cloned)",
+        optimized.events_per_sec, optimized.wall_secs, optimized.events, optimized.bytes_cloned
+    );
+    assert_eq!(
+        (baseline.tx_frames, baseline.delivered),
+        (optimized.tx_frames, optimized.delivered),
+        "modes must run the same trace for the comparison to be fair"
+    );
+    eprintln!(
+        "  speedup  : {:.2}x events/s",
+        optimized.events_per_sec / baseline.events_per_sec
+    );
+
+    let json = render_report(&params, &baseline, &optimized);
+    std::fs::write(&out, json).expect("write BENCH_hotpath.json");
+    eprintln!("wrote {out}");
+}

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod hotpath;
 pub mod profile;
 pub mod report;
 pub mod scenario;

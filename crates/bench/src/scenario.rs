@@ -440,7 +440,7 @@ mod tests {
     fn percentile_nearest_rank() {
         let v: Vec<f64> = (1..=10).map(|x| x as f64).collect();
         assert_eq!(percentile(v.clone(), 0.90), 9.0);
-        assert_eq!(percentile(v.clone(), 0.5), 5.0);
+        assert_eq!(percentile(v, 0.5), 5.0);
         assert_eq!(percentile(vec![3.0], 0.9), 3.0);
         assert_eq!(percentile(vec![], 0.9), 0.0);
     }

@@ -526,7 +526,7 @@ mod tests {
             0.0,
             1,
         )));
-        let mut strat = DapesStrategy::new(shared.clone());
+        let mut strat = DapesStrategy::new(shared);
         let i = content_interest("/col/f/0");
         let d = strat.decide(&i, FaceId::APP, &[FaceId::WIRELESS], SimTime::ZERO);
         assert_eq!(d, Decision::Forward(vec![FaceId::WIRELESS]));

@@ -190,7 +190,7 @@ mod tests {
         let col = Name::from_uri("/damaged-bridge-1533783192");
         let iname = bitmap_interest_name(&col, 3, 12);
         let (c, o, r, rep) = parse_bitmap_name(&iname).expect("parses");
-        assert_eq!((c.clone(), o, r, rep), (col.clone(), 3, 12, None));
+        assert_eq!((c, o, r, rep), (col.clone(), 3, 12, None));
         let rname = bitmap_reply_name(&iname, 9);
         let (c2, o2, r2, rep2) = parse_bitmap_name(&rname).expect("parses");
         assert_eq!((c2, o2, r2, rep2), (col, 3, 12, Some(9)));

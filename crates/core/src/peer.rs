@@ -32,6 +32,7 @@ use dapes_ndn::forwarder::{Action, Forwarder, ForwarderConfig};
 use dapes_ndn::name::Name;
 use dapes_ndn::packet::{Data, Interest, Packet};
 use dapes_netsim::node::{NetStack, NodeCtx, TimerHandle, TxOutcome};
+use dapes_netsim::payload::Payload;
 use dapes_netsim::radio::{Frame, FrameKind};
 use dapes_netsim::time::{SimDuration, SimTime};
 use rand::Rng;
@@ -69,8 +70,8 @@ const TOKEN_MASK: u64 = 0xff << 56;
 
 #[derive(Debug)]
 enum PendingPayload {
-    /// A fully built packet to transmit.
-    Raw(Vec<u8>),
+    /// A fully built packet to transmit (shared wire buffer).
+    Raw(Payload),
     /// Our bitmap reply for a collection, rebuilt at fire time.
     BitmapReply { collection: Name, reply_name: Name },
     /// Our own advertisement round (a bitmap Interest), built at fire time.
@@ -348,7 +349,7 @@ impl DapesPeer {
                     interest,
                 } => {
                     let delay = self.jitter(ctx);
-                    ctx.send_frame(interest.encode(), kind, 0, delay);
+                    ctx.send_frame(interest.wire(), kind, 0, delay);
                     handled = true;
                 }
                 Action::SendData {
@@ -363,7 +364,7 @@ impl DapesPeer {
         }
         if !handled {
             let delay = self.jitter(ctx);
-            ctx.send_frame(interest.encode(), kind, 0, delay);
+            ctx.send_frame(interest.wire(), kind, 0, delay);
         }
     }
 
@@ -375,7 +376,7 @@ impl DapesPeer {
         for action in actions {
             if let Action::SendData { face, data } = action {
                 if face == FaceId::WIRELESS && !sent {
-                    ctx.send_frame(data.encode(), kind, 0, SimDuration::ZERO);
+                    ctx.send_frame(data.wire(), kind, 0, SimDuration::ZERO);
                     sent = true;
                 }
             }
@@ -383,7 +384,7 @@ impl DapesPeer {
         if !sent {
             // No PIT entry (e.g. the requester's entry lapsed): broadcast
             // anyway — the data was explicitly requested moments ago.
-            ctx.send_frame(data.encode(), kind, 0, SimDuration::ZERO);
+            ctx.send_frame(data.wire(), kind, 0, SimDuration::ZERO);
         }
     }
 
@@ -491,7 +492,7 @@ impl DapesPeer {
                     if let Action::SendData { face, data } = action {
                         if face == FaceId::WIRELESS && !sent {
                             ctx.send_frame(
-                                data.encode(),
+                                data.wire(),
                                 kinds::BITMAP_DATA,
                                 tx_token,
                                 SimDuration::ZERO,
@@ -501,12 +502,7 @@ impl DapesPeer {
                     }
                 }
                 if !sent {
-                    ctx.send_frame(
-                        data.encode(),
-                        kinds::BITMAP_DATA,
-                        tx_token,
-                        SimDuration::ZERO,
-                    );
+                    ctx.send_frame(data.wire(), kinds::BITMAP_DATA, tx_token, SimDuration::ZERO);
                 }
             }
             PendingPayload::BitmapInterest { collection } => {
@@ -526,7 +522,7 @@ impl DapesPeer {
                 self.inflight.insert(
                     tx_token,
                     InflightTx {
-                        bitmap_collection: Some(collection.clone()),
+                        bitmap_collection: Some(collection),
                     },
                 );
                 let actions = self
@@ -536,7 +532,7 @@ impl DapesPeer {
                     if let Action::SendInterest { face, interest } = action {
                         if face == FaceId::WIRELESS {
                             ctx.send_frame(
-                                interest.encode(),
+                                interest.wire(),
                                 kinds::BITMAP_INTEREST,
                                 tx_token,
                                 SimDuration::ZERO,
@@ -1121,7 +1117,7 @@ impl DapesPeer {
                     let delay = self.jitter(ctx);
                     self.schedule_pending(
                         ctx,
-                        PendingPayload::Raw(data.encode()),
+                        PendingPayload::Raw(data.wire()),
                         kinds::METADATA_DATA,
                         delay,
                         Some(data.name().clone()),
@@ -1144,7 +1140,7 @@ impl DapesPeer {
                     let delay = self.jitter(ctx);
                     self.schedule_pending(
                         ctx,
-                        PendingPayload::Raw(data.encode()),
+                        PendingPayload::Raw(data.wire()),
                         kinds::CONTENT_DATA,
                         delay,
                         Some(data.name().clone()),
@@ -1279,7 +1275,7 @@ impl DapesPeer {
                             .rng()
                             .gen_range(0..self.cfg.tx_window.as_micros().max(1));
                         ctx.send_frame(
-                            interest.encode(),
+                            interest.wire(),
                             kinds::CONTENT_INTEREST,
                             0,
                             SimDuration::from_micros(delay_us),
@@ -1334,7 +1330,7 @@ impl NetStack for DapesPeer {
     }
 
     fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame) {
-        let Ok(packet) = Packet::decode(&frame.payload) else {
+        let Ok(packet) = Packet::decode_payload(&frame.payload) else {
             return;
         };
         if self.role == NodeRole::Dapes {
@@ -1374,7 +1370,7 @@ impl NetStack for DapesPeer {
                             let nonce = interest.nonce();
                             self.schedule_pending(
                                 ctx,
-                                PendingPayload::Raw(interest.encode()),
+                                PendingPayload::Raw(interest.wire()),
                                 frame.kind,
                                 delay,
                                 Some(name.clone()),
@@ -1391,7 +1387,7 @@ impl NetStack for DapesPeer {
                             let delay = self.jitter(ctx);
                             self.schedule_pending(
                                 ctx,
-                                PendingPayload::Raw(data.encode()),
+                                PendingPayload::Raw(data.wire()),
                                 response_kind_for(&data),
                                 delay,
                                 Some(data.name().clone()),
@@ -1473,7 +1469,7 @@ impl NetStack for DapesPeer {
                             let delay = self.jitter(ctx);
                             self.schedule_pending(
                                 ctx,
-                                PendingPayload::Raw(data.encode()),
+                                PendingPayload::Raw(data.wire()),
                                 frame.kind,
                                 delay,
                                 Some(data.name().clone()),

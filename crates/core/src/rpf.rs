@@ -201,7 +201,7 @@ mod tests {
         let o3 = fetch_order(0..64, &rarity, StartPacket::Random, 8);
         assert_eq!(o1, o2, "same seed, same order");
         assert_ne!(o1, o3, "different seeds diversify");
-        let mut sorted = o1.clone();
+        let mut sorted = o1;
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<_>>(), "permutation");
     }

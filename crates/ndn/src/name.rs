@@ -7,27 +7,41 @@
 //! then lexicographic), which makes a name sort before every name it is a
 //! prefix of — the property the CS/FIB rely on for prefix searches.
 
+use dapes_netsim::payload::Payload;
 use std::fmt;
+use std::sync::Arc;
 
 /// One name component: opaque bytes, displayed with URI percent-escaping.
+///
+/// Components are backed by a shared [`Payload`] buffer: cloning one — and
+/// names are cloned on every PIT insert, CS key and forwarded packet —
+/// bumps a reference count instead of copying the bytes. A component
+/// decoded from a received frame is a zero-copy *view* into that frame's
+/// buffer.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct Component(Vec<u8>);
+pub struct Component(Payload);
 
 impl Component {
     /// Creates a component from raw bytes.
     pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
-        Component(bytes.into())
+        Component(Payload::from(bytes.into()))
+    }
+
+    /// Creates a component as a zero-copy view of `payload` (used by the
+    /// packet decoder so received names borrow from the received frame).
+    pub fn from_payload(payload: Payload) -> Self {
+        Component(payload)
     }
 
     /// Creates a component from UTF-8 text.
     pub fn from_str_component(s: &str) -> Self {
-        Component(s.as_bytes().to_vec())
+        Component(Payload::copy_from_slice(s.as_bytes()))
     }
 
     /// Creates a component holding a decimal sequence number, as DAPES uses
     /// for packet indices.
     pub fn from_seq(seq: u64) -> Self {
-        Component(seq.to_string().into_bytes())
+        Component(Payload::from(seq.to_string().into_bytes()))
     }
 
     /// Raw bytes of the component.
@@ -64,7 +78,7 @@ impl Ord for Component {
         self.0
             .len()
             .cmp(&other.0.len())
-            .then_with(|| self.0.cmp(&other.0))
+            .then_with(|| self.0.as_slice().cmp(other.0.as_slice()))
     }
 }
 
@@ -76,7 +90,7 @@ impl fmt::Debug for Component {
 
 impl fmt::Display for Component {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for &b in &self.0 {
+        for &b in self.0.iter() {
             if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~') {
                 write!(f, "{}", b as char)?;
             } else {
@@ -113,7 +127,9 @@ impl From<u64> for Component {
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct Name {
-    components: Vec<Component>,
+    /// Shared component list: cloning a `Name` is one reference-count bump,
+    /// which is what makes PIT/CS/forwarder name handling allocation-free.
+    components: Arc<Vec<Component>>,
 }
 
 impl Name {
@@ -124,7 +140,9 @@ impl Name {
 
     /// Builds a name from components.
     pub fn from_components(components: Vec<Component>) -> Self {
-        Name { components }
+        Name {
+            components: Arc::new(components),
+        }
     }
 
     /// Parses a URI like `/a/b/0`. Percent-escapes (`%2F`) decode to raw
@@ -136,9 +154,9 @@ impl Name {
             if seg.is_empty() {
                 continue;
             }
-            components.push(Component(unescape(seg)));
+            components.push(Component(Payload::from(unescape(seg))));
         }
-        Name { components }
+        Name::from_components(components)
     }
 
     /// Number of components.
@@ -169,14 +187,14 @@ impl Name {
     /// Returns a new name with `component` appended.
     #[must_use]
     pub fn child(&self, component: impl Into<Component>) -> Name {
-        let mut components = self.components.clone();
+        let mut components = (*self.components).clone();
         components.push(component.into());
-        Name { components }
+        Name::from_components(components)
     }
 
     /// Appends a component in place.
     pub fn push(&mut self, component: impl Into<Component>) {
-        self.components.push(component.into());
+        Arc::make_mut(&mut self.components).push(component.into());
     }
 
     /// The first `k` components as a new name.
@@ -187,9 +205,7 @@ impl Name {
     #[must_use]
     pub fn prefix(&self, k: usize) -> Name {
         assert!(k <= self.components.len(), "prefix longer than name");
-        Name {
-            components: self.components[..k].to_vec(),
-        }
+        Name::from_components(self.components[..k].to_vec())
     }
 
     /// Whether `self` is a (non-strict) prefix of `other`.
@@ -198,7 +214,7 @@ impl Name {
             && self
                 .components
                 .iter()
-                .zip(&other.components)
+                .zip(other.components.iter())
                 .all(|(a, b)| a == b)
     }
 
@@ -213,7 +229,7 @@ impl fmt::Display for Name {
         if self.components.is_empty() {
             return write!(f, "/");
         }
-        for c in &self.components {
+        for c in self.components.iter() {
             write!(f, "/{c}")?;
         }
         Ok(())

@@ -5,11 +5,36 @@
 //! simulator) are realistic. Data signatures use the
 //! [`dapes_crypto::signing`] trust-anchor scheme; the signed portion covers
 //! Name, MetaInfo, Content and SignatureInfo, as in the spec.
+//!
+//! # Encode-once wire cache
+//!
+//! Both packet types carry a lazily filled wire cache ([`Interest::wire`],
+//! [`Data::wire`]): the first encoding is memoized in a shared
+//! [`Payload`] buffer and every later send — including every clone made by
+//! the forwarder for PIT downstreams or CS hits — reuses it without
+//! re-encoding. Decoding via [`Interest::decode_payload`] /
+//! [`Data::decode_payload`] seeds the cache with the *received* bytes, so a
+//! multi-hop relay re-broadcasts the exact frame it heard with zero
+//! re-encoding (also the byte-faithful thing to do for signed packets).
+//! Mutating a packet (builder setters, [`Interest::decrement_hop_limit`])
+//! invalidates the cache.
 
 use crate::name::{Component, Name};
 use crate::tlv::{self, types, TlvError, TlvReader};
 use dapes_crypto::signing::{KeyId, Signature, Signer, Verifier};
 use dapes_crypto::{sha256::sha256, Digest};
+use dapes_netsim::payload::Payload;
+use std::sync::OnceLock;
+
+/// Copies a wire cache for a cloned packet: the clone shares the same
+/// encoded buffer.
+fn clone_cache(cache: &OnceLock<Payload>) -> OnceLock<Payload> {
+    let out = OnceLock::new();
+    if let Some(w) = cache.get() {
+        let _ = out.set(w.clone());
+    }
+    out
+}
 
 /// An Interest packet: a request for named data.
 ///
@@ -27,7 +52,7 @@ use dapes_crypto::{sha256::sha256, Digest};
 /// assert_eq!(back.name().to_string(), "/dapes/discovery");
 /// assert!(back.can_be_prefix());
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Interest {
     name: Name,
     can_be_prefix: bool,
@@ -36,8 +61,39 @@ pub struct Interest {
     /// Lifetime in milliseconds (PIT entry duration).
     lifetime_ms: u64,
     hop_limit: Option<u8>,
-    app_parameters: Option<Vec<u8>>,
+    app_parameters: Option<Payload>,
+    /// Encode-once cache; never compared, cloned by reference.
+    wire: OnceLock<Payload>,
 }
+
+impl Clone for Interest {
+    fn clone(&self) -> Self {
+        Interest {
+            name: self.name.clone(),
+            can_be_prefix: self.can_be_prefix,
+            must_be_fresh: self.must_be_fresh,
+            nonce: self.nonce,
+            lifetime_ms: self.lifetime_ms,
+            hop_limit: self.hop_limit,
+            app_parameters: self.app_parameters.clone(),
+            wire: clone_cache(&self.wire),
+        }
+    }
+}
+
+impl PartialEq for Interest {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.can_be_prefix == other.can_be_prefix
+            && self.must_be_fresh == other.must_be_fresh
+            && self.nonce == other.nonce
+            && self.lifetime_ms == other.lifetime_ms
+            && self.hop_limit == other.hop_limit
+            && self.app_parameters == other.app_parameters
+    }
+}
+
+impl Eq for Interest {}
 
 impl Interest {
     /// Default InterestLifetime (the NDN default of 4 s).
@@ -53,6 +109,7 @@ impl Interest {
             lifetime_ms: Self::DEFAULT_LIFETIME_MS,
             hop_limit: None,
             app_parameters: None,
+            wire: OnceLock::new(),
         }
     }
 
@@ -95,6 +152,7 @@ impl Interest {
     #[must_use]
     pub fn with_can_be_prefix(mut self, v: bool) -> Self {
         self.can_be_prefix = v;
+        self.wire = OnceLock::new();
         self
     }
 
@@ -102,6 +160,7 @@ impl Interest {
     #[must_use]
     pub fn with_must_be_fresh(mut self, v: bool) -> Self {
         self.must_be_fresh = v;
+        self.wire = OnceLock::new();
         self
     }
 
@@ -109,6 +168,7 @@ impl Interest {
     #[must_use]
     pub fn with_nonce(mut self, nonce: u32) -> Self {
         self.nonce = nonce;
+        self.wire = OnceLock::new();
         self
     }
 
@@ -116,6 +176,7 @@ impl Interest {
     #[must_use]
     pub fn with_lifetime_ms(mut self, ms: u64) -> Self {
         self.lifetime_ms = ms;
+        self.wire = OnceLock::new();
         self
     }
 
@@ -123,29 +184,43 @@ impl Interest {
     #[must_use]
     pub fn with_hop_limit(mut self, hops: u8) -> Self {
         self.hop_limit = Some(hops);
+        self.wire = OnceLock::new();
         self
     }
 
     /// Attaches application parameters.
     #[must_use]
-    pub fn with_app_parameters(mut self, params: Vec<u8>) -> Self {
-        self.app_parameters = Some(params);
+    pub fn with_app_parameters(mut self, params: impl Into<Payload>) -> Self {
+        self.app_parameters = Some(params.into());
+        self.wire = OnceLock::new();
         self
     }
 
-    /// Decrements the hop limit, returning `false` when exhausted.
+    /// Decrements the hop limit, returning `false` when exhausted. A real
+    /// decrement changes the wire encoding, so it invalidates the cache.
     pub fn decrement_hop_limit(&mut self) -> bool {
         match self.hop_limit {
             None => true,
             Some(0) => false,
             Some(h) => {
                 self.hop_limit = Some(h - 1);
+                self.wire = OnceLock::new();
                 h > 1
             }
         }
     }
 
-    /// Encodes to wire format.
+    /// The wire encoding as a shared buffer, encoded at most once: repeated
+    /// calls (and calls on clones made after the first encoding) return the
+    /// same allocation.
+    pub fn wire(&self) -> Payload {
+        self.wire
+            .get_or_init(|| Payload::from(self.encode()))
+            .clone()
+    }
+
+    /// Encodes to wire format, building a fresh buffer. Hot paths should
+    /// prefer [`Interest::wire`].
     pub fn encode(&self) -> Vec<u8> {
         let mut body = Vec::with_capacity(64 + self.app_parameters.as_ref().map_or(0, |p| p.len()));
         encode_name(&mut body, &self.name);
@@ -174,10 +249,14 @@ impl Interest {
     ///
     /// Returns a [`TlvError`] on malformed input.
     pub fn decode(wire: &[u8]) -> Result<Self, TlvError> {
+        Self::decode_inner(wire, None)
+    }
+
+    fn decode_inner(wire: &[u8], backing: Option<&Payload>) -> Result<Self, TlvError> {
         let mut outer = TlvReader::new(wire);
         let body = outer.read_expected(types::INTEREST)?;
         let mut r = TlvReader::new(body);
-        let name = decode_name(&mut r)?;
+        let name = decode_name_inner(&mut r, backing)?;
         let mut interest = Interest::new(name);
         while !r.is_at_end() {
             let (typ, value) = r.read_tlv()?;
@@ -195,12 +274,40 @@ impl Interest {
                     interest.hop_limit =
                         Some(*value.first().ok_or(TlvError::BadValue("empty hop limit"))?)
                 }
-                types::APP_PARAMETERS => interest.app_parameters = Some(value.to_vec()),
+                types::APP_PARAMETERS => {
+                    interest.app_parameters = Some(match backing {
+                        Some(p) => p.view_of(value),
+                        None => Payload::copy_from_slice(value),
+                    })
+                }
                 _ => {} // ignore unknown fields
             }
         }
         Ok(interest)
     }
+
+    /// Decodes from a shared buffer with zero payload copies: the
+    /// application parameters become a view into `payload`, and the wire
+    /// cache is seeded with the received bytes so re-broadcasting the
+    /// Interest reuses the incoming frame's allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlvError`] on malformed input.
+    pub fn decode_payload(payload: &Payload) -> Result<Self, TlvError> {
+        let interest = Self::decode_inner(payload, Some(payload))?;
+        if whole_buffer_is_one_packet(payload) {
+            let _ = interest.wire.set(payload.clone());
+        }
+        Ok(interest)
+    }
+}
+
+/// Whether the buffer holds exactly one TLV packet (no trailing bytes), the
+/// precondition for caching it as a packet's wire image.
+fn whole_buffer_is_one_packet(buf: &[u8]) -> bool {
+    let mut r = TlvReader::new(buf);
+    r.read_tlv().is_ok() && r.is_at_end()
 }
 
 /// Content type of a Data packet.
@@ -250,24 +357,54 @@ impl ContentType {
 /// let back = Data::decode(&wire).expect("round trip");
 /// assert!(back.verify(&anchor));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Data {
     name: Name,
     content_type: ContentType,
     freshness_ms: u64,
-    content: Vec<u8>,
+    /// Shared buffer: cloning Data (per PIT downstream, per CS insert) does
+    /// not copy the payload.
+    content: Payload,
     signature: Option<Signature>,
+    /// Encode-once cache; never compared, cloned by reference.
+    wire: OnceLock<Payload>,
 }
+
+impl Clone for Data {
+    fn clone(&self) -> Self {
+        Data {
+            name: self.name.clone(),
+            content_type: self.content_type,
+            freshness_ms: self.freshness_ms,
+            content: self.content.clone(),
+            signature: self.signature.clone(),
+            wire: clone_cache(&self.wire),
+        }
+    }
+}
+
+impl PartialEq for Data {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.content_type == other.content_type
+            && self.freshness_ms == other.freshness_ms
+            && self.content == other.content
+            && self.signature == other.signature
+    }
+}
+
+impl Eq for Data {}
 
 impl Data {
     /// Creates unsigned Data with the given name and content.
-    pub fn new(name: Name, content: Vec<u8>) -> Self {
+    pub fn new(name: Name, content: impl Into<Payload>) -> Self {
         Data {
             name,
             content_type: ContentType::Blob,
             freshness_ms: 0,
-            content,
+            content: content.into(),
             signature: None,
+            wire: OnceLock::new(),
         }
     }
 
@@ -300,6 +437,7 @@ impl Data {
     #[must_use]
     pub fn with_content_type(mut self, t: ContentType) -> Self {
         self.content_type = t;
+        self.wire = OnceLock::new();
         self
     }
 
@@ -307,6 +445,7 @@ impl Data {
     #[must_use]
     pub fn with_freshness_ms(mut self, ms: u64) -> Self {
         self.freshness_ms = ms;
+        self.wire = OnceLock::new();
         self
     }
 
@@ -315,6 +454,7 @@ impl Data {
     pub fn signed(mut self, signer: &dyn Signer) -> Self {
         let portion = self.signed_portion(signer.key_id());
         self.signature = Some(signer.sign(&portion));
+        self.wire = OnceLock::new();
         self
     }
 
@@ -334,7 +474,7 @@ impl Data {
     /// SHA-256 over the full encoded packet — NDN's "implicit digest",
     /// which DAPES metadata uses as the per-packet digest.
     pub fn implicit_digest(&self) -> Digest {
-        sha256(&self.encode())
+        sha256(&self.wire())
     }
 
     /// SHA-256 of just the content, used by the packet-digest metadata
@@ -372,7 +512,17 @@ impl Data {
         tlv::write_tlv(out, types::SIGNATURE_INFO, &info);
     }
 
-    /// Encodes to wire format.
+    /// The wire encoding as a shared buffer, encoded at most once: repeated
+    /// calls (and calls on clones made after the first encoding, e.g. the
+    /// copy a Content Store hit hands back) return the same allocation.
+    pub fn wire(&self) -> Payload {
+        self.wire
+            .get_or_init(|| Payload::from(self.encode()))
+            .clone()
+    }
+
+    /// Encodes to wire format, building a fresh buffer. Hot paths should
+    /// prefer [`Data::wire`].
     pub fn encode(&self) -> Vec<u8> {
         let key_id = self.signature.as_ref().map_or(KeyId(0), |s| s.key_id);
         let mut body = self.signed_portion(key_id);
@@ -392,10 +542,14 @@ impl Data {
     ///
     /// Returns a [`TlvError`] on malformed input.
     pub fn decode(wire: &[u8]) -> Result<Self, TlvError> {
+        Self::decode_inner(wire, None)
+    }
+
+    fn decode_inner(wire: &[u8], backing: Option<&Payload>) -> Result<Self, TlvError> {
         let mut outer = TlvReader::new(wire);
         let body = outer.read_expected(types::DATA)?;
         let mut r = TlvReader::new(body);
-        let name = decode_name(&mut r)?;
+        let name = decode_name_inner(&mut r, backing)?;
         let mut data = Data::new(name, Vec::new());
         while !r.is_at_end() {
             let (typ, value) = r.read_tlv()?;
@@ -413,7 +567,12 @@ impl Data {
                         }
                     }
                 }
-                types::CONTENT => data.content = value.to_vec(),
+                types::CONTENT => {
+                    data.content = match backing {
+                        Some(p) => p.view_of(value),
+                        None => Payload::copy_from_slice(value),
+                    }
+                }
                 types::SIGNATURE_INFO => {} // key id is inside SignatureValue too
                 types::SIGNATURE_VALUE => {
                     data.signature = if value.is_empty() {
@@ -431,10 +590,25 @@ impl Data {
         Ok(data)
     }
 
-    /// Wire size without re-encoding (approximation used for air-time
-    /// estimates before the packet is built).
+    /// Decodes from a shared buffer with zero payload copies: the content
+    /// field becomes a view into `payload`, and the wire cache is seeded
+    /// with the received bytes so re-broadcasting or cache-serving the
+    /// Data reuses the incoming frame's allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlvError`] on malformed input.
+    pub fn decode_payload(payload: &Payload) -> Result<Self, TlvError> {
+        let data = Self::decode_inner(payload, Some(payload))?;
+        if whole_buffer_is_one_packet(payload) {
+            let _ = data.wire.set(payload.clone());
+        }
+        Ok(data)
+    }
+
+    /// Wire size without re-encoding once the cache is warm.
     pub fn wire_size(&self) -> usize {
-        self.encode().len()
+        self.wire().len()
     }
 }
 
@@ -465,11 +639,37 @@ impl Packet {
         }
     }
 
+    /// Decodes either packet type from a shared buffer, seeding the packet's
+    /// wire cache with the received bytes (zero-copy re-broadcast).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlvError`] for unknown outer types or malformed input.
+    pub fn decode_payload(payload: &Payload) -> Result<Self, TlvError> {
+        let r = TlvReader::new(payload);
+        match r.peek_type()? {
+            types::INTEREST => Ok(Packet::Interest(Interest::decode_payload(payload)?)),
+            types::DATA => Ok(Packet::Data(Data::decode_payload(payload)?)),
+            other => Err(TlvError::UnexpectedType {
+                expected: types::INTEREST,
+                found: other,
+            }),
+        }
+    }
+
     /// Encodes whichever packet this is.
     pub fn encode(&self) -> Vec<u8> {
         match self {
             Packet::Interest(i) => i.encode(),
             Packet::Data(d) => d.encode(),
+        }
+    }
+
+    /// The cached wire encoding of whichever packet this is.
+    pub fn wire(&self) -> Payload {
+        match self {
+            Packet::Interest(i) => i.wire(),
+            Packet::Data(d) => d.wire(),
         }
     }
 
@@ -490,7 +690,9 @@ pub(crate) fn encode_name(out: &mut Vec<u8>, name: &Name) {
     tlv::write_tlv(out, types::NAME, &body);
 }
 
-pub(crate) fn decode_name(r: &mut TlvReader<'_>) -> Result<Name, TlvError> {
+/// Decodes a Name; with a `backing` payload, each component is a zero-copy
+/// view into the received frame instead of a fresh allocation.
+fn decode_name_inner(r: &mut TlvReader<'_>, backing: Option<&Payload>) -> Result<Name, TlvError> {
     let body = r.read_expected(types::NAME)?;
     let mut nr = TlvReader::new(body);
     let mut components = Vec::new();
@@ -498,7 +700,10 @@ pub(crate) fn decode_name(r: &mut TlvReader<'_>) -> Result<Name, TlvError> {
         let (typ, value) = nr.read_tlv()?;
         // Treat all component types as generic; we only emit 0x08.
         let _ = typ;
-        components.push(Component::from_bytes(value.to_vec()));
+        components.push(match backing {
+            Some(p) => Component::from_payload(p.view_of(value)),
+            None => Component::from_bytes(value.to_vec()),
+        });
     }
     Ok(Name::from_components(components))
 }
@@ -635,6 +840,104 @@ mod tests {
         let i = Interest::new(Name::root()).with_nonce(3);
         let back = Interest::decode(&i.encode()).expect("decode");
         assert_eq!(back.name(), &Name::root());
+    }
+
+    #[test]
+    fn wire_cache_encodes_once_and_clones_share_it() {
+        let d = Data::new(name(), vec![7; 256]);
+        let w1 = d.wire();
+        let w2 = d.wire();
+        assert!(Payload::ptr_eq(&w1, &w2), "second wire() re-encoded");
+        let c = d.clone();
+        assert!(
+            Payload::ptr_eq(&w1, &c.wire()),
+            "clone must share the cached wire"
+        );
+        assert_eq!(&*w1, &d.encode()[..], "cache matches a fresh encoding");
+    }
+
+    #[test]
+    fn decode_payload_seeds_cache_with_received_bytes() {
+        let d = Data::new(name(), vec![1; 64]);
+        let incoming = Payload::from(d.encode());
+        let back = Data::decode_payload(&incoming).expect("decode");
+        assert!(
+            Payload::ptr_eq(&incoming, &back.wire()),
+            "re-broadcast must reuse the received buffer"
+        );
+        let i = Interest::new(name()).with_nonce(4);
+        let incoming = Payload::from(i.encode());
+        let back = Interest::decode_payload(&incoming).expect("decode");
+        assert!(Payload::ptr_eq(&incoming, &back.wire()));
+    }
+
+    #[test]
+    fn decode_payload_content_is_a_zero_copy_view() {
+        let d = Data::new(name(), vec![42; 512]);
+        let incoming = Payload::from(d.encode());
+        let back = Data::decode_payload(&incoming).expect("decode");
+        assert_eq!(back.content(), &[42u8; 512][..]);
+        let content_view = incoming.view_of(back.content());
+        assert!(
+            Payload::same_backing(&incoming, &content_view),
+            "content must borrow from the received frame"
+        );
+        // Plain decode from a bare slice still owns its content.
+        let owned = Data::decode(&incoming).expect("decode");
+        assert_eq!(owned, back);
+    }
+
+    #[test]
+    fn decode_payload_with_trailing_bytes_does_not_seed_cache() {
+        let d = Data::new(name(), vec![1; 8]);
+        let mut wire = d.encode();
+        wire.extend_from_slice(&[0x99, 0x00]); // trailing unknown TLV
+        let buf = Payload::from(wire);
+        let back = Data::decode_payload(&buf).expect("outer TLV still parses");
+        assert!(
+            !Payload::ptr_eq(&buf, &back.wire()),
+            "a buffer with trailing bytes is not this packet's wire image"
+        );
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn hop_limit_decrement_invalidates_cache() {
+        let mut i = Interest::new(name()).with_nonce(1).with_hop_limit(3);
+        let before = i.wire();
+        assert!(i.decrement_hop_limit());
+        let after = i.wire();
+        assert!(!Payload::ptr_eq(&before, &after));
+        assert_eq!(
+            Interest::decode(&after).expect("decode").hop_limit(),
+            Some(2),
+            "re-encoding must reflect the decrement"
+        );
+        // Exhausted decrements change nothing and keep the cache.
+        let mut z = Interest::new(name()).with_hop_limit(0);
+        let w = z.wire();
+        assert!(!z.decrement_hop_limit());
+        assert!(Payload::ptr_eq(&w, &z.wire()));
+    }
+
+    #[test]
+    fn equality_ignores_wire_cache_state() {
+        let a = Data::new(name(), vec![3; 16]);
+        let b = a.clone();
+        let _ = a.wire(); // warm only one side
+        assert_eq!(a, b);
+        let i = Interest::new(name()).with_nonce(9);
+        let j = i.clone();
+        let _ = j.wire();
+        assert_eq!(i, j);
+    }
+
+    #[test]
+    fn packet_decode_payload_dispatches_and_seeds() {
+        let d = Data::new(name(), vec![1]);
+        let buf = Payload::from(d.encode());
+        let p = Packet::decode_payload(&buf).expect("decode");
+        assert!(Payload::ptr_eq(&buf, &p.wire()));
     }
 
     #[test]

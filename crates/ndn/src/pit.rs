@@ -144,16 +144,18 @@ impl Pit {
 
     /// Removes entries that expired at or before `now`, returning their
     /// names (DAPES pure forwarders start suppression timers off these).
+    /// Single pass, draining names out of the dropped entries in place —
+    /// no per-entry clone and no second lookup.
     pub fn expire(&mut self, now: SimTime) -> Vec<Name> {
-        let expired: Vec<Name> = self
-            .entries
-            .values()
-            .filter(|e| e.expiry <= now)
-            .map(|e| e.name.clone())
-            .collect();
-        for name in &expired {
-            self.entries.remove(name);
-        }
+        let mut expired = Vec::new();
+        self.entries.retain(|_, e| {
+            if e.expiry <= now {
+                expired.push(std::mem::take(&mut e.name));
+                false
+            } else {
+                true
+            }
+        });
         expired
     }
 

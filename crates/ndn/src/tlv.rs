@@ -143,28 +143,36 @@ impl<'a> TlvReader<'a> {
 
     /// Reads a variable-size number.
     pub fn read_varnum(&mut self) -> Result<u64, TlvError> {
-        let first = *self.buf.get(self.pos).ok_or(TlvError::Truncated)?;
-        self.pos += 1;
+        let (n, next) = self.varnum_at(self.pos)?;
+        self.pos = next;
+        Ok(n)
+    }
+
+    /// Decodes a variable-size number at `pos` without touching the cursor,
+    /// returning the value and the offset just past it.
+    fn varnum_at(&self, pos: usize) -> Result<(u64, usize), TlvError> {
+        let first = *self.buf.get(pos).ok_or(TlvError::Truncated)?;
         let len = match first {
-            0..=252 => return Ok(first as u64),
+            0..=252 => return Ok((first as u64, pos + 1)),
             253 => 2,
             254 => 4,
             255 => 8,
         };
-        if self.remaining() < len {
+        let end = pos + 1 + len;
+        if end > self.buf.len() {
             return Err(TlvError::Truncated);
         }
         let mut n = 0u64;
-        for &b in &self.buf[self.pos..self.pos + len] {
+        for &b in &self.buf[pos + 1..end] {
             n = (n << 8) | b as u64;
         }
-        self.pos += len;
-        Ok(n)
+        Ok((n, end))
     }
 
-    /// Peeks the next TLV type without consuming anything.
+    /// Peeks the next TLV type without consuming anything (and without
+    /// copying the reader: only the offset is re-derived).
     pub fn peek_type(&self) -> Result<u64, TlvError> {
-        self.clone().read_varnum()
+        self.varnum_at(self.pos).map(|(n, _)| n)
     }
 
     /// Reads one TLV header and returns `(type, value)`, consuming it.

@@ -31,8 +31,10 @@
 #![warn(missing_docs)]
 
 pub mod geometry;
+pub mod grid;
 pub mod mobility;
 pub mod node;
+pub mod payload;
 pub mod radio;
 pub mod stats;
 pub mod time;
@@ -41,12 +43,14 @@ pub mod world;
 /// Convenient glob-import of the types nearly every user needs.
 pub mod prelude {
     pub use crate::geometry::Point;
+    pub use crate::grid::SpatialGrid;
     pub use crate::mobility::{Mobility, RandomDirection, ScriptedMobility, Stationary};
     pub use crate::node::{NetStack, NodeCtx, NodeId, TimerHandle, TxOutcome};
+    pub use crate::payload::Payload;
     pub use crate::radio::{Frame, FrameKind, PhyConfig};
     pub use crate::stats::Stats;
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::world::{World, WorldConfig};
+    pub use crate::world::{DeliveryMode, World, WorldConfig};
 }
 
 pub use prelude::*;

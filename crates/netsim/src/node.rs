@@ -5,6 +5,7 @@
 //! frame transmissions, timer arms/cancels — which the world applies after
 //! the callback returns, so stacks never re-enter the simulator.
 
+use crate::payload::Payload;
 use crate::radio::{Frame, FrameKind};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
@@ -82,7 +83,7 @@ pub trait NetStack {
 #[derive(Debug)]
 pub(crate) enum Command {
     Send {
-        payload: Vec<u8>,
+        payload: Payload,
         kind: FrameKind,
         token: u64,
         delay: SimDuration,
@@ -117,16 +118,20 @@ impl<'a> NodeCtx<'a> {
     /// transmission window); the MAC adds carrier-sense deferral on top.
     /// `token` is echoed in [`TxOutcome`] so stacks can tell which of their
     /// transmissions collided.
+    ///
+    /// Accepts anything convertible to a shared [`Payload`] — a `Vec<u8>`
+    /// for freshly built frames, or a `Payload` clone (e.g. an upper-layer
+    /// wire cache) for a zero-copy send.
     pub fn send_frame(
         &mut self,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
         kind: FrameKind,
         token: u64,
         delay: SimDuration,
     ) {
         *self.api_calls += 1;
         self.commands.push(Command::Send {
-            payload,
+            payload: payload.into(),
             kind,
             token,
             delay,

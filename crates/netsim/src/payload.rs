@@ -1,0 +1,224 @@
+//! Shared immutable frame buffers.
+//!
+//! A broadcast reaches every node in range, so the same bytes are observed
+//! by many receivers. [`Payload`] wraps the bytes in an `Arc<[u8]>` so one
+//! encoding is shared by the transmit queue, the in-flight transmission,
+//! every delivered [`crate::radio::Frame`] and any upper-layer wire caches —
+//! cloning a `Payload` bumps a reference count instead of copying the
+//! buffer.
+//!
+//! A `Payload` can also be a *view* of a sub-range of another payload
+//! ([`Payload::view_of`]), which is how decoded packets borrow their
+//! content field straight out of the received frame with zero copies. A
+//! view keeps the whole backing buffer alive — the right trade for frame-
+//! sized buffers on the hot path.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer (`Arc<[u8]>`-backed),
+/// optionally windowed onto a sub-range of its allocation.
+///
+/// Equality and hashing consider the visible bytes only, not the identity
+/// of the backing allocation.
+///
+/// # Examples
+///
+/// ```
+/// use dapes_netsim::payload::Payload;
+///
+/// let p = Payload::from(vec![1u8, 2, 3]);
+/// let q = p.clone(); // no copy: both views share one allocation
+/// assert_eq!(&*q, &[1, 2, 3]);
+/// assert!(Payload::same_backing(&p, &q));
+/// ```
+#[derive(Clone)]
+pub struct Payload {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Self {
+        Payload::default()
+    }
+
+    /// Copies `bytes` into a new shared buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Payload::from_arc(Arc::from(bytes))
+    }
+
+    fn from_arc(buf: Arc<[u8]>) -> Self {
+        let end = buf.len();
+        Payload { buf, start: 0, end }
+    }
+
+    /// A zero-copy view of `slice`, which must lie within this payload's
+    /// visible bytes (e.g. a TLV value produced by parsing it). Falls back
+    /// to copying if `slice` is not borrowed from this buffer, so callers
+    /// never get an aliasing surprise.
+    pub fn view_of(&self, slice: &[u8]) -> Payload {
+        let base = self.as_slice().as_ptr() as usize;
+        let ptr = slice.as_ptr() as usize;
+        if ptr >= base && ptr + slice.len() <= base + self.len() {
+            let offset = ptr - base;
+            Payload {
+                buf: Arc::clone(&self.buf),
+                start: self.start + offset,
+                end: self.start + offset + slice.len(),
+            }
+        } else {
+            Payload::copy_from_slice(slice)
+        }
+    }
+
+    /// The bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether two payloads are the same view of the same allocation (not
+    /// just equal bytes). Tests use this to prove a hot path did not copy.
+    pub fn ptr_eq(a: &Payload, b: &Payload) -> bool {
+        Arc::ptr_eq(&a.buf, &b.buf) && a.start == b.start && a.end == b.end
+    }
+
+    /// Whether two payloads share one backing allocation (possibly as
+    /// different views).
+    pub fn same_backing(a: &Payload, b: &Payload) -> bool {
+        Arc::ptr_eq(&a.buf, &b.buf)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::from_arc(Arc::from([]))
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl Hash for Payload {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::from_arc(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload::copy_from_slice(v)
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let p = Payload::from(vec![9u8; 1024]);
+        let q = p.clone();
+        assert!(Payload::ptr_eq(&p, &q));
+        assert_eq!(p, q);
+        assert_eq!(p.len(), 1024);
+    }
+
+    #[test]
+    fn distinct_allocations_compare_by_bytes() {
+        let p = Payload::from(vec![1u8, 2]);
+        let q = Payload::copy_from_slice(&[1, 2]);
+        assert_eq!(p, q);
+        assert!(!Payload::ptr_eq(&p, &q));
+    }
+
+    #[test]
+    fn empty_payload() {
+        let p = Payload::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.as_slice(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let p = Payload::from(vec![5u8, 6, 7]);
+        assert_eq!(p[1], 6);
+        assert_eq!(&p[..2], &[5, 6]);
+    }
+
+    #[test]
+    fn view_of_inner_slice_is_zero_copy() {
+        let p = Payload::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let inner = &p[2..5];
+        let v = p.view_of(inner);
+        assert_eq!(&*v, &[2, 3, 4]);
+        assert!(Payload::same_backing(&p, &v));
+        // A view of a view stays on the same allocation.
+        let vv = v.view_of(&v[1..2]);
+        assert_eq!(&*vv, &[3]);
+        assert!(Payload::same_backing(&p, &vv));
+    }
+
+    #[test]
+    fn view_of_foreign_slice_copies() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        let other = [7u8, 8];
+        let v = p.view_of(&other);
+        assert_eq!(&*v, &[7, 8]);
+        assert!(!Payload::same_backing(&p, &v));
+    }
+
+    #[test]
+    fn views_compare_by_visible_bytes() {
+        let p = Payload::from(vec![1u8, 2, 3, 1, 2, 3]);
+        let a = p.view_of(&p[0..3]);
+        let b = p.view_of(&p[3..6]);
+        assert_eq!(a, b, "same bytes, different windows");
+        assert!(!Payload::ptr_eq(&a, &b), "but not the same view");
+    }
+}

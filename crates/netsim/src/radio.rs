@@ -1,6 +1,7 @@
 //! Radio/PHY modelling: frames, frame kinds, and 802.11b-flavoured timing.
 
 use crate::node::NodeId;
+use crate::payload::Payload;
 use crate::time::SimDuration;
 use std::fmt;
 
@@ -24,6 +25,11 @@ impl fmt::Debug for FrameKind {
 }
 
 /// A broadcast MAC frame in flight or delivered.
+///
+/// The payload is a shared immutable buffer: one broadcast is encoded once
+/// and the same allocation is observed by every receiver (and by any
+/// upper-layer wire cache that re-forwards it), instead of being cloned per
+/// receiver.
 #[derive(Clone, Debug)]
 pub struct Frame {
     /// Transmitting node.
@@ -31,7 +37,7 @@ pub struct Frame {
     /// Protocol tag for accounting.
     pub kind: FrameKind,
     /// Upper-layer bytes (e.g. an NDN Interest/Data wire encoding).
-    pub payload: Vec<u8>,
+    pub payload: Payload,
     /// Globally unique transmission sequence number.
     pub seq: u64,
 }
@@ -135,7 +141,7 @@ mod tests {
         let f = Frame {
             src: NodeId(0),
             kind: FrameKind(1),
-            payload: vec![0; 100],
+            payload: vec![0; 100].into(),
             seq: 0,
         };
         assert_eq!(f.air_bytes(&phy), 134);

@@ -19,6 +19,9 @@ pub struct Stats {
     pub tx_by_kind: BTreeMap<FrameKind, u64>,
     /// Per-receiver deliveries that succeeded.
     pub delivered: u64,
+    /// Payload bytes handed to receivers, all through one shared buffer per
+    /// transmission (`delivered × payload length`, zero copies).
+    pub delivered_payload_bytes: u64,
     /// Per-receiver drops due to overlapping transmissions.
     pub collision_drops: u64,
     /// Transmissions during which the sender could hear a colliding sender.

@@ -18,8 +18,10 @@
 //! * **Loss.** Independent Bernoulli loss per receiver (paper: 10 %).
 
 use crate::geometry::Point;
+use crate::grid::SpatialGrid;
 use crate::mobility::Mobility;
 use crate::node::{Command, NetStack, NodeCtx, NodeId, TxOutcome};
+use crate::payload::Payload;
 use crate::radio::{Frame, FrameKind, PhyConfig};
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
@@ -27,6 +29,22 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// How receivers are selected per transmission.
+///
+/// Both modes produce bit-identical traces for equal seeds: the grid yields
+/// a sorted candidate superset that is filtered by the same checks in the
+/// same node order, so every RNG draw happens for the same receiver at the
+/// same point in the stream. `BruteForce` exists for equivalence tests and
+/// as the recorded pre-refactor baseline in the hot-path benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// O(k) receiver selection via the uniform spatial grid (default).
+    #[default]
+    Grid,
+    /// The original O(N)-per-transmission scan over every node.
+    BruteForce,
+}
 
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -39,6 +57,8 @@ pub struct WorldConfig {
     pub phy: PhyConfig,
     /// RNG seed; equal seeds give bit-identical runs.
     pub seed: u64,
+    /// Receiver-selection algorithm.
+    pub delivery: DeliveryMode,
 }
 
 impl Default for WorldConfig {
@@ -48,13 +68,14 @@ impl Default for WorldConfig {
             range: 60.0,
             phy: PhyConfig::default(),
             seed: 1,
+            delivery: DeliveryMode::Grid,
         }
     }
 }
 
 #[derive(Debug)]
 struct PendingFrame {
-    payload: Vec<u8>,
+    payload: Payload,
     kind: FrameKind,
     token: u64,
 }
@@ -80,7 +101,7 @@ struct ActiveTx {
     start: SimTime,
     end: SimTime,
     kind: FrameKind,
-    payload: Vec<u8>,
+    payload: Payload,
     token: u64,
     seq: u64,
 }
@@ -143,12 +164,18 @@ pub struct World {
     rng: SmallRng,
     stats: Stats,
     started: bool,
+    grid: SpatialGrid,
+    candidate_buf: Vec<NodeId>,
+    /// Longest frame air time seen so far, bounding how long a finished
+    /// transmission can still matter for collision checks.
+    longest_air: SimDuration,
 }
 
 impl World {
     /// Creates an empty world.
     pub fn new(cfg: WorldConfig) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let grid = SpatialGrid::new(cfg.field, cfg.range.max(1e-6));
         World {
             cfg,
             now: SimTime::ZERO,
@@ -163,6 +190,9 @@ impl World {
             rng,
             stats: Stats::new(0),
             started: false,
+            grid,
+            candidate_buf: Vec::new(),
+            longest_air: SimDuration::ZERO,
         }
     }
 
@@ -178,6 +208,8 @@ impl World {
         if let Some(t) = mobility.next_change() {
             self.push_event(t, EventKind::MobilityChange { node: id });
         }
+        let (a, b) = segment_bounds(mobility.as_ref(), self.now);
+        self.grid.insert(id, a, b);
         self.nodes.push(NodeSlot {
             mobility,
             stack: Some(stack),
@@ -232,8 +264,27 @@ impl World {
         self.nodes[node.0 as usize].mobility.position(self.now)
     }
 
-    /// Nodes currently within radio range of `node` (excluding itself).
+    /// Nodes currently within radio range of `node` (excluding itself),
+    /// ascending by id. Served from the spatial grid in O(k) unless the
+    /// world was configured with [`DeliveryMode::BruteForce`].
     pub fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
+        match self.cfg.delivery {
+            DeliveryMode::BruteForce => self.neighbors_of_brute(node),
+            DeliveryMode::Grid => {
+                let p = self.position_of(node);
+                let mut out = Vec::new();
+                self.grid.candidates_into(p, self.cfg.range, &mut out);
+                out.retain(|&other| {
+                    other != node && self.position_of(other).within(&p, self.cfg.range)
+                });
+                out
+            }
+        }
+    }
+
+    /// The original O(N) neighbor scan, kept as the reference the grid is
+    /// equivalence-tested against.
+    pub fn neighbors_of_brute(&self, node: NodeId) -> Vec<NodeId> {
         let p = self.position_of(node);
         (0..self.nodes.len() as u32)
             .map(NodeId)
@@ -359,10 +410,12 @@ impl World {
                 let field = self.cfg.field;
                 let slot = &mut self.nodes[node.0 as usize];
                 slot.mobility.on_change(self.now, &mut self.rng, field);
+                let (a, b) = segment_bounds(slot.mobility.as_ref(), self.now);
                 if let Some(t) = slot.mobility.next_change() {
                     let t = t.max(self.now + SimDuration::from_micros(1));
                     self.push_event(t, EventKind::MobilityChange { node });
                 }
+                self.grid.update(node, a, b);
             }
         }
     }
@@ -468,6 +521,7 @@ impl World {
         self.nodes[idx].mac.transmitting = true;
 
         let duration = self.cfg.phy.tx_duration(frame.payload.len());
+        self.longest_air = self.longest_air.max(duration);
         self.next_tx_id += 1;
         self.next_frame_seq += 1;
         let tx_id = self.next_tx_id;
@@ -500,10 +554,25 @@ impl World {
         self.nodes[sender.0 as usize].mac.transmitting = false;
 
         // Work out per-receiver outcomes before dispatching any callbacks so
-        // that reactions to this frame cannot affect its own delivery.
+        // that reactions to this frame cannot affect its own delivery. The
+        // grid returns a sorted candidate superset, so the per-receiver
+        // checks — and therefore the loss draws from the shared RNG — run
+        // in the same node order as the brute-force scan.
+        let payload_len = self.active_tx[tx_idx].payload.len() as u64;
+        let mut candidates = std::mem::take(&mut self.candidate_buf);
+        match self.cfg.delivery {
+            DeliveryMode::Grid => {
+                self.grid
+                    .candidates_into(sender_pos, self.cfg.range, &mut candidates)
+            }
+            DeliveryMode::BruteForce => {
+                candidates.clear();
+                candidates.extend((0..self.nodes.len() as u32).map(NodeId));
+            }
+        }
         let mut deliveries: Vec<NodeId> = Vec::new();
-        for j in 0..self.nodes.len() {
-            let receiver = NodeId(j as u32);
+        for &receiver in &candidates {
+            let j = receiver.0 as usize;
             if receiver == sender || self.nodes[j].stack.is_none() {
                 continue;
             }
@@ -530,8 +599,10 @@ impl World {
                 continue;
             }
             self.stats.delivered += 1;
+            self.stats.delivered_payload_bytes += payload_len;
             deliveries.push(receiver);
         }
+        self.candidate_buf = candidates;
 
         // Sender-side collision feedback: another overlapping transmission
         // whose sender we could hear.
@@ -545,10 +616,12 @@ impl World {
             self.stats.tx_collisions += 1;
         }
 
+        // Cheap Arc clone: the same buffer the sender encoded is observed
+        // by every receiver.
         let frame = Frame {
             src: sender,
             kind,
-            payload: std::mem::take(&mut self.active_tx[tx_idx].payload),
+            payload: self.active_tx[tx_idx].payload.clone(),
             seq: self.active_tx[tx_idx].seq,
         };
 
@@ -566,14 +639,35 @@ impl World {
             )
         });
 
-        // Keep finished transmissions briefly for interference history, then
-        // prune. 100 ms safely exceeds any frame's air time.
-        let horizon = SimDuration::from_millis(100);
+        // Keep finished transmissions for interference history exactly as
+        // long as they can still matter. A finished transmission A affects
+        // a later check only if some frame B with `B.start < A.end`
+        // overlaps it; any frame still in flight started no earlier than
+        // `now - longest_air`, so entries with `A.end + longest_air <= now`
+        // can never overlap another check and are pruned. This keeps the
+        // per-delivery collision scan O(frames actually concurrent) even in
+        // saturated swarms, where a fixed 100 ms horizon retained hundreds
+        // of dead entries.
+        let horizon = self.longest_air;
         let now = self.now;
         self.active_tx.retain(|t| t.end + horizon > now);
         // Drain the sender's queue if more frames wait.
         self.push_event(self.now, EventKind::MacTry { node: sender });
     }
+}
+
+/// Start and end positions of a mobility model's current segment, used to
+/// register the node in the spatial grid. Every mobility model moves each
+/// coordinate monotonically within a segment (straight-line motion, possibly
+/// clamped to the field), so the bounding box of the two endpoints contains
+/// the node's exact position at every instant of the segment.
+fn segment_bounds(mobility: &dyn Mobility, now: SimTime) -> (Point, Point) {
+    let a = mobility.position(now);
+    let b = match mobility.next_change() {
+        Some(t) => mobility.position(t.max(now)),
+        None => a,
+    };
+    (a, b)
 }
 
 #[cfg(test)]
@@ -881,6 +975,130 @@ mod tests {
         );
         w.run_until(SimTime::from_secs(1));
         assert_eq!(w.stack::<Canceller>(a).expect("stack").fired, vec![2]);
+    }
+
+    /// Runs a mixed stationary/mobile chatter world and returns its trace
+    /// fingerprint.
+    fn chatter_trace(delivery: DeliveryMode, seed: u64) -> (u64, u64, u64, u64, u64) {
+        let mut w = World::new(WorldConfig {
+            seed,
+            delivery,
+            ..WorldConfig::default()
+        });
+        for i in 0..12 {
+            let p = Point::new(25.0 * i as f64, 10.0 * (i % 3) as f64);
+            let mobility: Box<dyn Mobility> = if i % 2 == 0 {
+                Box::new(Stationary::new(p))
+            } else {
+                Box::new(crate::mobility::RandomDirection::new(p))
+            };
+            w.add_node(mobility, Box::new(Chatter::new(20, 7 + i as u64)));
+        }
+        w.run_until(SimTime::from_secs(30));
+        (
+            w.stats().tx_frames,
+            w.stats().delivered,
+            w.stats().channel_losses,
+            w.stats().collision_drops,
+            w.stats().delivered_payload_bytes,
+        )
+    }
+
+    #[test]
+    fn grid_and_brute_force_delivery_traces_are_identical() {
+        for seed in [1, 7, 99] {
+            assert_eq!(
+                chatter_trace(DeliveryMode::Grid, seed),
+                chatter_trace(DeliveryMode::BruteForce, seed),
+                "delivery modes diverged for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_neighbors_match_brute_force_during_mobile_run() {
+        let mut w = World::new(WorldConfig::default());
+        for i in 0..20 {
+            let p = Point::new(15.0 * i as f64, 280.0 - 14.0 * i as f64);
+            w.add_node(
+                Box::new(crate::mobility::RandomDirection::new(p)),
+                Box::new(Chatter::new(0, 0)),
+            );
+        }
+        for step in 1..=20u64 {
+            w.run_until(SimTime::from_secs(step * 3));
+            for i in 0..w.node_count() as u32 {
+                let n = NodeId(i);
+                assert_eq!(
+                    w.neighbors_of(n),
+                    w.neighbors_of_brute(n),
+                    "node {n} at t={}s",
+                    step * 3
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delivered_frames_share_one_payload_allocation() {
+        #[derive(Debug, Default)]
+        struct Keeper {
+            payloads: Vec<Payload>,
+        }
+        impl NetStack for Keeper {
+            fn on_start(&mut self, _: &mut NodeCtx<'_>) {}
+            fn on_frame(&mut self, _: &mut NodeCtx<'_>, frame: &Frame) {
+                self.payloads.push(frame.payload.clone());
+            }
+            fn on_timer(&mut self, _: &mut NodeCtx<'_>, _: u64) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(lossless());
+        let _tx = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(1, 10)),
+        );
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Keeper::default()),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 10.0))),
+            Box::new(Keeper::default()),
+        );
+        w.run_until(SimTime::from_secs(1));
+        let pa = &w.stack::<Keeper>(a).expect("keeper").payloads;
+        let pb = &w.stack::<Keeper>(b).expect("keeper").payloads;
+        assert_eq!(pa.len(), 1);
+        assert_eq!(pb.len(), 1);
+        assert!(
+            Payload::ptr_eq(&pa[0], &pb[0]),
+            "receivers must share the sender's buffer"
+        );
+        assert_eq!(w.stats().delivered_payload_bytes, 200);
+    }
+
+    #[test]
+    fn zero_range_world_runs_and_delivers_nothing() {
+        let mut cfg = lossless();
+        cfg.range = 0.0;
+        let mut w = World::new(cfg);
+        let _a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(3, 10)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(1.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.run_until(SimTime::from_secs(1));
+        assert!(w.stack::<Chatter>(b).expect("chatter").heard.is_empty());
+        assert_eq!(w.stats().tx_frames, 3);
     }
 
     #[test]

@@ -74,6 +74,7 @@ impl Topology {
         let base = ScenarioBuilder::new(seed)
             .range(r)
             .loss(params.loss)
+            .delivery(params.delivery)
             .collection_params(params.collection.clone())
             .config(params.config.clone());
         match *self {
@@ -140,6 +141,9 @@ pub struct MatrixParams {
     pub collection: CollectionParams,
     /// The DAPES configuration (topologies may override single knobs).
     pub config: DapesConfig,
+    /// Receiver-selection algorithm (grid by default; equivalence tests
+    /// run the same cells brute-force and compare traces).
+    pub delivery: DeliveryMode,
 }
 
 impl Default for MatrixParams {
@@ -149,6 +153,7 @@ impl Default for MatrixParams {
             loss: 0.0,
             collection: CollectionParams::default(),
             config: DapesConfig::default(),
+            delivery: DeliveryMode::default(),
         }
     }
 }

@@ -165,6 +165,7 @@ pub struct ScenarioBuilder {
     cfg: DapesConfig,
     anchor: TrustAnchor,
     peers: Vec<PeerSpec>,
+    delivery: DeliveryMode,
 }
 
 impl ScenarioBuilder {
@@ -182,12 +183,20 @@ impl ScenarioBuilder {
             cfg: DapesConfig::default(),
             anchor: shared_anchor(),
             peers: Vec::new(),
+            delivery: DeliveryMode::default(),
         }
     }
 
     /// Radio range in metres.
     pub fn range(mut self, range: f64) -> Self {
         self.range = range;
+        self
+    }
+
+    /// Receiver-selection algorithm (spatial grid by default). Equivalence
+    /// tests build the same scenario in both modes and compare traces.
+    pub fn delivery(mut self, delivery: DeliveryMode) -> Self {
+        self.delivery = delivery;
         self
     }
 
@@ -354,6 +363,7 @@ impl ScenarioBuilder {
                 loss_rate: self.loss,
                 ..PhyConfig::default()
             },
+            delivery: self.delivery,
         });
         let collection = self.collection.build();
         let mut placement_rng = SmallRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);

@@ -34,7 +34,7 @@ fn main() {
     });
 
     let mut producer = DapesPeer::new(0, cfg.clone(), anchor.clone(), WantPolicy::Nothing);
-    producer.add_production(collection.clone());
+    producer.add_production(collection);
     world.add_node(
         Box::new(Stationary::new(Point::new(0.0, 0.0))),
         Box::new(producer),

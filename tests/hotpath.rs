@@ -1,0 +1,129 @@
+//! Zero-copy hot-path equivalence suite.
+//!
+//! The spatial grid and the shared-buffer refactor must be *invisible* to
+//! protocol behaviour: the grid returns the same neighbors as the original
+//! brute-force scan at every instant of every scenario, and full runs give
+//! bit-identical traces (and therefore identical golden metrics) in both
+//! delivery modes.
+
+use dapes_netsim::prelude::*;
+use dapes_testutil::prelude::*;
+
+fn matrix_axes() -> (Vec<Topology>, Vec<u64>) {
+    (
+        vec![
+            Topology::AdjacentPair,
+            Topology::Chain { relays: 1 },
+            Topology::Star { downloaders: 3 },
+        ],
+        vec![1, 2, 3],
+    )
+}
+
+/// Cross-mode cells: one stationary, one scripted-mobility, one mobile-swarm
+/// topology, so the grid's segment registration is exercised by every
+/// mobility model.
+fn mobility_axes() -> Vec<(Topology, u64)> {
+    vec![
+        (Topology::Chain { relays: 2 }, 5),
+        (Topology::PartitionedFerry, 1),
+        (
+            Topology::MobileSwarm {
+                downloaders: 2,
+                forwarders: 2,
+            },
+            2,
+        ),
+    ]
+}
+
+fn trace_fingerprint(sc: &Scenario) -> (u64, u64, u64, u64, u64, Vec<Option<SimTime>>) {
+    let s = sc.world.stats();
+    (
+        s.tx_frames,
+        s.delivered,
+        s.channel_losses,
+        s.collision_drops,
+        s.delivered_payload_bytes,
+        sc.completion_times(),
+    )
+}
+
+#[test]
+fn grid_neighbors_match_brute_force_across_matrix() {
+    let (topologies, seeds) = matrix_axes();
+    let params = MatrixParams::default();
+    for &topology in &topologies {
+        for &seed in &seeds {
+            let mut sc = topology.build(seed, &params);
+            // Sample neighbor queries at several instants while the
+            // scenario actually runs (mobility segments change, MACs queue,
+            // peers move), not just at t = 0.
+            for step in 0..6u64 {
+                sc.world.run_until(SimTime::from_secs(step * 20));
+                for i in 0..sc.world.node_count() as u32 {
+                    let n = NodeId(i);
+                    assert_eq!(
+                        sc.world.neighbors_of(n),
+                        sc.world.neighbors_of_brute(n),
+                        "[{}/seed-{seed}] node {n} diverged at t={}s",
+                        topology.label(),
+                        step * 20
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_neighbors_match_brute_force_under_mobility() {
+    for (topology, seed) in mobility_axes() {
+        let params = MatrixParams::default();
+        let mut sc = topology.build(seed, &params);
+        for step in 1..=10u64 {
+            sc.world.run_until(SimTime::from_secs(step * 30));
+            for i in 0..sc.world.node_count() as u32 {
+                let n = NodeId(i);
+                assert_eq!(
+                    sc.world.neighbors_of(n),
+                    sc.world.neighbors_of_brute(n),
+                    "[{}/seed-{seed}] node {n} diverged at t={}s",
+                    topology.label(),
+                    step * 30
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_traces_bit_identical_across_delivery_modes() {
+    let (topologies, seeds) = matrix_axes();
+    for &topology in &topologies {
+        for &seed in &seeds {
+            let run = |delivery: DeliveryMode| {
+                let params = MatrixParams {
+                    delivery,
+                    ..MatrixParams::default()
+                };
+                let mut sc = topology.build(seed, &params);
+                sc.run_until_complete(topology.deadline());
+                // Both modes must independently satisfy the golden metrics…
+                assert_scenario(
+                    &format!("{}/seed-{seed}/{delivery:?}", topology.label()),
+                    &sc,
+                    &GoldenMetrics::default(),
+                );
+                trace_fingerprint(&sc)
+            };
+            // …and produce bit-identical traces.
+            assert_eq!(
+                run(DeliveryMode::Grid),
+                run(DeliveryMode::BruteForce),
+                "[{}/seed-{seed}] delivery modes diverged",
+                topology.label()
+            );
+        }
+    }
+}
