@@ -135,6 +135,73 @@ fn bench_peba(c: &mut Criterion) {
     });
 }
 
+fn bench_event_queue(c: &mut Criterion) {
+    use dapes_netsim::wheel::TimerWheel;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    // The steady-state scheduler mix at scale: a large standing population
+    // of far-future (tombstoned) timers, with near-future events pushed and
+    // popped through it. This is the workload where the heap pays O(log n)
+    // with cache misses per pop and the wheel stays O(1).
+    const STANDING: u64 = 100_000;
+    c.bench_function("queue_heap_push_pop_100k_standing", |b| {
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        for i in 0..STANDING {
+            heap.push(Reverse((30_000_000 + i * 37, i)));
+        }
+        let mut now = 0u64;
+        let mut seq = STANDING;
+        b.iter(|| {
+            seq += 1;
+            now += 13;
+            heap.push(Reverse((now, seq)));
+            black_box(heap.pop())
+        })
+    });
+    c.bench_function("queue_wheel_push_pop_100k_standing", |b| {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        for i in 0..STANDING {
+            wheel.push(30_000_000 + i * 37, i, i);
+        }
+        let mut now = 0u64;
+        let mut seq = STANDING;
+        b.iter(|| {
+            seq += 1;
+            now += 13;
+            wheel.push(now, seq, seq);
+            black_box(wheel.pop())
+        })
+    });
+}
+
+fn bench_peek_vs_decode(c: &mut Criterion) {
+    use dapes_netsim::payload::Payload;
+    let anchor = TrustAnchor::from_seed(b"bench");
+    let key = anchor.keypair("p");
+    let interest = Interest::new(Name::from_uri("/damaged-bridge-1533783192/file-0/42"))
+        .with_nonce(7)
+        .with_hop_limit(4);
+    let iwire = Payload::from(interest.encode());
+    c.bench_function("interest_decode_payload", |b| {
+        b.iter(|| Interest::decode_payload(black_box(&iwire)).expect("ok"))
+    });
+    c.bench_function("interest_peek_header", |b| {
+        b.iter(|| Packet::peek_header(black_box(&iwire)).expect("ok"))
+    });
+    let data = Data::new(
+        Name::from_uri("/damaged-bridge-1533783192/file-0/42"),
+        vec![0u8; 1024],
+    )
+    .signed(&key);
+    let dwire = Payload::from(data.encode());
+    c.bench_function("data_decode_payload_1kb", |b| {
+        b.iter(|| Data::decode_payload(black_box(&dwire)).expect("ok"))
+    });
+    c.bench_function("data_peek_header_1kb", |b| {
+        b.iter(|| Packet::peek_header(black_box(&dwire)).expect("ok"))
+    });
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -143,6 +210,8 @@ criterion_group!(
     bench_wire,
     bench_forwarder,
     bench_merkle,
-    bench_peba
+    bench_peba,
+    bench_event_queue,
+    bench_peek_vs_decode
 );
 criterion_main!(benches);

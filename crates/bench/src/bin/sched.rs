@@ -1,0 +1,104 @@
+//! Scheduler throughput benchmark: runs the timer-heavy advert swarm under
+//! all four control-plane cost models (heap/wheel × eager/lazy) and writes
+//! `BENCH_sched.json`.
+//!
+//! ```text
+//! cargo run --release -p dapes-bench --bin sched            # dense (2,400 nodes)
+//! cargo run --release -p dapes-bench --bin sched -- --quick # CI smoke
+//! cargo run ... -- --out path/to/BENCH_sched.json
+//! ```
+
+use dapes_bench::sched::{render_report, run_sched, trace_of, SchedMode, SchedParams};
+use dapes_netsim::prelude::QueueMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_sched.json".to_owned());
+    let mut params = if quick {
+        SchedParams::smoke()
+    } else {
+        SchedParams::dense()
+    };
+    let arg = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
+    if let Some(n) = arg("--nodes") {
+        params.nodes = n.parse().expect("--nodes");
+    }
+    if let Some(f) = arg("--field") {
+        params.field = f.parse().expect("--field");
+    }
+    if let Some(r) = arg("--rounds") {
+        params.rounds = r.parse().expect("--rounds");
+    }
+    if let Some(p) = arg("--period-ms") {
+        params.advert_period_ms = p.parse().expect("--period-ms");
+    }
+    if let Some(t) = arg("--tick-ms") {
+        params.tick_ms = t.parse().expect("--tick-ms");
+    }
+    eprintln!(
+        "perf_sched: {} nodes, {} rounds each, field {} m, range {} m, tick {} ms",
+        params.nodes, params.rounds, params.field, params.range, params.tick_ms
+    );
+
+    // Warm both extremes at small scale so no timed run pays first-touch
+    // costs, then take each mode's best of two interleaved repetitions.
+    let warmup = SchedParams {
+        nodes: params.nodes.min(60),
+        rounds: 2,
+        field: params.field.min(300.0),
+        ..params
+    };
+    let _ = run_sched(&warmup, SchedMode::baseline());
+    let _ = run_sched(&warmup, SchedMode::optimized());
+
+    let reps = if quick { 2 } else { 3 };
+    let mut results = Vec::new();
+    for mode in [
+        SchedMode::baseline(),
+        SchedMode {
+            queue: QueueMode::Heap,
+            lazy_decode: true,
+        },
+        SchedMode {
+            queue: QueueMode::Wheel,
+            lazy_decode: false,
+        },
+        SchedMode::optimized(),
+    ] {
+        let best = (0..reps)
+            .map(|_| run_sched(&params, mode))
+            .reduce(|a, b| if a.wall_secs <= b.wall_secs { a } else { b })
+            .expect("at least one repetition");
+        eprintln!(
+            "  {:<12}: {:>9.0} events/s  ({:.2} s wall, {} events, {} peeked / {} decoded, pool {}h/{}m)",
+            best.mode.label(),
+            best.events_per_sec,
+            best.wall_secs,
+            best.events,
+            best.frames_peek_resolved,
+            best.full_decodes,
+            best.cmd_pool_hits,
+            best.cmd_pool_misses,
+        );
+        results.push(best);
+    }
+    for r in &results[1..] {
+        assert_eq!(
+            trace_of(r),
+            trace_of(&results[0]),
+            "modes must run the same trace for the comparison to be fair"
+        );
+    }
+    let baseline = results[0].events_per_sec;
+    let optimized = results.last().expect("optimized").events_per_sec;
+    eprintln!("  speedup     : {:.2}x events/s", optimized / baseline);
+
+    let json = render_report(&params, &results);
+    std::fs::write(&out, json).expect("write BENCH_sched.json");
+    eprintln!("wrote {out}");
+}

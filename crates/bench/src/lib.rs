@@ -21,6 +21,7 @@ pub mod hotpath;
 pub mod profile;
 pub mod report;
 pub mod scenario;
+pub mod sched;
 pub mod table1;
 
 pub use figures::{run_figure, ALL_EXPERIMENTS};

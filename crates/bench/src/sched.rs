@@ -1,0 +1,644 @@
+//! The scheduler benchmark: measures the simulator's control plane on a
+//! timer-heavy advert/beacon swarm and records the perf trajectory in
+//! `BENCH_sched.json`.
+//!
+//! Where `perf_hotpath` stressed the per-frame *data* path (buffers,
+//! delivery scans, wire encoding), `perf_sched` stresses what is left once
+//! that path is zero-copy:
+//!
+//! 1. **the event queue** — the hierarchical timer wheel
+//!    ([`QueueMode::Wheel`], O(1) push/pop) vs. the original `BinaryHeap`
+//!    (O(log n) on a queue holding several timers per node),
+//! 2. **command buffers** — the pooled `Vec<Command>` free list vs. a fresh
+//!    allocation per stack callback (the pool rides the queue toggle:
+//!    `Heap` reproduces the full pre-refactor control-plane cost model),
+//! 3. **overheard-frame decoding** — name-first [`Packet::peek_header`]
+//!    resolution of CS hits / duplicate nonces / unsolicited data vs. a
+//!    full TLV decode of every frame.
+//!
+//! All four mode combinations run the *same protocol trace* (same seeds,
+//! same RNG draw order, bit-identical frame counts — asserted by a test
+//! below and by the `sched` binary); only the per-event bookkeeping
+//! differs.
+//!
+//! The scenario: a dense swarm where every node periodically floods a
+//! 2-hop advert Interest for its own namespace, answers Interests for that
+//! namespace from its application, relays neighbours' adverts through a
+//! real NDN [`Forwarder`] (duplicate-nonce suppression doing the flood
+//! control), retries unanswered adverts off a cancellable timer, and runs a
+//! fast housekeeping tick that arms-and-cancels a decoy timer — the DAPES
+//! §IV-D advert/beacon shape, dialled to make scheduler costs dominate.
+
+use dapes_ndn::face::FaceId;
+use dapes_ndn::forwarder::{Action, Forwarder, ForwarderConfig};
+use dapes_ndn::name::Name;
+use dapes_ndn::packet::{Data, Interest, Packet, PacketHeader};
+use dapes_netsim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::time::Instant;
+
+/// Frame kind for advert Interests.
+const KIND_ADVERT: FrameKind = FrameKind(50);
+/// Frame kind for advert replies (Data).
+const KIND_REPLY: FrameKind = FrameKind(51);
+
+const TOKEN_ADVERT: u64 = 1;
+const TOKEN_RETRY: u64 = 2;
+const TOKEN_TICK: u64 = 3;
+const TOKEN_DECOY: u64 = 4;
+
+/// One scheduler cost model: an event-queue implementation plus a decode
+/// regime for overheard frames. Traces are bit-identical across all four
+/// combinations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedMode {
+    /// Event queue (wheel also enables the command-buffer pool).
+    pub queue: QueueMode,
+    /// Whether overheard frames are resolved by header peek when possible.
+    pub lazy_decode: bool,
+}
+
+impl SchedMode {
+    /// The pre-refactor control plane: binary heap, per-callback
+    /// allocations, full decode of every frame.
+    pub fn baseline() -> Self {
+        SchedMode {
+            queue: QueueMode::Heap,
+            lazy_decode: false,
+        }
+    }
+
+    /// The optimized control plane: timer wheel, pooled buffers, lazy peek.
+    pub fn optimized() -> Self {
+        SchedMode {
+            queue: QueueMode::Wheel,
+            lazy_decode: true,
+        }
+    }
+
+    /// Label used in the JSON report.
+    pub fn label(self) -> &'static str {
+        match (self.queue, self.lazy_decode) {
+            (QueueMode::Heap, false) => "heap_eager",
+            (QueueMode::Heap, true) => "heap_lazy",
+            (QueueMode::Wheel, false) => "wheel_eager",
+            (QueueMode::Wheel, true) => "wheel_lazy",
+        }
+    }
+}
+
+/// Parameters of the scheduler scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedParams {
+    /// Swarm size (the acceptance scenario uses ≥ 2,000).
+    pub nodes: usize,
+    /// Field side in metres (nodes placed uniformly).
+    pub field: f64,
+    /// Radio range in metres.
+    pub range: f64,
+    /// Advert rounds each node runs.
+    pub rounds: u32,
+    /// Nominal gap between a node's adverts in milliseconds (plus jitter).
+    pub advert_period_ms: u64,
+    /// Housekeeping tick in milliseconds (each arms + cancels a decoy
+    /// timer: pure scheduler churn).
+    pub tick_ms: u64,
+    /// Advert-reply payload size in bytes.
+    pub reply_bytes: usize,
+    /// Retry timeout for unanswered adverts in milliseconds.
+    pub retry_ms: u64,
+    /// World seed.
+    pub seed: u64,
+}
+
+impl SchedParams {
+    /// The acceptance-criteria scenario: 2,400 nodes at ~8 neighbours each,
+    /// every node beaconing 2-hop adverts once a second and ticking an 8 ms
+    /// housekeeping timer whose decoy arm/cancel churn leaves millions of
+    /// tombstoned entries in the queue — the workload where the heap's
+    /// O(log n) pops and per-callback allocations dominate, and where most
+    /// overheard frames resolve as duplicate nonces, CS hits, or
+    /// unsolicited data.
+    pub fn dense() -> Self {
+        SchedParams {
+            nodes: 2_400,
+            field: 2_600.0,
+            range: 60.0,
+            rounds: 8,
+            advert_period_ms: 1_000,
+            tick_ms: 8,
+            reply_bytes: 256,
+            retry_ms: 300,
+            seed: 1,
+        }
+    }
+
+    /// A seconds-scale variant for CI smoke runs (same density and tick
+    /// regime, two orders of magnitude fewer node-seconds).
+    pub fn smoke() -> Self {
+        SchedParams {
+            nodes: 300,
+            field: 920.0,
+            rounds: 4,
+            ..SchedParams::dense()
+        }
+    }
+
+    fn sim_deadline(&self) -> SimTime {
+        SimTime::from_micros(
+            (self.rounds as u64 * self.advert_period_ms + self.retry_ms + 1_000) * 1_000,
+        )
+    }
+}
+
+/// The advert/beacon stack: a real NDN forwarder per node, flooding 2-hop
+/// advert Interests and serving replies. Decode regime aside, behaviour
+/// depends only on header-derivable facts, so lazy and eager runs make
+/// identical RNG draws.
+struct SchedStack {
+    id: u32,
+    lazy_decode: bool,
+    forwarder: Forwarder,
+    rounds_left: u32,
+    round: u64,
+    advert_period_ms: u64,
+    tick_ms: u64,
+    reply_bytes: usize,
+    retry_ms: u64,
+    deadline: SimTime,
+    /// The outstanding advert: its name and the retry timer to cancel when
+    /// a reply is overheard.
+    outstanding: Option<(Name, TimerHandle)>,
+    /// Last round's decoy timer, cancelled by the next tick.
+    decoy: Option<TimerHandle>,
+    /// Frames fully resolved from the peeked header (lazy mode only).
+    peeks_resolved: u64,
+    /// Frames that went through the full TLV decode.
+    full_decodes: u64,
+}
+
+impl SchedStack {
+    fn new(id: u32, mode: SchedMode, params: &SchedParams) -> Self {
+        let mut forwarder = Forwarder::new(ForwarderConfig {
+            cs_capacity: 64,
+            cache_unsolicited: false,
+            rebroadcast_faces: vec![FaceId::WIRELESS],
+            deliver_on_aggregate: Vec::new(),
+        });
+        // Everything is relayable; our own advert namespace also reaches
+        // the application so we can answer probes for it.
+        forwarder.fib_mut().register(Name::root(), FaceId::WIRELESS);
+        let own = Name::from_uri(&format!("/sched/adv/n{id}"));
+        forwarder.fib_mut().register(own.clone(), FaceId::APP);
+        forwarder.fib_mut().register(own, FaceId::WIRELESS);
+        SchedStack {
+            id,
+            lazy_decode: mode.lazy_decode,
+            forwarder,
+            rounds_left: params.rounds,
+            round: 0,
+            advert_period_ms: params.advert_period_ms,
+            tick_ms: params.tick_ms,
+            reply_bytes: params.reply_bytes,
+            retry_ms: params.retry_ms,
+            deadline: params.sim_deadline(),
+            outstanding: None,
+            decoy: None,
+            peeks_resolved: 0,
+            full_decodes: 0,
+        }
+    }
+
+    fn jitter(&self, ctx: &mut NodeCtx<'_>) -> SimDuration {
+        SimDuration::from_micros(ctx.rng().gen_range(0..20_000))
+    }
+
+    fn send_advert(&mut self, ctx: &mut NodeCtx<'_>, name: Name) {
+        let interest = Interest::new(name)
+            .with_nonce(ctx.rng().gen())
+            .with_lifetime_ms(self.retry_ms + 200)
+            .with_hop_limit(2);
+        let actions = self
+            .forwarder
+            .process_interest(ctx.now, &interest, FaceId::APP);
+        let mut sent = false;
+        for action in actions {
+            if let Action::SendInterest {
+                face: FaceId::WIRELESS,
+                interest,
+            } = action
+            {
+                let delay = self.jitter(ctx);
+                ctx.send_frame(interest.wire(), KIND_ADVERT, 0, delay);
+                sent = true;
+            }
+        }
+        if !sent {
+            // PIT aggregation (a retry): broadcast anyway, as consumers do.
+            let delay = self.jitter(ctx);
+            ctx.send_frame(interest.wire(), KIND_ADVERT, 0, delay);
+        }
+    }
+
+    /// Applies forwarder actions for an overheard frame. Shared by the
+    /// eager and lazy paths, so both make the same draws in the same order.
+    fn apply_actions(&mut self, ctx: &mut NodeCtx<'_>, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::SendInterest {
+                    face: FaceId::APP,
+                    interest,
+                } => {
+                    // A probe for our namespace: serve a reply through the
+                    // forwarder (consuming the PIT entry on the way out).
+                    let reply = Data::new(interest.name().clone(), vec![0xAD; self.reply_bytes])
+                        .with_freshness_ms(500);
+                    let (out, _) = self.forwarder.process_data(ctx.now, &reply, FaceId::APP);
+                    let mut sent = false;
+                    for a in out {
+                        if let Action::SendData {
+                            face: FaceId::WIRELESS,
+                            data,
+                        } = a
+                        {
+                            if !sent {
+                                let delay = self.jitter(ctx);
+                                ctx.send_frame(data.wire(), KIND_REPLY, 0, delay);
+                                sent = true;
+                            }
+                        }
+                    }
+                    if !sent {
+                        let delay = self.jitter(ctx);
+                        ctx.send_frame(reply.wire(), KIND_REPLY, 0, delay);
+                    }
+                }
+                Action::SendInterest {
+                    face: FaceId::WIRELESS,
+                    mut interest,
+                } => {
+                    // Relay a neighbour's advert one hop onward.
+                    if !interest.decrement_hop_limit() {
+                        continue;
+                    }
+                    let delay = self.jitter(ctx);
+                    ctx.send_frame(interest.wire(), KIND_ADVERT, 0, delay);
+                }
+                Action::SendData {
+                    face: FaceId::WIRELESS,
+                    data,
+                } => {
+                    // CS hit on someone's probe, or a reply relaying back
+                    // along the PIT trail.
+                    let delay = self.jitter(ctx);
+                    ctx.send_frame(data.wire(), KIND_REPLY, 0, delay);
+                }
+                Action::SendData {
+                    face: FaceId::APP,
+                    data,
+                } => {
+                    // Our own advert was answered: the retry is moot.
+                    if let Some((name, timer)) = self.outstanding.take() {
+                        if &name == data.name() {
+                            ctx.cancel_timer(timer);
+                        } else {
+                            self.outstanding = Some((name, timer));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn handle_interest(&mut self, ctx: &mut NodeCtx<'_>, interest: &Interest) {
+        let actions = self
+            .forwarder
+            .process_interest(ctx.now, interest, FaceId::WIRELESS);
+        self.apply_actions(ctx, actions);
+    }
+
+    fn handle_data(&mut self, ctx: &mut NodeCtx<'_>, data: &Data) {
+        let (actions, _) = self.forwarder.process_data(ctx.now, data, FaceId::WIRELESS);
+        self.apply_actions(ctx, actions);
+    }
+}
+
+impl NetStack for SchedStack {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Stagger first adverts across a whole period; tick staggers too.
+        let start = ctx.rng().gen_range(0..self.advert_period_ms * 1_000);
+        ctx.set_timer(SimDuration::from_micros(start), TOKEN_ADVERT);
+        let tick = ctx.rng().gen_range(0..self.tick_ms * 1_000);
+        ctx.set_timer(SimDuration::from_micros(tick), TOKEN_TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        match token {
+            TOKEN_ADVERT => {
+                if self.rounds_left == 0 {
+                    return;
+                }
+                self.rounds_left -= 1;
+                self.round += 1;
+                let name = Name::from_uri(&format!("/sched/adv/n{}/{}", self.id, self.round));
+                self.send_advert(ctx, name.clone());
+                let retry = ctx.set_timer(SimDuration::from_millis(self.retry_ms), TOKEN_RETRY);
+                self.outstanding = Some((name, retry));
+                if self.rounds_left > 0 {
+                    let period = self.advert_period_ms * 900
+                        + ctx.rng().gen_range(0..self.advert_period_ms * 200);
+                    ctx.set_timer(SimDuration::from_micros(period), TOKEN_ADVERT);
+                }
+            }
+            TOKEN_RETRY => {
+                // Unanswered: re-express once with a fresh nonce.
+                if let Some((name, _)) = self.outstanding.take() {
+                    self.send_advert(ctx, name);
+                }
+            }
+            TOKEN_TICK => {
+                // Pure scheduler churn: every tick cancels the previous
+                // decoy and arms a new far-off one that (usually) never
+                // fires — the arm/cancel pattern protocol housekeeping
+                // produces at scale.
+                if let Some(h) = self.decoy.take() {
+                    ctx.cancel_timer(h);
+                }
+                self.decoy = Some(ctx.set_timer(SimDuration::from_secs(30), TOKEN_DECOY));
+                if ctx.now + SimDuration::from_millis(self.tick_ms) < self.deadline {
+                    ctx.set_timer(SimDuration::from_millis(self.tick_ms), TOKEN_TICK);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame) {
+        if self.lazy_decode {
+            let Ok(header) = Packet::peek_header(&frame.payload) else {
+                return;
+            };
+            match header {
+                PacketHeader::Interest(h) => {
+                    if let Some(actions) =
+                        self.forwarder
+                            .process_interest_header(ctx.now, &h, FaceId::WIRELESS)
+                    {
+                        self.peeks_resolved += 1;
+                        self.apply_actions(ctx, actions);
+                        return;
+                    }
+                }
+                PacketHeader::Data(h) => {
+                    if self.forwarder.process_data_header(h.name_wire) {
+                        self.peeks_resolved += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        self.full_decodes += 1;
+        match Packet::decode_payload(&frame.payload) {
+            Ok(Packet::Interest(interest)) => self.handle_interest(ctx, &interest),
+            Ok(Packet::Data(data)) => self.handle_data(ctx, &data),
+            Err(_) => {}
+        }
+    }
+
+    fn live_state_bytes(&self) -> usize {
+        self.forwarder.state_bytes()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Measured outcome of one scheduler run.
+#[derive(Clone, Debug)]
+pub struct SchedResult {
+    /// Which cost model ran.
+    pub mode: SchedMode,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Events popped from the queue.
+    pub events: u64,
+    /// Events per wall-clock second — the headline throughput figure.
+    pub events_per_sec: f64,
+    /// Frames put on the air.
+    pub tx_frames: u64,
+    /// Per-receiver deliveries.
+    pub delivered: u64,
+    /// Stack callbacks served from the command-buffer pool.
+    pub cmd_pool_hits: u64,
+    /// Stack callbacks that allocated a fresh command buffer.
+    pub cmd_pool_misses: u64,
+    /// Frames resolved from the peeked header alone, summed over nodes.
+    pub frames_peek_resolved: u64,
+    /// Frames that paid for a full TLV decode, summed over nodes.
+    pub full_decodes: u64,
+    /// Timer slots ever allocated (peak concurrent timers, not volume).
+    pub timer_slots_allocated: usize,
+}
+
+/// Runs the scheduler scenario under one cost model.
+pub fn run_sched(params: &SchedParams, mode: SchedMode) -> SchedResult {
+    let mut world = World::new(WorldConfig {
+        field: (params.field, params.field),
+        range: params.range,
+        seed: params.seed,
+        queue: mode.queue,
+        ..WorldConfig::default()
+    });
+    let mut place = SmallRng::seed_from_u64(params.seed ^ 0x5DEECE66D);
+    let mut ids = Vec::new();
+    for i in 0..params.nodes {
+        let p = Point::new(
+            place.gen_range(0.0..params.field),
+            place.gen_range(0.0..params.field),
+        );
+        ids.push(world.add_node(
+            Box::new(Stationary::new(p)),
+            Box::new(SchedStack::new(i as u32, mode, params)),
+        ));
+    }
+    let start = Instant::now();
+    world.run_until(params.sim_deadline());
+    let wall_secs = start.elapsed().as_secs_f64();
+    let (mut peeks, mut decodes) = (0u64, 0u64);
+    for &id in &ids {
+        if let Some(s) = world.stack::<SchedStack>(id) {
+            peeks += s.peeks_resolved;
+            decodes += s.full_decodes;
+        }
+    }
+    let s = world.stats();
+    SchedResult {
+        mode,
+        wall_secs,
+        events: s.event_dispatches,
+        events_per_sec: s.event_dispatches as f64 / wall_secs.max(1e-9),
+        tx_frames: s.tx_frames,
+        delivered: s.delivered,
+        cmd_pool_hits: s.cmd_pool_hits,
+        cmd_pool_misses: s.cmd_pool_misses,
+        frames_peek_resolved: peeks,
+        full_decodes: decodes,
+        timer_slots_allocated: world.timer_slots_allocated(),
+    }
+}
+
+/// The trace fingerprint every mode combination must agree on.
+pub fn trace_of(r: &SchedResult) -> (u64, u64, u64, u64) {
+    (
+        r.events,
+        r.tx_frames,
+        r.delivered,
+        r.frames_peek_resolved + r.full_decodes,
+    )
+}
+
+/// Renders all four runs plus the headline ratio as the `BENCH_sched.json`
+/// document.
+pub fn render_report(params: &SchedParams, results: &[SchedResult]) -> String {
+    fn entry(r: &SchedResult) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "    \"mode\": \"{}\",\n",
+                "    \"wall_secs\": {:.4},\n",
+                "    \"events_popped\": {},\n",
+                "    \"events_per_sec\": {:.0},\n",
+                "    \"tx_frames\": {},\n",
+                "    \"delivered\": {},\n",
+                "    \"cmd_pool_hits\": {},\n",
+                "    \"cmd_pool_misses\": {},\n",
+                "    \"frames_peek_resolved\": {},\n",
+                "    \"full_decodes\": {},\n",
+                "    \"timer_slots_allocated\": {}\n",
+                "  }}"
+            ),
+            r.mode.label(),
+            r.wall_secs,
+            r.events,
+            r.events_per_sec,
+            r.tx_frames,
+            r.delivered,
+            r.cmd_pool_hits,
+            r.cmd_pool_misses,
+            r.frames_peek_resolved,
+            r.full_decodes,
+            r.timer_slots_allocated,
+        )
+    }
+    let baseline = results
+        .iter()
+        .find(|r| r.mode == SchedMode::baseline())
+        .expect("baseline run");
+    let optimized = results
+        .iter()
+        .find(|r| r.mode == SchedMode::optimized())
+        .expect("optimized run");
+    let modes: Vec<String> = results.iter().map(entry).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": \"perf_sched\",\n",
+            "  \"nodes\": {},\n",
+            "  \"field_m\": {},\n",
+            "  \"range_m\": {},\n",
+            "  \"rounds_per_node\": {},\n",
+            "  \"advert_period_ms\": {},\n",
+            "  \"tick_ms\": {},\n",
+            "  \"reply_bytes\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"modes\": [{}],\n",
+            "  \"speedup_events_per_sec\": {:.2}\n",
+            "}}\n"
+        ),
+        params.nodes,
+        params.field,
+        params.range,
+        params.rounds,
+        params.advert_period_ms,
+        params.tick_ms,
+        params.reply_bytes,
+        params.seed,
+        modes.join(", "),
+        optimized.events_per_sec / baseline.events_per_sec.max(1e-9),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SchedParams {
+        SchedParams {
+            nodes: 40,
+            field: 220.0,
+            rounds: 3,
+            ..SchedParams::dense()
+        }
+    }
+
+    #[test]
+    fn all_four_mode_combinations_produce_identical_traces() {
+        let params = tiny();
+        let runs: Vec<SchedResult> = [
+            SchedMode::baseline(),
+            SchedMode {
+                queue: QueueMode::Heap,
+                lazy_decode: true,
+            },
+            SchedMode {
+                queue: QueueMode::Wheel,
+                lazy_decode: false,
+            },
+            SchedMode::optimized(),
+        ]
+        .into_iter()
+        .map(|m| run_sched(&params, m))
+        .collect();
+        for r in &runs[1..] {
+            assert_eq!(
+                trace_of(r),
+                trace_of(&runs[0]),
+                "{} diverged from {}",
+                r.mode.label(),
+                runs[0].mode.label()
+            );
+        }
+        let opt = runs.last().expect("optimized");
+        assert!(
+            opt.frames_peek_resolved > opt.full_decodes,
+            "the advert swarm must mostly resolve by peek: {} peeked vs {} decoded",
+            opt.frames_peek_resolved,
+            opt.full_decodes
+        );
+        assert_eq!(runs[0].frames_peek_resolved, 0, "eager never peeks");
+        assert!(opt.cmd_pool_hits > 0 && opt.cmd_pool_misses == 1);
+    }
+
+    #[test]
+    fn report_is_well_formed_json_shape() {
+        let params = tiny();
+        let runs = vec![
+            run_sched(&params, SchedMode::baseline()),
+            run_sched(&params, SchedMode::optimized()),
+        ];
+        let json = render_report(&params, &runs);
+        assert!(json.contains("\"scenario\": \"perf_sched\""));
+        assert!(json.contains("\"heap_eager\""));
+        assert!(json.contains("\"wheel_lazy\""));
+        assert!(json.contains("\"speedup_events_per_sec\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

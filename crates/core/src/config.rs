@@ -107,6 +107,17 @@ pub struct DapesConfig {
     pub suppress_duration: SimDuration,
     /// Housekeeping tick (retransmissions, expiry sweeps).
     pub tick: SimDuration,
+    /// Resolve overheard frames from a name-first header peek (CS hit,
+    /// duplicate nonce, no PIT match) before paying for a full TLV decode.
+    /// Behaviour is bit-identical either way — the toggle exists for
+    /// equivalence tests and the scheduler benchmark's eager baseline.
+    ///
+    /// The equivalence relies on frames being either well-formed or
+    /// rejected by their routable prefix, which holds in the simulator
+    /// (loss is whole-frame Bernoulli drop, never byte corruption): a
+    /// crafted frame with a valid name/nonce prefix but a malformed tail
+    /// would be acted on here and dropped by the eager decode.
+    pub lazy_peek: bool,
 }
 
 impl Default for DapesConfig {
@@ -134,6 +145,7 @@ impl Default for DapesConfig {
             response_timeout: SimDuration::from_millis(400),
             suppress_duration: SimDuration::from_secs(2),
             tick: SimDuration::from_millis(100),
+            lazy_peek: true,
         }
     }
 }

@@ -30,7 +30,7 @@ use dapes_crypto::Digest;
 use dapes_ndn::face::FaceId;
 use dapes_ndn::forwarder::{Action, Forwarder, ForwarderConfig};
 use dapes_ndn::name::Name;
-use dapes_ndn::packet::{Data, Interest, Packet};
+use dapes_ndn::packet::{Data, Interest, Packet, PacketHeader};
 use dapes_netsim::node::{NetStack, NodeCtx, TimerHandle, TxOutcome};
 use dapes_netsim::payload::Payload;
 use dapes_netsim::radio::{Frame, FrameKind};
@@ -1330,6 +1330,9 @@ impl NetStack for DapesPeer {
     }
 
     fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame) {
+        if self.cfg.lazy_peek && self.on_frame_peeked(ctx, frame) {
+            return;
+        }
         let Ok(packet) = Packet::decode_payload(&frame.payload) else {
             return;
         };
@@ -1347,57 +1350,7 @@ impl NetStack for DapesPeer {
                     .forwarder
                     .process_interest(ctx.now, &interest, FaceId::WIRELESS);
                 ctx.note_state_inserts(1);
-                for action in actions {
-                    match action {
-                        Action::SendInterest {
-                            face: FaceId::APP,
-                            interest,
-                        } if self.role == NodeRole::Dapes => {
-                            self.serve_interest(ctx, &interest);
-                        }
-                        Action::SendInterest {
-                            face: FaceId::WIRELESS,
-                            mut interest,
-                        } => {
-                            // Multi-hop re-broadcast approved by the
-                            // strategy: schedule with a random delay and
-                            // cancellation rules (§V-A).
-                            if !interest.decrement_hop_limit() {
-                                continue;
-                            }
-                            let delay = self.jitter(ctx);
-                            let name = interest.name().clone();
-                            let nonce = interest.nonce();
-                            self.schedule_pending(
-                                ctx,
-                                PendingPayload::Raw(interest.wire()),
-                                frame.kind,
-                                delay,
-                                Some(name.clone()),
-                                Some((name.clone(), nonce)),
-                                Some(name),
-                            );
-                        }
-                        Action::SendData {
-                            face: FaceId::WIRELESS,
-                            data,
-                        } => {
-                            // Content Store hit: answer from cache after a
-                            // polite delay, cancelled if someone else does.
-                            let delay = self.jitter(ctx);
-                            self.schedule_pending(
-                                ctx,
-                                PendingPayload::Raw(data.wire()),
-                                response_kind_for(&data),
-                                delay,
-                                Some(data.name().clone()),
-                                None,
-                                None,
-                            );
-                        }
-                        _ => {}
-                    }
-                }
+                self.apply_interest_actions(ctx, frame.kind, actions);
             }
             Packet::Data(data) => {
                 // Any data transmission cancels our duplicate pending
@@ -1579,6 +1532,190 @@ impl NetStack for DapesPeer {
 }
 
 impl DapesPeer {
+    /// Applies the forwarder's actions for an overheard Interest — the
+    /// shared tail of the eager pipeline and the header fast path.
+    fn apply_interest_actions(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        frame_kind: FrameKind,
+        actions: Vec<Action>,
+    ) {
+        for action in actions {
+            match action {
+                Action::SendInterest {
+                    face: FaceId::APP,
+                    interest,
+                } if self.role == NodeRole::Dapes => {
+                    self.serve_interest(ctx, &interest);
+                }
+                Action::SendInterest {
+                    face: FaceId::WIRELESS,
+                    mut interest,
+                } => {
+                    // Multi-hop re-broadcast approved by the
+                    // strategy: schedule with a random delay and
+                    // cancellation rules (§V-A).
+                    if !interest.decrement_hop_limit() {
+                        continue;
+                    }
+                    let delay = self.jitter(ctx);
+                    let name = interest.name().clone();
+                    let nonce = interest.nonce();
+                    self.schedule_pending(
+                        ctx,
+                        PendingPayload::Raw(interest.wire()),
+                        frame_kind,
+                        delay,
+                        Some(name.clone()),
+                        Some((name.clone(), nonce)),
+                        Some(name),
+                    );
+                }
+                Action::SendData {
+                    face: FaceId::WIRELESS,
+                    data,
+                } => {
+                    // Content Store hit: answer from cache after a
+                    // polite delay, cancelled if someone else does.
+                    let delay = self.jitter(ctx);
+                    self.schedule_pending(
+                        ctx,
+                        PendingPayload::Raw(data.wire()),
+                        response_kind_for(&data),
+                        delay,
+                        Some(data.name().clone()),
+                        None,
+                        None,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The overhearing fast path: tries to resolve `frame` from a
+    /// name-first header peek, without a full TLV decode. Returns whether
+    /// the frame was fully handled.
+    ///
+    /// Every branch that returns `true` reproduces the eager pipeline's
+    /// side effects *exactly* — same forwarder statistics, same RNG draws in
+    /// the same order, same pending-transmission bookkeeping — so enabling
+    /// [`DapesConfig::lazy_peek`] cannot change a trace (asserted across the
+    /// scenario matrix by `tests/sched.rs`). Frames that need their payload
+    /// (aggregating or novel Interests, PIT-matching or cacheable or
+    /// DAPES-signalling Data) fall through untouched, with no state or
+    /// statistics recorded, and take the full-decode path.
+    fn on_frame_peeked(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame) -> bool {
+        let Ok(header) = Packet::peek_header(&frame.payload) else {
+            // A malformed prefix fails the full decode at the same byte, so
+            // dropping here is exactly what the eager path would do.
+            return true;
+        };
+        match header {
+            PacketHeader::Interest(h) => {
+                let Some(actions) =
+                    self.forwarder
+                        .process_interest_header(ctx.now, &h, FaceId::WIRELESS)
+                else {
+                    return false;
+                };
+                if self.role == NodeRole::Dapes {
+                    self.discovery.note_peer_heard(ctx.now);
+                    self.shared.borrow_mut().note_peer(frame.src.0, ctx.now);
+                }
+                // Cancel our own redundant pending forward, comparing the
+                // stored name against the frame's borrowed bytes — the
+                // whole Interest fast path builds no `Name` at all.
+                let (name_wire, nonce) = (h.name_wire, h.nonce);
+                self.cancel_pending_where(ctx, |p| {
+                    p.cancel_on_nonce
+                        .as_ref()
+                        .is_some_and(|(n, pn)| *pn == nonce && n.wire_value_eq(name_wire))
+                });
+                ctx.note_state_inserts(1);
+                self.apply_interest_actions(ctx, frame.kind, actions);
+                self.stats.frames_peek_resolved += 1;
+                true
+            }
+            PacketHeader::Data(h) => {
+                // Classification and the knowledge-building side effects
+                // need a materialized name (zero-copy views, one Vec) — but
+                // never the packet's MetaInfo/Content/signature tail.
+                let Ok(dname) = h.to_name(&frame.payload) else {
+                    // Malformed name region: the full decode fails at the
+                    // same byte, so dropping matches the eager path.
+                    return true;
+                };
+                if !self.data_resolvable_by_name(&dname) {
+                    return false;
+                }
+                if !self.forwarder.process_data_header(h.name_wire) {
+                    return false;
+                }
+                // Committed: mirror the eager pipeline's name-derived side
+                // effects (the payload-derived ones cannot apply, because
+                // `data_resolvable_by_name` ruled them out).
+                if self.role == NodeRole::Dapes {
+                    self.discovery.note_peer_heard(ctx.now);
+                    self.shared.borrow_mut().note_peer(frame.src.0, ctx.now);
+                }
+                self.cancel_pending_where(ctx, |p| p.cancel_on_data.as_ref() == Some(&dname));
+                self.shared.borrow_mut().note_data_seen(&dname);
+                if self.role == NodeRole::Dapes {
+                    if let Some(DapesName::Content {
+                        collection,
+                        file,
+                        seq,
+                    }) = namespace::classify(&dname)
+                    {
+                        let idx = {
+                            let sh = self.shared.borrow();
+                            sh.indices
+                                .get(&collection)
+                                .and_then(|ix| ix.global_index(&file, seq))
+                        };
+                        if let Some(idx) = idx {
+                            self.shared.borrow_mut().note_neighbor_has(
+                                frame.src.0,
+                                &collection,
+                                idx,
+                                ctx.now,
+                            );
+                        }
+                    }
+                }
+                self.stats.frames_peek_resolved += 1;
+                true
+            }
+        }
+    }
+
+    /// Whether an overheard Data packet with this name could be fully
+    /// handled without its payload, assuming it also matches no PIT entry.
+    /// Conservative: any name whose eager handling reads the content
+    /// (bitmaps, discovery replies, metadata, content for an active
+    /// download) forces the full decode.
+    fn data_resolvable_by_name(&self, name: &Name) -> bool {
+        if self.role != NodeRole::Dapes {
+            // Non-DAPES roles take no overhearing action beyond the
+            // forwarder pipeline (and a caching pure forwarder is already
+            // rejected by `process_data_header`).
+            return true;
+        }
+        match namespace::classify(name) {
+            // `handle_content_data` is a no-op without an active download
+            // for the collection; the knowledge-building side effect
+            // (`note_neighbor_has`) needs only the name.
+            Some(DapesName::Content { ref collection, .. }) => {
+                !self.downloads.contains_key(collection)
+            }
+            // Bitmap/discovery/metadata handling reads the payload.
+            Some(_) => false,
+            // Non-DAPES names have no overhearing semantics.
+            None => true,
+        }
+    }
+
     fn handle_app_data(&mut self, ctx: &mut NodeCtx<'_>, data: &Data) {
         match namespace::classify(data.name()) {
             Some(DapesName::Metadata { collection, .. }) => {

@@ -70,6 +70,10 @@ pub struct PeerStats {
     pub packets_served: u64,
     /// Interests we re-broadcast as an intermediate node.
     pub interests_forwarded: u64,
+    /// Overheard frames fully resolved from a name-first header peek,
+    /// without a full TLV decode (CS hits, duplicate nonces, unsolicited
+    /// data we neither cache nor want).
+    pub frames_peek_resolved: u64,
     /// Completion time of all wanted collections, once reached.
     pub completed_at: Option<SimTime>,
 }

@@ -15,7 +15,7 @@
 use crate::name::Name;
 use crate::packet::Data;
 use dapes_netsim::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 #[derive(Clone, Debug)]
 struct CsEntry {
@@ -50,6 +50,11 @@ impl CsEntry {
 #[derive(Clone, Debug)]
 pub struct ContentStore {
     entries: BTreeMap<Name, CsEntry>,
+    /// Exact-match wire index keyed by [`Name::to_wire_value`], mirroring
+    /// `entries` (the `Data` clone is cheap `Arc` sharing). Lets a peeked
+    /// frame's borrowed name bytes resolve a non-prefix Interest with one
+    /// hash probe — no `Name` construction, no ordered-map walk.
+    by_wire: HashMap<Vec<u8>, CsEntry>,
     fifo: VecDeque<Name>,
     capacity: usize,
     bytes: usize,
@@ -60,6 +65,7 @@ impl ContentStore {
     pub fn new(capacity: usize) -> Self {
         ContentStore {
             entries: BTreeMap::new(),
+            by_wire: HashMap::new(),
             fifo: VecDeque::new(),
             capacity,
             bytes: 0,
@@ -76,9 +82,12 @@ impl ContentStore {
         self.entries.is_empty()
     }
 
-    /// Approximate bytes of cached state (Table I memory proxy).
+    /// Approximate bytes of cached state (Table I memory proxy), including
+    /// the exact-match wire index's key bytes and per-entry overhead (its
+    /// `Data` clones share the cached packets' buffers, so only the
+    /// bookkeeping is counted).
     pub fn state_bytes(&self) -> usize {
-        self.bytes
+        self.bytes + self.by_wire.keys().map(|k| k.len() + 48).sum::<usize>()
     }
 
     /// Inserts a Data packet, evicting the oldest entry when full.
@@ -87,13 +96,12 @@ impl ContentStore {
     pub fn insert(&mut self, data: Data, now: SimTime) {
         let name = data.name().clone();
         let size = data.content().len() + name.state_bytes() + 64;
-        if let Some(old) = self.entries.insert(
-            name.clone(),
-            CsEntry {
-                data,
-                inserted: now,
-            },
-        ) {
+        let entry = CsEntry {
+            data,
+            inserted: now,
+        };
+        self.by_wire.insert(name.to_wire_value(), entry.clone());
+        if let Some(old) = self.entries.insert(name.clone(), entry) {
             let old_size = old.data.content().len() + name.state_bytes() + 64;
             self.bytes = self.bytes.saturating_sub(old_size) + size;
             return;
@@ -103,6 +111,7 @@ impl ContentStore {
         while self.entries.len() > self.capacity {
             if let Some(victim) = self.fifo.pop_front() {
                 if let Some(old) = self.entries.remove(&victim) {
+                    self.by_wire.remove(&victim.to_wire_value());
                     self.bytes = self
                         .bytes
                         .saturating_sub(old.data.content().len() + victim.state_bytes() + 64);
@@ -143,6 +152,21 @@ impl ContentStore {
         self.entries.get(name).map(|e| &e.data)
     }
 
+    /// Exact-name lookup against a peeked frame's borrowed name bytes, with
+    /// the same freshness semantics as [`ContentStore::lookup`] for a
+    /// non-CanBePrefix Interest — one hash probe, no `Name` construction.
+    pub fn lookup_wire_exact(
+        &self,
+        name_wire: &[u8],
+        must_be_fresh: bool,
+        now: SimTime,
+    ) -> Option<&Data> {
+        self.by_wire
+            .get(name_wire)
+            .filter(|e| !must_be_fresh || e.is_fresh(now))
+            .map(|e| &e.data)
+    }
+
     /// Prefix lookup ignoring freshness.
     pub fn lookup_prefix(&self, prefix: &Name) -> Option<&Data> {
         self.lookup(prefix, true, false, SimTime::ZERO)
@@ -151,6 +175,7 @@ impl ContentStore {
     /// Removes everything (used when resetting a node).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.by_wire.clear();
         self.fifo.clear();
         self.bytes = 0;
     }
@@ -178,6 +203,29 @@ mod tests {
         cs.insert(data("/col/f/0"), t(0));
         assert!(cs.lookup_exact(&Name::from_uri("/col/f/0")).is_some());
         assert!(cs.lookup_exact(&Name::from_uri("/col/f/1")).is_none());
+    }
+
+    #[test]
+    fn wire_exact_lookup_mirrors_name_lookup() {
+        let mut cs = ContentStore::new(2);
+        cs.insert(fresh_data("/col/f/0", 1_000), t(0));
+        let key = Name::from_uri("/col/f/0").to_wire_value();
+        assert_eq!(
+            cs.lookup_wire_exact(&key, false, t(0)),
+            cs.lookup(&Name::from_uri("/col/f/0"), false, false, t(0)),
+        );
+        // Freshness semantics match too.
+        assert!(cs.lookup_wire_exact(&key, true, t(0)).is_some());
+        assert!(cs.lookup_wire_exact(&key, true, t(5)).is_none());
+        assert!(cs.lookup_wire_exact(&key, false, t(5)).is_some());
+        // Eviction and clear keep the index in sync.
+        cs.insert(data("/a"), t(1));
+        cs.insert(data("/b"), t(2)); // evicts /col/f/0
+        assert!(cs.lookup_wire_exact(&key, false, t(2)).is_none());
+        let b_key = Name::from_uri("/b").to_wire_value();
+        assert!(cs.lookup_wire_exact(&b_key, false, t(2)).is_some());
+        cs.clear();
+        assert!(cs.lookup_wire_exact(&b_key, false, t(2)).is_none());
     }
 
     #[test]

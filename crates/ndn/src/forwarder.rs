@@ -23,7 +23,7 @@ use crate::cs::ContentStore;
 use crate::face::FaceId;
 use crate::fib::Fib;
 use crate::name::Name;
-use crate::packet::{Data, Interest};
+use crate::packet::{Data, Interest, InterestHeader};
 use crate::pit::{Pit, PitInsert};
 use dapes_netsim::time::{SimDuration, SimTime};
 
@@ -207,6 +207,63 @@ impl Forwarder {
     /// memory proxy.
     pub fn state_bytes(&self) -> usize {
         self.cs.state_bytes() + self.pit.state_bytes() + self.fib.state_bytes()
+    }
+
+    /// Attempts to resolve an Interest from its peeked header alone —
+    /// borrowed name bytes, flags, nonce; no `Name` is built — running the
+    /// prefix of the Fig. 1 pipeline that needs no full decode:
+    ///
+    /// 1. **CS lookup** — an exact hit returns the cached Data for the
+    ///    ingress face, exactly as [`Forwarder::process_interest`] would;
+    /// 2. **duplicate nonce** — a loop/duplicate is dropped (empty action
+    ///    list), again exactly as the full pipeline would.
+    ///
+    /// Returns `None` when the Interest needs the full pipeline — a
+    /// CanBePrefix Interest (whose CS semantics need the ordered prefix
+    /// walk, and whose CS-hit-before-PIT ordering therefore cannot be
+    /// probed from the hash index), PIT aggregation, or a new entry. The
+    /// caller must then decode and call [`Forwarder::process_interest`]; no
+    /// state or statistics change on fall-through, so there is no double
+    /// counting.
+    pub fn process_interest_header(
+        &mut self,
+        now: SimTime,
+        header: &InterestHeader<'_>,
+        ingress: FaceId,
+    ) -> Option<Vec<Action>> {
+        if header.can_be_prefix {
+            return None;
+        }
+        if let Some(data) = self
+            .cs
+            .lookup_wire_exact(header.name_wire, header.must_be_fresh, now)
+        {
+            self.stats.cs_hits += 1;
+            return Some(vec![Action::SendData {
+                face: ingress,
+                data: data.clone(),
+            }]);
+        }
+        if self.pit.has_nonce_wire(header.name_wire, header.nonce) {
+            self.stats.duplicate_interests += 1;
+            return Some(Vec::new());
+        }
+        None
+    }
+
+    /// Attempts to resolve an overheard Data packet from its peeked name
+    /// bytes alone. Returns `true` — counting it as unsolicited, exactly as
+    /// [`Forwarder::process_data`] would — when the Data matches no PIT
+    /// entry and this forwarder does not cache unsolicited packets, i.e.
+    /// when the full pipeline would take no action and need no decode.
+    /// Returns `false` (with nothing counted) when the caller must decode
+    /// and run [`Forwarder::process_data`].
+    pub fn process_data_header(&mut self, name_wire: &[u8]) -> bool {
+        if self.cfg.cache_unsolicited || self.pit.matches_wire(name_wire) {
+            return false;
+        }
+        self.stats.unsolicited_data += 1;
+        true
     }
 
     /// Processes an incoming Interest per the Fig. 1 pipeline.
@@ -605,6 +662,103 @@ mod tests {
             .process_interest(now(), &interest("/a", 1), FaceId::APP)
             .is_empty());
         assert_eq!(f.stats().suppressed_interests, 1);
+    }
+
+    /// Peeks `i`'s header out of `wire` (which must outlive the header).
+    fn header_of<'a>(wire: &'a dapes_netsim::payload::Payload) -> InterestHeader<'a> {
+        use crate::packet::{Packet, PacketHeader};
+        match Packet::peek_header(wire).expect("valid") {
+            PacketHeader::Interest(h) => h,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn wire_of(i: &Interest) -> dapes_netsim::payload::Payload {
+        dapes_netsim::payload::Payload::from(i.encode())
+    }
+
+    #[test]
+    fn header_pipeline_matches_full_pipeline_on_cs_hit() {
+        let mut eager = fwd();
+        let mut lazy = fwd();
+        eager.cs_mut().insert(data("/col/f/0"), now());
+        lazy.cs_mut().insert(data("/col/f/0"), now());
+        let i = interest("/col/f/0", 1);
+        let want = eager.process_interest(now(), &i, FaceId::WIRELESS);
+        let wire = wire_of(&i);
+        let got = lazy
+            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+            .expect("CS hit resolves from the header");
+        assert_eq!(got, want);
+        assert_eq!(lazy.stats().cs_hits, eager.stats().cs_hits);
+        assert!(lazy.pit().is_empty(), "no PIT entry on a header CS hit");
+    }
+
+    #[test]
+    fn header_pipeline_matches_full_pipeline_on_duplicate_nonce() {
+        let mut eager = fwd();
+        let mut lazy = fwd();
+        let first = interest("/a", 7);
+        eager.process_interest(now(), &first, FaceId::WIRELESS);
+        lazy.process_interest(now(), &first, FaceId::WIRELESS);
+        let dup = interest("/a", 7);
+        let want = eager.process_interest(now(), &dup, FaceId::WIRELESS);
+        let wire = wire_of(&dup);
+        let got = lazy
+            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+            .expect("duplicate resolves from the header");
+        assert_eq!(got, want);
+        assert!(got.is_empty());
+        assert_eq!(lazy.stats().duplicate_interests, 1);
+    }
+
+    #[test]
+    fn header_pipeline_defers_aggregation_new_entries_and_prefix_interests() {
+        let mut f = fwd();
+        let i = interest("/a", 1);
+        // New entry: needs the full pipeline, and nothing is counted.
+        let wire = wire_of(&i);
+        assert!(f
+            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+            .is_none());
+        assert_eq!(f.stats().cs_hits + f.stats().duplicate_interests, 0);
+        f.process_interest(now(), &i, FaceId::WIRELESS);
+        // Same name, fresh nonce: aggregation also defers.
+        let wire = wire_of(&interest("/a", 2));
+        assert!(f
+            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+            .is_none());
+        // CanBePrefix needs the ordered CS walk: always defers, even when
+        // the exact name is cached and the nonce is a duplicate.
+        f.cs_mut().insert(data("/a"), now());
+        let wire = wire_of(&interest("/a", 1).with_can_be_prefix(true));
+        assert!(f
+            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+            .is_none());
+    }
+
+    #[test]
+    fn data_header_resolves_only_unsolicited_non_caching() {
+        let mut f = fwd();
+        f.process_interest(now(), &interest("/a", 1), FaceId::APP);
+        let key = |uri: &str| Name::from_uri(uri).to_wire_value();
+        assert!(!f.process_data_header(&key("/a")), "PIT match");
+        assert!(f.process_data_header(&key("/x")));
+        assert_eq!(f.stats().unsolicited_data, 1);
+        assert!(
+            f.pit().contains(&Name::from_uri("/a")),
+            "probe is read-only"
+        );
+
+        let mut pf = Forwarder::new(ForwarderConfig {
+            cache_unsolicited: true,
+            ..ForwarderConfig::default()
+        });
+        assert!(
+            !pf.process_data_header(&key("/x")),
+            "a caching pure forwarder must always decode"
+        );
+        assert_eq!(pf.stats().unsolicited_data, 0);
     }
 
     #[test]

@@ -222,6 +222,38 @@ impl Name {
     pub fn state_bytes(&self) -> usize {
         self.components.iter().map(|c| c.len() + 8).sum::<usize>() + 24
     }
+
+    /// The canonical encoding of the name's TLV *value* region — the
+    /// concatenated component TLVs, without the outer Name header. This is
+    /// the byte string a peeked frame exposes for its name, so it serves as
+    /// the key of the PIT/CS wire indexes that let overheard frames be
+    /// resolved without building a `Name` at all.
+    pub fn to_wire_value(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.state_bytes());
+        for c in self.components.iter() {
+            crate::tlv::write_tlv(&mut out, crate::tlv::types::NAME_COMPONENT, c.as_bytes());
+        }
+        out
+    }
+
+    /// Whether `value` (a name TLV value region, as exposed by a peeked
+    /// header) encodes exactly this name — equivalent to decoding it and
+    /// comparing, but without allocating. Unparseable bytes never match.
+    pub fn wire_value_eq(&self, value: &[u8]) -> bool {
+        let mut r = crate::tlv::TlvReader::new(value);
+        let mut components = self.components.iter();
+        while !r.is_at_end() {
+            // Mirror the decoder: any component type is treated as generic.
+            let Ok((_typ, bytes)) = r.read_tlv() else {
+                return false;
+            };
+            match components.next() {
+                Some(c) if c.as_bytes() == bytes => {}
+                _ => return false,
+            }
+        }
+        components.next().is_none()
+    }
 }
 
 impl fmt::Display for Name {

@@ -310,6 +310,76 @@ fn whole_buffer_is_one_packet(buf: &[u8]) -> bool {
     r.read_tlv().is_ok() && r.is_at_end()
 }
 
+/// The name-first prefix of an Interest, produced by [`Packet::peek_header`]
+/// without decoding lifetime, hop limit, or application parameters — and
+/// without building a [`Name`]: the name stays a borrowed slice of the
+/// frame's encoded bytes until [`InterestHeader::to_name`] is called.
+#[derive(Clone, Copy, Debug)]
+pub struct InterestHeader<'a> {
+    /// The name's TLV value region (concatenated component TLVs), borrowed
+    /// from the frame. Comparable against [`Name::to_wire_value`] keys and
+    /// [`Name::wire_value_eq`] without allocation.
+    pub name_wire: &'a [u8],
+    /// Whether extending names may satisfy the Interest.
+    pub can_be_prefix: bool,
+    /// Whether only fresh Data may satisfy it.
+    pub must_be_fresh: bool,
+    /// The duplicate-suppression nonce (0 when absent, as in full decode).
+    pub nonce: u32,
+}
+
+impl InterestHeader<'_> {
+    /// Materializes the name, with components as zero-copy views into
+    /// `backing` (the frame the header was peeked from).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlvError`] when the name region is malformed (peeking
+    /// defers component validation to this point).
+    pub fn to_name(&self, backing: &Payload) -> Result<Name, TlvError> {
+        decode_name_value(self.name_wire, Some(backing))
+    }
+}
+
+/// The name-first prefix of a Data packet, produced by
+/// [`Packet::peek_header`] without touching MetaInfo, Content or signature.
+#[derive(Clone, Copy, Debug)]
+pub struct DataHeader<'a> {
+    /// The name's TLV value region, borrowed from the frame.
+    pub name_wire: &'a [u8],
+}
+
+impl DataHeader<'_> {
+    /// Materializes the name, with components as zero-copy views into
+    /// `backing` (the frame the header was peeked from).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlvError`] when the name region is malformed.
+    pub fn to_name(&self, backing: &Payload) -> Result<Name, TlvError> {
+        decode_name_value(self.name_wire, Some(backing))
+    }
+}
+
+/// A peeked packet prefix: just enough to route an overheard frame.
+#[derive(Clone, Copy, Debug)]
+pub enum PacketHeader<'a> {
+    /// An Interest's type + name + flags + nonce.
+    Interest(InterestHeader<'a>),
+    /// A Data packet's type + name.
+    Data(DataHeader<'a>),
+}
+
+impl<'a> PacketHeader<'a> {
+    /// The peeked packet's name TLV value region.
+    pub fn name_wire(&self) -> &'a [u8] {
+        match self {
+            PacketHeader::Interest(h) => h.name_wire,
+            PacketHeader::Data(h) => h.name_wire,
+        }
+    }
+}
+
 /// Content type of a Data packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ContentType {
@@ -657,6 +727,74 @@ impl Packet {
         }
     }
 
+    /// Decodes only the packet's routable prefix — type and name, plus the
+    /// CanBePrefix/MustBeFresh flags and nonce for Interests — as zero-copy
+    /// borrows of `payload`, stopping before the expensive tail (MetaInfo,
+    /// Content, signature, application parameters) and *without building a
+    /// [`Name`]*: the name stays the raw slice of its TLV value region,
+    /// directly comparable against the PIT/CS wire indexes.
+    ///
+    /// This is the overhearing fast path: a forwarder can resolve the common
+    /// outcomes of a frame it was not addressed by — Content Store hit,
+    /// duplicate nonce, no PIT match, not-for-me — from the header alone,
+    /// and fall through to [`Packet::decode_payload`] only when the packet
+    /// is actually consumed. Every error `peek_header` can return (truncated
+    /// or malformed outer/name/flag framing) would also fail the full decode
+    /// at the same byte, so dropping a frame on a peek error never diverges
+    /// from the eager pipeline. The converse does not hold — a frame with a
+    /// valid prefix and a garbage tail peeks fine, and component-level
+    /// validation inside the name region is deferred to
+    /// [`InterestHeader::to_name`] / [`DataHeader::to_name`] (a malformed
+    /// region can never byte-match a wire-index key, which only ever holds
+    /// canonical encodings of valid names, so deferral cannot misroute).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlvError`] for unknown outer types or a malformed
+    /// type/name/nonce prefix.
+    pub fn peek_header(payload: &Payload) -> Result<PacketHeader<'_>, TlvError> {
+        let mut outer = TlvReader::new(payload);
+        match outer.peek_type()? {
+            types::INTEREST => {
+                let body = outer.read_expected(types::INTEREST)?;
+                let mut r = TlvReader::new(body);
+                let mut header = InterestHeader {
+                    name_wire: r.read_expected(types::NAME)?,
+                    can_be_prefix: false,
+                    must_be_fresh: false,
+                    nonce: 0,
+                };
+                while !r.is_at_end() {
+                    let (typ, value) = r.read_tlv()?;
+                    match typ {
+                        types::CAN_BE_PREFIX => header.can_be_prefix = true,
+                        types::MUST_BE_FRESH => header.must_be_fresh = true,
+                        types::NONCE => {
+                            let bytes: [u8; 4] = value
+                                .try_into()
+                                .map_err(|_| TlvError::BadValue("nonce must be 4 bytes"))?;
+                            header.nonce = u32::from_be_bytes(bytes);
+                            break; // name-first: everything after is lazy
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(PacketHeader::Interest(header))
+            }
+            types::DATA => {
+                let body = outer.read_expected(types::DATA)?;
+                let mut r = TlvReader::new(body);
+                Ok(PacketHeader::Data(DataHeader {
+                    name_wire: r.read_expected(types::NAME)?,
+                }))
+            }
+            other => Err(TlvError::UnexpectedType {
+                expected: types::INTEREST,
+                found: other,
+            }),
+        }
+    }
+
     /// Encodes whichever packet this is.
     pub fn encode(&self) -> Vec<u8> {
         match self {
@@ -693,8 +831,13 @@ pub(crate) fn encode_name(out: &mut Vec<u8>, name: &Name) {
 /// Decodes a Name; with a `backing` payload, each component is a zero-copy
 /// view into the received frame instead of a fresh allocation.
 fn decode_name_inner(r: &mut TlvReader<'_>, backing: Option<&Payload>) -> Result<Name, TlvError> {
-    let body = r.read_expected(types::NAME)?;
-    let mut nr = TlvReader::new(body);
+    decode_name_value(r.read_expected(types::NAME)?, backing)
+}
+
+/// Decodes a Name from its TLV value region (the borrowed slice a peeked
+/// header carries).
+fn decode_name_value(value: &[u8], backing: Option<&Payload>) -> Result<Name, TlvError> {
+    let mut nr = TlvReader::new(value);
     let mut components = Vec::new();
     while !nr.is_at_end() {
         let (typ, value) = nr.read_tlv()?;
@@ -945,5 +1088,107 @@ mod tests {
         assert!(Interest::decode(&[1, 2, 3]).is_err());
         assert!(Data::decode(&[]).is_err());
         assert!(Data::decode(&Interest::new(name()).encode()).is_err());
+    }
+
+    #[test]
+    fn peek_header_reads_interest_prefix_only() {
+        let i = Interest::new(name())
+            .with_can_be_prefix(true)
+            .with_must_be_fresh(true)
+            .with_nonce(0xdead_beef)
+            .with_lifetime_ms(2_500)
+            .with_hop_limit(5)
+            .with_app_parameters(vec![9; 2048]);
+        let buf = Payload::from(i.encode());
+        let Ok(PacketHeader::Interest(h)) = Packet::peek_header(&buf) else {
+            panic!("peek must classify an Interest");
+        };
+        assert_eq!(h.name_wire, &i.name().to_wire_value()[..]);
+        assert!(i.name().wire_value_eq(h.name_wire));
+        assert!(h.can_be_prefix && h.must_be_fresh);
+        assert_eq!(h.nonce, 0xdead_beef);
+        assert_eq!(&h.to_name(&buf).expect("valid name"), i.name());
+    }
+
+    #[test]
+    fn peek_header_name_is_a_zero_copy_view() {
+        let d = Data::new(name(), vec![1; 512]);
+        let buf = Payload::from(d.encode());
+        let Ok(PacketHeader::Data(h)) = Packet::peek_header(&buf) else {
+            panic!("peek must classify Data");
+        };
+        // The borrowed slice lives inside the frame…
+        let view = buf.view_of(h.name_wire);
+        assert!(
+            Payload::same_backing(&buf, &view),
+            "peeked name must borrow from the frame"
+        );
+        // …and materializing it yields zero-copy component views.
+        let materialized = h.to_name(&buf).expect("valid name");
+        assert_eq!(&materialized, d.name());
+        for c in materialized.components() {
+            let view = buf.view_of(c.as_bytes());
+            assert!(
+                Payload::same_backing(&buf, &view),
+                "materialized components must borrow from the frame"
+            );
+        }
+    }
+
+    #[test]
+    fn peek_header_rejects_truncated_tlv_without_panicking() {
+        let anchor = TrustAnchor::from_seed(b"a");
+        let key = anchor.keypair("p");
+        for wire in [
+            Interest::new(name()).with_nonce(7).encode(),
+            Data::new(name(), vec![3; 64]).signed(&key).encode(),
+        ] {
+            for cut in 0..wire.len() {
+                let truncated = Payload::copy_from_slice(&wire[..cut]);
+                assert!(
+                    Packet::peek_header(&truncated).is_err(),
+                    "cut={cut} must be rejected"
+                );
+            }
+            assert!(Packet::peek_header(&Payload::from(wire)).is_ok());
+        }
+        assert!(Packet::peek_header(&Payload::from(vec![0x99, 0x00])).is_err());
+        assert!(Packet::peek_header(&Payload::from(Vec::new())).is_err());
+    }
+
+    #[test]
+    fn peek_header_does_not_decode_the_packet_tail() {
+        // A Data packet whose post-name region is garbage: the full decode
+        // fails, the name-first peek succeeds — proof the tail stays lazy.
+        let mut body = Vec::new();
+        encode_name(&mut body, &name());
+        body.extend_from_slice(&[types::CONTENT as u8, 200]); // overrunning length
+        let mut wire = Vec::new();
+        tlv::write_tlv(&mut wire, types::DATA, &body);
+        let buf = Payload::from(wire);
+        assert!(Data::decode_payload(&buf).is_err(), "tail is malformed");
+        let Ok(PacketHeader::Data(h)) = Packet::peek_header(&buf) else {
+            panic!("peek must not read the tail");
+        };
+        assert!(name().wire_value_eq(h.name_wire));
+    }
+
+    #[test]
+    fn malformed_name_region_peeks_but_fails_to_materialize() {
+        // Component validation is deferred: the peeked slice exists, never
+        // matches a canonical wire key, and `to_name` reports the error.
+        let mut garbage_name = Vec::new();
+        tlv::write_tlv(&mut garbage_name, types::NAME, &[0x08, 200]); // overrun
+        let mut body = garbage_name;
+        tlv::write_tlv(&mut body, types::NONCE, &7u32.to_be_bytes());
+        let mut wire = Vec::new();
+        tlv::write_tlv(&mut wire, types::INTEREST, &body);
+        let buf = Payload::from(wire);
+        let Ok(PacketHeader::Interest(h)) = Packet::peek_header(&buf) else {
+            panic!("prefix framing is valid");
+        };
+        assert!(h.to_name(&buf).is_err());
+        assert!(!name().wire_value_eq(h.name_wire));
+        assert!(Interest::decode_payload(&buf).is_err(), "full decode fails");
     }
 }

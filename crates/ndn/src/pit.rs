@@ -7,8 +7,9 @@
 
 use crate::face::FaceId;
 use crate::name::Name;
+use crate::tlv::TlvReader;
 use dapes_netsim::time::SimTime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One pending Interest.
 #[derive(Clone, Debug)]
@@ -26,6 +27,9 @@ pub struct PitEntry {
     /// When the Interest was last forwarded upstream (consumer
     /// retransmissions may re-forward after a suppression interval).
     pub last_forward: Option<SimTime>,
+    /// The name's canonical wire-value key, shared with the wire index so
+    /// aggregation and removal never re-encode the name.
+    pub(crate) wire_key: std::sync::Arc<[u8]>,
 }
 
 impl PitEntry {
@@ -46,10 +50,27 @@ pub enum PitInsert {
     DuplicateNonce,
 }
 
+/// The wire-index mirror of one entry: just what the overhearing fast path
+/// probes (duplicate nonces and CanBePrefix matching).
+#[derive(Clone, Debug)]
+struct WireEntry {
+    can_be_prefix: bool,
+    nonces: Vec<u32>,
+}
+
 /// The Pending Interest Table.
+///
+/// Alongside the canonical `Name`-keyed map, the PIT maintains a *wire
+/// index* keyed by [`Name::to_wire_value`]: peeked frames carry their name
+/// as a borrowed byte slice, and the index answers duplicate-nonce and
+/// PIT-match probes against that slice directly — no `Name` is built, no
+/// component `Arc`s are touched. The index only ever holds canonical
+/// encodings of valid names, so a frame with a non-canonical or malformed
+/// name region simply misses and falls through to the full decode path.
 #[derive(Clone, Debug, Default)]
 pub struct Pit {
     entries: BTreeMap<Name, PitEntry>,
+    by_wire: HashMap<std::sync::Arc<[u8]>, WireEntry>,
 }
 
 impl Pit {
@@ -68,9 +89,17 @@ impl Pit {
         self.entries.is_empty()
     }
 
-    /// Approximate bytes of state.
+    /// Approximate bytes of state (entries plus the wire index).
     pub fn state_bytes(&self) -> usize {
-        self.entries.values().map(PitEntry::state_bytes).sum()
+        self.entries
+            .values()
+            .map(PitEntry::state_bytes)
+            .sum::<usize>()
+            + self
+                .by_wire
+                .iter()
+                .map(|(k, w)| k.len() + w.nonces.len() * 4 + 16)
+                .sum::<usize>()
     }
 
     /// Records an incoming Interest.
@@ -84,6 +113,8 @@ impl Pit {
     ) -> PitInsert {
         match self.entries.get_mut(name) {
             None => {
+                // Encode the name once; entry and index share the key.
+                let wire_key: std::sync::Arc<[u8]> = name.to_wire_value().into();
                 self.entries.insert(
                     name.clone(),
                     PitEntry {
@@ -93,6 +124,14 @@ impl Pit {
                         nonces: vec![nonce],
                         expiry,
                         last_forward: None,
+                        wire_key: wire_key.clone(),
+                    },
+                );
+                self.by_wire.insert(
+                    wire_key,
+                    WireEntry {
+                        can_be_prefix,
+                        nonces: vec![nonce],
                     },
                 );
                 PitInsert::New
@@ -107,6 +146,12 @@ impl Pit {
                 if !entry.downstreams.contains(&ingress) {
                     entry.downstreams.push(ingress);
                 }
+                let wire = self
+                    .by_wire
+                    .get_mut(&*entry.wire_key)
+                    .expect("wire index mirrors entries");
+                wire.nonces.push(nonce);
+                wire.can_be_prefix |= can_be_prefix;
                 PitInsert::Aggregated
             }
         }
@@ -115,6 +160,60 @@ impl Pit {
     /// Whether a pending entry exists for `name` (exact).
     pub fn contains(&self, name: &Name) -> bool {
         self.entries.contains_key(name)
+    }
+
+    /// Read-only duplicate check: whether `nonce` was already recorded for
+    /// `name`. Exactly the condition under which [`Pit::insert`] returns
+    /// [`PitInsert::DuplicateNonce`] without mutating anything.
+    pub fn has_nonce(&self, name: &Name, nonce: u32) -> bool {
+        self.has_nonce_wire(&name.to_wire_value(), nonce)
+    }
+
+    /// [`Pit::has_nonce`] against a peeked frame's borrowed name bytes —
+    /// one hash probe, no `Name` construction.
+    pub fn has_nonce_wire(&self, name_wire: &[u8], nonce: u32) -> bool {
+        self.by_wire
+            .get(name_wire)
+            .is_some_and(|w| w.nonces.contains(&nonce))
+    }
+
+    /// Read-only mirror of [`Pit::take_matching`]: whether a Data packet
+    /// named `data_name` would satisfy any pending entry (exact match or a
+    /// CanBePrefix prefix entry).
+    pub fn matches(&self, data_name: &Name) -> bool {
+        self.matches_wire(&data_name.to_wire_value())
+    }
+
+    /// [`Pit::matches`] against a peeked frame's borrowed name bytes: the
+    /// exact probe is one hash lookup, and prefix probes reuse the fact
+    /// that a name's wire value extends all of its prefixes' wire values,
+    /// so component boundaries found by a cheap TLV walk are the only
+    /// candidate cut points.
+    pub fn matches_wire(&self, name_wire: &[u8]) -> bool {
+        if self.by_wire.contains_key(name_wire) {
+            return true;
+        }
+        let mut r = TlvReader::new(name_wire);
+        let mut boundary = 0usize;
+        loop {
+            // `boundary` ends a strict prefix of the name (k components).
+            if self
+                .by_wire
+                .get(&name_wire[..boundary])
+                .is_some_and(|w| w.can_be_prefix)
+            {
+                return true;
+            }
+            if r.is_at_end() || r.read_tlv().is_err() {
+                return false;
+            }
+            boundary = name_wire.len() - r.remaining();
+            if boundary >= name_wire.len() {
+                // The full name is not a strict prefix; the exact probe
+                // already ran.
+                return false;
+            }
+        }
     }
 
     /// Mutable access to an entry (forwarders update `last_forward`).
@@ -128,6 +227,7 @@ impl Pit {
     pub fn take_matching(&mut self, data_name: &Name) -> Vec<PitEntry> {
         let mut matched = Vec::new();
         if let Some(e) = self.entries.remove(data_name) {
+            self.by_wire.remove(&*e.wire_key);
             matched.push(e);
         }
         // Check strict prefixes for CanBePrefix entries. Names are short
@@ -136,7 +236,9 @@ impl Pit {
             let prefix = data_name.prefix(k);
             let is_cbp = self.entries.get(&prefix).is_some_and(|e| e.can_be_prefix);
             if is_cbp {
-                matched.push(self.entries.remove(&prefix).expect("just checked"));
+                let e = self.entries.remove(&prefix).expect("just checked");
+                self.by_wire.remove(&*e.wire_key);
+                matched.push(e);
             }
         }
         matched
@@ -148,14 +250,19 @@ impl Pit {
     /// no per-entry clone and no second lookup.
     pub fn expire(&mut self, now: SimTime) -> Vec<Name> {
         let mut expired = Vec::new();
+        let mut expired_keys = Vec::new();
         self.entries.retain(|_, e| {
             if e.expiry <= now {
                 expired.push(std::mem::take(&mut e.name));
+                expired_keys.push(e.wire_key.clone());
                 false
             } else {
                 true
             }
         });
+        for key in expired_keys {
+            self.by_wire.remove(&*key);
+        }
         expired
     }
 
@@ -209,6 +316,31 @@ mod tests {
             pit.insert(&name("/a"), 1, false, FaceId::WIRELESS, t(4)),
             PitInsert::DuplicateNonce
         );
+    }
+
+    #[test]
+    fn has_nonce_mirrors_duplicate_insert() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/a"), 1, false, FaceId::APP, t(4));
+        assert!(pit.has_nonce(&name("/a"), 1));
+        assert!(!pit.has_nonce(&name("/a"), 2));
+        assert!(!pit.has_nonce(&name("/b"), 1));
+    }
+
+    #[test]
+    fn matches_mirrors_take_matching_without_mutating() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/col/f/0"), 1, false, FaceId::APP, t(4));
+        pit.insert(&name("/col"), 2, true, FaceId::APP, t(4));
+        pit.insert(&name("/other"), 3, false, FaceId::APP, t(4));
+        assert!(pit.matches(&name("/col/f/0")), "exact entry");
+        assert!(pit.matches(&name("/col/f/9")), "CanBePrefix prefix entry");
+        assert!(
+            !pit.matches(&name("/other/x")),
+            "non-CBP prefix is no match"
+        );
+        assert!(!pit.matches(&name("/elsewhere")));
+        assert_eq!(pit.len(), 3, "probe must not consume entries");
     }
 
     #[test]

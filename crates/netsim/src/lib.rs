@@ -38,6 +38,7 @@ pub mod payload;
 pub mod radio;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 pub mod world;
 
 /// Convenient glob-import of the types nearly every user needs.
@@ -50,7 +51,8 @@ pub mod prelude {
     pub use crate::radio::{Frame, FrameKind, PhyConfig};
     pub use crate::stats::Stats;
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::world::{DeliveryMode, World, WorldConfig};
+    pub use crate::wheel::TimerWheel;
+    pub use crate::world::{DeliveryMode, QueueMode, World, WorldConfig};
 }
 
 pub use prelude::*;

@@ -29,8 +29,101 @@ impl fmt::Display for NodeId {
 }
 
 /// Handle to a pending timer, usable to cancel it.
+///
+/// The handle packs a slot index and a generation tag: the world stores
+/// timers in a slab of reusable slots, and the generation distinguishes a
+/// live timer from a later tenant of the same slot, so cancelling an
+/// already-fired handle is a guaranteed no-op.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerHandle(pub(crate) u64);
+
+impl TimerHandle {
+    fn pack(slot: u32, generation: u32) -> Self {
+        TimerHandle(((generation as u64) << 32) | slot as u64)
+    }
+
+    fn unpack(self) -> (usize, u32) {
+        (self.0 as u32 as usize, (self.0 >> 32) as u32)
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TimerSlot {
+    generation: u32,
+    armed: bool,
+    cancelled: bool,
+}
+
+/// Generation-tagged timer slots with a free list.
+///
+/// This replaces the old `cancelled_timers: HashSet<u64>` scheme, which had
+/// two costs: cancellation was a hash insert probed again on every timer
+/// pop, and cancelling an already-fired timer left its id in the set for
+/// the rest of the run (an unbounded leak in long simulations). Here a
+/// cancel is a bounds-checked array write, and a slot is returned to the
+/// free list the moment its event pops — fired, cancelled, or both — so
+/// live slots are bounded by the number of timers actually pending.
+#[derive(Debug, Default)]
+pub(crate) struct TimerSlab {
+    slots: Vec<TimerSlot>,
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    /// Claims a slot for a newly armed timer.
+    pub(crate) fn arm(&mut self) -> TimerHandle {
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(TimerSlot::default());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        slot.armed = true;
+        slot.cancelled = false;
+        TimerHandle::pack(idx, slot.generation)
+    }
+
+    /// Marks a timer cancelled. Stale handles (already fired, or from a
+    /// previous tenant of the slot) are ignored.
+    pub(crate) fn cancel(&mut self, handle: TimerHandle) {
+        let (idx, generation) = handle.unpack();
+        if let Some(slot) = self.slots.get_mut(idx) {
+            if slot.armed && slot.generation == generation {
+                slot.cancelled = true;
+            }
+        }
+    }
+
+    /// Retires a timer when its event pops, freeing the slot for reuse.
+    /// Returns whether the timer callback should run (i.e. not cancelled).
+    pub(crate) fn fire(&mut self, handle: TimerHandle) -> bool {
+        let (idx, generation) = handle.unpack();
+        match self.slots.get_mut(idx) {
+            Some(slot) if slot.armed && slot.generation == generation => {
+                let live = !slot.cancelled;
+                slot.armed = false;
+                slot.cancelled = false;
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(idx as u32);
+                live
+            }
+            _ => false,
+        }
+    }
+
+    /// Timers currently armed (slots not on the free list).
+    pub(crate) fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Slots ever allocated — bounded by the peak number of concurrently
+    /// armed timers, not by the total armed over the run.
+    pub(crate) fn allocated(&self) -> usize {
+        self.slots.len()
+    }
+}
 
 /// Outcome of a frame transmission, reported to the sender.
 ///
@@ -106,7 +199,7 @@ pub struct NodeCtx<'a> {
     pub node: NodeId,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) commands: Vec<Command>,
-    pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) timers: &'a mut TimerSlab,
     pub(crate) api_calls: &'a mut u64,
     pub(crate) state_inserts: &'a mut u64,
 }
@@ -143,8 +236,7 @@ impl<'a> NodeCtx<'a> {
     /// [`NodeCtx::cancel_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
         *self.api_calls += 1;
-        *self.next_timer_id += 1;
-        let handle = TimerHandle(*self.next_timer_id);
+        let handle = self.timers.arm();
         let at = self.now + delay;
         self.commands.push(Command::SetTimer { handle, at, token });
         handle
@@ -176,7 +268,7 @@ mod tests {
     #[test]
     fn ctx_buffers_commands_and_counts_api_calls() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut next = 0u64;
+        let mut timers = TimerSlab::default();
         let mut api = 0u64;
         let mut ins = 0u64;
         let mut ctx = NodeCtx {
@@ -184,7 +276,7 @@ mod tests {
             node: NodeId(3),
             rng: &mut rng,
             commands: Vec::new(),
-            next_timer_id: &mut next,
+            timers: &mut timers,
             api_calls: &mut api,
             state_inserts: &mut ins,
         };
@@ -208,7 +300,7 @@ mod tests {
     #[test]
     fn timer_handles_are_unique() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut next = 0u64;
+        let mut timers = TimerSlab::default();
         let mut api = 0u64;
         let mut ins = 0u64;
         let mut ctx = NodeCtx {
@@ -216,12 +308,63 @@ mod tests {
             node: NodeId(0),
             rng: &mut rng,
             commands: Vec::new(),
-            next_timer_id: &mut next,
+            timers: &mut timers,
             api_calls: &mut api,
             state_inserts: &mut ins,
         };
         let a = ctx.set_timer(SimDuration::ZERO, 0);
         let b = ctx.set_timer(SimDuration::ZERO, 0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn slab_recycles_slots_and_distinguishes_generations() {
+        let mut slab = TimerSlab::default();
+        let a = slab.arm();
+        assert_eq!(slab.live(), 1);
+        assert!(slab.fire(a), "uncancelled timer fires");
+        assert_eq!(slab.live(), 0);
+        // The slot is reused with a bumped generation: the old handle is
+        // stale for both cancel and fire.
+        let b = slab.arm();
+        assert_eq!(slab.allocated(), 1, "slot must be reused");
+        assert_ne!(a, b);
+        slab.cancel(a); // stale: must not affect the new tenant
+        assert!(slab.fire(b), "new tenant unaffected by stale cancel");
+        assert!(!slab.fire(b), "double fire is a no-op");
+    }
+
+    #[test]
+    fn slab_cancel_suppresses_fire_and_frees_slot() {
+        let mut slab = TimerSlab::default();
+        let h = slab.arm();
+        slab.cancel(h);
+        assert_eq!(slab.live(), 1, "cancelled slot freed only when it pops");
+        assert!(!slab.fire(h), "cancelled timer must not fire");
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn slab_does_not_leak_under_cancel_churn() {
+        // The regression the slab redesign fixes: the old HashSet kept every
+        // cancelled-after-fire id forever. Armed/cancelled/fired cycles must
+        // leave allocation bounded by peak concurrency, not total volume.
+        let mut slab = TimerSlab::default();
+        for round in 0..10_000u64 {
+            let a = slab.arm();
+            let b = slab.arm();
+            slab.cancel(b);
+            assert!(slab.fire(a));
+            assert!(!slab.fire(b));
+            if round % 2 == 0 {
+                slab.cancel(a); // cancel after fire: harmless no-op
+            }
+            assert_eq!(slab.live(), 0, "round {round} leaked a slot");
+        }
+        assert!(
+            slab.allocated() <= 2,
+            "allocation grew past peak concurrency: {}",
+            slab.allocated()
+        );
     }
 }

@@ -30,8 +30,19 @@ pub struct Stats {
     pub channel_losses: u64,
     /// MAC deferrals due to carrier sense.
     pub mac_deferrals: u64,
-    /// Event dispatches (Table I context-switch proxy).
+    /// Event dispatches — one per event popped from the pending-event
+    /// queue (Table I context-switch proxy; also the per-[`QueueMode`]
+    /// throughput figure the scheduler benchmark reports).
+    ///
+    /// [`QueueMode`]: crate::world::QueueMode
     pub event_dispatches: u64,
+    /// Stack callbacks that reused a pooled command buffer.
+    pub cmd_pool_hits: u64,
+    /// Stack callbacks that had to allocate a fresh command buffer (always,
+    /// under [`QueueMode::Heap`]'s legacy cost model).
+    ///
+    /// [`QueueMode::Heap`]: crate::world::QueueMode::Heap
+    pub cmd_pool_misses: u64,
     /// Stack → simulator API calls (Table I system-call proxy).
     pub api_calls: u64,
     /// Protocol state-table insertions (Table I page-fault proxy).

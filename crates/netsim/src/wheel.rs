@@ -1,0 +1,435 @@
+//! A hierarchical timer wheel for the simulator's event queue.
+//!
+//! The discrete-event loop pops hundreds of millions of events in a large
+//! run, and a `BinaryHeap` pays O(log n) comparisons *per push and per pop*
+//! on a queue that holds one or more timers per node — at million-node
+//! scale that log factor is the scheduler. The wheel replaces it with a
+//! bucketed calendar: [`LEVELS`] levels of [`SLOTS`] slots each, where a
+//! level-`l` slot spans `64^l` microseconds. Pushing an event indexes the
+//! lowest level whose current window contains its time — O(1) — and the
+//! cursor advances by scanning one occupancy bitmask (`u64`) per level, so
+//! skipping an empty second of simulated time costs a handful of
+//! `trailing_zeros` calls, not a million empty-slot probes.
+//!
+//! # Exact heap equivalence
+//!
+//! The simulator's determinism contract ("same seed ⇒ bit-identical trace")
+//! requires the wheel to pop events in *exactly* the `(time, seq)` order the
+//! heap would. That holds structurally:
+//!
+//! * slots partition time into disjoint ascending ranges, and the cursor
+//!   only moves forward, so cross-slot order is time order;
+//! * a level-0 slot spans a single microsecond, so draining it sorts only
+//!   by `(time, seq)` among same-instant events (a push whose time already
+//!   passed merges straight into the drained batch at its heap rank);
+//! * events pushed *while* the current instant drains (`delay == 0`
+//!   commands) land back in the current slot and carry a larger `seq` than
+//!   everything already drained, so re-scanning the slot after the ready
+//!   buffer empties preserves the global order.
+//!
+//! Events beyond the top-level horizon (`64^6` µs ≈ 19 hours) spill into a
+//! small overflow heap and are folded back in when the wheel drains — they
+//! exist only so pathological far-future timers stay correct, not fast.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Slots per level (one occupancy bit per slot in a `u64` mask).
+pub const SLOTS: usize = 64;
+/// Bits of the time index consumed per level.
+const SLOT_BITS: u32 = 6;
+/// Number of levels; the wheel spans `64^LEVELS` microseconds.
+pub const LEVELS: usize = 6;
+/// Number of low time bits the wheel can index; times whose bits above this
+/// differ from the cursor's go to the overflow heap.
+const CAPACITY_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+/// One queued event: a time in microseconds, the global push sequence
+/// number that breaks same-instant ties, and the caller's payload.
+#[derive(Debug)]
+pub struct WheelEntry<T> {
+    /// Event time in microseconds.
+    pub time: u64,
+    /// Global push order, unique per entry.
+    pub seq: u64,
+    /// The caller's event payload.
+    pub item: T,
+}
+
+impl<T> PartialEq for WheelEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for WheelEntry<T> {}
+impl<T> PartialOrd for WheelEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for WheelEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A hierarchical timer wheel that pops entries in exact `(time, seq)`
+/// order, equivalent to a min-heap but with O(1) near-future push/pop.
+///
+/// # Examples
+///
+/// ```
+/// use dapes_netsim::wheel::TimerWheel;
+///
+/// let mut w = TimerWheel::new();
+/// w.push(50, 2, "late");
+/// w.push(10, 1, "early");
+/// assert_eq!(w.peek_time(), Some(10));
+/// assert_eq!(w.pop().map(|e| e.item), Some("early"));
+/// assert_eq!(w.pop().map(|e| e.item), Some("late"));
+/// assert!(w.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    /// Current time position; only moves forward.
+    cursor: u64,
+    /// `LEVELS × SLOTS` buckets, flattened.
+    slots: Vec<Vec<WheelEntry<T>>>,
+    /// Per-level occupancy bitmask (bit `s` set ⇔ slot `s` non-empty).
+    occupied: [u64; LEVELS],
+    /// Entries in the level buckets (excludes `ready` and `overflow`).
+    in_slots: usize,
+    /// The drained current-instant slot, sorted descending so `pop` takes
+    /// from the back. Swapped with slot vectors to recycle allocations.
+    ready: Vec<WheelEntry<T>>,
+    /// Events beyond the wheel's horizon, folded back in when it drains.
+    overflow: BinaryHeap<std::cmp::Reverse<WheelEntry<T>>>,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel positioned at t = 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            cursor: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            in_slots: 0,
+            ready: Vec::new(),
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Total queued entries.
+    pub fn len(&self) -> usize {
+        self.in_slots + self.ready.len() + self.overflow.len()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queues an entry. `seq` must be unique (and, for heap equivalence,
+    /// monotone in push order). A `time` before the wheel's current position
+    /// merges directly into the ready batch at its `(time, seq)` rank,
+    /// mirroring how a min-heap would pop an already-late event immediately
+    /// — even ahead of current-instant entries already drained for popping.
+    pub fn push(&mut self, time: u64, seq: u64, item: T) {
+        let entry = WheelEntry { time, seq, item };
+        if time < self.cursor {
+            let pos = self
+                .ready
+                .partition_point(|e| (e.time, e.seq) > (time, seq));
+            self.ready.insert(pos, entry);
+            return;
+        }
+        if (time >> CAPACITY_BITS) != (self.cursor >> CAPACITY_BITS) {
+            self.overflow.push(std::cmp::Reverse(entry));
+            return;
+        }
+        self.place(entry);
+        self.in_slots += 1;
+    }
+
+    /// Routes an in-horizon entry to its level and slot. Callers guarantee
+    /// `entry.time >= cursor` (late pushes merge into `ready` instead).
+    fn place(&mut self, entry: WheelEntry<T>) {
+        debug_assert!(entry.time >= self.cursor);
+        let t = entry.time;
+        let diff = t ^ self.cursor;
+        let level = if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        };
+        debug_assert!(level < LEVELS, "beyond-horizon entry must overflow");
+        let slot = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.occupied[level] |= 1 << slot;
+        self.slots[level * SLOTS + slot].push(entry);
+    }
+
+    /// The time of the next entry, or `None` when empty. Advances the
+    /// cursor past empty regions as a side effect (never past an entry).
+    pub fn peek_time(&mut self) -> Option<u64> {
+        self.ensure_ready();
+        self.ready.last().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest entry by `(time, seq)`.
+    pub fn pop(&mut self) -> Option<WheelEntry<T>> {
+        self.ensure_ready();
+        self.ready.pop()
+    }
+
+    /// Fills `ready` with the earliest instant's entries, sorted for
+    /// back-to-front popping.
+    fn ensure_ready(&mut self) {
+        loop {
+            if !self.ready.is_empty() {
+                return;
+            }
+            if self.in_slots == 0 {
+                if !self.refill_from_overflow() {
+                    return;
+                }
+                continue;
+            }
+            // Drain the current instant's slot if occupied (this also picks
+            // up zero-delay events pushed while the previous batch popped).
+            let idx0 = (self.cursor & (SLOTS as u64 - 1)) as usize;
+            if self.occupied[0] & (1 << idx0) != 0 {
+                self.occupied[0] &= !(1 << idx0);
+                std::mem::swap(&mut self.ready, &mut self.slots[idx0]);
+                self.in_slots -= self.ready.len();
+                self.ready
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+                continue;
+            }
+            self.advance();
+        }
+    }
+
+    /// Moves the cursor to the next occupied slot, cascading higher-level
+    /// buckets down as their windows open.
+    fn advance(&mut self) {
+        for level in 0..LEVELS {
+            let shift = SLOT_BITS * level as u32;
+            let idx = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as u32;
+            // Bits strictly above the cursor's slot: slots at or below it
+            // hold no entries (level 0's current slot was just drained, and
+            // pushes can never target an already-passed window).
+            let pending = self.occupied[level] & (u64::MAX << idx << 1);
+            if pending == 0 {
+                continue;
+            }
+            let slot = pending.trailing_zeros() as u64;
+            let unit = 1u64 << shift;
+            let window_base = self.cursor & !((unit << SLOT_BITS) - 1);
+            self.cursor = window_base + slot * unit;
+            if level > 0 {
+                self.cascade(level, slot as usize);
+            }
+            return;
+        }
+        debug_assert!(self.in_slots == 0, "entries queued but no slot found");
+    }
+
+    /// Redistributes a higher-level bucket into the finer levels now that
+    /// the cursor sits at its window start.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        self.occupied[level] &= !(1 << slot);
+        let mut bucket = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+        for entry in bucket.drain(..) {
+            self.place(entry);
+        }
+        // Hand the allocation back so steady-state cascades do not allocate.
+        self.slots[level * SLOTS + slot] = bucket;
+    }
+
+    /// Jumps the cursor to the overflow's earliest window and folds every
+    /// overflow entry inside the wheel's new horizon back in. Returns
+    /// whether anything was recovered.
+    fn refill_from_overflow(&mut self) -> bool {
+        let Some(std::cmp::Reverse(head)) = self.overflow.peek() else {
+            return false;
+        };
+        self.cursor = self.cursor.max(head.time);
+        while let Some(std::cmp::Reverse(e)) = self.overflow.peek() {
+            if (e.time >> CAPACITY_BITS) != (self.cursor >> CAPACITY_BITS) {
+                break;
+            }
+            let std::cmp::Reverse(e) = self.overflow.pop().expect("peeked");
+            self.place(e);
+            self.in_slots += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(5, 1, 'a');
+        w.push(5, 3, 'c');
+        w.push(5, 2, 'b');
+        w.push(1, 4, 'z');
+        let order: Vec<char> = std::iter::from_fn(|| w.pop().map(|e| e.item)).collect();
+        assert_eq!(order, vec!['z', 'a', 'b', 'c']);
+    }
+
+    #[test]
+    fn empty_wheel_peeks_and_pops_none() {
+        let mut w: TimerWheel<()> = TimerWheel::new();
+        assert_eq!(w.peek_time(), None);
+        assert!(w.pop().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_instant_push_during_drain_pops_after_ready_batch() {
+        let mut w = TimerWheel::new();
+        w.push(10, 1, 'a');
+        w.push(10, 2, 'b');
+        assert_eq!(w.pop().map(|e| e.item), Some('a'));
+        // A zero-delay event produced while dispatching 'a'.
+        w.push(10, 3, 'c');
+        assert_eq!(w.pop().map(|e| e.item), Some('b'));
+        assert_eq!(w.pop().map(|e| e.item), Some('c'));
+    }
+
+    #[test]
+    fn sparse_far_apart_times_pop_correctly() {
+        let mut w = TimerWheel::new();
+        // One entry per level's scale, plus an overflow entry.
+        let times = [
+            3u64,
+            70,
+            5_000,
+            300_000,
+            20_000_000,
+            1_500_000_000,
+            1u64 << 40, // beyond the 2^36 horizon
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(t, i as u64 + 1, t);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| w.pop().map(|e| e.item)).collect();
+        assert_eq!(popped, times);
+    }
+
+    #[test]
+    fn cross_window_boundary_order_is_preserved() {
+        // Entries straddling a level-1 boundary (time 63 vs 64) and a
+        // level-2 boundary (4095 vs 4096), pushed out of order.
+        let mut w = TimerWheel::new();
+        w.push(64, 1, 64u64);
+        w.push(63, 2, 63);
+        w.push(4096, 3, 4096);
+        w.push(4095, 4, 4095);
+        let popped: Vec<u64> = std::iter::from_fn(|| w.pop().map(|e| e.item)).collect();
+        assert_eq!(popped, vec![63, 64, 4095, 4096]);
+    }
+
+    #[test]
+    fn past_time_push_pops_immediately_with_original_time() {
+        let mut w = TimerWheel::new();
+        w.push(100, 1, ());
+        assert_eq!(w.pop().map(|e| e.time), Some(100));
+        // The cursor sits at 100; a late push for t=40 pops next.
+        w.push(200, 2, ());
+        w.push(40, 3, ());
+        let e = w.pop().expect("late entry");
+        assert_eq!((e.time, e.seq), (40, 3));
+        assert_eq!(w.pop().map(|e| e.time), Some(200));
+    }
+
+    #[test]
+    fn past_time_push_outranks_the_drained_current_batch() {
+        // A late push must pop before same-instant entries that were
+        // already drained into the ready batch — exactly what a min-heap
+        // would do.
+        let mut w = TimerWheel::new();
+        w.push(10, 1, 1u32);
+        w.push(10, 2, 2);
+        assert_eq!(w.pop().map(|e| e.item), Some(1));
+        w.push(5, 3, 3); // late, while (10, 2) sits in the ready batch
+        let e = w.pop().expect("late entry first");
+        assert_eq!((e.time, e.seq, e.item), (5, 3, 3));
+        assert_eq!(w.pop().map(|e| e.item), Some(2));
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn peek_matches_next_pop_and_len_tracks() {
+        let mut w = TimerWheel::new();
+        for i in 0..100u64 {
+            w.push(i * 37 % 911, i + 1, i);
+        }
+        assert_eq!(w.len(), 100);
+        let mut n = 0;
+        while let Some(t) = w.peek_time() {
+            let e = w.pop().expect("peeked");
+            assert_eq!(e.time, t);
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        assert_eq!(w.len(), 0);
+    }
+
+    /// The load-bearing property: the wheel pops the exact sequence a
+    /// min-heap pops, under randomized interleaved pushes and pops across
+    /// every level's time scale.
+    #[test]
+    fn matches_binary_heap_under_random_interleaving() {
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(0x5EED ^ (seed * 7919 + 1));
+            let mut wheel = TimerWheel::new();
+            let mut heap: BinaryHeap<std::cmp::Reverse<WheelEntry<u64>>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for _ in 0..4_000 {
+                if rng.gen_bool(0.55) || heap.is_empty() {
+                    seq += 1;
+                    // Mix deltas across the wheel's scales, including 0.
+                    let delta = match rng.gen_range(0u32..6) {
+                        0 => 0,
+                        1 => rng.gen_range(0..64),
+                        2 => rng.gen_range(0..4_096),
+                        3 => rng.gen_range(0..262_144),
+                        4 => rng.gen_range(0..16_777_216),
+                        _ => rng.gen_range(0..(1u64 << 38)), // into overflow
+                    };
+                    let t = now + delta;
+                    wheel.push(t, seq, seq);
+                    heap.push(std::cmp::Reverse(WheelEntry {
+                        time: t,
+                        seq,
+                        item: seq,
+                    }));
+                } else {
+                    let expect = heap.pop().expect("non-empty").0;
+                    let got = wheel.pop().expect("wheel has same entries");
+                    assert_eq!((got.time, got.seq), (expect.time, expect.seq));
+                    now = expect.time;
+                }
+            }
+            while let Some(std::cmp::Reverse(expect)) = heap.pop() {
+                let got = wheel.pop().expect("drain");
+                assert_eq!((got.time, got.seq), (expect.time, expect.seq));
+            }
+            assert!(wheel.pop().is_none());
+        }
+    }
+}

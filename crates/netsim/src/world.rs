@@ -20,15 +20,16 @@
 use crate::geometry::Point;
 use crate::grid::SpatialGrid;
 use crate::mobility::Mobility;
-use crate::node::{Command, NetStack, NodeCtx, NodeId, TxOutcome};
+use crate::node::{Command, NetStack, NodeCtx, NodeId, TimerHandle, TxOutcome};
 use crate::payload::Payload;
 use crate::radio::{Frame, FrameKind, PhyConfig};
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{TimerWheel, WheelEntry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// How receivers are selected per transmission.
 ///
@@ -46,6 +47,26 @@ pub enum DeliveryMode {
     BruteForce,
 }
 
+/// Which event-queue implementation (and command-buffer regime) drives the
+/// run.
+///
+/// Both modes pop events in the exact same `(time, event_seq)` order, so
+/// equal seeds give bit-identical traces either way — asserted across the
+/// scenario matrix by `tests/sched.rs`. `Heap` reproduces the pre-refactor
+/// control-plane cost model (a `BinaryHeap` with O(log n) push/pop plus a
+/// fresh `Vec<Command>` allocation per stack callback) and exists for
+/// equivalence tests and as the recorded baseline in the scheduler
+/// benchmark; `Wheel` is the hierarchical timer wheel with pooled command
+/// buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueMode {
+    /// O(1) hierarchical timer wheel + pooled command buffers (default).
+    #[default]
+    Wheel,
+    /// The original binary heap with per-callback buffer allocations.
+    Heap,
+}
+
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
@@ -59,6 +80,8 @@ pub struct WorldConfig {
     pub seed: u64,
     /// Receiver-selection algorithm.
     pub delivery: DeliveryMode,
+    /// Event-queue implementation.
+    pub queue: QueueMode,
 }
 
 impl Default for WorldConfig {
@@ -69,6 +92,7 @@ impl Default for WorldConfig {
             phy: PhyConfig::default(),
             seed: 1,
             delivery: DeliveryMode::Grid,
+            queue: QueueMode::Wheel,
         }
     }
 }
@@ -108,11 +132,24 @@ struct ActiveTx {
 
 #[derive(Debug)]
 enum EventKind {
-    Timer { node: NodeId, token: u64, id: u64 },
-    MacEnqueue { node: NodeId, frame: PendingFrame },
-    MacTry { node: NodeId },
-    TxEnd { tx_id: u64 },
-    MobilityChange { node: NodeId },
+    Timer {
+        node: NodeId,
+        token: u64,
+        handle: TimerHandle,
+    },
+    MacEnqueue {
+        node: NodeId,
+        frame: PendingFrame,
+    },
+    MacTry {
+        node: NodeId,
+    },
+    TxEnd {
+        tx_id: u64,
+    },
+    MobilityChange {
+        node: NodeId,
+    },
 }
 
 struct Event {
@@ -138,6 +175,49 @@ impl Ord for Event {
     }
 }
 
+/// The pending-event queue, in either implementation. Both pop in exact
+/// `(time, seq)` order; see [`QueueMode`].
+enum EventQueue {
+    Heap(BinaryHeap<Reverse<Event>>),
+    Wheel(TimerWheel<EventKind>),
+}
+
+impl EventQueue {
+    fn new(mode: QueueMode) -> Self {
+        match mode {
+            QueueMode::Heap => EventQueue::Heap(BinaryHeap::new()),
+            QueueMode::Wheel => EventQueue::Wheel(TimerWheel::new()),
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        match self {
+            EventQueue::Heap(h) => h.push(Reverse(ev)),
+            EventQueue::Wheel(w) => w.push(ev.time.as_micros(), ev.seq, ev.kind),
+        }
+    }
+
+    /// Time of the earliest pending event (the wheel may advance its cursor
+    /// over empty slots, hence `&mut`).
+    fn next_time(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|Reverse(ev)| ev.time),
+            EventQueue::Wheel(w) => w.peek_time().map(SimTime::from_micros),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|Reverse(ev)| ev),
+            EventQueue::Wheel(w) => w.pop().map(|WheelEntry { time, seq, item }| Event {
+                time: SimTime::from_micros(time),
+                seq,
+                kind: item,
+            }),
+        }
+    }
+}
+
 /// The discrete-event simulator.
 ///
 /// # Examples
@@ -153,14 +233,16 @@ impl Ord for Event {
 pub struct World {
     cfg: WorldConfig,
     now: SimTime,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
     event_seq: u64,
     nodes: Vec<NodeSlot>,
     active_tx: Vec<ActiveTx>,
     next_tx_id: u64,
     next_frame_seq: u64,
-    next_timer_id: u64,
-    cancelled_timers: HashSet<u64>,
+    timers: crate::node::TimerSlab,
+    /// Free list of command buffers recycled across stack callbacks (only
+    /// used in [`QueueMode::Wheel`]; the heap baseline allocates fresh).
+    cmd_pool: Vec<Vec<Command>>,
     rng: SmallRng,
     stats: Stats,
     started: bool,
@@ -177,22 +259,22 @@ impl World {
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let grid = SpatialGrid::new(cfg.field, cfg.range.max(1e-6));
         World {
-            cfg,
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(cfg.queue),
             event_seq: 0,
             nodes: Vec::new(),
             active_tx: Vec::new(),
             next_tx_id: 0,
             next_frame_seq: 0,
-            next_timer_id: 0,
-            cancelled_timers: HashSet::new(),
+            timers: crate::node::TimerSlab::default(),
+            cmd_pool: Vec::new(),
             rng,
             stats: Stats::new(0),
             started: false,
             grid,
             candidate_buf: Vec::new(),
             longest_air: SimDuration::ZERO,
+            cfg,
         }
     }
 
@@ -328,11 +410,11 @@ impl World {
 
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
         self.event_seq += 1;
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             time,
             seq: self.event_seq,
             kind,
-        }));
+        });
     }
 
     fn ensure_started(&mut self) {
@@ -343,6 +425,8 @@ impl World {
         self.stats = {
             let mut s = Stats::new(self.nodes.len());
             std::mem::swap(&mut s.event_dispatches, &mut self.stats.event_dispatches);
+            std::mem::swap(&mut s.cmd_pool_hits, &mut self.stats.cmd_pool_hits);
+            std::mem::swap(&mut s.cmd_pool_misses, &mut self.stats.cmd_pool_misses);
             s
         };
         for i in 0..self.nodes.len() {
@@ -353,11 +437,11 @@ impl World {
     /// Runs the event loop until `deadline` (inclusive of events at it).
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > deadline {
+        while let Some(t) = self.queue.next_time() {
+            if t > deadline {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let ev = self.queue.pop().expect("peeked");
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
             self.stats.event_dispatches += 1;
@@ -377,11 +461,11 @@ impl World {
         if pred(self) {
             return true;
         }
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > deadline {
+        while let Some(t) = self.queue.next_time() {
+            if t > deadline {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let ev = self.queue.pop().expect("peeked");
             self.now = ev.time;
             self.stats.event_dispatches += 1;
             self.dispatch(ev.kind);
@@ -393,10 +477,26 @@ impl World {
         false
     }
 
+    /// Timers currently armed (set but not yet fired or popped-cancelled).
+    /// Exposed so tests can assert the timer slab does not leak.
+    pub fn live_timers(&self) -> usize {
+        self.timers.live()
+    }
+
+    /// Timer slots ever allocated — bounded by peak concurrent timers, not
+    /// by the total number armed over the run (the no-leak property).
+    pub fn timer_slots_allocated(&self) -> usize {
+        self.timers.allocated()
+    }
+
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
-            EventKind::Timer { node, token, id } => {
-                if !self.cancelled_timers.remove(&id) {
+            EventKind::Timer {
+                node,
+                token,
+                handle,
+            } => {
+                if self.timers.fire(handle) {
                     self.with_stack(node, |stack, ctx| stack.on_timer(ctx, token));
                 }
             }
@@ -426,26 +526,45 @@ impl World {
             Some(s) => s,
             None => return,
         };
-        let mut commands = Vec::new();
-        {
+        // Recycle the command buffer through the free list: callbacks never
+        // nest, so steady state is a single warm allocation for the whole
+        // run. The heap baseline allocates fresh per callback, reproducing
+        // the pre-pool cost model (every callback counts as a pool miss).
+        let pooled = self.cfg.queue == QueueMode::Wheel;
+        let buf = if pooled { self.cmd_pool.pop() } else { None };
+        let buf = match buf {
+            Some(b) => {
+                self.stats.cmd_pool_hits += 1;
+                b
+            }
+            None => {
+                self.stats.cmd_pool_misses += 1;
+                Vec::new()
+            }
+        };
+        let mut commands = {
             let mut ctx = NodeCtx {
                 now: self.now,
                 node,
                 rng: &mut self.rng,
-                commands: Vec::new(),
-                next_timer_id: &mut self.next_timer_id,
+                commands: buf,
+                timers: &mut self.timers,
                 api_calls: &mut self.stats.api_calls,
                 state_inserts: &mut self.stats.state_inserts,
             };
             f(stack.as_mut(), &mut ctx);
-            std::mem::swap(&mut commands, &mut ctx.commands);
-        }
+            ctx.commands
+        };
         self.nodes[idx].stack = Some(stack);
-        self.apply_commands(node, commands);
+        self.apply_commands(node, &mut commands);
+        if pooled {
+            commands.clear();
+            self.cmd_pool.push(commands);
+        }
     }
 
-    fn apply_commands(&mut self, node: NodeId, commands: Vec<Command>) {
-        for cmd in commands {
+    fn apply_commands(&mut self, node: NodeId, commands: &mut Vec<Command>) {
+        for cmd in commands.drain(..) {
             match cmd {
                 Command::Send {
                     payload,
@@ -471,12 +590,12 @@ impl World {
                         EventKind::Timer {
                             node,
                             token,
-                            id: handle.0,
+                            handle,
                         },
                     );
                 }
                 Command::CancelTimer { handle } => {
-                    self.cancelled_timers.insert(handle.0);
+                    self.timers.cancel(handle);
                 }
             }
         }
@@ -980,9 +1099,18 @@ mod tests {
     /// Runs a mixed stationary/mobile chatter world and returns its trace
     /// fingerprint.
     fn chatter_trace(delivery: DeliveryMode, seed: u64) -> (u64, u64, u64, u64, u64) {
+        chatter_trace_with(delivery, QueueMode::default(), seed)
+    }
+
+    fn chatter_trace_with(
+        delivery: DeliveryMode,
+        queue: QueueMode,
+        seed: u64,
+    ) -> (u64, u64, u64, u64, u64) {
         let mut w = World::new(WorldConfig {
             seed,
             delivery,
+            queue,
             ..WorldConfig::default()
         });
         for i in 0..12 {
@@ -1011,6 +1139,106 @@ mod tests {
                 chatter_trace(DeliveryMode::Grid, seed),
                 chatter_trace(DeliveryMode::BruteForce, seed),
                 "delivery modes diverged for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn wheel_and_heap_queue_traces_are_identical() {
+        for seed in [1, 7, 99] {
+            assert_eq!(
+                chatter_trace_with(DeliveryMode::Grid, QueueMode::Wheel, seed),
+                chatter_trace_with(DeliveryMode::Grid, QueueMode::Heap, seed),
+                "queue modes diverged for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn command_pool_recycles_one_buffer() {
+        let mut w = World::new(lossless());
+        w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(10, 10)),
+        );
+        w.run_until(SimTime::from_secs(1));
+        let s = w.stats();
+        assert_eq!(s.cmd_pool_misses, 1, "callbacks never nest: one buffer");
+        assert!(s.cmd_pool_hits > 0);
+    }
+
+    #[test]
+    fn heap_mode_disables_the_command_pool() {
+        let mut cfg = lossless();
+        cfg.queue = QueueMode::Heap;
+        let mut w = World::new(cfg);
+        w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(10, 10)),
+        );
+        w.run_until(SimTime::from_secs(1));
+        let s = w.stats();
+        assert_eq!(s.cmd_pool_hits, 0);
+        assert!(s.cmd_pool_misses > 1, "legacy model allocates per callback");
+    }
+
+    /// Regression for the `cancelled_timers` leak: a stack that arms and
+    /// cancels a timer every round used to grow the cancellation set without
+    /// bound when cancels raced fires; the slab must keep allocation at peak
+    /// concurrency and free every slot once its event pops.
+    #[test]
+    fn cancelled_timers_do_not_accumulate() {
+        #[derive(Debug, Default)]
+        struct Churner {
+            rounds: u32,
+            doomed: Option<TimerHandle>,
+        }
+        impl NetStack for Churner {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+            }
+            fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: &Frame) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+                if token != 1 {
+                    return;
+                }
+                // Cancel last round's decoy (already fired-or-popped by now
+                // in some rounds, still pending in others) and arm a new one.
+                if let Some(h) = self.doomed.take() {
+                    ctx.cancel_timer(h);
+                }
+                self.doomed = Some(ctx.set_timer(SimDuration::from_millis(3), 2));
+                self.rounds += 1;
+                if self.rounds < 2_000 {
+                    ctx.set_timer(SimDuration::from_millis(1), 1);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        for queue in [QueueMode::Wheel, QueueMode::Heap] {
+            let mut cfg = lossless();
+            cfg.queue = queue;
+            let mut w = World::new(cfg);
+            let a = w.add_node(
+                Box::new(Stationary::new(Point::new(0.0, 0.0))),
+                Box::new(Churner::default()),
+            );
+            w.run_until(SimTime::from_secs(10));
+            assert_eq!(w.stack::<Churner>(a).expect("stack").rounds, 2_000);
+            assert_eq!(
+                w.live_timers(),
+                0,
+                "{queue:?}: every armed timer's slot must be freed by run end"
+            );
+            assert!(
+                w.timer_slots_allocated() <= 4,
+                "{queue:?}: slot allocation {} exceeds peak concurrency",
+                w.timer_slots_allocated()
             );
         }
     }

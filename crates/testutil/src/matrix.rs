@@ -75,6 +75,7 @@ impl Topology {
             .range(r)
             .loss(params.loss)
             .delivery(params.delivery)
+            .queue(params.queue)
             .collection_params(params.collection.clone())
             .config(params.config.clone());
         match *self {
@@ -144,6 +145,9 @@ pub struct MatrixParams {
     /// Receiver-selection algorithm (grid by default; equivalence tests
     /// run the same cells brute-force and compare traces).
     pub delivery: DeliveryMode,
+    /// Event-queue implementation (wheel by default; equivalence tests run
+    /// the same cells on the heap and compare traces).
+    pub queue: QueueMode,
 }
 
 impl Default for MatrixParams {
@@ -154,6 +158,7 @@ impl Default for MatrixParams {
             collection: CollectionParams::default(),
             config: DapesConfig::default(),
             delivery: DeliveryMode::default(),
+            queue: QueueMode::default(),
         }
     }
 }

@@ -166,6 +166,7 @@ pub struct ScenarioBuilder {
     anchor: TrustAnchor,
     peers: Vec<PeerSpec>,
     delivery: DeliveryMode,
+    queue: QueueMode,
 }
 
 impl ScenarioBuilder {
@@ -184,6 +185,7 @@ impl ScenarioBuilder {
             anchor: shared_anchor(),
             peers: Vec::new(),
             delivery: DeliveryMode::default(),
+            queue: QueueMode::default(),
         }
     }
 
@@ -197,6 +199,13 @@ impl ScenarioBuilder {
     /// tests build the same scenario in both modes and compare traces.
     pub fn delivery(mut self, delivery: DeliveryMode) -> Self {
         self.delivery = delivery;
+        self
+    }
+
+    /// Event-queue implementation (timer wheel by default). Equivalence
+    /// tests build the same scenario in both modes and compare traces.
+    pub fn queue(mut self, queue: QueueMode) -> Self {
+        self.queue = queue;
         self
     }
 
@@ -364,6 +373,7 @@ impl ScenarioBuilder {
                 ..PhyConfig::default()
             },
             delivery: self.delivery,
+            queue: self.queue,
         });
         let collection = self.collection.build();
         let mut placement_rng = SmallRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
