@@ -25,6 +25,7 @@ fn main() {
     };
     // Optional overrides for exploring the parameter space.
     let arg = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
+    let min_speedup: Option<f64> = arg("--min-speedup").map(|v| v.parse().expect("--min-speedup"));
     if let Some(n) = arg("--nodes") {
         params.nodes = n.parse().expect("--nodes");
     }
@@ -90,12 +91,20 @@ fn main() {
         (optimized.tx_frames, optimized.delivered),
         "modes must run the same trace for the comparison to be fair"
     );
-    eprintln!(
-        "  speedup  : {:.2}x events/s",
-        optimized.events_per_sec / baseline.events_per_sec
-    );
+    let speedup = optimized.events_per_sec / baseline.events_per_sec;
+    eprintln!("  speedup  : {speedup:.2}x events/s");
 
     let json = render_report(&params, &baseline, &optimized);
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
     eprintln!("wrote {out}");
+
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!(
+                "REGRESSION: zero-copy at {speedup:.2}x events/s is below the required \
+                 {min:.2}x over legacy"
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,15 +1,15 @@
 //! Scheduler throughput benchmark: runs the timer-heavy advert swarm under
-//! all four control-plane cost models (heap/wheel × eager/lazy) and writes
-//! `BENCH_sched.json`.
+//! all eight control-plane cost models (heap/wheel × eager/lazy ×
+//! per-receiver/batched delivery) and writes `BENCH_sched.json`.
 //!
 //! ```text
 //! cargo run --release -p dapes-bench --bin sched            # dense (2,400 nodes)
 //! cargo run --release -p dapes-bench --bin sched -- --quick # CI smoke
 //! cargo run ... -- --out path/to/BENCH_sched.json
+//! cargo run ... -- --quick --min-speedup 1.0   # exit non-zero on regression
 //! ```
 
 use dapes_bench::sched::{render_report, run_sched, trace_of, SchedMode, SchedParams};
-use dapes_netsim::prelude::QueueMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -25,6 +25,7 @@ fn main() {
         SchedParams::dense()
     };
     let arg = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
+    let min_speedup: Option<f64> = arg("--min-speedup").map(|v| v.parse().expect("--min-speedup"));
     if let Some(n) = arg("--nodes") {
         params.nodes = n.parse().expect("--nodes");
     }
@@ -58,29 +59,21 @@ fn main() {
 
     let reps = if quick { 2 } else { 3 };
     let mut results = Vec::new();
-    for mode in [
-        SchedMode::baseline(),
-        SchedMode {
-            queue: QueueMode::Heap,
-            lazy_decode: true,
-        },
-        SchedMode {
-            queue: QueueMode::Wheel,
-            lazy_decode: false,
-        },
-        SchedMode::optimized(),
-    ] {
+    for mode in SchedMode::sweep() {
         let best = (0..reps)
             .map(|_| run_sched(&params, mode))
             .reduce(|a, b| if a.wall_secs <= b.wall_secs { a } else { b })
             .expect("at least one repetition");
         eprintln!(
-            "  {:<12}: {:>9.0} events/s  ({:.2} s wall, {} events, {} peeked / {} decoded, pool {}h/{}m)",
+            "  {:<20}: {:>9.0} events/s  ({:.2} s wall, {} popped / {} sim events, {} peeked ({} fib-drop, {} cbp-hit) / {} decoded, pool {}h/{}m)",
             best.mode.label(),
             best.events_per_sec,
             best.wall_secs,
             best.events,
+            best.sim_events,
             best.frames_peek_resolved,
+            best.peek_fib_drops,
+            best.peek_prefix_hits,
             best.full_decodes,
             best.cmd_pool_hits,
             best.cmd_pool_misses,
@@ -91,14 +84,43 @@ fn main() {
         assert_eq!(
             trace_of(r),
             trace_of(&results[0]),
-            "modes must run the same trace for the comparison to be fair"
+            "modes must run the same protocol trace for the comparison to be fair"
         );
+        // Event counts additionally agree within a delivery-event class.
+        if r.mode.delivery == results[0].mode.delivery {
+            assert_eq!(r.events, results[0].events, "{}", r.mode.label());
+        }
     }
-    let baseline = results[0].events_per_sec;
-    let optimized = results.last().expect("optimized").events_per_sec;
-    eprintln!("  speedup     : {:.2}x events/s", optimized / baseline);
+    let baseline = results
+        .iter()
+        .find(|r| r.mode == SchedMode::baseline())
+        .expect("baseline mode swept");
+    let optimized = results
+        .iter()
+        .find(|r| r.mode == SchedMode::optimized())
+        .expect("optimized mode swept");
+    let speedup = optimized.events_per_sec / baseline.events_per_sec;
+    eprintln!(
+        "  speedup     : {:.2}x events/s ({:.2}x wall) {} vs {}",
+        speedup,
+        baseline.wall_secs / optimized.wall_secs.max(1e-9),
+        optimized.mode.label(),
+        baseline.mode.label(),
+    );
 
     let json = render_report(&params, &results);
     std::fs::write(&out, json).expect("write BENCH_sched.json");
     eprintln!("wrote {out}");
+
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!(
+                "REGRESSION: {} at {speedup:.2}x events/s is below the required {min:.2}x \
+                 over {}",
+                optimized.mode.label(),
+                baseline.mode.label(),
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -18,6 +18,7 @@
 
 pub mod figures;
 pub mod hotpath;
+pub mod json;
 pub mod profile;
 pub mod report;
 pub mod scenario;

@@ -385,6 +385,14 @@ impl Strategy for DapesStrategy {
             Decision::Forward(faces)
         }
     }
+
+    /// With no next hops the loop above never consults the shared state (or
+    /// its RNG), so the empty-FIB decision is statically `Suppress` — which
+    /// lets the forwarder's header-only fast path drop not-for-me Interests
+    /// without a full decode.
+    fn decide_no_nexthops(&mut self, _ingress: FaceId, _now: SimTime) -> Option<Decision> {
+        Some(Decision::Suppress)
+    }
 }
 
 #[cfg(test)]

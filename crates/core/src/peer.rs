@@ -28,7 +28,7 @@ use dapes_crypto::merkle::leaf_hash;
 use dapes_crypto::signing::TrustAnchor;
 use dapes_crypto::Digest;
 use dapes_ndn::face::FaceId;
-use dapes_ndn::forwarder::{Action, Forwarder, ForwarderConfig};
+use dapes_ndn::forwarder::{Action, Forwarder, ForwarderConfig, PeekOutcome};
 use dapes_ndn::name::Name;
 use dapes_ndn::packet::{Data, Interest, Packet, PacketHeader};
 use dapes_netsim::node::{NetStack, NodeCtx, TimerHandle, TxOutcome};
@@ -1613,10 +1613,12 @@ impl DapesPeer {
         };
         match header {
             PacketHeader::Interest(h) => {
-                let Some(actions) =
-                    self.forwarder
-                        .process_interest_header(ctx.now, &h, FaceId::WIRELESS)
-                else {
+                let Some((actions, outcome)) = self.forwarder.process_interest_header(
+                    ctx.now,
+                    &h,
+                    &frame.payload,
+                    FaceId::WIRELESS,
+                ) else {
                     return false;
                 };
                 if self.role == NodeRole::Dapes {
@@ -1625,7 +1627,8 @@ impl DapesPeer {
                 }
                 // Cancel our own redundant pending forward, comparing the
                 // stored name against the frame's borrowed bytes — the
-                // whole Interest fast path builds no `Name` at all.
+                // Interest fast path builds no `Name` except for the PIT
+                // entry a no-route drop records.
                 let (name_wire, nonce) = (h.name_wire, h.nonce);
                 self.cancel_pending_where(ctx, |p| {
                     p.cancel_on_nonce
@@ -1635,6 +1638,11 @@ impl DapesPeer {
                 ctx.note_state_inserts(1);
                 self.apply_interest_actions(ctx, frame.kind, actions);
                 self.stats.frames_peek_resolved += 1;
+                match outcome {
+                    PeekOutcome::CsHit | PeekOutcome::CsPrefixHit => self.stats.peek_cs_hits += 1,
+                    PeekOutcome::DuplicateNonce => self.stats.peek_dup_nonces += 1,
+                    PeekOutcome::FibNoRoute => self.stats.peek_fib_drops += 1,
+                }
                 true
             }
             PacketHeader::Data(h) => {
@@ -1685,6 +1693,7 @@ impl DapesPeer {
                     }
                 }
                 self.stats.frames_peek_resolved += 1;
+                self.stats.peek_unsolicited_data += 1;
                 true
             }
         }

@@ -71,9 +71,21 @@ pub struct PeerStats {
     /// Interests we re-broadcast as an intermediate node.
     pub interests_forwarded: u64,
     /// Overheard frames fully resolved from a name-first header peek,
-    /// without a full TLV decode (CS hits, duplicate nonces, unsolicited
-    /// data we neither cache nor want).
+    /// without a full TLV decode — always the sum of the four per-outcome
+    /// counters below.
     pub frames_peek_resolved: u64,
+    /// Peek-resolved Interests answered from the Content Store (exact hits
+    /// through the wire index plus CanBePrefix hits through the ordered
+    /// wire index).
+    pub peek_cs_hits: u64,
+    /// Peek-resolved Interests dropped as duplicate nonces.
+    pub peek_dup_nonces: u64,
+    /// Peek-resolved Interests dropped for lack of a usable FIB route (the
+    /// not-for-me case: PIT entry recorded, forwarding suppressed).
+    pub peek_fib_drops: u64,
+    /// Peek-resolved Data frames that matched no PIT entry and were neither
+    /// cached nor wanted.
+    pub peek_unsolicited_data: u64,
     /// Completion time of all wanted collections, once reached.
     pub completed_at: Option<SimTime>,
 }

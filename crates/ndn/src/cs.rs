@@ -15,7 +15,8 @@
 use crate::name::Name;
 use crate::packet::Data;
 use dapes_netsim::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Bound;
 
 #[derive(Clone, Debug)]
 struct CsEntry {
@@ -50,11 +51,15 @@ impl CsEntry {
 #[derive(Clone, Debug)]
 pub struct ContentStore {
     entries: BTreeMap<Name, CsEntry>,
-    /// Exact-match wire index keyed by [`Name::to_wire_value`], mirroring
+    /// *Ordered* wire index keyed by [`Name::to_wire_value`], mirroring
     /// `entries` (the `Data` clone is cheap `Arc` sharing). Lets a peeked
     /// frame's borrowed name bytes resolve a non-prefix Interest with one
-    /// hash probe — no `Name` construction, no ordered-map walk.
-    by_wire: HashMap<Vec<u8>, CsEntry>,
+    /// probe and — because byte-lexicographic order of canonical wire
+    /// values equals NDN canonical `Name` order, and a name's wire value
+    /// byte-extends all of its prefixes' — a CanBePrefix Interest with the
+    /// same ordered range walk [`ContentStore::lookup`] does, returning the
+    /// same first match. No `Name` is built either way.
+    by_wire: BTreeMap<Vec<u8>, CsEntry>,
     fifo: VecDeque<Name>,
     capacity: usize,
     bytes: usize,
@@ -65,7 +70,7 @@ impl ContentStore {
     pub fn new(capacity: usize) -> Self {
         ContentStore {
             entries: BTreeMap::new(),
-            by_wire: HashMap::new(),
+            by_wire: BTreeMap::new(),
             fifo: VecDeque::new(),
             capacity,
             bytes: 0,
@@ -167,6 +172,28 @@ impl ContentStore {
             .map(|e| &e.data)
     }
 
+    /// Prefix lookup against a peeked frame's borrowed name bytes, with the
+    /// same semantics — and, crucially, the same iteration order and
+    /// therefore the same first match — as [`ContentStore::lookup`] with
+    /// `can_be_prefix`. One ordered range walk, no `Name` construction.
+    ///
+    /// The caller must have validated that `name_wire` is a *complete* name
+    /// TLV region (e.g. via [`crate::name::wire_component_boundaries`]): a
+    /// region truncated mid-component could otherwise byte-prefix-match a
+    /// cached name that is not a semantic extension of it.
+    pub fn lookup_wire_prefix(
+        &self,
+        name_wire: &[u8],
+        must_be_fresh: bool,
+        now: SimTime,
+    ) -> Option<&Data> {
+        self.by_wire
+            .range::<[u8], _>((Bound::Included(name_wire), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(name_wire))
+            .find(|(_, e)| !must_be_fresh || e.is_fresh(now))
+            .map(|(_, e)| &e.data)
+    }
+
     /// Prefix lookup ignoring freshness.
     pub fn lookup_prefix(&self, prefix: &Name) -> Option<&Data> {
         self.lookup(prefix, true, false, SimTime::ZERO)
@@ -226,6 +253,41 @@ mod tests {
         assert!(cs.lookup_wire_exact(&b_key, false, t(2)).is_some());
         cs.clear();
         assert!(cs.lookup_wire_exact(&b_key, false, t(2)).is_none());
+    }
+
+    #[test]
+    fn wire_prefix_lookup_mirrors_name_lookup() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/col/f/3"), t(0));
+        cs.insert(fresh_data("/col/f/5", 1_000), t(0));
+        cs.insert(data("/cole/x"), t(0));
+        for (q, fresh) in [
+            ("/col", false),
+            ("/col", true),
+            ("/col/f", false),
+            ("/col/f/3", false),
+            ("/col/g", false),
+            ("/cole", false),
+            ("/other", false),
+            ("/", false),
+        ] {
+            let name = Name::from_uri(q);
+            assert_eq!(
+                cs.lookup_wire_prefix(&name.to_wire_value(), fresh, t(0)),
+                cs.lookup(&name, true, fresh, t(0)),
+                "query {q} fresh={fresh}"
+            );
+        }
+        // The ordered walk returns the same *first* match as the Name walk,
+        // not just any match: /col/f/3 (stale-forever) precedes /col/f/5.
+        let got = cs
+            .lookup_wire_prefix(&Name::from_uri("/col").to_wire_value(), false, t(0))
+            .expect("hit");
+        assert_eq!(got.name().to_string(), "/col/f/3");
+        let fresh_only = cs
+            .lookup_wire_prefix(&Name::from_uri("/col").to_wire_value(), true, t(0))
+            .expect("fresh hit further along the range");
+        assert_eq!(fresh_only.name().to_string(), "/col/f/5");
     }
 
     #[test]

@@ -7,10 +7,19 @@
 //! table so richer topologies work too.
 
 use crate::face::FaceId;
-use crate::name::Name;
-use std::collections::BTreeMap;
+use crate::hash::FxBuildHasher;
+use crate::name::{wire_component_boundaries, Name};
+use std::collections::{BTreeMap, HashMap};
 
 /// A longest-prefix-match table from name prefixes to next-hop faces.
+///
+/// Alongside the canonical `Name`-keyed map, the FIB mirrors its entries in
+/// a *wire index* keyed by [`Name::to_wire_value`]:
+/// [`Fib::longest_prefix_match_wire`] answers LPM queries against a peeked
+/// frame's borrowed name bytes directly — component boundaries found by a
+/// cheap TLV walk are the only candidate cut points, probed longest-first —
+/// so an overheard not-for-me Interest can be classified without building a
+/// `Name`.
 ///
 /// # Examples
 ///
@@ -28,6 +37,11 @@ use std::collections::BTreeMap;
 #[derive(Clone, Debug, Default)]
 pub struct Fib {
     entries: BTreeMap<Name, Vec<FaceId>>,
+    /// Mirror of `entries` keyed by the prefix's canonical wire value.
+    by_wire: HashMap<Vec<u8>, Vec<FaceId>, FxBuildHasher>,
+    /// Longest registered prefix in components, bounding the wire LPM's
+    /// probe count.
+    max_components: usize,
 }
 
 impl Fib {
@@ -39,10 +53,13 @@ impl Fib {
     /// Registers `face` as a next hop for `prefix`. Registering the same
     /// pair twice is a no-op.
     pub fn register(&mut self, prefix: Name, face: FaceId) {
+        self.max_components = self.max_components.max(prefix.len());
+        let wire_key = prefix.to_wire_value();
         let faces = self.entries.entry(prefix).or_default();
         if !faces.contains(&face) {
             faces.push(face);
         }
+        self.by_wire.insert(wire_key, faces.clone());
     }
 
     /// Removes a next hop; drops the entry when no hops remain.
@@ -51,6 +68,10 @@ impl Fib {
             faces.retain(|&f| f != face);
             if faces.is_empty() {
                 self.entries.remove(prefix);
+                self.by_wire.remove(&prefix.to_wire_value());
+                self.max_components = self.entries.keys().map(Name::len).max().unwrap_or(0);
+            } else {
+                self.by_wire.insert(prefix.to_wire_value(), faces.clone());
             }
         }
     }
@@ -66,6 +87,51 @@ impl Fib {
         &[]
     }
 
+    /// [`Fib::longest_prefix_match`] against a peeked frame's borrowed name
+    /// bytes — no `Name` is built and, for realistically short names, no
+    /// allocation is made (this runs once per overheard Interest at swarm
+    /// scale). Returns `None` when the region is malformed or truncated
+    /// (the caller must fall through to the full decode, which fails at
+    /// the same byte), and `Some(&[])`/`Some(faces)` with exactly what the
+    /// `Name`-keyed lookup would return otherwise.
+    pub fn longest_prefix_match_wire(&self, name_wire: &[u8]) -> Option<&[FaceId]> {
+        // Walk the whole region first: a truncated tail must not resolve
+        // even when some shorter prefix would match. Boundaries land in a
+        // fixed scratch array; names deeper than it only matter when a
+        // registered prefix could be that deep too, and fall back to the
+        // allocating walk.
+        const INLINE: usize = 16;
+        let mut buf = [0usize; INLINE];
+        let mut components = 0usize;
+        let mut r = crate::tlv::TlvReader::new(name_wire);
+        while !r.is_at_end() {
+            if r.read_tlv().is_err() {
+                return None;
+            }
+            if components < INLINE {
+                buf[components] = name_wire.len() - r.remaining();
+            }
+            components += 1;
+        }
+        if components > INLINE && self.max_components > INLINE {
+            let mut boundaries = Vec::with_capacity(components);
+            wire_component_boundaries(name_wire, &mut boundaries);
+            for &b in boundaries.iter().take(self.max_components).rev() {
+                if let Some(faces) = self.by_wire.get(&name_wire[..b]) {
+                    return Some(faces);
+                }
+            }
+        } else {
+            let probes = components.min(INLINE).min(self.max_components);
+            for &b in buf[..probes].iter().rev() {
+                if let Some(faces) = self.by_wire.get(&name_wire[..b]) {
+                    return Some(faces);
+                }
+            }
+        }
+        Some(self.by_wire.get([].as_slice()).map_or(&[], Vec::as_slice))
+    }
+
     /// Number of registered prefixes.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -76,12 +142,17 @@ impl Fib {
         self.entries.is_empty()
     }
 
-    /// Approximate bytes of state.
+    /// Approximate bytes of state, including the wire index's key bytes.
     pub fn state_bytes(&self) -> usize {
         self.entries
             .iter()
             .map(|(n, f)| n.state_bytes() + f.len() * 4)
-            .sum()
+            .sum::<usize>()
+            + self
+                .by_wire
+                .iter()
+                .map(|(k, f)| k.len() + f.len() * 4 + 16)
+                .sum::<usize>()
     }
 }
 
@@ -141,6 +212,60 @@ mod tests {
         fib.unregister(&name("/a"), FaceId(2));
         assert!(fib.longest_prefix_match(&name("/a")).is_empty());
         assert!(fib.is_empty());
+    }
+
+    #[test]
+    fn wire_lpm_mirrors_name_lpm() {
+        let mut fib = Fib::new();
+        fib.register(name("/a"), FaceId(1));
+        fib.register(name("/a/b"), FaceId(2));
+        fib.register(name("/c"), FaceId(3));
+        for q in ["/a/b/c", "/a/b", "/a/x", "/a", "/c/z", "/b", "/"] {
+            let qn = name(q);
+            assert_eq!(
+                fib.longest_prefix_match_wire(&qn.to_wire_value())
+                    .expect("well-formed"),
+                fib.longest_prefix_match(&qn),
+                "query {q}"
+            );
+        }
+        // A root entry backstops everything, through both lookups.
+        fib.register(name("/"), FaceId(9));
+        for q in ["/b", "/"] {
+            let qn = name(q);
+            assert_eq!(
+                fib.longest_prefix_match_wire(&qn.to_wire_value())
+                    .expect("well-formed"),
+                fib.longest_prefix_match(&qn),
+            );
+        }
+        // Unregistration keeps the mirror in sync.
+        fib.unregister(&name("/a/b"), FaceId(2));
+        let q = name("/a/b/c");
+        assert_eq!(
+            fib.longest_prefix_match_wire(&q.to_wire_value())
+                .expect("well-formed"),
+            &[FaceId(1)]
+        );
+    }
+
+    #[test]
+    fn wire_lpm_rejects_malformed_regions() {
+        let mut fib = Fib::new();
+        fib.register(name("/a"), FaceId(1));
+        let wire = name("/a/b").to_wire_value();
+        // Truncating mid-TLV must not resolve, even though the intact "/a"
+        // prefix bytes would match.
+        for cut in 1..wire.len() {
+            if cut == name("/a").to_wire_value().len() {
+                continue; // a complete region, legitimately resolvable
+            }
+            assert!(
+                fib.longest_prefix_match_wire(&wire[..cut]).is_none(),
+                "cut={cut} must be rejected"
+            );
+        }
+        assert!(fib.longest_prefix_match_wire(&[0x08, 200]).is_none());
     }
 
     #[test]

@@ -22,9 +22,10 @@
 use crate::cs::ContentStore;
 use crate::face::FaceId;
 use crate::fib::Fib;
-use crate::name::Name;
+use crate::name::{wire_value_is_well_formed, Name};
 use crate::packet::{Data, Interest, InterestHeader};
 use crate::pit::{Pit, PitInsert};
+use dapes_netsim::payload::Payload;
 use dapes_netsim::time::{SimDuration, SimTime};
 
 /// An output the caller must perform.
@@ -66,6 +67,18 @@ pub trait Strategy {
         nexthops: &[FaceId],
         now: SimTime,
     ) -> Decision;
+
+    /// Header-only decision for an Interest whose FIB lookup produced no
+    /// usable next hops, used by the overhearing fast path
+    /// ([`Forwarder::process_interest_header`]) to drop not-for-me frames
+    /// without a full decode. Implementations must return exactly what
+    /// [`Strategy::decide`] would return for an empty `nexthops` slice
+    /// without observing the Interest, or `None` (the default) to force the
+    /// full pipeline when that decision depends on the Interest's payload
+    /// or would mutate strategy state.
+    fn decide_no_nexthops(&mut self, _ingress: FaceId, _now: SimTime) -> Option<Decision> {
+        None
+    }
 }
 
 /// The default NDN multicast behaviour: forward to every FIB next hop.
@@ -86,6 +99,26 @@ impl Strategy for BroadcastStrategy {
             Decision::Forward(nexthops.to_vec())
         }
     }
+
+    fn decide_no_nexthops(&mut self, _ingress: FaceId, _now: SimTime) -> Option<Decision> {
+        Some(Decision::Suppress)
+    }
+}
+
+/// How [`Forwarder::process_interest_header`] resolved an overheard frame,
+/// for per-outcome accounting (the peer-level stats distinguish FIB drops
+/// from Content Store hits and duplicate nonces).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeekOutcome {
+    /// Exact-name Content Store hit served from the wire index.
+    CsHit,
+    /// CanBePrefix Content Store hit served from the ordered wire index.
+    CsPrefixHit,
+    /// Duplicate nonce dropped.
+    DuplicateNonce,
+    /// No usable FIB route: the PIT entry was recorded and forwarding
+    /// suppressed, all from the peeked header.
+    FibNoRoute,
 }
 
 /// Forwarder configuration.
@@ -210,43 +243,97 @@ impl Forwarder {
     }
 
     /// Attempts to resolve an Interest from its peeked header alone —
-    /// borrowed name bytes, flags, nonce; no `Name` is built — running the
-    /// prefix of the Fig. 1 pipeline that needs no full decode:
+    /// borrowed name bytes, flags, nonce, lifetime; no full decode — running
+    /// the prefix of the Fig. 1 pipeline that needs no payload:
     ///
-    /// 1. **CS lookup** — an exact hit returns the cached Data for the
-    ///    ingress face, exactly as [`Forwarder::process_interest`] would;
+    /// 1. **CS lookup** — an exact hit resolves through the wire index, and
+    ///    a CanBePrefix hit through the *ordered* wire index (same range
+    ///    walk, same first match), exactly as
+    ///    [`Forwarder::process_interest`] would;
     /// 2. **duplicate nonce** — a loop/duplicate is dropped (empty action
-    ///    list), again exactly as the full pipeline would.
+    ///    list);
+    /// 3. **FIB no-route** — a would-be-new Interest whose wire-level
+    ///    longest-prefix match yields no usable next hop (and whose
+    ///    strategy suppresses on empty next hops, see
+    ///    [`Strategy::decide_no_nexthops`]) records its PIT entry — the
+    ///    name materialized as zero-copy views of `backing`, the expiry
+    ///    from the peeked lifetime — bumps the suppression counter, and
+    ///    returns no actions: the not-for-me drop, byte-identical to the
+    ///    full pipeline's outcome.
     ///
-    /// Returns `None` when the Interest needs the full pipeline — a
-    /// CanBePrefix Interest (whose CS semantics need the ordered prefix
-    /// walk, and whose CS-hit-before-PIT ordering therefore cannot be
-    /// probed from the hash index), PIT aggregation, or a new entry. The
-    /// caller must then decode and call [`Forwarder::process_interest`]; no
-    /// state or statistics change on fall-through, so there is no double
-    /// counting.
+    /// Returns `None` when the Interest still needs the full pipeline — PIT
+    /// aggregation, or a new entry the strategy may forward (building the
+    /// outgoing Interest requires the payload). The caller must then decode
+    /// and call [`Forwarder::process_interest`]; no state or statistics
+    /// change on fall-through, so there is no double counting. A malformed
+    /// name region also falls through: the full decode fails at the same
+    /// byte, so the frame is dropped either way.
     pub fn process_interest_header(
         &mut self,
         now: SimTime,
         header: &InterestHeader<'_>,
+        backing: &Payload,
         ingress: FaceId,
-    ) -> Option<Vec<Action>> {
+    ) -> Option<(Vec<Action>, PeekOutcome)> {
         if header.can_be_prefix {
-            return None;
-        }
-        if let Some(data) = self
-            .cs
-            .lookup_wire_exact(header.name_wire, header.must_be_fresh, now)
+            // The ordered prefix walk may only run on a *complete* region:
+            // a truncated one could byte-prefix-match a cached name the
+            // full decode would never see.
+            if !wire_value_is_well_formed(header.name_wire) {
+                return None;
+            }
+            if let Some(data) =
+                self.cs
+                    .lookup_wire_prefix(header.name_wire, header.must_be_fresh, now)
+            {
+                self.stats.cs_hits += 1;
+                return Some((
+                    vec![Action::SendData {
+                        face: ingress,
+                        data: data.clone(),
+                    }],
+                    PeekOutcome::CsPrefixHit,
+                ));
+            }
+        } else if let Some(data) =
+            self.cs
+                .lookup_wire_exact(header.name_wire, header.must_be_fresh, now)
         {
             self.stats.cs_hits += 1;
-            return Some(vec![Action::SendData {
-                face: ingress,
-                data: data.clone(),
-            }]);
+            return Some((
+                vec![Action::SendData {
+                    face: ingress,
+                    data: data.clone(),
+                }],
+                PeekOutcome::CsHit,
+            ));
         }
         if self.pit.has_nonce_wire(header.name_wire, header.nonce) {
             self.stats.duplicate_interests += 1;
-            return Some(Vec::new());
+            return Some((Vec::new(), PeekOutcome::DuplicateNonce));
+        }
+        if !self.pit.contains_wire(header.name_wire) {
+            // Would be `PitInsert::New`: probe the FIB at the wire level.
+            let nexthops = self.fib.longest_prefix_match_wire(header.name_wire)?;
+            let usable = nexthops
+                .iter()
+                .any(|&f| f != ingress || self.cfg.rebroadcast_faces.contains(&f));
+            if !usable {
+                if self.strategy.decide_no_nexthops(ingress, now) != Some(Decision::Suppress) {
+                    return None;
+                }
+                // Committed: reproduce the full pipeline's PIT insert. The
+                // name is materialized only here, as zero-copy views into
+                // the frame — the *decision* needed no `Name` at all.
+                let name = header.to_name(backing).ok()?;
+                let expiry = now + SimDuration::from_millis(header.lifetime_ms);
+                let inserted =
+                    self.pit
+                        .insert(&name, header.nonce, header.can_be_prefix, ingress, expiry);
+                debug_assert_eq!(inserted, PitInsert::New);
+                self.stats.suppressed_interests += 1;
+                return Some((Vec::new(), PeekOutcome::FibNoRoute));
+            }
         }
         None
     }
@@ -686,12 +773,38 @@ mod tests {
         let i = interest("/col/f/0", 1);
         let want = eager.process_interest(now(), &i, FaceId::WIRELESS);
         let wire = wire_of(&i);
-        let got = lazy
-            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+        let (got, outcome) = lazy
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
             .expect("CS hit resolves from the header");
         assert_eq!(got, want);
+        assert_eq!(outcome, PeekOutcome::CsHit);
         assert_eq!(lazy.stats().cs_hits, eager.stats().cs_hits);
         assert!(lazy.pit().is_empty(), "no PIT entry on a header CS hit");
+    }
+
+    #[test]
+    fn header_pipeline_matches_full_pipeline_on_prefix_cs_hit() {
+        let mut eager = fwd();
+        let mut lazy = fwd();
+        eager.cs_mut().insert(data("/col/f/0"), now());
+        lazy.cs_mut().insert(data("/col/f/0"), now());
+        let i = interest("/col", 1).with_can_be_prefix(true);
+        let want = eager.process_interest(now(), &i, FaceId::WIRELESS);
+        let wire = wire_of(&i);
+        let (got, outcome) = lazy
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .expect("CanBePrefix hit resolves through the ordered wire index");
+        assert_eq!(got, want);
+        assert_eq!(outcome, PeekOutcome::CsPrefixHit);
+        assert_eq!(lazy.stats().cs_hits, eager.stats().cs_hits);
+        assert!(lazy.pit().is_empty(), "no PIT entry on a header CS hit");
+
+        // A CanBePrefix *miss* with a usable route still defers.
+        let miss = interest("/other", 2).with_can_be_prefix(true);
+        let wire = wire_of(&miss);
+        assert!(lazy
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::APP)
+            .is_none());
     }
 
     #[test]
@@ -704,37 +817,100 @@ mod tests {
         let dup = interest("/a", 7);
         let want = eager.process_interest(now(), &dup, FaceId::WIRELESS);
         let wire = wire_of(&dup);
-        let got = lazy
-            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+        let (got, outcome) = lazy
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
             .expect("duplicate resolves from the header");
         assert_eq!(got, want);
+        assert_eq!(outcome, PeekOutcome::DuplicateNonce);
         assert!(got.is_empty());
         assert_eq!(lazy.stats().duplicate_interests, 1);
     }
 
     #[test]
-    fn header_pipeline_defers_aggregation_new_entries_and_prefix_interests() {
+    fn header_pipeline_matches_full_pipeline_on_fib_no_route() {
+        // No FIB entry covers "/nowhere": the full pipeline records a PIT
+        // entry and suppresses; the header pipeline must do exactly that —
+        // same entry, same expiry, same counter — without a full decode.
+        let mut eager = Forwarder::new(ForwarderConfig::default());
+        let mut lazy = Forwarder::new(ForwarderConfig::default());
+        eager
+            .fib_mut()
+            .register(Name::from_uri("/app"), FaceId::APP);
+        lazy.fib_mut().register(Name::from_uri("/app"), FaceId::APP);
+        let i = interest("/nowhere/x", 5).with_lifetime_ms(1_234);
+        let want = eager.process_interest(now(), &i, FaceId::WIRELESS);
+        assert!(want.is_empty());
+        let wire = wire_of(&i);
+        let (got, outcome) = lazy
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .expect("no-route interest resolves from the header");
+        assert_eq!(got, want);
+        assert_eq!(outcome, PeekOutcome::FibNoRoute);
+        assert_eq!(
+            lazy.stats().suppressed_interests,
+            eager.stats().suppressed_interests
+        );
+        assert!(
+            lazy.pit().contains(&Name::from_uri("/nowhere/x")),
+            "PIT entry recorded: data flowing past later is still delivered"
+        );
+        assert_eq!(lazy.next_pit_expiry(), eager.next_pit_expiry());
+        // A nexthop that is only the non-rebroadcast ingress face counts as
+        // no usable route too, matching the full pipeline's filter.
+        let j = interest("/app/y", 6);
+        let jw = wire_of(&j);
+        let (acts, outcome) = lazy
+            .process_interest_header(now(), &header_of(&jw), &jw, FaceId::APP)
+            .expect("ingress-only route suppresses");
+        assert!(acts.is_empty());
+        assert_eq!(outcome, PeekOutcome::FibNoRoute);
+    }
+
+    #[test]
+    fn header_pipeline_defers_aggregation_and_routable_new_entries() {
+        // Ingress APP leaves the wireless route usable, so a new entry must
+        // take the full pipeline (the forwarded Interest carries payload
+        // fields the header does not have).
         let mut f = fwd();
         let i = interest("/a", 1);
-        // New entry: needs the full pipeline, and nothing is counted.
         let wire = wire_of(&i);
         assert!(f
-            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::APP)
             .is_none());
-        assert_eq!(f.stats().cs_hits + f.stats().duplicate_interests, 0);
-        f.process_interest(now(), &i, FaceId::WIRELESS);
+        assert_eq!(
+            f.stats().cs_hits + f.stats().duplicate_interests + f.stats().suppressed_interests,
+            0,
+            "fall-through must count nothing"
+        );
+        f.process_interest(now(), &i, FaceId::APP);
         // Same name, fresh nonce: aggregation also defers.
         let wire = wire_of(&interest("/a", 2));
         assert!(f
-            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::APP)
             .is_none());
-        // CanBePrefix needs the ordered CS walk: always defers, even when
-        // the exact name is cached and the nonce is a duplicate.
-        f.cs_mut().insert(data("/a"), now());
-        let wire = wire_of(&interest("/a", 1).with_can_be_prefix(true));
+        // ...even when CanBePrefix is set and nothing is cached.
+        let wire = wire_of(&interest("/a", 3).with_can_be_prefix(true));
         assert!(f
-            .process_interest_header(now(), &header_of(&wire), FaceId::WIRELESS)
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::APP)
             .is_none());
+    }
+
+    #[test]
+    fn header_pipeline_with_rebroadcast_ingress_defers_instead_of_dropping() {
+        // DAPES-style forwarders re-broadcast out the ingress radio: the
+        // same overheard Interest that a point-to-point FIB would drop is a
+        // usable-route case here and must fall through.
+        let mut f = Forwarder::new(ForwarderConfig {
+            rebroadcast_faces: vec![FaceId::WIRELESS],
+            ..ForwarderConfig::default()
+        });
+        f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        let i = interest("/a", 1);
+        let wire = wire_of(&i);
+        assert!(f
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .is_none());
+        assert!(f.pit().is_empty(), "fall-through must not touch the PIT");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod cs;
 pub mod face;
 pub mod fib;
 pub mod forwarder;
+pub mod hash;
 pub mod name;
 pub mod packet;
 pub mod pit;

@@ -256,6 +256,44 @@ impl Name {
     }
 }
 
+/// Walks a name-TLV value region (the borrowed bytes a peeked header
+/// carries), pushing the byte offset *after* each component into `out`.
+/// Returns `false` — leaving `out` in an unspecified state — when the
+/// region is malformed or truncated, i.e. whenever decoding it into a
+/// [`Name`] would also fail at the framing level.
+///
+/// The offsets are exactly the candidate cut points for wire-level prefix
+/// queries: `value[..b]` for each reported boundary `b` (plus the empty
+/// slice for the root prefix) enumerates every prefix of the encoded name,
+/// because a name's canonical wire value byte-extends all of its prefixes'
+/// wire values at component boundaries. FIB longest-prefix matching and the
+/// Content Store's ordered prefix index both rely on this.
+pub fn wire_component_boundaries(value: &[u8], out: &mut Vec<usize>) -> bool {
+    out.clear();
+    let mut r = crate::tlv::TlvReader::new(value);
+    while !r.is_at_end() {
+        if r.read_tlv().is_err() {
+            return false;
+        }
+        out.push(value.len() - r.remaining());
+    }
+    true
+}
+
+/// Whether `value` is a complete, well-formed name-TLV value region — the
+/// allocation-free validity half of [`wire_component_boundaries`], for
+/// callers (e.g. the Content Store's ordered prefix probe) that need the
+/// guarantee but not the cut points.
+pub fn wire_value_is_well_formed(value: &[u8]) -> bool {
+    let mut r = crate::tlv::TlvReader::new(value);
+    while !r.is_at_end() {
+        if r.read_tlv().is_err() {
+            return false;
+        }
+    }
+    true
+}
+
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.components.is_empty() {
@@ -404,5 +442,28 @@ mod tests {
     #[test]
     fn state_bytes_nonzero() {
         assert!(Name::from_uri("/a/b").state_bytes() > 0);
+    }
+
+    #[test]
+    fn wire_component_boundaries_enumerate_prefixes() {
+        let n = Name::from_uri("/col/f/10");
+        let wire = n.to_wire_value();
+        let mut bounds = Vec::new();
+        assert!(wire_component_boundaries(&wire, &mut bounds));
+        assert_eq!(bounds.len(), n.len());
+        assert_eq!(*bounds.last().unwrap(), wire.len());
+        // Every boundary cut is exactly a prefix's wire value.
+        for (k, &b) in bounds.iter().enumerate() {
+            assert_eq!(&wire[..b], &n.prefix(k + 1).to_wire_value()[..]);
+        }
+        // Root: the empty region is valid with no boundaries.
+        assert!(wire_component_boundaries(&[], &mut bounds));
+        assert!(bounds.is_empty());
+        // Truncation and overruns are rejected.
+        assert!(!wire_component_boundaries(
+            &wire[..wire.len() - 1],
+            &mut bounds
+        ));
+        assert!(!wire_component_boundaries(&[0x08, 200, 1], &mut bounds));
     }
 }

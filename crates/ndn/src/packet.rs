@@ -311,9 +311,9 @@ fn whole_buffer_is_one_packet(buf: &[u8]) -> bool {
 }
 
 /// The name-first prefix of an Interest, produced by [`Packet::peek_header`]
-/// without decoding lifetime, hop limit, or application parameters — and
-/// without building a [`Name`]: the name stays a borrowed slice of the
-/// frame's encoded bytes until [`InterestHeader::to_name`] is called.
+/// without decoding hop limit or application parameters — and without
+/// building a [`Name`]: the name stays a borrowed slice of the frame's
+/// encoded bytes until [`InterestHeader::to_name`] is called.
 #[derive(Clone, Copy, Debug)]
 pub struct InterestHeader<'a> {
     /// The name's TLV value region (concatenated component TLVs), borrowed
@@ -326,6 +326,10 @@ pub struct InterestHeader<'a> {
     pub must_be_fresh: bool,
     /// The duplicate-suppression nonce (0 when absent, as in full decode).
     pub nonce: u32,
+    /// InterestLifetime in milliseconds ([`Interest::DEFAULT_LIFETIME_MS`]
+    /// when absent, as in full decode). Lets the header-only pipeline record
+    /// a PIT entry with the exact expiry the full pipeline would.
+    pub lifetime_ms: u64,
 }
 
 impl InterestHeader<'_> {
@@ -739,11 +743,11 @@ impl Packet {
     /// duplicate nonce, no PIT match, not-for-me — from the header alone,
     /// and fall through to [`Packet::decode_payload`] only when the packet
     /// is actually consumed. Every error `peek_header` can return (truncated
-    /// or malformed outer/name/flag framing) would also fail the full decode
-    /// at the same byte, so dropping a frame on a peek error never diverges
-    /// from the eager pipeline. The converse does not hold — a frame with a
-    /// valid prefix and a garbage tail peeks fine, and component-level
-    /// validation inside the name region is deferred to
+    /// or malformed framing, a bad nonce/lifetime value) would also fail the
+    /// full decode at the same byte, so dropping a frame on a peek error
+    /// never diverges from the eager pipeline. The converse does not hold —
+    /// a Data frame with a valid name and a garbage tail peeks fine, and
+    /// component-level validation inside the name region is deferred to
     /// [`InterestHeader::to_name`] / [`DataHeader::to_name`] (a malformed
     /// region can never byte-match a wire-index key, which only ever holds
     /// canonical encodings of valid names, so deferral cannot misroute).
@@ -763,7 +767,15 @@ impl Packet {
                     can_be_prefix: false,
                     must_be_fresh: false,
                     nonce: 0,
+                    lifetime_ms: Interest::DEFAULT_LIFETIME_MS,
                 };
+                // Walk every remaining TLV exactly as the full decode does
+                // (unknown fields skipped, repeated fields last-wins, any
+                // field order accepted) so the peeked nonce and lifetime can
+                // never disagree with `Interest::decode`'s. Values other
+                // than the flags/nonce/lifetime are sliced over, not parsed
+                // — the heavy tail (hop limit, application parameters)
+                // stays lazy.
                 while !r.is_at_end() {
                     let (typ, value) = r.read_tlv()?;
                     match typ {
@@ -774,7 +786,9 @@ impl Packet {
                                 .try_into()
                                 .map_err(|_| TlvError::BadValue("nonce must be 4 bytes"))?;
                             header.nonce = u32::from_be_bytes(bytes);
-                            break; // name-first: everything after is lazy
+                        }
+                        types::INTEREST_LIFETIME => {
+                            header.lifetime_ms = tlv::decode_nonneg(value)?;
                         }
                         _ => {}
                     }
@@ -1107,7 +1121,47 @@ mod tests {
         assert!(i.name().wire_value_eq(h.name_wire));
         assert!(h.can_be_prefix && h.must_be_fresh);
         assert_eq!(h.nonce, 0xdead_beef);
+        assert_eq!(h.lifetime_ms, 2_500);
         assert_eq!(&h.to_name(&buf).expect("valid name"), i.name());
+
+        // Lifetime defaults exactly as the full decode does when absent.
+        let minimal = Interest::new(Name::from_uri("/a")).with_nonce(1);
+        let mut body = Vec::new();
+        encode_name(&mut body, minimal.name());
+        tlv::write_tlv(&mut body, types::NONCE, &1u32.to_be_bytes());
+        let mut wire = Vec::new();
+        tlv::write_tlv(&mut wire, types::INTEREST, &body);
+        let buf = Payload::from(wire);
+        let Ok(PacketHeader::Interest(h)) = Packet::peek_header(&buf) else {
+            panic!("peek must classify an Interest");
+        };
+        assert_eq!(h.lifetime_ms, Interest::DEFAULT_LIFETIME_MS);
+    }
+
+    #[test]
+    fn peek_header_agrees_with_decode_on_non_canonical_field_order() {
+        // Our encoder always writes canonical order, but the decoder
+        // accepts any order (and last-wins on repeats); the peek must
+        // report exactly what the decode would, or the header pipelines
+        // could record divergent PIT state.
+        let mut body = Vec::new();
+        encode_name(&mut body, &name());
+        tlv::write_tlv(&mut body, types::HOP_LIMIT, &[3]); // before nonce
+        tlv::write_tlv(&mut body, types::NONCE, &7u32.to_be_bytes());
+        tlv::write_tlv(&mut body, types::APP_PARAMETERS, &[9; 32]);
+        tlv::write_nonneg_tlv(&mut body, types::INTEREST_LIFETIME, 50); // after params
+        tlv::write_tlv(&mut body, types::NONCE, &8u32.to_be_bytes()); // repeat: last wins
+        let mut wire = Vec::new();
+        tlv::write_tlv(&mut wire, types::INTEREST, &body);
+        let buf = Payload::from(wire);
+        let decoded = Interest::decode(&buf).expect("decoder is order-agnostic");
+        let Ok(PacketHeader::Interest(h)) = Packet::peek_header(&buf) else {
+            panic!("peek must classify an Interest");
+        };
+        assert_eq!(h.nonce, decoded.nonce());
+        assert_eq!(h.nonce, 8);
+        assert_eq!(h.lifetime_ms, decoded.lifetime_ms());
+        assert_eq!(h.lifetime_ms, 50);
     }
 
     #[test]

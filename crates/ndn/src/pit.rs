@@ -6,6 +6,7 @@
 //! downstream faces that asked for it.
 
 use crate::face::FaceId;
+use crate::hash::FxBuildHasher;
 use crate::name::Name;
 use crate::tlv::TlvReader;
 use dapes_netsim::time::SimTime;
@@ -70,7 +71,7 @@ struct WireEntry {
 #[derive(Clone, Debug, Default)]
 pub struct Pit {
     entries: BTreeMap<Name, PitEntry>,
-    by_wire: HashMap<std::sync::Arc<[u8]>, WireEntry>,
+    by_wire: HashMap<std::sync::Arc<[u8]>, WireEntry, FxBuildHasher>,
 }
 
 impl Pit {
@@ -160,6 +161,13 @@ impl Pit {
     /// Whether a pending entry exists for `name` (exact).
     pub fn contains(&self, name: &Name) -> bool {
         self.entries.contains_key(name)
+    }
+
+    /// [`Pit::contains`] against a peeked frame's borrowed name bytes — one
+    /// hash probe, no `Name` construction. Exactly the condition under
+    /// which [`Pit::insert`] would *not* return [`PitInsert::New`].
+    pub fn contains_wire(&self, name_wire: &[u8]) -> bool {
+        self.by_wire.contains_key(name_wire)
     }
 
     /// Read-only duplicate check: whether `nonce` was already recorded for

@@ -52,7 +52,7 @@ pub mod prelude {
     pub use crate::stats::Stats;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::wheel::TimerWheel;
-    pub use crate::world::{DeliveryMode, QueueMode, World, WorldConfig};
+    pub use crate::world::{DeliveryEvents, DeliveryMode, QueueMode, World, WorldConfig};
 }
 
 pub use prelude::*;

@@ -36,6 +36,14 @@ pub struct Stats {
     ///
     /// [`QueueMode`]: crate::world::QueueMode
     pub event_dispatches: u64,
+    /// Arrival events enqueued for finished transmissions: one per
+    /// transmission under [`DeliveryEvents::Batched`] (the batch event runs
+    /// every delivery), one per *successful receiver* under
+    /// [`DeliveryEvents::PerReceiver`].
+    ///
+    /// [`DeliveryEvents::Batched`]: crate::world::DeliveryEvents::Batched
+    /// [`DeliveryEvents::PerReceiver`]: crate::world::DeliveryEvents::PerReceiver
+    pub arrival_events: u64,
     /// Stack callbacks that reused a pooled command buffer.
     pub cmd_pool_hits: u64,
     /// Stack callbacks that had to allocate a fresh command buffer (always,

@@ -67,6 +67,39 @@ pub enum QueueMode {
     Heap,
 }
 
+/// How a finished transmission's deliveries are turned into events.
+///
+/// Both modes run the same callbacks in the same order with the same RNG
+/// draws, so equal seeds give bit-identical protocol traces either way —
+/// asserted across the scenario matrix by `tests/sched.rs` and by proptests.
+/// What differs is the event-queue and command-buffer traffic: `Batched`
+/// schedules **one** arrival event per transmission carrying the
+/// precomputed (grid-sorted) receiver set and executes every per-receiver
+/// delivery — plus the sender's [`NetStack::on_tx_done`] — inside a single
+/// stack-entry round trip with one recycled command buffer, while
+/// `PerReceiver` reproduces the classic ns-3-style cost model of one
+/// scheduled receive event (and one buffer round trip) per receiver.
+///
+/// One observable edge: [`World::run_until_cond`] checks its predicate
+/// between *events*, so a per-receiver fan-out can be interrupted
+/// mid-transmission (later receivers' callbacks not yet run when the
+/// predicate fires) where a batch always completes atomically. Completed
+/// runs — and everything the equivalence suites fingerprint — are
+/// unaffected; only state inspected at the instant an early-stopping
+/// predicate fires can differ between the modes.
+///
+/// [`NetStack::on_tx_done`]: crate::node::NetStack::on_tx_done
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeliveryEvents {
+    /// One arrival event per transmission; all receivers delivered in a
+    /// single batched dispatch (default).
+    #[default]
+    Batched,
+    /// One arrival event per receiver plus a sender-outcome event: the
+    /// recorded baseline for the scheduler benchmark.
+    PerReceiver,
+}
+
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
@@ -82,6 +115,8 @@ pub struct WorldConfig {
     pub delivery: DeliveryMode,
     /// Event-queue implementation.
     pub queue: QueueMode,
+    /// Delivery-event granularity (batched by default).
+    pub delivery_events: DeliveryEvents,
 }
 
 impl Default for WorldConfig {
@@ -93,6 +128,7 @@ impl Default for WorldConfig {
             seed: 1,
             delivery: DeliveryMode::Grid,
             queue: QueueMode::Wheel,
+            delivery_events: DeliveryEvents::Batched,
         }
     }
 }
@@ -130,6 +166,19 @@ struct ActiveTx {
     seq: u64,
 }
 
+/// One transmission's precomputed deliveries, carried by a single
+/// [`EventKind::DeliverBatch`] arrival event in [`DeliveryEvents::Batched`]
+/// mode. Boxed in the event so the queue entry stays pointer-sized.
+#[derive(Debug)]
+struct DeliveryBatch {
+    frame: Frame,
+    /// Receivers that passed the range/collision/loss checks, ascending by
+    /// node id (the grid's candidate order).
+    receivers: Vec<NodeId>,
+    sender: NodeId,
+    outcome: TxOutcome,
+}
+
 #[derive(Debug)]
 enum EventKind {
     Timer {
@@ -139,7 +188,9 @@ enum EventKind {
     },
     MacEnqueue {
         node: NodeId,
-        frame: PendingFrame,
+        /// Boxed: a `PendingFrame` is wider than every other variant, and
+        /// every queue entry would pay for it inline.
+        frame: Box<PendingFrame>,
     },
     MacTry {
         node: NodeId,
@@ -150,6 +201,19 @@ enum EventKind {
     MobilityChange {
         node: NodeId,
     },
+    /// One arrival event for a whole transmission (batched mode).
+    DeliverBatch(Box<DeliveryBatch>),
+    /// One arrival event for one receiver (per-receiver mode); the frame is
+    /// shared across the transmission's events.
+    Deliver {
+        receiver: NodeId,
+        frame: std::sync::Arc<Frame>,
+    },
+    /// Sender-outcome event trailing the per-receiver deliveries.
+    TxDone {
+        node: NodeId,
+        outcome: TxOutcome,
+    },
 }
 
 struct Event {
@@ -157,6 +221,13 @@ struct Event {
     seq: u64,
     kind: EventKind,
 }
+
+// Million-entry queues only stay cache-resident if entries stay small: the
+// fat payloads (pending frames, delivery batches) are boxed, so an event is
+// the 16-byte `(time, seq)` key plus a few words of kind. These bounds are
+// what the timer-wheel slots and the binary heap actually store per entry.
+const _: () = assert!(std::mem::size_of::<EventKind>() <= 32);
+const _: () = assert!(std::mem::size_of::<Event>() <= 48);
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
@@ -243,6 +314,15 @@ pub struct World {
     /// Free list of command buffers recycled across stack callbacks (only
     /// used in [`QueueMode::Wheel`]; the heap baseline allocates fresh).
     cmd_pool: Vec<Vec<Command>>,
+    /// Free list of receiver vectors recycled through delivery batches, so
+    /// batched mode schedules its one arrival event without a fresh
+    /// allocation per transmission.
+    recv_pool: Vec<Vec<NodeId>>,
+    /// Scratch buffer of sender positions whose transmissions overlap the
+    /// one being delivered, computed once per transmission so the
+    /// per-receiver collision check scans only actual overlaps instead of
+    /// the whole interference history.
+    overlap_buf: Vec<Point>,
     rng: SmallRng,
     stats: Stats,
     started: bool,
@@ -268,6 +348,8 @@ impl World {
             next_frame_seq: 0,
             timers: crate::node::TimerSlab::default(),
             cmd_pool: Vec::new(),
+            recv_pool: Vec::new(),
+            overlap_buf: Vec::new(),
             rng,
             stats: Stats::new(0),
             started: false,
@@ -427,6 +509,7 @@ impl World {
             std::mem::swap(&mut s.event_dispatches, &mut self.stats.event_dispatches);
             std::mem::swap(&mut s.cmd_pool_hits, &mut self.stats.cmd_pool_hits);
             std::mem::swap(&mut s.cmd_pool_misses, &mut self.stats.cmd_pool_misses);
+            std::mem::swap(&mut s.arrival_events, &mut self.stats.arrival_events);
             s
         };
         for i in 0..self.nodes.len() {
@@ -501,11 +584,18 @@ impl World {
                 }
             }
             EventKind::MacEnqueue { node, frame } => {
-                self.nodes[node.0 as usize].mac.queue.push_back(frame);
+                self.nodes[node.0 as usize].mac.queue.push_back(*frame);
                 self.mac_try(node);
             }
             EventKind::MacTry { node } => self.mac_try(node),
             EventKind::TxEnd { tx_id } => self.finish_tx(tx_id),
+            EventKind::DeliverBatch(batch) => self.dispatch_batch(*batch),
+            EventKind::Deliver { receiver, frame } => {
+                self.with_stack(receiver, |stack, ctx| stack.on_frame(ctx, &frame));
+            }
+            EventKind::TxDone { node, outcome } => {
+                self.with_stack(node, |stack, ctx| stack.on_tx_done(ctx, outcome));
+            }
             EventKind::MobilityChange { node } => {
                 let field = self.cfg.field;
                 let slot = &mut self.nodes[node.0 as usize];
@@ -563,6 +653,77 @@ impl World {
         }
     }
 
+    /// Executes one transmission's whole delivery fan-out — every receiver's
+    /// `on_frame` plus the sender's `on_tx_done` — inside a single
+    /// stack-entry round trip: one command buffer is claimed once and reused
+    /// across every callback, where the per-receiver baseline pays a queue
+    /// round trip and a buffer claim per receiver. Callbacks and their
+    /// buffered commands run in exactly the per-receiver order (receivers
+    /// ascending, sender outcome last), so the RNG stream is identical.
+    fn dispatch_batch(&mut self, batch: DeliveryBatch) {
+        let DeliveryBatch {
+            frame,
+            mut receivers,
+            sender,
+            outcome,
+        } = batch;
+        let pooled = self.cfg.queue == QueueMode::Wheel;
+        let mut commands = match if pooled { self.cmd_pool.pop() } else { None } {
+            Some(b) => {
+                self.stats.cmd_pool_hits += 1;
+                b
+            }
+            None => {
+                self.stats.cmd_pool_misses += 1;
+                Vec::new()
+            }
+        };
+        for &receiver in &receivers {
+            let idx = receiver.0 as usize;
+            let Some(mut stack) = self.nodes[idx].stack.take() else {
+                continue;
+            };
+            {
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    node: receiver,
+                    rng: &mut self.rng,
+                    commands: std::mem::take(&mut commands),
+                    timers: &mut self.timers,
+                    api_calls: &mut self.stats.api_calls,
+                    state_inserts: &mut self.stats.state_inserts,
+                };
+                stack.on_frame(&mut ctx, &frame);
+                commands = ctx.commands;
+            }
+            self.nodes[idx].stack = Some(stack);
+            self.apply_commands(receiver, &mut commands);
+        }
+        if let Some(mut stack) = self.nodes[sender.0 as usize].stack.take() {
+            {
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    node: sender,
+                    rng: &mut self.rng,
+                    commands: std::mem::take(&mut commands),
+                    timers: &mut self.timers,
+                    api_calls: &mut self.stats.api_calls,
+                    state_inserts: &mut self.stats.state_inserts,
+                };
+                stack.on_tx_done(&mut ctx, outcome);
+                commands = ctx.commands;
+            }
+            self.nodes[sender.0 as usize].stack = Some(stack);
+            self.apply_commands(sender, &mut commands);
+        }
+        if pooled {
+            commands.clear();
+            self.cmd_pool.push(commands);
+        }
+        receivers.clear();
+        self.recv_pool.push(receivers);
+    }
+
     fn apply_commands(&mut self, node: NodeId, commands: &mut Vec<Command>) {
         for cmd in commands.drain(..) {
             match cmd {
@@ -581,7 +742,13 @@ impl World {
                         self.nodes[node.0 as usize].mac.queue.push_back(frame);
                         self.mac_try(node);
                     } else {
-                        self.push_event(self.now + delay, EventKind::MacEnqueue { node, frame });
+                        self.push_event(
+                            self.now + delay,
+                            EventKind::MacEnqueue {
+                                node,
+                                frame: Box::new(frame),
+                            },
+                        );
                     }
                 }
                 Command::SetTimer { handle, at, token } => {
@@ -689,7 +856,19 @@ impl World {
                 candidates.extend((0..self.nodes.len() as u32).map(NodeId));
             }
         }
-        let mut deliveries: Vec<NodeId> = Vec::new();
+        let mut deliveries: Vec<NodeId> = self.recv_pool.pop().unwrap_or_default();
+        // The time-overlap half of the interference test is per-transmission,
+        // not per-receiver: filter the history down to the transmissions that
+        // actually overlap [start, end) once, so every receiver below only
+        // pays a distance check per *overlapping* sender.
+        let mut overlapping = std::mem::take(&mut self.overlap_buf);
+        overlapping.clear();
+        overlapping.extend(
+            self.active_tx
+                .iter()
+                .filter(|o| o.id != tx_id && o.start < end && o.end > start)
+                .map(|o| o.sender_pos),
+        );
         for &receiver in &candidates {
             let j = receiver.0 as usize;
             if receiver == sender || self.nodes[j].stack.is_none() {
@@ -703,12 +882,7 @@ impl World {
             // whose sender is audible at the receiver. A transmission by the
             // receiver itself trivially satisfies the distance test, which
             // models half-duplex radios.
-            let collided = self.active_tx.iter().any(|o| {
-                o.id != tx_id
-                    && o.start < end
-                    && o.end > start
-                    && o.sender_pos.within(&rpos, self.cfg.range)
-            });
+            let collided = overlapping.iter().any(|p| p.within(&rpos, self.cfg.range));
             if collided {
                 self.stats.collision_drops += 1;
                 continue;
@@ -725,15 +899,13 @@ impl World {
 
         // Sender-side collision feedback: another overlapping transmission
         // whose sender we could hear.
-        let sender_collided = self.active_tx.iter().any(|o| {
-            o.id != tx_id
-                && o.start < end
-                && o.end > start
-                && o.sender_pos.within(&sender_pos, self.cfg.range)
-        });
+        let sender_collided = overlapping
+            .iter()
+            .any(|p| p.within(&sender_pos, self.cfg.range));
         if sender_collided {
             self.stats.tx_collisions += 1;
         }
+        self.overlap_buf = overlapping;
 
         // Cheap Arc clone: the same buffer the sender encoded is observed
         // by every receiver.
@@ -743,20 +915,53 @@ impl World {
             payload: self.active_tx[tx_idx].payload.clone(),
             seq: self.active_tx[tx_idx].seq,
         };
+        let outcome = TxOutcome {
+            kind,
+            token,
+            collided: sender_collided,
+        };
 
-        for receiver in deliveries {
-            self.with_stack(receiver, |stack, ctx| stack.on_frame(ctx, &frame));
+        // Outcomes (and therefore the loss draws) are already settled above;
+        // what remains is handing the frame to each receiver's stack. Both
+        // event granularities dispatch the exact same callback sequence —
+        // receivers ascending, then the sender's outcome — so the toggle is
+        // invisible to protocol traces.
+        match self.cfg.delivery_events {
+            DeliveryEvents::Batched => {
+                self.stats.arrival_events += 1;
+                self.push_event(
+                    self.now,
+                    EventKind::DeliverBatch(Box::new(DeliveryBatch {
+                        frame,
+                        receivers: deliveries,
+                        sender,
+                        outcome,
+                    })),
+                );
+            }
+            DeliveryEvents::PerReceiver => {
+                let shared = std::sync::Arc::new(frame);
+                for &receiver in &deliveries {
+                    self.stats.arrival_events += 1;
+                    self.push_event(
+                        self.now,
+                        EventKind::Deliver {
+                            receiver,
+                            frame: std::sync::Arc::clone(&shared),
+                        },
+                    );
+                }
+                self.push_event(
+                    self.now,
+                    EventKind::TxDone {
+                        node: sender,
+                        outcome,
+                    },
+                );
+                deliveries.clear();
+                self.recv_pool.push(deliveries);
+            }
         }
-        self.with_stack(sender, |stack, ctx| {
-            stack.on_tx_done(
-                ctx,
-                TxOutcome {
-                    kind,
-                    token,
-                    collided: sender_collided,
-                },
-            )
-        });
 
         // Keep finished transmissions for interference history exactly as
         // long as they can still matter. A finished transmission A affects
@@ -1107,10 +1312,20 @@ mod tests {
         queue: QueueMode,
         seed: u64,
     ) -> (u64, u64, u64, u64, u64) {
+        chatter_trace_full(delivery, queue, DeliveryEvents::default(), seed)
+    }
+
+    fn chatter_trace_full(
+        delivery: DeliveryMode,
+        queue: QueueMode,
+        delivery_events: DeliveryEvents,
+        seed: u64,
+    ) -> (u64, u64, u64, u64, u64) {
         let mut w = World::new(WorldConfig {
             seed,
             delivery,
             queue,
+            delivery_events,
             ..WorldConfig::default()
         });
         for i in 0..12 {
@@ -1152,6 +1367,92 @@ mod tests {
                 "queue modes diverged for seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn batched_and_per_receiver_delivery_traces_are_identical() {
+        for seed in [1, 7, 99] {
+            for queue in [QueueMode::Wheel, QueueMode::Heap] {
+                assert_eq!(
+                    chatter_trace_full(DeliveryMode::Grid, queue, DeliveryEvents::Batched, seed),
+                    chatter_trace_full(
+                        DeliveryMode::Grid,
+                        queue,
+                        DeliveryEvents::PerReceiver,
+                        seed
+                    ),
+                    "delivery-event modes diverged for seed {seed} under {queue:?}"
+                );
+            }
+        }
+    }
+
+    /// The tentpole invariant: batched mode schedules exactly one arrival
+    /// event per transmission, regardless of how many receivers it reaches;
+    /// the per-receiver baseline schedules one per successful delivery.
+    #[test]
+    fn batched_mode_enqueues_one_arrival_event_per_transmission() {
+        let run = |delivery_events: DeliveryEvents| {
+            let mut cfg = lossless();
+            cfg.delivery_events = delivery_events;
+            let mut w = World::new(cfg);
+            w.add_node(
+                Box::new(Stationary::new(Point::new(0.0, 0.0))),
+                Box::new(Chatter::new(5, 10)),
+            );
+            for i in 0..4 {
+                w.add_node(
+                    Box::new(Stationary::new(Point::new(10.0 + i as f64, 0.0))),
+                    Box::new(Chatter::new(0, 0)),
+                );
+            }
+            w.run_until(SimTime::from_secs(1));
+            (
+                w.stats().tx_frames,
+                w.stats().delivered,
+                w.stats().arrival_events,
+            )
+        };
+        let (tx, delivered, arrivals) = run(DeliveryEvents::Batched);
+        assert_eq!(tx, 5);
+        assert_eq!(delivered, 20, "4 receivers x 5 beacons");
+        assert_eq!(arrivals, tx, "batched: one arrival event per transmission");
+        let (tx, delivered, arrivals) = run(DeliveryEvents::PerReceiver);
+        assert_eq!(
+            arrivals, delivered,
+            "per-receiver: one arrival event per delivery"
+        );
+        assert_eq!(tx, 5);
+    }
+
+    #[test]
+    fn batched_delivery_claims_one_command_buffer_per_transmission() {
+        // One transmission reaching 4 receivers: the batch claims the pooled
+        // buffer once; per-receiver mode claims it once per callback.
+        let run = |delivery_events: DeliveryEvents| {
+            let mut cfg = lossless();
+            cfg.delivery_events = delivery_events;
+            let mut w = World::new(cfg);
+            w.add_node(
+                Box::new(Stationary::new(Point::new(0.0, 0.0))),
+                Box::new(Chatter::new(1, 10)),
+            );
+            for i in 0..4 {
+                w.add_node(
+                    Box::new(Stationary::new(Point::new(10.0 + i as f64, 0.0))),
+                    Box::new(Chatter::new(0, 0)),
+                );
+            }
+            w.run_until(SimTime::from_secs(1));
+            w.stats().cmd_pool_hits + w.stats().cmd_pool_misses
+        };
+        let batched = run(DeliveryEvents::Batched);
+        let per_receiver = run(DeliveryEvents::PerReceiver);
+        assert!(
+            batched + 4 <= per_receiver,
+            "batched {batched} claims must undercut per-receiver {per_receiver} \
+             by at least the receiver count"
+        );
     }
 
     #[test]

@@ -76,6 +76,7 @@ impl Topology {
             .loss(params.loss)
             .delivery(params.delivery)
             .queue(params.queue)
+            .delivery_events(params.delivery_events)
             .collection_params(params.collection.clone())
             .config(params.config.clone());
         match *self {
@@ -148,6 +149,9 @@ pub struct MatrixParams {
     /// Event-queue implementation (wheel by default; equivalence tests run
     /// the same cells on the heap and compare traces).
     pub queue: QueueMode,
+    /// Delivery-event granularity (batched by default; equivalence tests
+    /// run the same cells per-receiver and compare traces).
+    pub delivery_events: DeliveryEvents,
 }
 
 impl Default for MatrixParams {
@@ -159,6 +163,7 @@ impl Default for MatrixParams {
             config: DapesConfig::default(),
             delivery: DeliveryMode::default(),
             queue: QueueMode::default(),
+            delivery_events: DeliveryEvents::default(),
         }
     }
 }

@@ -167,6 +167,7 @@ pub struct ScenarioBuilder {
     peers: Vec<PeerSpec>,
     delivery: DeliveryMode,
     queue: QueueMode,
+    delivery_events: DeliveryEvents,
 }
 
 impl ScenarioBuilder {
@@ -186,6 +187,7 @@ impl ScenarioBuilder {
             peers: Vec::new(),
             delivery: DeliveryMode::default(),
             queue: QueueMode::default(),
+            delivery_events: DeliveryEvents::default(),
         }
     }
 
@@ -206,6 +208,13 @@ impl ScenarioBuilder {
     /// tests build the same scenario in both modes and compare traces.
     pub fn queue(mut self, queue: QueueMode) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Delivery-event granularity (batched by default). Equivalence tests
+    /// build the same scenario in both modes and compare traces.
+    pub fn delivery_events(mut self, delivery_events: DeliveryEvents) -> Self {
+        self.delivery_events = delivery_events;
         self
     }
 
@@ -374,6 +383,7 @@ impl ScenarioBuilder {
             },
             delivery: self.delivery,
             queue: self.queue,
+            delivery_events: self.delivery_events,
         });
         let collection = self.collection.build();
         let mut placement_rng = SmallRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);

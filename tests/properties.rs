@@ -500,9 +500,96 @@ mod sched_properties {
         }
 
         #[test]
+        fn delivery_event_modes_fire_identical_sequences_under_random_swarms(
+            placements in proptest::collection::vec(
+                (0.0f64..300.0, 0.0f64..300.0, 1u32..6, 5u64..40), 2..10),
+            seed in any::<u64>(),
+            loss in 0u32..4,
+        ) {
+            // A beaconing swarm with channel loss: every RNG draw (loss,
+            // backoff, jitter) and every callback must land identically
+            // whether deliveries ride one batched arrival event per
+            // transmission or one event per receiver.
+            #[derive(Debug, Default)]
+            struct Beacon {
+                beacons: u32,
+                interval_ms: u64,
+                heard: Vec<(u64, NodeId, u64)>,
+                fired: Vec<u64>,
+                outcomes: Vec<(u64, bool)>,
+            }
+            impl NetStack for Beacon {
+                fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                    if self.beacons > 0 {
+                        ctx.set_timer(SimDuration::from_millis(self.interval_ms), 1);
+                    }
+                }
+                fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame) {
+                    self.heard.push((frame.seq, frame.src, ctx.now.as_micros()));
+                }
+                fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+                    self.fired.push(ctx.now.as_micros());
+                    ctx.send_frame(vec![0x5A; 64], FrameKind(9), token, SimDuration::ZERO);
+                    self.beacons -= 1;
+                    if self.beacons > 0 {
+                        ctx.set_timer(SimDuration::from_millis(self.interval_ms), 1);
+                    }
+                }
+                fn on_tx_done(&mut self, ctx: &mut NodeCtx<'_>, outcome: TxOutcome) {
+                    self.outcomes.push((ctx.now.as_micros(), outcome.collided));
+                }
+                fn as_any(&self) -> &dyn Any { self }
+                fn as_any_mut(&mut self) -> &mut dyn Any { self }
+            }
+            let run = |delivery_events: DeliveryEvents| {
+                let mut cfg = WorldConfig { seed, delivery_events, ..WorldConfig::default() };
+                cfg.phy.loss_rate = loss as f64 * 0.1;
+                let mut w = World::new(cfg);
+                let ids: Vec<NodeId> = placements
+                    .iter()
+                    .map(|&(x, y, beacons, interval_ms)| {
+                        w.add_node(
+                            Box::new(Stationary::new(Point::new(x, y))),
+                            Box::new(Beacon {
+                                beacons,
+                                interval_ms,
+                                ..Beacon::default()
+                            }),
+                        )
+                    })
+                    .collect();
+                w.run_until(SimTime::from_secs(5));
+                let per_node: Vec<_> = ids
+                    .iter()
+                    .map(|&id| {
+                        let b = w.stack::<Beacon>(id).unwrap();
+                        (b.heard.clone(), b.fired.clone(), b.outcomes.clone())
+                    })
+                    .collect();
+                let s = w.stats();
+                (
+                    per_node,
+                    (
+                        s.tx_frames,
+                        s.delivered,
+                        s.channel_losses,
+                        s.collision_drops,
+                        s.mac_deferrals,
+                        s.api_calls,
+                    ),
+                )
+            };
+            let (batched_nodes, batched_stats) = run(DeliveryEvents::Batched);
+            let (perrecv_nodes, perrecv_stats) = run(DeliveryEvents::PerReceiver);
+            prop_assert_eq!(batched_stats, perrecv_stats);
+            prop_assert_eq!(batched_nodes, perrecv_nodes);
+        }
+
+        #[test]
         fn peek_header_agrees_with_full_interest_decode(
             name in super::arb_name(),
             nonce in any::<u32>(),
+            lifetime in 1u64..100_000,
             cbp in any::<bool>(),
             mbf in any::<bool>(),
             params in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
@@ -510,6 +597,7 @@ mod sched_properties {
             use dapes_ndn::packet::{Interest, Packet, PacketHeader};
             let mut interest = Interest::new(name.clone())
                 .with_nonce(nonce)
+                .with_lifetime_ms(lifetime)
                 .with_can_be_prefix(cbp)
                 .with_must_be_fresh(mbf);
             if let Some(p) = params {
@@ -519,6 +607,7 @@ mod sched_properties {
             match Packet::peek_header(&wire) {
                 Ok(PacketHeader::Interest(h)) => {
                     prop_assert_eq!(h.nonce, nonce);
+                    prop_assert_eq!(h.lifetime_ms, lifetime);
                     prop_assert_eq!(h.can_be_prefix, cbp);
                     prop_assert_eq!(h.must_be_fresh, mbf);
                     prop_assert!(name.wire_value_eq(h.name_wire));

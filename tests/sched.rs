@@ -38,8 +38,19 @@ fn run_cell(
     queue: QueueMode,
     lazy_peek: bool,
 ) -> (u64, u64, u64, u64, u64, Vec<Option<SimTime>>) {
+    run_cell_with(topology, seed, queue, DeliveryEvents::default(), lazy_peek)
+}
+
+fn run_cell_with(
+    topology: Topology,
+    seed: u64,
+    queue: QueueMode,
+    delivery_events: DeliveryEvents,
+    lazy_peek: bool,
+) -> (u64, u64, u64, u64, u64, Vec<Option<SimTime>>) {
     let params = MatrixParams {
         queue,
+        delivery_events,
         config: dapes_core::config::DapesConfig {
             lazy_peek,
             ..Default::default()
@@ -50,7 +61,7 @@ fn run_cell(
     sc.run_until_complete(topology.deadline());
     assert_scenario(
         &format!(
-            "{}/seed-{seed}/{queue:?}/lazy-{lazy_peek}",
+            "{}/seed-{seed}/{queue:?}/{delivery_events:?}/lazy-{lazy_peek}",
             topology.label()
         ),
         &sc,
@@ -90,15 +101,75 @@ fn golden_traces_bit_identical_across_decode_regimes() {
 }
 
 #[test]
+fn golden_traces_bit_identical_across_delivery_event_modes() {
+    let (topologies, seeds) = matrix_axes();
+    for &topology in &topologies {
+        for &seed in &seeds {
+            assert_eq!(
+                run_cell_with(
+                    topology,
+                    seed,
+                    QueueMode::Wheel,
+                    DeliveryEvents::Batched,
+                    true
+                ),
+                run_cell_with(
+                    topology,
+                    seed,
+                    QueueMode::Wheel,
+                    DeliveryEvents::PerReceiver,
+                    true
+                ),
+                "[{}/seed-{seed}] delivery-event modes diverged",
+                topology.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn legacy_corner_heap_and_eager_matches_the_optimized_stack() {
-    // The fully-legacy corner (heap queue + eager decode) against the fully
-    // optimized one, over a mobility-rich cell that exercises timers,
-    // cancellations, retransmissions and overhearing together.
+    // The fully-legacy corner (heap queue + eager decode + one event per
+    // receiver) against the fully optimized one, over a mobility-rich cell
+    // that exercises timers, cancellations, retransmissions and overhearing
+    // together.
     let topology = Topology::PartitionedFerry;
     assert_eq!(
-        run_cell(topology, 1, QueueMode::Wheel, true),
-        run_cell(topology, 1, QueueMode::Heap, false),
+        run_cell_with(topology, 1, QueueMode::Wheel, DeliveryEvents::Batched, true),
+        run_cell_with(
+            topology,
+            1,
+            QueueMode::Heap,
+            DeliveryEvents::PerReceiver,
+            false
+        ),
         "optimized and legacy control planes diverged"
+    );
+}
+
+/// The tentpole regression: in batched mode one transmission enqueues
+/// exactly one arrival event, across a full DAPES scenario; the
+/// per-receiver baseline enqueues one per successful delivery.
+#[test]
+fn one_transmission_enqueues_one_arrival_event_in_batched_mode() {
+    let topology = Topology::Star { downloaders: 3 };
+    let run = |delivery_events: DeliveryEvents| {
+        let params = MatrixParams {
+            delivery_events,
+            ..MatrixParams::default()
+        };
+        let mut sc = topology.build(1, &params);
+        sc.run_until_complete(topology.deadline());
+        let s = sc.world.stats();
+        (s.tx_frames, s.delivered, s.arrival_events)
+    };
+    let (tx, _, arrivals) = run(DeliveryEvents::Batched);
+    assert!(tx > 0);
+    assert_eq!(arrivals, tx, "batched: one arrival event per transmission");
+    let (_, delivered, arrivals) = run(DeliveryEvents::PerReceiver);
+    assert_eq!(
+        arrivals, delivered,
+        "per-receiver: one arrival event per delivery"
     );
 }
 
@@ -139,7 +210,8 @@ fn timer_slab_does_not_leak_across_a_full_scenario() {
 fn lazy_peek_actually_resolves_frames_without_decode() {
     // Sanity that the fast path is exercised in a real scenario (not just
     // equivalent): star downloaders overhear each other's content interests
-    // and answers, so duplicate nonces and CS hits must resolve by peek.
+    // and answers, so duplicate nonces and CS hits must resolve by peek —
+    // and the per-outcome counters must decompose the total exactly.
     let params = MatrixParams::default();
     let topology = Topology::Star { downloaders: 3 };
     let mut sc = topology.build(1, &params);
@@ -147,15 +219,32 @@ fn lazy_peek_actually_resolves_frames_without_decode() {
     // Post-completion discovery chatter also feeds the fast path.
     let done = sc.world.now();
     sc.world.run_until(done + SimDuration::from_secs(60));
-    let peeked: u64 = sc
-        .downloaders
-        .iter()
-        .chain(sc.producers.iter())
-        .filter_map(|&id| {
-            sc.world
-                .stack::<dapes_core::peer::DapesPeer>(id)
-                .map(|p| p.stats().frames_peek_resolved)
-        })
-        .sum();
+    let (mut peeked, mut cs, mut dup, mut fib, mut unsol) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for &id in sc.downloaders.iter().chain(sc.producers.iter()) {
+        let Some(p) = sc.world.stack::<dapes_core::peer::DapesPeer>(id) else {
+            continue;
+        };
+        let s = p.stats();
+        assert_eq!(
+            s.peek_cs_hits + s.peek_dup_nonces + s.peek_fib_drops + s.peek_unsolicited_data,
+            s.frames_peek_resolved,
+            "per-outcome peek counters must sum to the total for node {id}"
+        );
+        peeked += s.frames_peek_resolved;
+        cs += s.peek_cs_hits;
+        dup += s.peek_dup_nonces;
+        fib += s.peek_fib_drops;
+        unsol += s.peek_unsolicited_data;
+    }
     assert!(peeked > 0, "no frame ever resolved from its peeked header");
+    assert!(
+        dup > 0,
+        "overheard re-broadcasts must resolve as dup nonces"
+    );
+    assert!(unsol > 0, "unwanted data must resolve as unsolicited");
+    // DAPES peers register the root prefix, so everything is routable and
+    // the FIB-drop outcome stays zero here (the scheduler benchmark's
+    // selective-FIB swarm exercises it; `cs` hits depend on cache timing).
+    assert_eq!(fib, 0, "root-registered FIBs never drop by route");
+    let _ = cs;
 }
