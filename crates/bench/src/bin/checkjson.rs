@@ -6,94 +6,16 @@
 //! cargo run -p dapes-bench --bin checkjson -- --summary BENCH_sched_smoke.json
 //! ```
 //!
-//! Validation asserts: the document parses, `scenario` is a string, `nodes`
-//! and `seed` are numeric, `speedup_events_per_sec` is numeric and positive,
-//! and every mode entry (the `modes` array for the scheduler report, the
-//! `baseline`/`optimized` objects for the hot-path report) carries a string
-//! `mode` plus numeric `wall_secs`/`events_per_sec`. Exits non-zero on the
-//! first violation, so a malformed or hand-mangled report fails CI.
+//! The actual checks live in [`dapes_bench::check`] (unit-tested there);
+//! this binary only does argument handling and exit codes. Exits non-zero
+//! on the first violation, so a malformed or hand-mangled report fails CI.
 
-use dapes_bench::json::{parse, Value};
+use dapes_bench::check::{summary, validate};
+use dapes_bench::json::parse;
 
 fn fail(file: &str, msg: &str) -> ! {
     eprintln!("checkjson: {file}: {msg}");
     std::process::exit(1);
-}
-
-/// Pulls a required numeric field out of an object.
-fn require_num(file: &str, v: &Value, key: &str) -> f64 {
-    match v.get(key).and_then(Value::as_f64) {
-        Some(n) if n.is_finite() => n,
-        _ => fail(file, &format!("missing or non-numeric \"{key}\"")),
-    }
-}
-
-fn require_str<'a>(file: &str, v: &'a Value, key: &str) -> &'a str {
-    v.get(key)
-        .and_then(Value::as_str)
-        .unwrap_or_else(|| fail(file, &format!("missing or non-string \"{key}\"")))
-}
-
-/// The mode entries of either report shape, in document order.
-fn mode_entries<'a>(file: &str, doc: &'a Value) -> Vec<&'a Value> {
-    if let Some(modes) = doc.get("modes").and_then(Value::as_array) {
-        if modes.is_empty() {
-            fail(file, "\"modes\" array is empty");
-        }
-        return modes.iter().collect();
-    }
-    match (doc.get("baseline"), doc.get("optimized")) {
-        (Some(b), Some(o)) => vec![b, o],
-        _ => fail(
-            file,
-            "neither \"modes\" nor \"baseline\"/\"optimized\" present",
-        ),
-    }
-}
-
-fn validate(file: &str, doc: &Value) {
-    require_str(file, doc, "scenario");
-    require_num(file, doc, "nodes");
-    require_num(file, doc, "seed");
-    let speedup = require_num(file, doc, "speedup_events_per_sec");
-    if speedup <= 0.0 {
-        fail(file, "\"speedup_events_per_sec\" must be positive");
-    }
-    for entry in mode_entries(file, doc) {
-        let mode = require_str(file, entry, "mode");
-        for key in ["wall_secs", "events_per_sec", "tx_frames", "delivered"] {
-            if entry.get(key).and_then(Value::as_f64).is_none() {
-                fail(
-                    file,
-                    &format!("mode \"{mode}\": missing or non-numeric \"{key}\""),
-                );
-            }
-        }
-    }
-}
-
-/// Renders the GitHub-flavoured markdown speedup table for one report.
-fn summary(file: &str, doc: &Value) -> String {
-    let scenario = require_str(file, doc, "scenario");
-    let nodes = require_num(file, doc, "nodes");
-    let speedup = require_num(file, doc, "speedup_events_per_sec");
-    let mut out = format!(
-        "### `{scenario}` ({nodes} nodes) — {speedup:.2}x events/sec\n\n\
-         | mode | events/sec | wall (s) | vs baseline |\n\
-         | --- | ---: | ---: | ---: |\n"
-    );
-    let entries = mode_entries(file, doc);
-    let base_eps = require_num(file, entries[0], "events_per_sec").max(1e-9);
-    for entry in entries {
-        let mode = require_str(file, entry, "mode");
-        let eps = require_num(file, entry, "events_per_sec");
-        let wall = require_num(file, entry, "wall_secs");
-        out.push_str(&format!(
-            "| `{mode}` | {eps:.0} | {wall:.3} | {:.2}x |\n",
-            eps / base_eps
-        ));
-    }
-    out
 }
 
 fn main() {
@@ -108,9 +30,14 @@ fn main() {
         let text = std::fs::read_to_string(file)
             .unwrap_or_else(|e| fail(file, &format!("unreadable: {e}")));
         let doc = parse(&text).unwrap_or_else(|e| fail(file, &format!("invalid JSON: {e}")));
-        validate(file, &doc);
+        if let Err(e) = validate(&doc) {
+            fail(file, &e);
+        }
         if want_summary {
-            println!("{}", summary(file, &doc));
+            match summary(&doc) {
+                Ok(table) => println!("{table}"),
+                Err(e) => fail(file, &e),
+            }
         } else {
             eprintln!("checkjson: {file}: OK");
         }

@@ -1,5 +1,5 @@
 //! Scheduler throughput benchmark: runs the timer-heavy advert swarm under
-//! all eight control-plane cost models (heap/wheel × eager/lazy ×
+//! all twelve control-plane cost models (heap/wheel × eager/lazy[+patch] ×
 //! per-receiver/batched delivery) and writes `BENCH_sched.json`.
 //!
 //! ```text
@@ -7,7 +7,14 @@
 //! cargo run --release -p dapes-bench --bin sched -- --quick # CI smoke
 //! cargo run ... -- --out path/to/BENCH_sched.json
 //! cargo run ... -- --quick --min-speedup 1.0   # exit non-zero on regression
+//! cargo run ... -- --relay-patch off           # drop the decode-free-relay axis
 //! ```
+//!
+//! `--relay-patch` selects the decode-free-relay axis of the sweep: `both`
+//! (default) runs all twelve modes, `on` keeps only the patched lazy modes
+//! (plus the eager baselines), `off` keeps the eight pre-patch modes — the
+//! CI matrix runs `on` and `off` so a regression in either relay path gates
+//! the merge on its own.
 
 use dapes_bench::sched::{render_report, run_sched, trace_of, SchedMode, SchedParams};
 
@@ -41,6 +48,25 @@ fn main() {
     if let Some(t) = arg("--tick-ms") {
         params.tick_ms = t.parse().expect("--tick-ms");
     }
+    let mut modes: Vec<SchedMode> = match arg("--relay-patch").as_deref() {
+        None | Some("both") => SchedMode::sweep(),
+        Some("on") => SchedMode::sweep()
+            .into_iter()
+            .filter(|m| m.relay_patch == m.lazy_decode)
+            .collect(),
+        Some("off") => SchedMode::sweep()
+            .into_iter()
+            .filter(|m| !m.relay_patch)
+            .collect(),
+        Some(other) => panic!("--relay-patch must be on, off or both, got {other:?}"),
+    };
+    // Debugging escape hatch: run only the modes whose label contains the
+    // given substring (comma-separated alternatives). Disables the speedup
+    // gate unless the filtered set still contains the baseline.
+    if let Some(only) = arg("--only") {
+        modes.retain(|m| only.split(',').any(|pat| m.label().contains(pat)));
+        assert!(!modes.is_empty(), "--only {only:?} matched no mode");
+    }
     eprintln!(
         "perf_sched: {} nodes, {} rounds each, field {} m, range {} m, tick {} ms",
         params.nodes, params.rounds, params.field, params.range, params.tick_ms
@@ -59,13 +85,13 @@ fn main() {
 
     let reps = if quick { 2 } else { 3 };
     let mut results = Vec::new();
-    for mode in SchedMode::sweep() {
+    for mode in modes {
         let best = (0..reps)
             .map(|_| run_sched(&params, mode))
             .reduce(|a, b| if a.wall_secs <= b.wall_secs { a } else { b })
             .expect("at least one repetition");
         eprintln!(
-            "  {:<20}: {:>9.0} events/s  ({:.2} s wall, {} popped / {} sim events, {} peeked ({} fib-drop, {} cbp-hit) / {} decoded, pool {}h/{}m)",
+            "  {:<24}: {:>9.0} events/s  ({:.2} s wall, {} popped / {} sim events, {} peeked ({} fib-drop, {} cbp-hit, {} relay-patched) / {} decoded, pool {}h/{}m)",
             best.mode.label(),
             best.events_per_sec,
             best.wall_secs,
@@ -74,6 +100,7 @@ fn main() {
             best.frames_peek_resolved,
             best.peek_fib_drops,
             best.peek_prefix_hits,
+            best.frames_relay_patched,
             best.full_decodes,
             best.cmd_pool_hits,
             best.cmd_pool_misses,
@@ -91,14 +118,21 @@ fn main() {
             assert_eq!(r.events, results[0].events, "{}", r.mode.label());
         }
     }
-    let baseline = results
-        .iter()
-        .find(|r| r.mode == SchedMode::baseline())
-        .expect("baseline mode swept");
+    let Some(baseline) = results.iter().find(|r| r.mode == SchedMode::baseline()) else {
+        // `--only` filtered the baseline out: nothing to compare against.
+        let json = render_report(&params, &results);
+        std::fs::write(&out, json).expect("write BENCH_sched.json");
+        eprintln!("wrote {out} (no baseline mode swept; speedup gate skipped)");
+        return;
+    };
+    // The fully-optimized mode under the selected axis: the patched wheel/
+    // lazy/batched stack when the axis includes it, its pre-patch
+    // counterpart under `--relay-patch off`.
     let optimized = results
         .iter()
         .find(|r| r.mode == SchedMode::optimized())
-        .expect("optimized mode swept");
+        .or_else(|| results.last())
+        .expect("at least one mode swept");
     let speedup = optimized.events_per_sec / baseline.events_per_sec;
     eprintln!(
         "  speedup     : {:.2}x events/s ({:.2}x wall) {} vs {}",

@@ -1,0 +1,182 @@
+//! Schema validation and step-summary rendering for the committed
+//! `BENCH_*.json` reports — the library behind the `checkjson` binary.
+//!
+//! Validation asserts: `scenario` is a string, `nodes` and `seed` are
+//! numeric, `speedup_events_per_sec` is a *finite positive* number (NaN and
+//! ±Inf — e.g. from a zero-wall-clock division — are rejected, not
+//! round-tripped into CI), and every mode entry (the `modes` array for the
+//! scheduler report, the `baseline`/`optimized` objects for the hot-path
+//! report) carries a string `mode` plus numeric `wall_secs`,
+//! `events_per_sec`, `tx_frames` and `delivered`. An empty `modes` array is
+//! an error: a report that measured nothing must not pass the gate.
+
+use crate::json::Value;
+
+/// Pulls a required *finite* numeric field out of an object.
+fn require_num(v: &Value, key: &str) -> Result<f64, String> {
+    match v.get(key).map(|f| (f, f.as_f64())) {
+        Some((_, Some(n))) if n.is_finite() => Ok(n),
+        Some((f, _)) => Err(format!("\"{key}\" must be a finite number, got {f:?}")),
+        None => Err(format!("missing \"{key}\"")),
+    }
+}
+
+fn require_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string \"{key}\""))
+}
+
+/// The mode entries of either report shape, in document order.
+pub fn mode_entries(doc: &Value) -> Result<Vec<&Value>, String> {
+    if let Some(modes) = doc.get("modes").and_then(Value::as_array) {
+        if modes.is_empty() {
+            return Err("\"modes\" array is empty — the report measured nothing".into());
+        }
+        return Ok(modes.iter().collect());
+    }
+    match (doc.get("baseline"), doc.get("optimized")) {
+        (Some(b), Some(o)) => Ok(vec![b, o]),
+        _ => Err("neither \"modes\" nor \"baseline\"/\"optimized\" present".into()),
+    }
+}
+
+/// Validates one parsed report document against the CI schema.
+pub fn validate(doc: &Value) -> Result<(), String> {
+    require_str(doc, "scenario")?;
+    require_num(doc, "nodes")?;
+    require_num(doc, "seed")?;
+    let speedup = require_num(doc, "speedup_events_per_sec")?;
+    if speedup <= 0.0 {
+        return Err(format!(
+            "\"speedup_events_per_sec\" must be positive, got {speedup}"
+        ));
+    }
+    for entry in mode_entries(doc)? {
+        let mode = require_str(entry, "mode")?;
+        for key in ["wall_secs", "events_per_sec", "tx_frames", "delivered"] {
+            require_num(entry, key).map_err(|e| format!("mode \"{mode}\": {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders the GitHub-flavoured markdown speedup table for one report.
+/// Reports that carry the decode-free relay and arena counters (the
+/// scheduler shape) get them as extra columns; older shapes render `-`.
+pub fn summary(doc: &Value) -> Result<String, String> {
+    let scenario = require_str(doc, "scenario")?;
+    let nodes = require_num(doc, "nodes")?;
+    let speedup = require_num(doc, "speedup_events_per_sec")?;
+    let mut out = format!(
+        "### `{scenario}` ({nodes} nodes) — {speedup:.2}x events/sec\n\n\
+         | mode | events/sec | wall (s) | vs baseline | relay-patched | PIT live | CS live |\n\
+         | --- | ---: | ---: | ---: | ---: | ---: | ---: |\n"
+    );
+    let entries = mode_entries(doc)?;
+    let base_eps = require_num(entries[0], "events_per_sec")?.max(1e-9);
+    let opt_u64 = |entry: &Value, key: &str| -> String {
+        entry
+            .get(key)
+            .and_then(Value::as_f64)
+            .map_or_else(|| "-".into(), |n| format!("{n:.0}"))
+    };
+    for entry in entries {
+        let mode = require_str(entry, "mode")?;
+        let eps = require_num(entry, "events_per_sec")?;
+        let wall = require_num(entry, "wall_secs")?;
+        out.push_str(&format!(
+            "| `{mode}` | {eps:.0} | {wall:.3} | {:.2}x | {} | {} | {} |\n",
+            eps / base_eps,
+            opt_u64(entry, "frames_relay_patched"),
+            opt_u64(entry, "pit_arena_live"),
+            opt_u64(entry, "cs_arena_live"),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sched_doc(speedup: &str, modes_body: &str) -> String {
+        format!(
+            "{{\"scenario\": \"perf_sched\", \"nodes\": 4, \"seed\": 1, \
+             \"speedup_events_per_sec\": {speedup}, \"modes\": [{modes_body}]}}"
+        )
+    }
+
+    fn mode_entry() -> &'static str {
+        "{\"mode\": \"heap_eager_perrecv\", \"wall_secs\": 1.0, \
+          \"events_per_sec\": 10.0, \"tx_frames\": 5, \"delivered\": 9}"
+    }
+
+    #[test]
+    fn accepts_a_well_formed_report() {
+        let doc = parse(&sched_doc("2.5", mode_entry())).expect("parses");
+        assert_eq!(validate(&doc), Ok(()));
+        let table = summary(&doc).expect("summary renders");
+        assert!(table.contains("`heap_eager_perrecv`"));
+        assert!(table.contains("2.50x"));
+    }
+
+    #[test]
+    fn rejects_nan_and_infinite_speedups() {
+        // The report writer formats floats with {:.2}, which renders NaN
+        // and infinities as bare words — exactly what a zero-wall-clock
+        // division would commit. The parser reads them as nulls/errors;
+        // either way validation must name the field.
+        for bad in ["null", "\"NaN\"", "\"inf\"", "1e999"] {
+            let doc_text = sched_doc(bad, mode_entry());
+            let Ok(doc) = parse(&doc_text) else {
+                continue; // unparseable is an even earlier failure
+            };
+            let err = validate(&doc).expect_err(&format!("speedup {bad} must fail"));
+            assert!(
+                err.contains("speedup_events_per_sec"),
+                "error must name the field: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_zero_and_negative_speedups() {
+        for bad in ["0", "-3.5"] {
+            let doc = parse(&sched_doc(bad, mode_entry())).expect("parses");
+            let err = validate(&doc).expect_err("non-positive speedup");
+            assert!(err.contains("must be positive"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_an_empty_modes_array() {
+        let doc = parse(&sched_doc("2.0", "")).expect("parses");
+        let err = validate(&doc).expect_err("empty modes");
+        assert!(err.contains("\"modes\" array is empty"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_mode_fields() {
+        let entry = "{\"mode\": \"m\", \"wall_secs\": 1e999, \
+                     \"events_per_sec\": 10.0, \"tx_frames\": 5, \"delivered\": 9}";
+        let doc = parse(&sched_doc("2.0", entry)).expect("parses");
+        let err = validate(&doc).expect_err("infinite wall_secs");
+        assert!(err.contains("wall_secs") && err.contains("\"m\""), "{err}");
+    }
+
+    #[test]
+    fn summary_surfaces_relay_and_arena_counters_when_present() {
+        let entry = "{\"mode\": \"wheel_lazy_batched_patch\", \"wall_secs\": 0.5, \
+                     \"events_per_sec\": 40.0, \"tx_frames\": 5, \"delivered\": 9, \
+                     \"frames_relay_patched\": 123, \"pit_arena_live\": 7, \
+                     \"cs_arena_live\": 11}";
+        let doc = parse(&sched_doc("4.0", entry)).expect("parses");
+        let table = summary(&doc).expect("renders");
+        assert!(table.contains("| 123 | 7 | 11 |"), "{table}");
+        // A report without the counters still renders, with placeholders.
+        let old = parse(&sched_doc("4.0", mode_entry())).expect("parses");
+        assert!(summary(&old).expect("renders").contains("| - | - | - |"));
+    }
+}

@@ -328,7 +328,10 @@ mod tests {
             frames_peek_resolved: 0,
             peek_fib_drops: 0,
             peek_prefix_hits: 0,
+            frames_relay_patched: 0,
             full_decodes: 0,
+            pit_arena_live: 0,
+            cs_arena_live: 0,
             arrival_events: 1,
             timer_slots_allocated: 0,
         }

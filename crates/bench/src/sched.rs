@@ -15,19 +15,25 @@
 //! 3. **overheard-frame decoding** — name-first [`Packet::peek_header`]
 //!    resolution of CS hits (exact *and* CanBePrefix, via the ordered wire
 //!    index), duplicate nonces, FIB no-route drops and unsolicited data
-//!    vs. a full TLV decode of every frame,
+//!    vs. a full TLV decode of every frame; the same axis selects the
+//!    PIT/CS table generation (wire-indexed slab arenas vs. the legacy
+//!    `Name`-keyed maps the eager control plane ran on),
 //! 4. **delivery events** — one batched arrival event per transmission
 //!    executing the whole receiver fan-out in a single stack-entry round
 //!    trip ([`DeliveryEvents::Batched`]) vs. the classic one-event-per-
-//!    receiver model ([`DeliveryEvents::PerReceiver`]).
+//!    receiver model ([`DeliveryEvents::PerReceiver`]),
+//! 5. **decode-free relays** — re-broadcasting relayable Interests straight
+//!    from the received bytes with a copy-on-write hop-limit byte patch
+//!    (never constructing an `Interest`) vs. the decode → decrement →
+//!    re-encode relay the eager pipeline performs.
 //!
-//! All eight mode combinations run the *same protocol trace* (same seeds,
+//! All twelve mode combinations run the *same protocol trace* (same seeds,
 //! same RNG draw order, bit-identical frame counts — asserted by a test
 //! below and by the `sched` binary); only the per-event bookkeeping
 //! differs.
 //!
 //! The scenario: a dense swarm where every node periodically floods a
-//! 2-hop advert Interest for its own namespace, answers Interests for that
+//! 3-hop advert Interest for its own namespace, answers Interests for that
 //! namespace from its application, relays neighbours' adverts through a
 //! real NDN [`Forwarder`] (duplicate-nonce suppression doing the flood
 //! control), retries unanswered adverts off a cancellable timer, and runs a
@@ -63,51 +69,64 @@ const TOKEN_TICK: u64 = 3;
 const TOKEN_DECOY: u64 = 4;
 
 /// One scheduler cost model: an event-queue implementation, a decode regime
-/// for overheard frames, and a delivery-event granularity. Protocol traces
-/// are bit-identical across all eight combinations.
+/// for overheard frames, a delivery-event granularity, and whether novel
+/// Interests are relayed decode-free by hop-limit byte patch. Protocol
+/// traces are bit-identical across all twelve combinations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SchedMode {
     /// Event queue (wheel also enables the command-buffer pool).
     pub queue: QueueMode,
     /// Whether overheard frames are resolved by header peek when possible.
+    /// This axis also selects the PIT/CS table generation: eager modes run
+    /// the legacy `Name`-keyed tables of the control plane they price,
+    /// lazy modes the wire-indexed slab arenas the peek ladder needs.
     pub lazy_decode: bool,
     /// Delivery-event granularity (batched fan-out vs one event per
     /// receiver).
     pub delivery: DeliveryEvents,
+    /// Whether the forwarder re-broadcasts relayable Interests straight
+    /// from the received bytes, patching the hop-limit byte copy-on-write
+    /// instead of decode → decrement → re-encode. Only meaningful with
+    /// `lazy_decode` (the eager path never sees a peeked header).
+    pub relay_patch: bool,
 }
 
 impl SchedMode {
     /// The pre-refactor control plane: binary heap, per-callback
-    /// allocations, full decode of every frame, one scheduled receive event
-    /// per receiver.
+    /// allocations, full decode of every frame into `Name`-keyed PIT/CS
+    /// tables, one scheduled receive event per receiver.
     pub fn baseline() -> Self {
         SchedMode {
             queue: QueueMode::Heap,
             lazy_decode: false,
             delivery: DeliveryEvents::PerReceiver,
+            relay_patch: false,
         }
     }
 
-    /// The optimized control plane: timer wheel, pooled buffers, lazy peek,
-    /// one batched arrival event per transmission.
+    /// The optimized control plane: timer wheel, pooled buffers, lazy peek
+    /// with decode-free relays, one batched arrival event per transmission.
     pub fn optimized() -> Self {
         SchedMode {
             queue: QueueMode::Wheel,
             lazy_decode: true,
             delivery: DeliveryEvents::Batched,
+            relay_patch: true,
         }
     }
 
-    /// All eight combinations, baseline first and optimized last.
+    /// All twelve combinations (the relay-patch axis only exists on top of
+    /// lazy decoding), baseline first and optimized last.
     pub fn sweep() -> Vec<SchedMode> {
         let mut modes = Vec::new();
         for delivery in [DeliveryEvents::PerReceiver, DeliveryEvents::Batched] {
             for queue in [QueueMode::Heap, QueueMode::Wheel] {
-                for lazy_decode in [false, true] {
+                for (lazy_decode, relay_patch) in [(false, false), (true, false), (true, true)] {
                     modes.push(SchedMode {
                         queue,
                         lazy_decode,
                         delivery,
+                        relay_patch,
                     });
                 }
             }
@@ -117,15 +136,27 @@ impl SchedMode {
 
     /// Label used in the JSON report.
     pub fn label(self) -> &'static str {
-        match (self.queue, self.lazy_decode, self.delivery) {
-            (QueueMode::Heap, false, DeliveryEvents::PerReceiver) => "heap_eager_perrecv",
-            (QueueMode::Heap, true, DeliveryEvents::PerReceiver) => "heap_lazy_perrecv",
-            (QueueMode::Wheel, false, DeliveryEvents::PerReceiver) => "wheel_eager_perrecv",
-            (QueueMode::Wheel, true, DeliveryEvents::PerReceiver) => "wheel_lazy_perrecv",
-            (QueueMode::Heap, false, DeliveryEvents::Batched) => "heap_eager_batched",
-            (QueueMode::Heap, true, DeliveryEvents::Batched) => "heap_lazy_batched",
-            (QueueMode::Wheel, false, DeliveryEvents::Batched) => "wheel_eager_batched",
-            (QueueMode::Wheel, true, DeliveryEvents::Batched) => "wheel_lazy_batched",
+        match (
+            self.queue,
+            self.lazy_decode,
+            self.delivery,
+            self.relay_patch,
+        ) {
+            (QueueMode::Heap, false, DeliveryEvents::PerReceiver, false) => "heap_eager_perrecv",
+            (QueueMode::Heap, true, DeliveryEvents::PerReceiver, false) => "heap_lazy_perrecv",
+            (QueueMode::Heap, true, DeliveryEvents::PerReceiver, true) => "heap_lazy_perrecv_patch",
+            (QueueMode::Wheel, false, DeliveryEvents::PerReceiver, false) => "wheel_eager_perrecv",
+            (QueueMode::Wheel, true, DeliveryEvents::PerReceiver, false) => "wheel_lazy_perrecv",
+            (QueueMode::Wheel, true, DeliveryEvents::PerReceiver, true) => {
+                "wheel_lazy_perrecv_patch"
+            }
+            (QueueMode::Heap, false, DeliveryEvents::Batched, false) => "heap_eager_batched",
+            (QueueMode::Heap, true, DeliveryEvents::Batched, false) => "heap_lazy_batched",
+            (QueueMode::Heap, true, DeliveryEvents::Batched, true) => "heap_lazy_batched_patch",
+            (QueueMode::Wheel, false, DeliveryEvents::Batched, false) => "wheel_eager_batched",
+            (QueueMode::Wheel, true, DeliveryEvents::Batched, false) => "wheel_lazy_batched",
+            (QueueMode::Wheel, true, DeliveryEvents::Batched, true) => "wheel_lazy_batched_patch",
+            _ => "unlabeled", // eager + patch never runs (sweep skips it)
         }
     }
 }
@@ -148,6 +179,14 @@ pub struct SchedParams {
     pub tick_ms: u64,
     /// Advert-reply payload size in bytes.
     pub reply_bytes: usize,
+    /// Wire hop limit on advert Interests: a 3-hop flood covers the
+    /// origin's two-hop neighbourhood with relayed re-broadcasts — the
+    /// traffic shape the decode-free relay path exists for.
+    pub advert_hops: u8,
+    /// Size of the availability bitmap each advert carries as application
+    /// parameters (the paper's adverts announce which segments the peer
+    /// holds).
+    pub advert_bitmap_bytes: usize,
     /// Retry timeout for unanswered adverts in milliseconds.
     pub retry_ms: u64,
     /// World seed.
@@ -157,21 +196,25 @@ pub struct SchedParams {
 impl SchedParams {
     /// The acceptance-criteria scenario: 2,400 nodes at ~30 neighbours
     /// each (an off-the-grid crowd, not a sparse field), every node
-    /// beaconing 2-hop adverts once a second plus the noise/probe traffic,
-    /// and ticking a 16 ms housekeeping timer whose decoy arm/cancel churn
-    /// leaves over a million tombstoned entries in the queue — the
-    /// workload where the heap's O(log n) pops, the per-callback
-    /// allocations, the per-receiver event fan-out, and the eager decode
-    /// of millions of overheard frames dominate.
+    /// beaconing 3-hop adverts — paper-shaped hierarchical names carrying
+    /// a 64-byte availability bitmap, relayed across the two-hop
+    /// neighbourhood — plus the noise/probe traffic, and ticking a 16 ms
+    /// housekeeping timer whose decoy arm/cancel churn leaves over a
+    /// million tombstoned entries in the queue: the workload where the
+    /// heap's O(log n) pops, the per-callback allocations, the
+    /// per-receiver event fan-out, and the eager decode of millions of
+    /// overheard (mostly duplicate) frames dominate.
     pub fn dense() -> Self {
         SchedParams {
             nodes: 2_400,
             field: 900.0,
             range: 60.0,
-            rounds: 8,
+            rounds: 3,
             advert_period_ms: 1_000,
             tick_ms: 16,
             reply_bytes: 256,
+            advert_hops: 3,
+            advert_bitmap_bytes: 64,
             retry_ms: 300,
             seed: 1,
         }
@@ -195,10 +238,10 @@ impl SchedParams {
     }
 }
 
-/// The advert/beacon stack: a real NDN forwarder per node, flooding 2-hop
-/// advert Interests and serving replies. Decode regime aside, behaviour
-/// depends only on header-derivable facts, so lazy and eager runs make
-/// identical RNG draws.
+/// The advert/beacon stack: a real NDN forwarder per node, flooding
+/// multi-hop advert Interests and serving replies. Decode regime aside,
+/// behaviour depends only on header-derivable facts, so lazy and eager
+/// runs make identical RNG draws.
 struct SchedStack {
     id: u32,
     lazy_decode: bool,
@@ -208,6 +251,8 @@ struct SchedStack {
     advert_period_ms: u64,
     tick_ms: u64,
     reply_bytes: usize,
+    advert_hops: u8,
+    advert_bitmap_bytes: usize,
     retry_ms: u64,
     deadline: SimTime,
     /// The outstanding advert: its name and the retry timer to cancel when
@@ -222,6 +267,9 @@ struct SchedStack {
     /// Peek-resolved CanBePrefix Interests answered through the CS's
     /// ordered wire index.
     peek_prefix_hits: u64,
+    /// Frames re-broadcast decode-free with a copy-on-write hop-limit
+    /// patch (relay-patch modes only).
+    frames_relay_patched: u64,
     /// Frames that went through the full TLV decode.
     full_decodes: u64,
 }
@@ -233,6 +281,12 @@ impl SchedStack {
             cache_unsolicited: false,
             rebroadcast_faces: vec![FaceId::WIRELESS],
             deliver_on_aggregate: Vec::new(),
+            relay_patch: mode.relay_patch,
+            // The eager modes price the pre-refactor control plane, whose
+            // PIT/CS ran on `Name`-keyed tables; the lazy modes run the
+            // wire-indexed slab arenas the peek ladder was built around.
+            // Behaviour (and thus the cross-mode trace) is identical.
+            legacy_tables: !mode.lazy_decode,
         });
         // The advert namespace is relayable; our own corner of it also
         // reaches the application so we can answer probes for it. Nothing
@@ -253,6 +307,8 @@ impl SchedStack {
             advert_period_ms: params.advert_period_ms,
             tick_ms: params.tick_ms,
             reply_bytes: params.reply_bytes,
+            advert_hops: params.advert_hops,
+            advert_bitmap_bytes: params.advert_bitmap_bytes,
             retry_ms: params.retry_ms,
             deadline: params.sim_deadline(),
             outstanding: None,
@@ -260,6 +316,7 @@ impl SchedStack {
             peeks_resolved: 0,
             peek_fib_drops: 0,
             peek_prefix_hits: 0,
+            frames_relay_patched: 0,
             full_decodes: 0,
         }
     }
@@ -295,14 +352,15 @@ impl SchedStack {
     }
 
     fn jitter(&self, ctx: &mut NodeCtx<'_>) -> SimDuration {
-        SimDuration::from_micros(ctx.rng().gen_range(0..20_000))
+        SimDuration::from_micros(ctx.rng().gen_range(0..60_000))
     }
 
     fn send_advert(&mut self, ctx: &mut NodeCtx<'_>, name: Name) {
         let interest = Interest::new(name)
             .with_nonce(ctx.rng().gen())
             .with_lifetime_ms(self.retry_ms + 200)
-            .with_hop_limit(2);
+            .with_hop_limit(self.advert_hops)
+            .with_app_parameters(vec![0xB1; self.advert_bitmap_bytes]);
         let actions = self
             .forwarder
             .process_interest(ctx.now, &interest, FaceId::APP);
@@ -369,6 +427,18 @@ impl SchedStack {
                     let delay = self.jitter(ctx);
                     ctx.send_frame(interest.wire(), KIND_ADVERT, 0, delay);
                 }
+                Action::RelayInterest {
+                    face: FaceId::WIRELESS,
+                    frame,
+                    ..
+                } => {
+                    // Decode-free relay: the hop-limit byte was already
+                    // patched copy-on-write; the bytes match what the arm
+                    // above re-encodes, so the trace is identical.
+                    self.frames_relay_patched += 1;
+                    let delay = self.jitter(ctx);
+                    ctx.send_frame(frame, KIND_ADVERT, 0, delay);
+                }
                 Action::SendData {
                     face: FaceId::WIRELESS,
                     data,
@@ -426,7 +496,10 @@ impl NetStack for SchedStack {
                 }
                 self.rounds_left -= 1;
                 self.round += 1;
-                let name = Name::from_uri(&format!("/sched/adv/n{}/{}", self.id, self.round));
+                // Paper-shaped name depth: namespace / peer / collection /
+                // file / segment-range / round.
+                let name =
+                    Name::from_uri(&format!("/sched/adv/n{}/c0/f0/s0/{}", self.id, self.round));
                 self.send_advert(ctx, name.clone());
                 // Every round also exercises the two overhearing fast
                 // paths: a not-for-me noise beacon, and (every other
@@ -553,8 +626,15 @@ pub struct SchedResult {
     /// Peek-resolved CanBePrefix Interests answered through the ordered CS
     /// wire index.
     pub peek_prefix_hits: u64,
+    /// Frames re-broadcast decode-free with a copy-on-write hop-limit
+    /// patch, summed over nodes (relay-patch modes only).
+    pub frames_relay_patched: u64,
     /// Frames that paid for a full TLV decode, summed over nodes.
     pub full_decodes: u64,
+    /// Live PIT arena entries at the deadline, summed over nodes.
+    pub pit_arena_live: usize,
+    /// Live Content Store arena entries at the deadline, summed over nodes.
+    pub cs_arena_live: usize,
     /// Arrival events enqueued (one per transmission when batched, one per
     /// successful receiver in the per-receiver baseline).
     pub arrival_events: u64,
@@ -588,12 +668,17 @@ pub fn run_sched(params: &SchedParams, mode: SchedMode) -> SchedResult {
     world.run_until(params.sim_deadline());
     let wall_secs = start.elapsed().as_secs_f64();
     let (mut peeks, mut fib_drops, mut prefix_hits, mut decodes) = (0u64, 0u64, 0u64, 0u64);
+    let mut relay_patched = 0u64;
+    let (mut pit_live, mut cs_live) = (0usize, 0usize);
     for &id in &ids {
         if let Some(s) = world.stack::<SchedStack>(id) {
             peeks += s.peeks_resolved;
             fib_drops += s.peek_fib_drops;
             prefix_hits += s.peek_prefix_hits;
+            relay_patched += s.frames_relay_patched;
             decodes += s.full_decodes;
+            pit_live += s.forwarder.pit().arena_live();
+            cs_live += s.forwarder.cs().arena_live();
         }
     }
     let s = world.stats();
@@ -618,7 +703,10 @@ pub fn run_sched(params: &SchedParams, mode: SchedMode) -> SchedResult {
         frames_peek_resolved: peeks,
         peek_fib_drops: fib_drops,
         peek_prefix_hits: prefix_hits,
+        frames_relay_patched: relay_patched,
         full_decodes: decodes,
+        pit_arena_live: pit_live,
+        cs_arena_live: cs_live,
         arrival_events: s.arrival_events,
         timer_slots_allocated: world.timer_slots_allocated(),
     }
@@ -659,7 +747,10 @@ pub fn render_report(params: &SchedParams, results: &[SchedResult]) -> String {
                 "    \"frames_peek_resolved\": {},\n",
                 "    \"peek_fib_drops\": {},\n",
                 "    \"peek_prefix_hits\": {},\n",
+                "    \"frames_relay_patched\": {},\n",
                 "    \"full_decodes\": {},\n",
+                "    \"pit_arena_live\": {},\n",
+                "    \"cs_arena_live\": {},\n",
                 "    \"timer_slots_allocated\": {}\n",
                 "  }}"
             ),
@@ -676,18 +767,27 @@ pub fn render_report(params: &SchedParams, results: &[SchedResult]) -> String {
             r.frames_peek_resolved,
             r.peek_fib_drops,
             r.peek_prefix_hits,
+            r.frames_relay_patched,
             r.full_decodes,
+            r.pit_arena_live,
+            r.cs_arena_live,
             r.timer_slots_allocated,
         )
     }
+    // Fall back to the first run when the baseline was filtered out of the
+    // sweep (the `sched` bin's `--only` debugging flag).
     let baseline = results
         .iter()
         .find(|r| r.mode == SchedMode::baseline())
-        .expect("baseline run");
+        .or(results.first())
+        .expect("at least one run");
+    // Fall back to the last run when the fully-patched mode was filtered
+    // out of the sweep (the CI `--relay-patch off` axis).
     let optimized = results
         .iter()
         .find(|r| r.mode == SchedMode::optimized())
-        .expect("optimized run");
+        .or(results.last())
+        .expect("at least one run");
     let modes: Vec<String> = results.iter().map(entry).collect();
     format!(
         concat!(
@@ -732,7 +832,7 @@ mod tests {
     }
 
     #[test]
-    fn all_eight_mode_combinations_produce_identical_traces() {
+    fn all_twelve_mode_combinations_produce_identical_traces() {
         let params = tiny();
         let runs: Vec<SchedResult> = SchedMode::sweep()
             .into_iter()
@@ -770,6 +870,11 @@ mod tests {
             "CanBePrefix probes must resolve through the ordered CS index"
         );
         assert_eq!(base.frames_peek_resolved, 0, "eager never peeks");
+        assert_eq!(base.frames_relay_patched, 0, "eager never byte-patches");
+        assert!(
+            opt.frames_relay_patched > 0,
+            "the advert swarm must relay decode-free in patch mode"
+        );
         assert!(opt.cmd_pool_hits > 0 && opt.cmd_pool_misses == 1);
         // The tentpole invariant, at bench scale: batched mode enqueues one
         // arrival event per transmission; the baseline one per delivery.
@@ -791,7 +896,7 @@ mod tests {
         let json = render_report(&params, &runs);
         assert!(json.contains("\"scenario\": \"perf_sched\""));
         assert!(json.contains("\"heap_eager_perrecv\""));
-        assert!(json.contains("\"wheel_lazy_batched\""));
+        assert!(json.contains("\"wheel_lazy_batched_patch\""));
         assert!(json.contains("\"speedup_events_per_sec\""));
         assert!(json.contains("\"peek_fib_drops\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -118,6 +118,12 @@ pub struct DapesConfig {
     /// crafted frame with a valid name/nonce prefix but a malformed tail
     /// would be acted on here and dropped by the eager decode.
     pub lazy_peek: bool,
+    /// Relay Interests straight from the peeked header when their hop limit
+    /// can be patched as a single wire byte, never constructing an
+    /// [`dapes_ndn::packet::Interest`]. Requires `lazy_peek`; behaviour is
+    /// bit-identical either way — the toggle exists for equivalence tests
+    /// and the scheduler benchmark's decode-regime axis.
+    pub relay_patch: bool,
 }
 
 impl Default for DapesConfig {
@@ -146,6 +152,7 @@ impl Default for DapesConfig {
             suppress_duration: SimDuration::from_secs(2),
             tick: SimDuration::from_millis(100),
             lazy_peek: true,
+            relay_patch: true,
         }
     }
 }

@@ -252,16 +252,30 @@ impl MultihopState {
 
     /// Should we re-broadcast `interest` heard from the air?
     pub fn should_forward(&mut self, interest: &Interest, now: SimTime) -> bool {
-        if !self.enabled {
-            return false;
+        match self.should_forward_named(interest.name(), now) {
+            Some(decision) => decision,
+            // Only the bitmap-Interest arm needs the payload.
+            None => self.bitmap_decision(interest),
         }
-        let name = interest.name();
+    }
+
+    /// Name-only forwarding decision, the basis of the forwarder's
+    /// decode-free relay path. Returns `None` — *before touching the RNG or
+    /// any other state* — when the decision needs the Interest payload
+    /// (bitmap Interests compare the requester's bitmap against neighbor
+    /// knowledge); [`MultihopState::should_forward`] then finishes the job.
+    /// When it returns `Some`, the state consumed (RNG draws included) is
+    /// exactly what `should_forward` would have consumed.
+    pub fn should_forward_named(&mut self, name: &Name, now: SimTime) -> Option<bool> {
+        if !self.enabled {
+            return Some(false);
+        }
         if self.suppressed.get(name).is_some_and(|&until| until > now) {
-            return false;
+            return Some(false);
         }
         match self.role {
-            NodeRole::PureForwarder => self.probabilistic(),
-            NodeRole::Dapes => self.dapes_decision(interest, now),
+            NodeRole::PureForwarder => Some(self.probabilistic()),
+            NodeRole::Dapes => self.dapes_decision_named(name, now),
         }
     }
 
@@ -269,8 +283,42 @@ impl MultihopState {
         self.rng.gen::<f64>() < self.forward_prob
     }
 
-    fn dapes_decision(&mut self, interest: &Interest, _now: SimTime) -> bool {
-        match namespace::classify(interest.name()) {
+    /// The payload-dependent tail of the DAPES decision: forward a bitmap
+    /// Interest when a neighbor could add packets the requester misses.
+    fn bitmap_decision(&mut self, interest: &Interest) -> bool {
+        let Some(DapesName::Bitmap { collection, .. }) = namespace::classify(interest.name())
+        else {
+            // `should_forward_named` only defers for bitmap names.
+            debug_assert!(false, "bitmap_decision on a non-bitmap Interest");
+            return self.probabilistic();
+        };
+        let requester_bitmap = interest
+            .app_parameters()
+            .and_then(crate::advert_payload::decode_bitmap_params)
+            .map(|(_, bm)| bm);
+        match requester_bitmap {
+            Some(req) => {
+                let mut any = false;
+                for info in self.neighbors.values() {
+                    if let Some(nb) = info.bitmaps.get(&collection) {
+                        any = true;
+                        if nb.len() == req.len() && nb.count_set_and_missing_from(&req) > 0 {
+                            return true;
+                        }
+                    }
+                }
+                if any {
+                    false
+                } else {
+                    self.probabilistic()
+                }
+            }
+            None => self.probabilistic(),
+        }
+    }
+
+    fn dapes_decision_named(&mut self, name: &Name, _now: SimTime) -> Option<bool> {
+        match namespace::classify(name) {
             Some(DapesName::Content {
                 collection,
                 file,
@@ -283,59 +331,36 @@ impl MultihopState {
                 {
                     if let Some(g) = idx.global_index(&file, seq) {
                         if g < have.len() && have.get(g) {
-                            return false;
+                            return Some(false);
                         }
-                        return match self.neighbor_has_packet(&collection, g) {
+                        return Some(match self.neighbor_has_packet(&collection, g) {
                             Some(true) => true,   // knowledge says data is out there
                             Some(false) => false, // knowledge says nobody has it
                             None => self.probabilistic(),
-                        };
+                        });
                     }
                 }
                 // No metadata for this collection: behave like a pure
                 // forwarder, but only if someone nearby seems interested.
                 if self.any_neighbor_interested(&collection) {
-                    true
+                    Some(true)
                 } else {
-                    self.probabilistic()
+                    Some(self.probabilistic())
                 }
             }
-            Some(DapesName::Bitmap { collection, .. }) => {
-                // Forward a bitmap Interest when a neighbor could add
-                // packets the requester misses.
-                let requester_bitmap = interest
-                    .app_parameters()
-                    .and_then(crate::advert_payload::decode_bitmap_params)
-                    .map(|(_, bm)| bm);
-                match requester_bitmap {
-                    Some(req) => {
-                        let mut any = false;
-                        for info in self.neighbors.values() {
-                            if let Some(nb) = info.bitmaps.get(&collection) {
-                                any = true;
-                                if nb.len() == req.len() && nb.count_set_and_missing_from(&req) > 0
-                                {
-                                    return true;
-                                }
-                            }
-                        }
-                        if any {
-                            false
-                        } else {
-                            self.probabilistic()
-                        }
-                    }
-                    None => self.probabilistic(),
-                }
-            }
+            // The bitmap decision reads the requester's bitmap out of the
+            // Interest's application parameters — payload, not name. Defer
+            // (without drawing from the RNG) so the full-decode path can
+            // finish with `bitmap_decision`.
+            Some(DapesName::Bitmap { .. }) => None,
             Some(DapesName::Metadata { collection, .. }) => {
                 if self.any_neighbor_interested(&collection) {
-                    true
+                    Some(true)
                 } else {
-                    self.probabilistic()
+                    Some(self.probabilistic())
                 }
             }
-            Some(DapesName::Discovery { .. }) | None => self.probabilistic(),
+            Some(DapesName::Discovery { .. }) | None => Some(self.probabilistic()),
         }
     }
 }
@@ -392,6 +417,41 @@ impl Strategy for DapesStrategy {
     /// without a full decode.
     fn decide_no_nexthops(&mut self, _ingress: FaceId, _now: SimTime) -> Option<Decision> {
         Some(Decision::Suppress)
+    }
+
+    /// Name-only mirror of [`DapesStrategy::decide`], enabling the
+    /// forwarder's decode-free relay path. The FIB hands over each face at
+    /// most once, so at most one `should_forward_named` call happens per
+    /// decision; when it defers (`None`, bitmap Interests) no state was
+    /// touched and the full pipeline re-runs `decide` against an untouched
+    /// strategy.
+    fn decide_header(
+        &mut self,
+        name: &Name,
+        ingress: FaceId,
+        nexthops: &[FaceId],
+        now: SimTime,
+    ) -> Option<Decision> {
+        let mut faces = Vec::new();
+        for &face in nexthops {
+            match face {
+                FaceId::APP => faces.push(FaceId::APP),
+                FaceId::WIRELESS => {
+                    if ingress == FaceId::APP {
+                        // Our own Interest: always goes to the air.
+                        faces.push(FaceId::WIRELESS);
+                    } else if self.shared.borrow_mut().should_forward_named(name, now)? {
+                        faces.push(FaceId::WIRELESS);
+                    }
+                }
+                other => faces.push(other),
+            }
+        }
+        Some(if faces.is_empty() {
+            Decision::Suppress
+        } else {
+            Decision::Forward(faces)
+        })
     }
 }
 
@@ -566,6 +626,78 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(d, Decision::Forward(vec![FaceId::APP, FaceId::WIRELESS]));
+    }
+
+    #[test]
+    fn header_decision_matches_full_decision_draw_for_draw() {
+        // Two states seeded identically: one driven through the name-only
+        // path, one through the payload path. Every decision (and therefore
+        // every RNG draw) must line up.
+        let a = Rc::new(RefCell::new(MultihopState::new(
+            NodeRole::Dapes,
+            true,
+            0.5,
+            7,
+        )));
+        let b = Rc::new(RefCell::new(MultihopState::new(
+            NodeRole::Dapes,
+            true,
+            0.5,
+            7,
+        )));
+        let mut header = DapesStrategy::new(a);
+        let mut full = DapesStrategy::new(b);
+        let hops = [FaceId::APP, FaceId::WIRELESS];
+        for i in 0..200 {
+            let interest = content_interest(&format!("/col/f/{i}"));
+            let d_header = header
+                .decide_header(interest.name(), FaceId::WIRELESS, &hops, SimTime::ZERO)
+                .expect("content names are name-decidable");
+            let d_full = full.decide(&interest, FaceId::WIRELESS, &hops, SimTime::ZERO);
+            assert_eq!(d_header, d_full, "diverged at draw {i}");
+        }
+    }
+
+    #[test]
+    fn header_decision_defers_on_bitmap_interests_without_touching_state() {
+        let shared = Rc::new(RefCell::new(MultihopState::new(
+            NodeRole::Dapes,
+            true,
+            0.5,
+            11,
+        )));
+        let mut strat = DapesStrategy::new(shared.clone());
+        let bitmap_name = crate::namespace::bitmap_interest_name(&col(), 4, 1);
+        assert_eq!(
+            strat.decide_header(
+                &bitmap_name,
+                FaceId::WIRELESS,
+                &[FaceId::APP, FaceId::WIRELESS],
+                SimTime::ZERO,
+            ),
+            None,
+            "bitmap decisions need the Interest payload"
+        );
+        // The deferral must not have consumed an RNG draw: a fresh
+        // same-seed state stays in lockstep afterwards.
+        let fresh = Rc::new(RefCell::new(MultihopState::new(
+            NodeRole::Dapes,
+            true,
+            0.5,
+            11,
+        )));
+        for i in 0..50 {
+            let name = Name::from_uri(&format!("/col/f/{i}"));
+            assert_eq!(
+                shared
+                    .borrow_mut()
+                    .should_forward_named(&name, SimTime::ZERO),
+                fresh
+                    .borrow_mut()
+                    .should_forward_named(&name, SimTime::ZERO),
+                "RNG streams diverged at draw {i}"
+            );
+        }
     }
 
     #[test]

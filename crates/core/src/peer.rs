@@ -209,6 +209,8 @@ impl DapesPeer {
             cache_unsolicited: role == NodeRole::PureForwarder,
             rebroadcast_faces: vec![FaceId::WIRELESS],
             deliver_on_aggregate: vec![FaceId::APP],
+            relay_patch: cfg.relay_patch,
+            legacy_tables: false,
         };
         let mut forwarder =
             Forwarder::with_strategy(fwd_cfg, Box::new(DapesStrategy::new(shared.clone())));
@@ -1571,6 +1573,28 @@ impl DapesPeer {
                         Some(name),
                     );
                 }
+                Action::RelayInterest {
+                    face: FaceId::WIRELESS,
+                    frame,
+                    name,
+                    nonce,
+                } => {
+                    // Decode-free re-broadcast: the forwarder already
+                    // patched the hop-limit byte copy-on-write, so the
+                    // received bytes go back out as-is — same jitter draw
+                    // and cancellation rules as the eager arm above.
+                    let delay = self.jitter(ctx);
+                    self.stats.frames_relay_patched += 1;
+                    self.schedule_pending(
+                        ctx,
+                        PendingPayload::Raw(frame),
+                        frame_kind,
+                        delay,
+                        Some(name.clone()),
+                        Some((name.clone(), nonce)),
+                        Some(name),
+                    );
+                }
                 Action::SendData {
                     face: FaceId::WIRELESS,
                     data,
@@ -1602,9 +1626,10 @@ impl DapesPeer {
     /// the same order, same pending-transmission bookkeeping — so enabling
     /// [`DapesConfig::lazy_peek`] cannot change a trace (asserted across the
     /// scenario matrix by `tests/sched.rs`). Frames that need their payload
-    /// (aggregating or novel Interests, PIT-matching or cacheable or
-    /// DAPES-signalling Data) fall through untouched, with no state or
-    /// statistics recorded, and take the full-decode path.
+    /// (aggregating Interests, novel Interests the decode-free relay path
+    /// cannot take, PIT-matching or cacheable or DAPES-signalling Data)
+    /// fall through untouched, with no state or statistics recorded, and
+    /// take the full-decode path.
     fn on_frame_peeked(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame) -> bool {
         let Ok(header) = Packet::peek_header(&frame.payload) else {
             // A malformed prefix fails the full decode at the same byte, so
@@ -1642,6 +1667,8 @@ impl DapesPeer {
                     PeekOutcome::CsHit | PeekOutcome::CsPrefixHit => self.stats.peek_cs_hits += 1,
                     PeekOutcome::DuplicateNonce => self.stats.peek_dup_nonces += 1,
                     PeekOutcome::FibNoRoute => self.stats.peek_fib_drops += 1,
+                    PeekOutcome::Relayed => self.stats.peek_relayed += 1,
+                    PeekOutcome::RelaySuppressed => self.stats.peek_relay_suppressed += 1,
                 }
                 true
             }

@@ -71,7 +71,7 @@ pub struct PeerStats {
     /// Interests we re-broadcast as an intermediate node.
     pub interests_forwarded: u64,
     /// Overheard frames fully resolved from a name-first header peek,
-    /// without a full TLV decode — always the sum of the four per-outcome
+    /// without a full TLV decode — always the sum of the six per-outcome
     /// counters below.
     pub frames_peek_resolved: u64,
     /// Peek-resolved Interests answered from the Content Store (exact hits
@@ -86,6 +86,19 @@ pub struct PeerStats {
     /// Peek-resolved Data frames that matched no PIT entry and were neither
     /// cached nor wanted.
     pub peek_unsolicited_data: u64,
+    /// Peek-resolved Interests relayed on the decode-free path: PIT entry
+    /// recorded and the frame re-broadcast (or the hop limit found
+    /// exhausted) without constructing an `Interest`.
+    pub peek_relayed: u64,
+    /// Peek-resolved Interests the forwarding strategy suppressed on the
+    /// decode-free path (PIT entry still recorded).
+    pub peek_relay_suppressed: u64,
+    /// Frames actually re-broadcast on the decode-free relay path — the
+    /// received bytes handed straight back to the radio, hop-limit byte
+    /// patched copy-on-write when the Interest carries one. A subset of
+    /// [`PeerStats::peek_relayed`], which also counts hop-exhausted relays
+    /// that transmit nothing.
+    pub frames_relay_patched: u64,
     /// Completion time of all wanted collections, once reached.
     pub completed_at: Option<SimTime>,
 }

@@ -12,16 +12,22 @@
 //! stale caches forever; immutable collection packets carry no freshness
 //! and are served from cache indefinitely.
 
+use crate::arena::{Arena, ArenaRef};
+use crate::hash::FxBuildHasher;
 use crate::name::Name;
 use crate::packet::Data;
 use dapes_netsim::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::Bound;
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 struct CsEntry {
     data: Data,
     inserted: SimTime,
+    /// The name's canonical wire-value key, shared with the wire index so
+    /// eviction never re-encodes the name.
+    wire_key: Arc<[u8]>,
 }
 
 impl CsEntry {
@@ -31,8 +37,51 @@ impl CsEntry {
     }
 }
 
+/// The two table generations a Content Store can run on. Behaviour is
+/// identical; only the cost model differs, which is exactly what the
+/// scheduler benchmark's eager-vs-lazy axis prices.
+#[derive(Clone, Debug)]
+enum Tables {
+    /// Current generation: every cached entry lives in the slab arena
+    /// exactly once; both wire indexes and the FIFO hold only `Copy`
+    /// handles, so refresh and eviction touch one slab slot instead of
+    /// cloning `Data`/`Name` per index.
+    Wire {
+        arena: Arena<CsEntry>,
+        /// Hash index keyed by [`Name::to_wire_value`]: the one-probe
+        /// exact lookup every overheard non-prefix Interest pays, from
+        /// borrowed name bytes or from a `Name` encoded once by the
+        /// caller.
+        exact: HashMap<Arc<[u8]>, ArenaRef, FxBuildHasher>,
+        /// *Ordered* wire index over the same keys. Because
+        /// byte-lexicographic order of canonical wire values equals NDN
+        /// canonical `Name` order, and a name's wire value byte-extends
+        /// all of its prefixes', one ordered range walk resolves a
+        /// CanBePrefix Interest with the same first match a `Name`-keyed
+        /// walk returns. No `Name` is built either way.
+        by_wire: BTreeMap<Arc<[u8]>, ArenaRef>,
+        fifo: VecDeque<ArenaRef>,
+    },
+    /// Pre-arena generation, kept as a benchmarkable cost model of the
+    /// old control plane: a `Name`-keyed ordered map owning the entries
+    /// plus a wire mirror holding a full clone of each — every insert
+    /// pays two tree searches and an entry clone, every `Name` lookup a
+    /// component-wise tree walk.
+    Legacy {
+        entries: BTreeMap<Name, CsEntry>,
+        by_wire: BTreeMap<Arc<[u8]>, CsEntry>,
+        fifo: VecDeque<Name>,
+    },
+}
+
 /// A capacity-bounded Data cache with FIFO eviction, prefix lookup and
 /// freshness semantics.
+///
+/// [`ContentStore::legacy`] runs on the previous table generation
+/// (`Name`-keyed maps with cloned entries), observable-behaviour-identical
+/// but with the old cost model; the scheduler benchmark's eager modes use
+/// it so the baseline keeps pricing the control plane the wire-arena
+/// tables replaced.
 ///
 /// # Examples
 ///
@@ -50,28 +99,35 @@ impl CsEntry {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ContentStore {
-    entries: BTreeMap<Name, CsEntry>,
-    /// *Ordered* wire index keyed by [`Name::to_wire_value`], mirroring
-    /// `entries` (the `Data` clone is cheap `Arc` sharing). Lets a peeked
-    /// frame's borrowed name bytes resolve a non-prefix Interest with one
-    /// probe and — because byte-lexicographic order of canonical wire
-    /// values equals NDN canonical `Name` order, and a name's wire value
-    /// byte-extends all of its prefixes' — a CanBePrefix Interest with the
-    /// same ordered range walk [`ContentStore::lookup`] does, returning the
-    /// same first match. No `Name` is built either way.
-    by_wire: BTreeMap<Vec<u8>, CsEntry>,
-    fifo: VecDeque<Name>,
+    tables: Tables,
     capacity: usize,
     bytes: usize,
 }
 
 impl ContentStore {
-    /// Creates a store holding at most `capacity` packets.
+    /// Creates a store holding at most `capacity` packets on the
+    /// wire-arena tables. A capacity of 0 caches nothing.
     pub fn new(capacity: usize) -> Self {
         ContentStore {
-            entries: BTreeMap::new(),
-            by_wire: BTreeMap::new(),
-            fifo: VecDeque::new(),
+            tables: Tables::Wire {
+                arena: Arena::new(),
+                exact: HashMap::default(),
+                by_wire: BTreeMap::new(),
+                fifo: VecDeque::new(),
+            },
+            capacity,
+            bytes: 0,
+        }
+    }
+
+    /// Creates a store on the legacy (pre-arena) table generation.
+    pub fn legacy(capacity: usize) -> Self {
+        ContentStore {
+            tables: Tables::Legacy {
+                entries: BTreeMap::new(),
+                by_wire: BTreeMap::new(),
+                fifo: VecDeque::new(),
+            },
             capacity,
             bytes: 0,
         }
@@ -79,12 +135,15 @@ impl ContentStore {
 
     /// Number of cached packets.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.tables {
+            Tables::Wire { exact, .. } => exact.len(),
+            Tables::Legacy { entries, .. } => entries.len(),
+        }
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Approximate bytes of cached state (Table I memory proxy), including
@@ -92,37 +151,118 @@ impl ContentStore {
     /// `Data` clones share the cached packets' buffers, so only the
     /// bookkeeping is counted).
     pub fn state_bytes(&self) -> usize {
-        self.bytes + self.by_wire.keys().map(|k| k.len() + 48).sum::<usize>()
+        let index_bytes = match &self.tables {
+            Tables::Wire { by_wire, .. } => by_wire.keys().map(|k| k.len() + 48).sum::<usize>(),
+            Tables::Legacy { by_wire, .. } => by_wire.keys().map(|k| k.len() + 48).sum::<usize>(),
+        };
+        self.bytes + index_bytes
+    }
+
+    /// Live entries in the slab arena (mirrors [`ContentStore::len`];
+    /// exported as the `cs_arena_live` stat). Zero on the legacy tables,
+    /// which never touch the arena.
+    pub fn arena_live(&self) -> usize {
+        match &self.tables {
+            Tables::Wire { arena, .. } => arena.live(),
+            Tables::Legacy { .. } => 0,
+        }
+    }
+
+    /// Arena slots ever allocated — bounded by peak cache occupancy, not
+    /// by insert volume. Zero on the legacy tables.
+    pub fn arena_allocated(&self) -> usize {
+        match &self.tables {
+            Tables::Wire { arena, .. } => arena.allocated(),
+            Tables::Legacy { .. } => 0,
+        }
     }
 
     /// Inserts a Data packet, evicting the oldest entry when full.
     /// Re-inserting an existing name refreshes the stored packet (and its
-    /// freshness clock) without consuming extra capacity.
+    /// freshness clock) in place without consuming extra capacity. A
+    /// zero-capacity store caches nothing — the entry never enters the
+    /// tables, so a refresh can't resurrect it either (the old post-insert
+    /// eviction loop transiently held one entry at capacity 0).
     pub fn insert(&mut self, data: Data, now: SimTime) {
-        let name = data.name().clone();
-        let size = data.content().len() + name.state_bytes() + 64;
-        let entry = CsEntry {
-            data,
-            inserted: now,
-        };
-        self.by_wire.insert(name.to_wire_value(), entry.clone());
-        if let Some(old) = self.entries.insert(name.clone(), entry) {
-            let old_size = old.data.content().len() + name.state_bytes() + 64;
-            self.bytes = self.bytes.saturating_sub(old_size) + size;
+        if self.capacity == 0 {
             return;
         }
-        self.bytes += size;
-        self.fifo.push_back(name);
-        while self.entries.len() > self.capacity {
-            if let Some(victim) = self.fifo.pop_front() {
-                if let Some(old) = self.entries.remove(&victim) {
-                    self.by_wire.remove(&victim.to_wire_value());
-                    self.bytes = self
-                        .bytes
-                        .saturating_sub(old.data.content().len() + victim.state_bytes() + 64);
+        let size = data.content().len() + data.name().state_bytes() + 64;
+        match &mut self.tables {
+            Tables::Wire {
+                arena,
+                exact,
+                by_wire,
+                fifo,
+            } => {
+                // Encode the name once; on a miss, entry and both wire
+                // indexes share the key.
+                let wire_key: Arc<[u8]> = data.name().to_wire_value().into();
+                if let Some(&handle) = exact.get(&*wire_key) {
+                    // Refresh in place: indexes and FIFO position are
+                    // untouched.
+                    let entry = arena.get_mut(handle).expect("indexed handles are live");
+                    let old_size =
+                        entry.data.content().len() + entry.data.name().state_bytes() + 64;
+                    entry.data = data;
+                    entry.inserted = now;
+                    self.bytes = self.bytes.saturating_sub(old_size) + size;
+                    return;
                 }
-            } else {
-                break;
+                let handle = arena.insert(CsEntry {
+                    data,
+                    inserted: now,
+                    wire_key: wire_key.clone(),
+                });
+                exact.insert(wire_key.clone(), handle);
+                by_wire.insert(wire_key, handle);
+                fifo.push_back(handle);
+                self.bytes += size;
+                while exact.len() > self.capacity {
+                    let Some(victim) = fifo.pop_front() else {
+                        break;
+                    };
+                    let Some(old) = arena.remove(victim) else {
+                        continue;
+                    };
+                    exact.remove(&*old.wire_key);
+                    by_wire.remove(&*old.wire_key);
+                    self.bytes = self.bytes.saturating_sub(
+                        old.data.content().len() + old.data.name().state_bytes() + 64,
+                    );
+                }
+            }
+            Tables::Legacy {
+                entries,
+                by_wire,
+                fifo,
+            } => {
+                let name = data.name().clone();
+                let wire_key: Arc<[u8]> = name.to_wire_value().into();
+                let entry = CsEntry {
+                    data,
+                    inserted: now,
+                    wire_key: wire_key.clone(),
+                };
+                by_wire.insert(wire_key, entry.clone());
+                if let Some(old) = entries.insert(name.clone(), entry) {
+                    let old_size = old.data.content().len() + name.state_bytes() + 64;
+                    self.bytes = self.bytes.saturating_sub(old_size) + size;
+                    return;
+                }
+                self.bytes += size;
+                fifo.push_back(name);
+                while entries.len() > self.capacity {
+                    let Some(victim) = fifo.pop_front() else {
+                        break;
+                    };
+                    if let Some(old) = entries.remove(&victim) {
+                        by_wire.remove(&*old.wire_key);
+                        self.bytes = self
+                            .bytes
+                            .saturating_sub(old.data.content().len() + victim.state_bytes() + 64);
+                    }
+                }
             }
         }
     }
@@ -138,23 +278,40 @@ impl ContentStore {
         must_be_fresh: bool,
         now: SimTime,
     ) -> Option<&Data> {
-        if can_be_prefix {
-            self.entries
-                .range(name.clone()..)
-                .take_while(|(n, _)| name.is_prefix_of(n))
-                .find(|(_, e)| !must_be_fresh || e.is_fresh(now))
-                .map(|(_, e)| &e.data)
-        } else {
-            self.entries
-                .get(name)
-                .filter(|e| !must_be_fresh || e.is_fresh(now))
-                .map(|e| &e.data)
+        match &self.tables {
+            Tables::Wire { .. } => {
+                let wire = name.to_wire_value();
+                if can_be_prefix {
+                    self.lookup_wire_prefix(&wire, must_be_fresh, now)
+                } else {
+                    self.lookup_wire_exact(&wire, must_be_fresh, now)
+                }
+            }
+            Tables::Legacy { entries, .. } => {
+                if can_be_prefix {
+                    entries
+                        .range(name.clone()..)
+                        .take_while(|(n, _)| name.is_prefix_of(n))
+                        .find(|(_, e)| !must_be_fresh || e.is_fresh(now))
+                        .map(|(_, e)| &e.data)
+                } else {
+                    entries
+                        .get(name)
+                        .filter(|e| !must_be_fresh || e.is_fresh(now))
+                        .map(|e| &e.data)
+                }
+            }
         }
     }
 
     /// Exact-name lookup ignoring freshness.
     pub fn lookup_exact(&self, name: &Name) -> Option<&Data> {
-        self.entries.get(name).map(|e| &e.data)
+        match &self.tables {
+            Tables::Wire { arena, exact, .. } => exact
+                .get(name.to_wire_value().as_slice())
+                .map(|&h| &arena.get(h).expect("indexed handles are live").data),
+            Tables::Legacy { entries, .. } => entries.get(name).map(|e| &e.data),
+        }
     }
 
     /// Exact-name lookup against a peeked frame's borrowed name bytes, with
@@ -166,10 +323,17 @@ impl ContentStore {
         must_be_fresh: bool,
         now: SimTime,
     ) -> Option<&Data> {
-        self.by_wire
-            .get(name_wire)
-            .filter(|e| !must_be_fresh || e.is_fresh(now))
-            .map(|e| &e.data)
+        match &self.tables {
+            Tables::Wire { arena, exact, .. } => exact
+                .get(name_wire)
+                .map(|&h| arena.get(h).expect("indexed handles are live"))
+                .filter(|e| !must_be_fresh || e.is_fresh(now))
+                .map(|e| &e.data),
+            Tables::Legacy { by_wire, .. } => by_wire
+                .get(name_wire)
+                .filter(|e| !must_be_fresh || e.is_fresh(now))
+                .map(|e| &e.data),
+        }
     }
 
     /// Prefix lookup against a peeked frame's borrowed name bytes, with the
@@ -187,11 +351,19 @@ impl ContentStore {
         must_be_fresh: bool,
         now: SimTime,
     ) -> Option<&Data> {
-        self.by_wire
-            .range::<[u8], _>((Bound::Included(name_wire), Bound::Unbounded))
-            .take_while(|(k, _)| k.starts_with(name_wire))
-            .find(|(_, e)| !must_be_fresh || e.is_fresh(now))
-            .map(|(_, e)| &e.data)
+        match &self.tables {
+            Tables::Wire { arena, by_wire, .. } => by_wire
+                .range::<[u8], _>((Bound::Included(name_wire), Bound::Unbounded))
+                .take_while(|(k, _)| k.starts_with(name_wire))
+                .map(|(_, &h)| arena.get(h).expect("indexed handles are live"))
+                .find(|e| !must_be_fresh || e.is_fresh(now))
+                .map(|e| &e.data),
+            Tables::Legacy { by_wire, .. } => by_wire
+                .range::<[u8], _>((Bound::Included(name_wire), Bound::Unbounded))
+                .take_while(|(k, _)| k.starts_with(name_wire))
+                .find(|(_, e)| !must_be_fresh || e.is_fresh(now))
+                .map(|(_, e)| &e.data),
+        }
     }
 
     /// Prefix lookup ignoring freshness.
@@ -201,9 +373,28 @@ impl ContentStore {
 
     /// Removes everything (used when resetting a node).
     pub fn clear(&mut self) {
-        self.entries.clear();
-        self.by_wire.clear();
-        self.fifo.clear();
+        match &mut self.tables {
+            Tables::Wire {
+                arena,
+                exact,
+                by_wire,
+                fifo,
+            } => {
+                *arena = Arena::new();
+                exact.clear();
+                by_wire.clear();
+                fifo.clear();
+            }
+            Tables::Legacy {
+                entries,
+                by_wire,
+                fifo,
+            } => {
+                entries.clear();
+                by_wire.clear();
+                fifo.clear();
+            }
+        }
         self.bytes = 0;
     }
 }
@@ -224,200 +415,271 @@ mod tests {
         SimTime::from_secs(s)
     }
 
+    /// Both table generations, so every behavioural test runs on each.
+    fn both(capacity: usize) -> [ContentStore; 2] {
+        [ContentStore::new(capacity), ContentStore::legacy(capacity)]
+    }
+
     #[test]
     fn exact_hit_and_miss() {
-        let mut cs = ContentStore::new(10);
-        cs.insert(data("/col/f/0"), t(0));
-        assert!(cs.lookup_exact(&Name::from_uri("/col/f/0")).is_some());
-        assert!(cs.lookup_exact(&Name::from_uri("/col/f/1")).is_none());
+        for mut cs in both(10) {
+            cs.insert(data("/col/f/0"), t(0));
+            assert!(cs.lookup_exact(&Name::from_uri("/col/f/0")).is_some());
+            assert!(cs.lookup_exact(&Name::from_uri("/col/f/1")).is_none());
+        }
     }
 
     #[test]
     fn wire_exact_lookup_mirrors_name_lookup() {
-        let mut cs = ContentStore::new(2);
-        cs.insert(fresh_data("/col/f/0", 1_000), t(0));
-        let key = Name::from_uri("/col/f/0").to_wire_value();
-        assert_eq!(
-            cs.lookup_wire_exact(&key, false, t(0)),
-            cs.lookup(&Name::from_uri("/col/f/0"), false, false, t(0)),
-        );
-        // Freshness semantics match too.
-        assert!(cs.lookup_wire_exact(&key, true, t(0)).is_some());
-        assert!(cs.lookup_wire_exact(&key, true, t(5)).is_none());
-        assert!(cs.lookup_wire_exact(&key, false, t(5)).is_some());
-        // Eviction and clear keep the index in sync.
-        cs.insert(data("/a"), t(1));
-        cs.insert(data("/b"), t(2)); // evicts /col/f/0
-        assert!(cs.lookup_wire_exact(&key, false, t(2)).is_none());
-        let b_key = Name::from_uri("/b").to_wire_value();
-        assert!(cs.lookup_wire_exact(&b_key, false, t(2)).is_some());
-        cs.clear();
-        assert!(cs.lookup_wire_exact(&b_key, false, t(2)).is_none());
+        for mut cs in both(2) {
+            cs.insert(fresh_data("/col/f/0", 1_000), t(0));
+            let key = Name::from_uri("/col/f/0").to_wire_value();
+            assert_eq!(
+                cs.lookup_wire_exact(&key, false, t(0)),
+                cs.lookup(&Name::from_uri("/col/f/0"), false, false, t(0)),
+            );
+            // Freshness semantics match too.
+            assert!(cs.lookup_wire_exact(&key, true, t(0)).is_some());
+            assert!(cs.lookup_wire_exact(&key, true, t(5)).is_none());
+            assert!(cs.lookup_wire_exact(&key, false, t(5)).is_some());
+            // Eviction and clear keep the index in sync.
+            cs.insert(data("/a"), t(1));
+            cs.insert(data("/b"), t(2)); // evicts /col/f/0
+            assert!(cs.lookup_wire_exact(&key, false, t(2)).is_none());
+            let b_key = Name::from_uri("/b").to_wire_value();
+            assert!(cs.lookup_wire_exact(&b_key, false, t(2)).is_some());
+            cs.clear();
+            assert!(cs.lookup_wire_exact(&b_key, false, t(2)).is_none());
+        }
     }
 
     #[test]
     fn wire_prefix_lookup_mirrors_name_lookup() {
-        let mut cs = ContentStore::new(10);
-        cs.insert(data("/col/f/3"), t(0));
-        cs.insert(fresh_data("/col/f/5", 1_000), t(0));
-        cs.insert(data("/cole/x"), t(0));
-        for (q, fresh) in [
-            ("/col", false),
-            ("/col", true),
-            ("/col/f", false),
-            ("/col/f/3", false),
-            ("/col/g", false),
-            ("/cole", false),
-            ("/other", false),
-            ("/", false),
-        ] {
-            let name = Name::from_uri(q);
-            assert_eq!(
-                cs.lookup_wire_prefix(&name.to_wire_value(), fresh, t(0)),
-                cs.lookup(&name, true, fresh, t(0)),
-                "query {q} fresh={fresh}"
-            );
+        for mut cs in both(10) {
+            cs.insert(data("/col/f/3"), t(0));
+            cs.insert(fresh_data("/col/f/5", 1_000), t(0));
+            cs.insert(data("/cole/x"), t(0));
+            for (q, fresh) in [
+                ("/col", false),
+                ("/col", true),
+                ("/col/f", false),
+                ("/col/f/3", false),
+                ("/col/g", false),
+                ("/cole", false),
+                ("/other", false),
+                ("/", false),
+            ] {
+                let name = Name::from_uri(q);
+                assert_eq!(
+                    cs.lookup_wire_prefix(&name.to_wire_value(), fresh, t(0)),
+                    cs.lookup(&name, true, fresh, t(0)),
+                    "query {q} fresh={fresh}"
+                );
+            }
+            // The ordered walk returns the same *first* match as the Name
+            // walk, not just any match: /col/f/3 (stale-forever) precedes
+            // /col/f/5.
+            let got = cs
+                .lookup_wire_prefix(&Name::from_uri("/col").to_wire_value(), false, t(0))
+                .expect("hit");
+            assert_eq!(got.name().to_string(), "/col/f/3");
+            let fresh_only = cs
+                .lookup_wire_prefix(&Name::from_uri("/col").to_wire_value(), true, t(0))
+                .expect("fresh hit further along the range");
+            assert_eq!(fresh_only.name().to_string(), "/col/f/5");
         }
-        // The ordered walk returns the same *first* match as the Name walk,
-        // not just any match: /col/f/3 (stale-forever) precedes /col/f/5.
-        let got = cs
-            .lookup_wire_prefix(&Name::from_uri("/col").to_wire_value(), false, t(0))
-            .expect("hit");
-        assert_eq!(got.name().to_string(), "/col/f/3");
-        let fresh_only = cs
-            .lookup_wire_prefix(&Name::from_uri("/col").to_wire_value(), true, t(0))
-            .expect("fresh hit further along the range");
-        assert_eq!(fresh_only.name().to_string(), "/col/f/5");
     }
 
     #[test]
     fn prefix_hit() {
-        let mut cs = ContentStore::new(10);
-        cs.insert(data("/col/f/3"), t(0));
-        assert!(cs.lookup_prefix(&Name::from_uri("/col")).is_some());
-        assert!(cs.lookup_prefix(&Name::from_uri("/col/f")).is_some());
-        assert!(cs.lookup_prefix(&Name::from_uri("/col/g")).is_none());
-        assert!(cs.lookup_prefix(&Name::from_uri("/other")).is_none());
+        for mut cs in both(10) {
+            cs.insert(data("/col/f/3"), t(0));
+            assert!(cs.lookup_prefix(&Name::from_uri("/col")).is_some());
+            assert!(cs.lookup_prefix(&Name::from_uri("/col/f")).is_some());
+            assert!(cs.lookup_prefix(&Name::from_uri("/col/g")).is_none());
+            assert!(cs.lookup_prefix(&Name::from_uri("/other")).is_none());
+        }
     }
 
     #[test]
     fn prefix_does_not_match_sibling() {
-        let mut cs = ContentStore::new(10);
-        cs.insert(data("/cole/f/0"), t(0));
-        // "/col" is a string prefix of "/cole" but not a name prefix.
-        assert!(cs.lookup_prefix(&Name::from_uri("/col")).is_none());
+        for mut cs in both(10) {
+            cs.insert(data("/cole/f/0"), t(0));
+            // "/col" is a string prefix of "/cole" but not a name prefix.
+            assert!(cs.lookup_prefix(&Name::from_uri("/col")).is_none());
+        }
     }
 
     #[test]
     fn exact_name_prefix_query_finds_itself() {
-        let mut cs = ContentStore::new(10);
-        cs.insert(data("/col"), t(0));
-        assert!(cs.lookup_prefix(&Name::from_uri("/col")).is_some());
+        for mut cs in both(10) {
+            cs.insert(data("/col"), t(0));
+            assert!(cs.lookup_prefix(&Name::from_uri("/col")).is_some());
+        }
     }
 
     #[test]
     fn fifo_eviction_at_capacity() {
-        let mut cs = ContentStore::new(2);
-        cs.insert(data("/a"), t(0));
-        cs.insert(data("/b"), t(1));
-        cs.insert(data("/c"), t(2));
-        assert_eq!(cs.len(), 2);
-        assert!(
-            cs.lookup_exact(&Name::from_uri("/a")).is_none(),
-            "oldest evicted"
-        );
-        assert!(cs.lookup_exact(&Name::from_uri("/b")).is_some());
-        assert!(cs.lookup_exact(&Name::from_uri("/c")).is_some());
+        for mut cs in both(2) {
+            cs.insert(data("/a"), t(0));
+            cs.insert(data("/b"), t(1));
+            cs.insert(data("/c"), t(2));
+            assert_eq!(cs.len(), 2);
+            assert!(
+                cs.lookup_exact(&Name::from_uri("/a")).is_none(),
+                "oldest evicted"
+            );
+            assert!(cs.lookup_exact(&Name::from_uri("/b")).is_some());
+            assert!(cs.lookup_exact(&Name::from_uri("/c")).is_some());
+        }
     }
 
     #[test]
     fn reinsert_does_not_duplicate() {
-        let mut cs = ContentStore::new(2);
-        cs.insert(data("/a"), t(0));
-        cs.insert(data("/a"), t(1));
-        cs.insert(data("/b"), t(2));
-        assert_eq!(cs.len(), 2);
-        assert!(cs.lookup_exact(&Name::from_uri("/a")).is_some());
+        for mut cs in both(2) {
+            cs.insert(data("/a"), t(0));
+            cs.insert(data("/a"), t(1));
+            cs.insert(data("/b"), t(2));
+            assert_eq!(cs.len(), 2);
+            assert!(cs.lookup_exact(&Name::from_uri("/a")).is_some());
+        }
     }
 
     #[test]
     fn must_be_fresh_rejects_nonfresh_data() {
-        let mut cs = ContentStore::new(10);
-        // No freshness period: never satisfies MustBeFresh.
-        cs.insert(data("/d/x"), t(0));
-        assert!(cs
-            .lookup(&Name::from_uri("/d/x"), false, true, t(0))
-            .is_none());
-        assert!(cs
-            .lookup(&Name::from_uri("/d/x"), false, false, t(0))
-            .is_some());
+        for mut cs in both(10) {
+            // No freshness period: never satisfies MustBeFresh.
+            cs.insert(data("/d/x"), t(0));
+            assert!(cs
+                .lookup(&Name::from_uri("/d/x"), false, true, t(0))
+                .is_none());
+            assert!(cs
+                .lookup(&Name::from_uri("/d/x"), false, false, t(0))
+                .is_some());
+        }
     }
 
     #[test]
     fn freshness_expires_over_time() {
-        let mut cs = ContentStore::new(10);
-        cs.insert(fresh_data("/d/x", 1_000), t(10));
-        assert!(cs
-            .lookup(&Name::from_uri("/d/x"), false, true, t(10))
-            .is_some());
-        assert!(cs
-            .lookup(&Name::from_uri("/d/x"), false, true, t(11))
-            .is_some());
-        assert!(cs
-            .lookup(&Name::from_uri("/d/x"), false, true, t(12))
-            .is_none());
-        // Still served to freshness-agnostic Interests.
-        assert!(cs
-            .lookup(&Name::from_uri("/d/x"), false, false, t(12))
-            .is_some());
+        for mut cs in both(10) {
+            cs.insert(fresh_data("/d/x", 1_000), t(10));
+            assert!(cs
+                .lookup(&Name::from_uri("/d/x"), false, true, t(10))
+                .is_some());
+            assert!(cs
+                .lookup(&Name::from_uri("/d/x"), false, true, t(11))
+                .is_some());
+            assert!(cs
+                .lookup(&Name::from_uri("/d/x"), false, true, t(12))
+                .is_none());
+            // Still served to freshness-agnostic Interests.
+            assert!(cs
+                .lookup(&Name::from_uri("/d/x"), false, false, t(12))
+                .is_some());
+        }
     }
 
     #[test]
     fn reinsert_restarts_freshness_clock() {
-        let mut cs = ContentStore::new(10);
-        cs.insert(fresh_data("/d/x", 1_000), t(0));
-        assert!(cs
-            .lookup(&Name::from_uri("/d/x"), false, true, t(5))
-            .is_none());
-        cs.insert(fresh_data("/d/x", 1_000), t(5));
-        assert!(cs
-            .lookup(&Name::from_uri("/d/x"), false, true, t(5))
-            .is_some());
+        for mut cs in both(10) {
+            cs.insert(fresh_data("/d/x", 1_000), t(0));
+            assert!(cs
+                .lookup(&Name::from_uri("/d/x"), false, true, t(5))
+                .is_none());
+            cs.insert(fresh_data("/d/x", 1_000), t(5));
+            assert!(cs
+                .lookup(&Name::from_uri("/d/x"), false, true, t(5))
+                .is_some());
+        }
     }
 
     #[test]
     fn prefix_lookup_skips_stale_finds_fresh() {
-        let mut cs = ContentStore::new(10);
-        cs.insert(data("/p/a"), t(0)); // stale forever
-        cs.insert(fresh_data("/p/b", 10_000), t(0));
-        let got = cs
-            .lookup(&Name::from_uri("/p"), true, true, t(1))
-            .expect("fresh entry further in the range");
-        assert_eq!(got.name().to_string(), "/p/b");
+        for mut cs in both(10) {
+            cs.insert(data("/p/a"), t(0)); // stale forever
+            cs.insert(fresh_data("/p/b", 10_000), t(0));
+            let got = cs
+                .lookup(&Name::from_uri("/p"), true, true, t(1))
+                .expect("fresh entry further in the range");
+            assert_eq!(got.name().to_string(), "/p/b");
+        }
     }
 
     #[test]
     fn lookup_respects_can_be_prefix_flag() {
-        let mut cs = ContentStore::new(10);
-        cs.insert(data("/col/f/0"), t(0));
-        assert!(cs
-            .lookup(&Name::from_uri("/col"), true, false, t(0))
-            .is_some());
-        assert!(cs
-            .lookup(&Name::from_uri("/col"), false, false, t(0))
-            .is_none());
+        for mut cs in both(10) {
+            cs.insert(data("/col/f/0"), t(0));
+            assert!(cs
+                .lookup(&Name::from_uri("/col"), true, false, t(0))
+                .is_some());
+            assert!(cs
+                .lookup(&Name::from_uri("/col"), false, false, t(0))
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_store_caches_nothing() {
+        // Regression: the old post-insert eviction loop transiently held
+        // one entry at capacity 0, and a refreshing re-insert resurrected
+        // it indefinitely.
+        for mut cs in both(0) {
+            cs.insert(data("/a"), t(0));
+            assert!(cs.is_empty());
+            assert_eq!(cs.state_bytes(), 0);
+            cs.insert(data("/a"), t(1)); // would refresh if anything survived
+            cs.insert(data("/a"), t(2));
+            assert!(cs.is_empty(), "refresh must not resurrect an entry");
+            assert!(cs.lookup_exact(&Name::from_uri("/a")).is_none());
+            assert!(cs
+                .lookup_wire_exact(&Name::from_uri("/a").to_wire_value(), false, t(2))
+                .is_none());
+            assert_eq!(cs.arena_live(), 0);
+            assert_eq!(cs.arena_allocated(), 0, "nothing may enter the arena");
+        }
+    }
+
+    #[test]
+    fn eviction_churn_reuses_arena_slots_and_keeps_indexes_synced() {
+        let mut cs = ContentStore::new(2);
+        for round in 0..50u64 {
+            cs.insert(data(&format!("/n/{round}")), t(round));
+        }
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.arena_live(), 2);
+        assert!(
+            cs.arena_allocated() <= 3,
+            "allocation must track capacity, not volume: {}",
+            cs.arena_allocated()
+        );
+        // Only the two newest survive, in every index.
+        for round in 0..48u64 {
+            let name = Name::from_uri(&format!("/n/{round}"));
+            assert!(cs.lookup_exact(&name).is_none());
+            assert!(cs
+                .lookup_wire_exact(&name.to_wire_value(), false, t(50))
+                .is_none());
+        }
+        for round in 48..50u64 {
+            let name = Name::from_uri(&format!("/n/{round}"));
+            assert!(cs.lookup_exact(&name).is_some());
+            assert!(cs
+                .lookup_wire_exact(&name.to_wire_value(), false, t(50))
+                .is_some());
+        }
     }
 
     #[test]
     fn state_bytes_grow_and_shrink() {
-        let mut cs = ContentStore::new(1);
-        assert_eq!(cs.state_bytes(), 0);
-        cs.insert(data("/a"), t(0));
-        let b1 = cs.state_bytes();
-        assert!(b1 > 0);
-        cs.insert(data("/b"), t(1)); // evicts /a
-        assert!(cs.state_bytes() > 0);
-        cs.clear();
-        assert_eq!(cs.state_bytes(), 0);
+        for mut cs in both(1) {
+            assert_eq!(cs.state_bytes(), 0);
+            cs.insert(data("/a"), t(0));
+            let b1 = cs.state_bytes();
+            assert!(b1 > 0);
+            cs.insert(data("/b"), t(1)); // evicts /a
+            assert!(cs.state_bytes() > 0);
+            cs.clear();
+            assert_eq!(cs.state_bytes(), 0);
+        }
     }
 }

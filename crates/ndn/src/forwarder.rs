@@ -23,7 +23,7 @@ use crate::cs::ContentStore;
 use crate::face::FaceId;
 use crate::fib::Fib;
 use crate::name::{wire_value_is_well_formed, Name};
-use crate::packet::{Data, Interest, InterestHeader};
+use crate::packet::{whole_buffer_is_one_packet, Data, Interest, InterestHeader, PeekedHopLimit};
 use crate::pit::{Pit, PitInsert};
 use dapes_netsim::payload::Payload;
 use dapes_netsim::time::{SimDuration, SimTime};
@@ -44,6 +44,22 @@ pub enum Action {
         face: FaceId,
         /// The Data to send.
         data: Data,
+    },
+    /// Relay a raw Interest frame out a face without ever constructing an
+    /// [`Interest`]: `frame` is the received buffer with its hop-limit byte
+    /// already patched (copy-on-write), byte-identical to what the eager
+    /// pipeline would re-broadcast. `name` and `nonce` accompany it for the
+    /// caller's pending-transmission bookkeeping (cancel-on-data,
+    /// cancel-on-nonce, forwarding notes).
+    RelayInterest {
+        /// Egress face.
+        face: FaceId,
+        /// The patched wire image, ready for the radio.
+        frame: Payload,
+        /// The Interest name (zero-copy views into the received frame).
+        name: Name,
+        /// The Interest nonce.
+        nonce: u32,
     },
 }
 
@@ -79,6 +95,25 @@ pub trait Strategy {
     fn decide_no_nexthops(&mut self, _ingress: FaceId, _now: SimTime) -> Option<Decision> {
         None
     }
+
+    /// Header-only decision for a would-be-new Interest *with* usable next
+    /// hops — the decode-free relay path. `name` is the Interest name,
+    /// materialized from the peeked header. Implementations must either
+    /// return exactly what [`Strategy::decide`] would for this Interest,
+    /// consuming identical strategy state (including any RNG draws, in the
+    /// same order), or return `None` *before mutating any state* when the
+    /// decision depends on the Interest's payload — the caller then decodes
+    /// and runs the full pipeline, which must observe the strategy exactly
+    /// as [`Strategy::decide`] would have found it.
+    fn decide_header(
+        &mut self,
+        _name: &Name,
+        _ingress: FaceId,
+        _nexthops: &[FaceId],
+        _now: SimTime,
+    ) -> Option<Decision> {
+        None
+    }
 }
 
 /// The default NDN multicast behaviour: forward to every FIB next hop.
@@ -103,6 +138,21 @@ impl Strategy for BroadcastStrategy {
     fn decide_no_nexthops(&mut self, _ingress: FaceId, _now: SimTime) -> Option<Decision> {
         Some(Decision::Suppress)
     }
+
+    fn decide_header(
+        &mut self,
+        _name: &Name,
+        _ingress: FaceId,
+        nexthops: &[FaceId],
+        _now: SimTime,
+    ) -> Option<Decision> {
+        // The broadcast decision never looks at the Interest at all.
+        Some(if nexthops.is_empty() {
+            Decision::Suppress
+        } else {
+            Decision::Forward(nexthops.to_vec())
+        })
+    }
 }
 
 /// How [`Forwarder::process_interest_header`] resolved an overheard frame,
@@ -119,6 +169,15 @@ pub enum PeekOutcome {
     /// No usable FIB route: the PIT entry was recorded and forwarding
     /// suppressed, all from the peeked header.
     FibNoRoute,
+    /// A would-be-new Interest the strategy chose to forward: the PIT entry
+    /// was recorded and the frame relayed by copy-on-write hop-limit patch
+    /// — no `Interest` was ever constructed. (Also returned when the patch
+    /// found the hop limit exhausted: the entry and forwarding stats commit
+    /// exactly as in the full pipeline, which sends nothing either.)
+    Relayed,
+    /// A would-be-new Interest the strategy suppressed, resolved entirely
+    /// from the peeked header (PIT entry recorded, nothing sent).
+    RelaySuppressed,
 }
 
 /// Forwarder configuration.
@@ -141,6 +200,21 @@ pub struct ForwarderConfig {
     /// this, a peer's own pending `/dapes/discovery` beacon would swallow
     /// all neighbor probes for the shared discovery name.
     pub deliver_on_aggregate: Vec<FaceId>,
+    /// Resolve the *forward* outcome on the peek path too: when a peeked
+    /// would-be-new Interest has a usable wireless route and the strategy
+    /// can decide from the name alone, record the PIT entry and relay the
+    /// received frame with its hop-limit byte patched copy-on-write
+    /// ([`Action::RelayInterest`]) — never constructing an [`Interest`].
+    /// Behaviour is bit-identical either way; off forces the full-decode
+    /// forward path.
+    pub relay_patch: bool,
+    /// Run the PIT and Content Store on their legacy (pre-arena,
+    /// `Name`-keyed) table generation instead of the wire-indexed slab
+    /// arenas. Observable behaviour is identical; only the cost model
+    /// changes. The scheduler benchmark's eager baseline modes enable
+    /// this so the speedup they anchor keeps pricing the control plane
+    /// the wire-arena tables replaced.
+    pub legacy_tables: bool,
 }
 
 impl Default for ForwarderConfig {
@@ -150,6 +224,8 @@ impl Default for ForwarderConfig {
             cache_unsolicited: false,
             rebroadcast_faces: Vec::new(),
             deliver_on_aggregate: Vec::new(),
+            relay_patch: true,
+            legacy_tables: false,
         }
     }
 }
@@ -201,9 +277,14 @@ impl Forwarder {
 
     /// Creates a forwarder with a custom strategy (DAPES multi-hop logic).
     pub fn with_strategy(cfg: ForwarderConfig, strategy: Box<dyn Strategy>) -> Self {
+        let (cs, pit) = if cfg.legacy_tables {
+            (ContentStore::legacy(cfg.cs_capacity), Pit::legacy())
+        } else {
+            (ContentStore::new(cfg.cs_capacity), Pit::new())
+        };
         Forwarder {
-            cs: ContentStore::new(cfg.cs_capacity),
-            pit: Pit::new(),
+            cs,
+            pit,
             fib: Fib::new(),
             cfg,
             strategy,
@@ -259,15 +340,22 @@ impl Forwarder {
     ///    name materialized as zero-copy views of `backing`, the expiry
     ///    from the peeked lifetime — bumps the suppression counter, and
     ///    returns no actions: the not-for-me drop, byte-identical to the
-    ///    full pipeline's outcome.
+    ///    full pipeline's outcome;
+    /// 4. **decode-free relay** (with [`ForwarderConfig::relay_patch`] on) —
+    ///    a would-be-new Interest with a usable wireless route whose
+    ///    strategy can decide from the name alone records its PIT entry and,
+    ///    on Forward, relays the received frame with its hop-limit byte
+    ///    patched copy-on-write ([`Action::RelayInterest`]) — no `Interest`
+    ///    is ever constructed, and the relayed bytes are identical to what
+    ///    the eager decode→decrement→re-encode path would send.
     ///
     /// Returns `None` when the Interest still needs the full pipeline — PIT
-    /// aggregation, or a new entry the strategy may forward (building the
-    /// outgoing Interest requires the payload). The caller must then decode
-    /// and call [`Forwarder::process_interest`]; no state or statistics
-    /// change on fall-through, so there is no double counting. A malformed
-    /// name region also falls through: the full decode fails at the same
-    /// byte, so the frame is dropped either way.
+    /// aggregation, a payload-dependent strategy decision, or a forward the
+    /// relay path's preconditions exclude. The caller must then decode and
+    /// call [`Forwarder::process_interest`]; no state or statistics change
+    /// on fall-through, so there is no double counting. A malformed name
+    /// region also falls through: the full decode fails at the same byte,
+    /// so the frame is dropped either way.
     pub fn process_interest_header(
         &mut self,
         now: SimTime,
@@ -308,34 +396,166 @@ impl Forwarder {
                 PeekOutcome::CsHit,
             ));
         }
-        if self.pit.has_nonce_wire(header.name_wire, header.nonce) {
-            self.stats.duplicate_interests += 1;
-            return Some((Vec::new(), PeekOutcome::DuplicateNonce));
+        // One hash probe answers both the duplicate-nonce and the
+        // would-be-new question.
+        match self.pit.probe_wire(header.name_wire) {
+            Some(probe) if probe.nonces.contains(&header.nonce) => {
+                self.stats.duplicate_interests += 1;
+                return Some((Vec::new(), PeekOutcome::DuplicateNonce));
+            }
+            // Aggregation: the full pipeline handles it.
+            Some(_) => return None,
+            None => {}
         }
-        if !self.pit.contains_wire(header.name_wire) {
-            // Would be `PitInsert::New`: probe the FIB at the wire level.
-            let nexthops = self.fib.longest_prefix_match_wire(header.name_wire)?;
-            let usable = nexthops
-                .iter()
-                .any(|&f| f != ingress || self.cfg.rebroadcast_faces.contains(&f));
-            if !usable {
-                if self.strategy.decide_no_nexthops(ingress, now) != Some(Decision::Suppress) {
+        // Would be `PitInsert::New`: probe the FIB at the wire level,
+        // filtering exactly as the full pipeline does. The usable set is
+        // collected into a stack buffer — this runs once per would-be-new
+        // Interest, and next-hop sets are tiny. A FIB entry wider than the
+        // buffer falls through to the full pipeline (always allowed).
+        let nexthops = self.fib.longest_prefix_match_wire(header.name_wire)?;
+        let mut usable_buf = [FaceId::WIRELESS; 8];
+        let mut usable_len = 0usize;
+        for &f in nexthops {
+            if f != ingress || self.cfg.rebroadcast_faces.contains(&f) {
+                if usable_len == usable_buf.len() {
                     return None;
                 }
-                // Committed: reproduce the full pipeline's PIT insert. The
-                // name is materialized only here, as zero-copy views into
-                // the frame — the *decision* needed no `Name` at all.
-                let name = header.to_name(backing).ok()?;
-                let expiry = now + SimDuration::from_millis(header.lifetime_ms);
-                let inserted =
-                    self.pit
-                        .insert(&name, header.nonce, header.can_be_prefix, ingress, expiry);
-                debug_assert_eq!(inserted, PitInsert::New);
-                self.stats.suppressed_interests += 1;
-                return Some((Vec::new(), PeekOutcome::FibNoRoute));
+                usable_buf[usable_len] = f;
+                usable_len += 1;
             }
         }
+        let usable = &usable_buf[..usable_len];
+        if usable.is_empty() {
+            if self.strategy.decide_no_nexthops(ingress, now) != Some(Decision::Suppress) {
+                return None;
+            }
+            // Committed: reproduce the full pipeline's PIT insert. The
+            // name is materialized only here, as zero-copy views into
+            // the frame — the *decision* needed no `Name` at all.
+            let name = header.to_name(backing).ok()?;
+            let expiry = now + SimDuration::from_millis(header.lifetime_ms);
+            self.pit.insert_new_peeked(
+                name,
+                header.name_wire,
+                header.nonce,
+                header.can_be_prefix,
+                ingress,
+                expiry,
+            );
+            self.stats.suppressed_interests += 1;
+            return Some((Vec::new(), PeekOutcome::FibNoRoute));
+        }
+        if self.cfg.relay_patch {
+            return self.relay_from_header(now, header, backing, ingress, usable);
+        }
         None
+    }
+
+    /// The decode-free relay: resolves the *forward* outcome of a peeked
+    /// would-be-new Interest with usable next hops. Every fall-through
+    /// (`None`) happens before any strategy state is touched, so the full
+    /// pipeline replays from an identical starting point.
+    fn relay_from_header(
+        &mut self,
+        now: SimTime,
+        header: &InterestHeader<'_>,
+        backing: &Payload,
+        ingress: FaceId,
+        usable: &[FaceId],
+    ) -> Option<(Vec<Action>, PeekOutcome)> {
+        // Preconditions, all checked before the strategy (and its RNG) runs:
+        //
+        // * The frame must be exactly one packet — it becomes the relayed
+        //   wire image, and the eager path only seeds its encode-once cache
+        //   (i.e. re-broadcasts these very bytes) under the same condition.
+        // * The hop limit must be absent or canonically encoded: patching a
+        //   multi-byte encoding would not match decode→decrement→encode.
+        // * A patchable hop limit relays to at most one face — the eager
+        //   path decrements once *per egress action*, sending a different
+        //   hop count to each; more than one face falls back to it.
+        // * Every usable face must be wireless: an APP next hop delivers to
+        //   the application, which needs the decoded Interest.
+        if !whole_buffer_is_one_packet(backing) {
+            return None;
+        }
+        match header.hop_limit {
+            PeekedHopLimit::Opaque => return None,
+            PeekedHopLimit::Patchable { .. } if usable.len() > 1 => return None,
+            _ => {}
+        }
+        if usable.iter().any(|&f| f != FaceId::WIRELESS) {
+            return None;
+        }
+        // A malformed name region falls through; the full decode fails at
+        // the same byte, so the frame is dropped either way.
+        let name = header.to_name(backing).ok()?;
+        let decision = self.strategy.decide_header(&name, ingress, usable, now)?;
+
+        // Committed: reproduce the full pipeline's PIT insert and stats.
+        // `insert_new_peeked` reuses the frame's own name bytes for the
+        // wire index and hands the entry back, so the forward arm stamps
+        // `last_forward` without re-probing.
+        let expiry = now + SimDuration::from_millis(header.lifetime_ms);
+        let entry = self.pit.insert_new_peeked(
+            name,
+            header.name_wire,
+            header.nonce,
+            header.can_be_prefix,
+            ingress,
+            expiry,
+        );
+        match decision {
+            Decision::Suppress => {
+                self.stats.suppressed_interests += 1;
+                Some((Vec::new(), PeekOutcome::RelaySuppressed))
+            }
+            Decision::Forward(faces) => {
+                self.stats.forwarded_interests += 1;
+                entry.last_forward = Some(now);
+                let frame = match header.hop_limit {
+                    PeekedHopLimit::Absent => backing.clone(),
+                    PeekedHopLimit::Patchable { value, .. } if value <= 1 => {
+                        // Hop limit exhausted: the eager path commits the
+                        // PIT entry and forwarding stats, then sends
+                        // nothing (`decrement_hop_limit` returns false).
+                        return Some((Vec::new(), PeekOutcome::Relayed));
+                    }
+                    PeekedHopLimit::Patchable { value, offset } => {
+                        // The copy-on-write patch: one buffer copy, one
+                        // byte rewritten — byte-identical to the eager
+                        // path's decode→decrement→encode (which patches
+                        // its seeded wire cache the same way).
+                        let mut bytes = backing.as_slice().to_vec();
+                        bytes[offset] = value - 1;
+                        Payload::from(bytes)
+                    }
+                    PeekedHopLimit::Opaque => unreachable!("checked before committing"),
+                };
+                // The entry owns the materialized name; each action needs
+                // its own copy, and the last one takes the working clone —
+                // the common single-face relay clones exactly once.
+                let mut relay_name = Some(entry.name.clone());
+                let mut egress = faces
+                    .into_iter()
+                    .filter(|&f| f != ingress || self.cfg.rebroadcast_faces.contains(&f))
+                    .peekable();
+                let mut actions = Vec::with_capacity(1);
+                while let Some(face) = egress.next() {
+                    let name = if egress.peek().is_none() {
+                        relay_name.take().expect("taken once, by the last face")
+                    } else {
+                        relay_name.clone().expect("taken once, by the last face")
+                    };
+                    actions.push(Action::RelayInterest {
+                        face,
+                        frame: frame.clone(),
+                        name,
+                        nonce: header.nonce,
+                    });
+                }
+                Some((actions, PeekOutcome::Relayed))
+            }
+        }
     }
 
     /// Attempts to resolve an overheard Data packet from its peeked name
@@ -360,13 +580,29 @@ impl Forwarder {
         interest: &Interest,
         ingress: FaceId,
     ) -> Vec<Action> {
+        // Encode the name once; the CS probe and the PIT insert both key on
+        // the canonical wire value. The legacy table generation keys on the
+        // `Name` itself, so it skips the encode and pays its own tree-walk
+        // costs instead — exactly the pre-refactor pipeline.
+        let name_wire = (!self.cfg.legacy_tables).then(|| interest.name().to_wire_value());
+
         // 1. Content Store.
-        if let Some(data) = self.cs.lookup(
-            interest.name(),
-            interest.can_be_prefix(),
-            interest.must_be_fresh(),
-            now,
-        ) {
+        let cs_hit = match &name_wire {
+            Some(wire) if interest.can_be_prefix() => {
+                self.cs
+                    .lookup_wire_prefix(wire, interest.must_be_fresh(), now)
+            }
+            Some(wire) => self
+                .cs
+                .lookup_wire_exact(wire, interest.must_be_fresh(), now),
+            None => self.cs.lookup(
+                interest.name(),
+                interest.can_be_prefix(),
+                interest.must_be_fresh(),
+                now,
+            ),
+        };
+        if let Some(data) = cs_hit {
             self.stats.cs_hits += 1;
             return vec![Action::SendData {
                 face: ingress,
@@ -376,13 +612,24 @@ impl Forwarder {
 
         // 2. PIT.
         let expiry = now + SimDuration::from_millis(interest.lifetime_ms());
-        match self.pit.insert(
-            interest.name(),
-            interest.nonce(),
-            interest.can_be_prefix(),
-            ingress,
-            expiry,
-        ) {
+        let inserted = match &name_wire {
+            Some(wire) => self.pit.insert_wired(
+                interest.name(),
+                wire,
+                interest.nonce(),
+                interest.can_be_prefix(),
+                ingress,
+                expiry,
+            ),
+            None => self.pit.insert(
+                interest.name(),
+                interest.nonce(),
+                interest.can_be_prefix(),
+                ingress,
+                expiry,
+            ),
+        };
+        match inserted {
             PitInsert::DuplicateNonce => {
                 self.stats.duplicate_interests += 1;
                 Vec::new()
@@ -799,12 +1046,14 @@ mod tests {
         assert_eq!(lazy.stats().cs_hits, eager.stats().cs_hits);
         assert!(lazy.pit().is_empty(), "no PIT entry on a header CS hit");
 
-        // A CanBePrefix *miss* with a usable route still defers.
+        // A CanBePrefix *miss* with a usable route resolves as a relay
+        // (and falls through to the full pipeline with the patch off).
         let miss = interest("/other", 2).with_can_be_prefix(true);
         let wire = wire_of(&miss);
-        assert!(lazy
+        let (_, outcome) = lazy
             .process_interest_header(now(), &header_of(&wire), &wire, FaceId::APP)
-            .is_none());
+            .expect("CanBePrefix miss with a usable route relays");
+        assert_eq!(outcome, PeekOutcome::Relayed);
     }
 
     #[test]
@@ -868,10 +1117,15 @@ mod tests {
 
     #[test]
     fn header_pipeline_defers_aggregation_and_routable_new_entries() {
-        // Ingress APP leaves the wireless route usable, so a new entry must
+        // With the relay patch off, a new entry with a usable route must
         // take the full pipeline (the forwarded Interest carries payload
         // fields the header does not have).
-        let mut f = fwd();
+        let mut f = Forwarder::new(ForwarderConfig {
+            relay_patch: false,
+            ..ForwarderConfig::default()
+        });
+        f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        f.fib_mut().register(Name::from_uri("/app"), FaceId::APP);
         let i = interest("/a", 1);
         let wire = wire_of(&i);
         assert!(f
@@ -899,9 +1153,11 @@ mod tests {
     fn header_pipeline_with_rebroadcast_ingress_defers_instead_of_dropping() {
         // DAPES-style forwarders re-broadcast out the ingress radio: the
         // same overheard Interest that a point-to-point FIB would drop is a
-        // usable-route case here and must fall through.
+        // usable-route case here and (with the relay patch off) must fall
+        // through to the full pipeline.
         let mut f = Forwarder::new(ForwarderConfig {
             rebroadcast_faces: vec![FaceId::WIRELESS],
+            relay_patch: false,
             ..ForwarderConfig::default()
         });
         f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
@@ -911,6 +1167,188 @@ mod tests {
             .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
             .is_none());
         assert!(f.pit().is_empty(), "fall-through must not touch the PIT");
+    }
+
+    fn relay_fwd() -> Forwarder {
+        let mut f = Forwarder::new(ForwarderConfig {
+            rebroadcast_faces: vec![FaceId::WIRELESS],
+            ..ForwarderConfig::default()
+        });
+        f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        f
+    }
+
+    #[test]
+    fn header_pipeline_relays_by_hop_limit_patch_without_decoding() {
+        let mut f = relay_fwd();
+        let i = interest("/a", 1).with_hop_limit(5);
+        let wire = wire_of(&i);
+        let (actions, outcome) = f
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .expect("relay resolves from the header");
+        assert_eq!(outcome, PeekOutcome::Relayed);
+        let [Action::RelayInterest {
+            face,
+            frame,
+            name,
+            nonce,
+        }] = &actions[..]
+        else {
+            panic!("expected one relay action, got {actions:?}");
+        };
+        assert_eq!(*face, FaceId::WIRELESS);
+        assert_eq!(name, &Name::from_uri("/a"));
+        assert_eq!(*nonce, 1);
+        // The frame is the eager path's bytes exactly: decode, decrement,
+        // re-encode.
+        let mut eager = Interest::decode_payload(&wire).expect("decode");
+        assert!(eager.decrement_hop_limit());
+        assert_eq!(frame.as_slice(), &eager.wire()[..]);
+        assert_eq!(
+            Interest::decode(frame)
+                .expect("patched frame decodes")
+                .hop_limit(),
+            Some(4)
+        );
+        // Full-pipeline side effects committed: PIT entry, stats, expiry.
+        assert!(f.pit().contains(&Name::from_uri("/a")));
+        assert!(f.pit().has_nonce(&Name::from_uri("/a"), 1));
+        assert_eq!(f.stats().forwarded_interests, 1);
+
+        // A hop-limit-free Interest relays the received buffer as-is.
+        let j = interest("/b", 2);
+        let jw = wire_of(&j);
+        let (actions, outcome) = f
+            .process_interest_header(now(), &header_of(&jw), &jw, FaceId::WIRELESS)
+            .expect("relay resolves");
+        assert_eq!(outcome, PeekOutcome::Relayed);
+        let [Action::RelayInterest { frame, .. }] = &actions[..] else {
+            panic!("expected one relay action");
+        };
+        assert!(
+            Payload::ptr_eq(frame, &jw),
+            "no hop limit: zero-copy relay of the received frame"
+        );
+    }
+
+    #[test]
+    fn header_pipeline_relay_commits_but_sends_nothing_on_exhausted_hops() {
+        // `decrement_hop_limit` returning false in the eager path still
+        // leaves the PIT entry and forwarding stats committed — only the
+        // transmission is skipped.
+        let mut f = relay_fwd();
+        let i = interest("/a", 1).with_hop_limit(1);
+        let wire = wire_of(&i);
+        let (actions, outcome) = f
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .expect("exhausted relay still resolves");
+        assert!(actions.is_empty());
+        assert_eq!(outcome, PeekOutcome::Relayed);
+        assert!(f.pit().contains(&Name::from_uri("/a")));
+        assert_eq!(f.stats().forwarded_interests, 1);
+    }
+
+    #[test]
+    fn header_pipeline_relay_falls_through_on_unpatchable_frames() {
+        // Non-wireless usable next hop: the application needs the decoded
+        // Interest.
+        let mut f = fwd();
+        let i = interest("/app/x", 1);
+        let wire = wire_of(&i);
+        assert!(f
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .is_none());
+        assert!(f.pit().is_empty());
+
+        // Non-canonical (multi-byte) hop limit: a byte patch would not
+        // match a re-encode.
+        let mut f = relay_fwd();
+        let mut body = Vec::new();
+        crate::packet::encode_name(&mut body, &Name::from_uri("/a"));
+        crate::tlv::write_tlv(&mut body, crate::tlv::types::NONCE, &1u32.to_be_bytes());
+        crate::tlv::write_tlv(&mut body, crate::tlv::types::HOP_LIMIT, &[3, 9]);
+        let mut raw = Vec::new();
+        crate::tlv::write_tlv(&mut raw, crate::tlv::types::INTEREST, &body);
+        let wire = Payload::from(raw);
+        assert!(f
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .is_none());
+
+        // Trailing bytes after the packet: the buffer is not this packet's
+        // wire image, so it must not be relayed verbatim.
+        let mut with_trailer = interest("/a", 1).encode();
+        with_trailer.extend_from_slice(&[0x99, 0x00]);
+        let wire = Payload::from(with_trailer);
+        assert!(f
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .is_none());
+        assert!(f.pit().is_empty(), "fall-throughs must not touch the PIT");
+    }
+
+    #[test]
+    fn header_pipeline_relay_respects_strategy_suppression() {
+        struct NeverHeader;
+        impl Strategy for NeverHeader {
+            fn decide(&mut self, _: &Interest, _: FaceId, _: &[FaceId], _: SimTime) -> Decision {
+                Decision::Suppress
+            }
+            fn decide_header(
+                &mut self,
+                _: &Name,
+                _: FaceId,
+                _: &[FaceId],
+                _: SimTime,
+            ) -> Option<Decision> {
+                Some(Decision::Suppress)
+            }
+        }
+        let mut f = Forwarder::with_strategy(
+            ForwarderConfig {
+                rebroadcast_faces: vec![FaceId::WIRELESS],
+                ..ForwarderConfig::default()
+            },
+            Box::new(NeverHeader),
+        );
+        f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        let i = interest("/a", 1);
+        let wire = wire_of(&i);
+        let (actions, outcome) = f
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .expect("suppression resolves from the header");
+        assert!(actions.is_empty());
+        assert_eq!(outcome, PeekOutcome::RelaySuppressed);
+        assert_eq!(f.stats().suppressed_interests, 1);
+        assert!(
+            f.pit().contains(&Name::from_uri("/a")),
+            "suppressed Interests still record PIT state"
+        );
+    }
+
+    #[test]
+    fn header_pipeline_relay_defers_when_strategy_needs_the_payload() {
+        // The default `decide_header` returns None: strategies that inspect
+        // application parameters keep the full pipeline.
+        struct PayloadBound;
+        impl Strategy for PayloadBound {
+            fn decide(&mut self, _: &Interest, _: FaceId, n: &[FaceId], _: SimTime) -> Decision {
+                Decision::Forward(n.to_vec())
+            }
+        }
+        let mut f = Forwarder::with_strategy(
+            ForwarderConfig {
+                rebroadcast_faces: vec![FaceId::WIRELESS],
+                ..ForwarderConfig::default()
+            },
+            Box::new(PayloadBound),
+        );
+        f.fib_mut().register(Name::from_uri("/"), FaceId::WIRELESS);
+        let i = interest("/a", 1).with_hop_limit(5);
+        let wire = wire_of(&i);
+        assert!(f
+            .process_interest_header(now(), &header_of(&wire), &wire, FaceId::WIRELESS)
+            .is_none());
+        assert!(f.pit().is_empty(), "fall-through must not touch the PIT");
+        assert_eq!(f.stats().forwarded_interests, 0);
     }
 
     #[test]

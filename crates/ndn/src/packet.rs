@@ -16,8 +16,10 @@
 //! [`Data::decode_payload`] seeds the cache with the *received* bytes, so a
 //! multi-hop relay re-broadcasts the exact frame it heard with zero
 //! re-encoding (also the byte-faithful thing to do for signed packets).
-//! Mutating a packet (builder setters, [`Interest::decrement_hop_limit`])
-//! invalidates the cache.
+//! Mutating a packet through a builder setter invalidates the cache (no-op
+//! "mutations" keep it); [`Interest::decrement_hop_limit`] instead *patches*
+//! a warm cache — one copied buffer, one rewritten byte — the same
+//! copy-on-write transform the decode-free relay path applies to raw frames.
 
 use crate::name::{Component, Name};
 use crate::tlv::{self, types, TlvError, TlvReader};
@@ -148,63 +150,90 @@ impl Interest {
         self.app_parameters.as_deref()
     }
 
-    /// Sets CanBePrefix.
+    /// Sets CanBePrefix. A no-op change keeps the wire cache.
     #[must_use]
     pub fn with_can_be_prefix(mut self, v: bool) -> Self {
-        self.can_be_prefix = v;
-        self.wire = OnceLock::new();
+        if self.can_be_prefix != v {
+            self.can_be_prefix = v;
+            self.wire = OnceLock::new();
+        }
         self
     }
 
-    /// Sets MustBeFresh.
+    /// Sets MustBeFresh. A no-op change keeps the wire cache.
     #[must_use]
     pub fn with_must_be_fresh(mut self, v: bool) -> Self {
-        self.must_be_fresh = v;
-        self.wire = OnceLock::new();
+        if self.must_be_fresh != v {
+            self.must_be_fresh = v;
+            self.wire = OnceLock::new();
+        }
         self
     }
 
-    /// Sets the nonce.
+    /// Sets the nonce. A no-op change keeps the wire cache.
     #[must_use]
     pub fn with_nonce(mut self, nonce: u32) -> Self {
-        self.nonce = nonce;
-        self.wire = OnceLock::new();
+        if self.nonce != nonce {
+            self.nonce = nonce;
+            self.wire = OnceLock::new();
+        }
         self
     }
 
-    /// Sets the lifetime in milliseconds.
+    /// Sets the lifetime in milliseconds. A no-op change keeps the wire
+    /// cache.
     #[must_use]
     pub fn with_lifetime_ms(mut self, ms: u64) -> Self {
-        self.lifetime_ms = ms;
-        self.wire = OnceLock::new();
+        if self.lifetime_ms != ms {
+            self.lifetime_ms = ms;
+            self.wire = OnceLock::new();
+        }
         self
     }
 
-    /// Sets the hop limit.
+    /// Sets the hop limit. A no-op change keeps the wire cache.
     #[must_use]
     pub fn with_hop_limit(mut self, hops: u8) -> Self {
-        self.hop_limit = Some(hops);
-        self.wire = OnceLock::new();
+        if self.hop_limit != Some(hops) {
+            self.hop_limit = Some(hops);
+            self.wire = OnceLock::new();
+        }
         self
     }
 
-    /// Attaches application parameters.
+    /// Attaches application parameters. A no-op change keeps the wire cache.
     #[must_use]
     pub fn with_app_parameters(mut self, params: impl Into<Payload>) -> Self {
-        self.app_parameters = Some(params.into());
-        self.wire = OnceLock::new();
+        let params = params.into();
+        if self.app_parameters.as_ref() != Some(&params) {
+            self.app_parameters = Some(params);
+            self.wire = OnceLock::new();
+        }
         self
     }
 
-    /// Decrements the hop limit, returning `false` when exhausted. A real
-    /// decrement changes the wire encoding, so it invalidates the cache.
+    /// Decrements the hop limit, returning `false` when exhausted.
+    ///
+    /// A real decrement changes exactly one byte of the wire image, so a
+    /// warm cache is *patched* — the hop-limit value byte rewritten in a
+    /// fresh copy of the buffer — rather than dropped and re-encoded. This
+    /// is the same copy-on-write transform the decode-free relay fast path
+    /// applies to a raw frame, which keeps relayed frames byte-identical
+    /// whether or not the Interest was ever materialized. An exhausted
+    /// decrement (`Some(0)`) is a no-op and keeps the cache untouched.
     pub fn decrement_hop_limit(&mut self) -> bool {
         match self.hop_limit {
             None => true,
             Some(0) => false,
             Some(h) => {
                 self.hop_limit = Some(h - 1);
-                self.wire = OnceLock::new();
+                if let Some(cached) = self.wire.take() {
+                    if let Some(offset) = hop_limit_value_offset(&cached) {
+                        let mut bytes = cached.as_slice().to_vec();
+                        bytes[offset] = h - 1;
+                        let _ = self.wire.set(Payload::from(bytes));
+                    }
+                }
                 h > 1
             }
         }
@@ -304,10 +333,57 @@ impl Interest {
 }
 
 /// Whether the buffer holds exactly one TLV packet (no trailing bytes), the
-/// precondition for caching it as a packet's wire image.
-fn whole_buffer_is_one_packet(buf: &[u8]) -> bool {
+/// precondition for caching it as a packet's wire image — and for relaying
+/// it by byte patch, which forwards the whole buffer.
+pub(crate) fn whole_buffer_is_one_packet(buf: &[u8]) -> bool {
     let mut r = TlvReader::new(buf);
     r.read_tlv().is_ok() && r.is_at_end()
+}
+
+/// Byte offset, within a full Interest wire image, of the value byte of its
+/// hop-limit TLV (last occurrence, as in decode) — the single byte a relay
+/// rewrites. `None` when the packet has no hop limit, when the winning
+/// encoding is non-canonical (multi-byte, so a patch would not match a
+/// re-encode), or when the buffer is not a well-formed Interest.
+pub(crate) fn hop_limit_value_offset(wire: &[u8]) -> Option<usize> {
+    let base = wire.as_ptr() as usize;
+    let mut outer = TlvReader::new(wire);
+    let body = outer.read_expected(types::INTEREST).ok()?;
+    let mut r = TlvReader::new(body);
+    let mut found = None;
+    while !r.is_at_end() {
+        let (typ, value) = r.read_tlv().ok()?;
+        if typ == types::HOP_LIMIT {
+            // Last occurrence wins, exactly as in `Interest::decode`.
+            found = match value {
+                [_] => Some(value.as_ptr() as usize - base),
+                _ => None,
+            };
+        }
+    }
+    found
+}
+
+/// A hop-limit field as seen by [`Packet::peek_header`]: just enough for a
+/// relay to rewrite the hop count in a copied frame without decoding it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PeekedHopLimit {
+    /// No HopLimit TLV: the frame relays unchanged.
+    #[default]
+    Absent,
+    /// A canonical one-byte HopLimit: `value` lives at byte `offset` of the
+    /// peeked frame, so a relay can copy the buffer once and rewrite that
+    /// single byte.
+    Patchable {
+        /// The remaining hop count.
+        value: u8,
+        /// Byte offset of the value within the peeked frame.
+        offset: usize,
+    },
+    /// A non-canonical (multi-byte) encoding: a byte patch would not equal
+    /// decode→decrement→re-encode, so relays must take the full-decode
+    /// path.
+    Opaque,
 }
 
 /// The name-first prefix of an Interest, produced by [`Packet::peek_header`]
@@ -330,6 +406,9 @@ pub struct InterestHeader<'a> {
     /// when absent, as in full decode). Lets the header-only pipeline record
     /// a PIT entry with the exact expiry the full pipeline would.
     pub lifetime_ms: u64,
+    /// The hop-limit field, captured with its byte offset so a forwarding
+    /// decision can relay the frame by copy-on-write byte patch.
+    pub hop_limit: PeekedHopLimit,
 }
 
 impl InterestHeader<'_> {
@@ -341,7 +420,7 @@ impl InterestHeader<'_> {
     /// Returns a [`TlvError`] when the name region is malformed (peeking
     /// defers component validation to this point).
     pub fn to_name(&self, backing: &Payload) -> Result<Name, TlvError> {
-        decode_name_value(self.name_wire, Some(backing))
+        decode_name_value_counted(self.name_wire, backing)
     }
 }
 
@@ -361,7 +440,7 @@ impl DataHeader<'_> {
     ///
     /// Returns a [`TlvError`] when the name region is malformed.
     pub fn to_name(&self, backing: &Payload) -> Result<Name, TlvError> {
-        decode_name_value(self.name_wire, Some(backing))
+        decode_name_value_counted(self.name_wire, backing)
     }
 }
 
@@ -768,14 +847,15 @@ impl Packet {
                     must_be_fresh: false,
                     nonce: 0,
                     lifetime_ms: Interest::DEFAULT_LIFETIME_MS,
+                    hop_limit: PeekedHopLimit::Absent,
                 };
                 // Walk every remaining TLV exactly as the full decode does
                 // (unknown fields skipped, repeated fields last-wins, any
-                // field order accepted) so the peeked nonce and lifetime can
-                // never disagree with `Interest::decode`'s. Values other
-                // than the flags/nonce/lifetime are sliced over, not parsed
-                // — the heavy tail (hop limit, application parameters)
-                // stays lazy.
+                // field order accepted) so the peeked nonce, lifetime and
+                // hop limit can never disagree with `Interest::decode`'s.
+                // Values other than the flags/nonce/lifetime/hop-limit are
+                // sliced over, not parsed — the heavy tail (application
+                // parameters) stays lazy.
                 while !r.is_at_end() {
                     let (typ, value) = r.read_tlv()?;
                     match typ {
@@ -789,6 +869,19 @@ impl Packet {
                         }
                         types::INTEREST_LIFETIME => {
                             header.lifetime_ms = tlv::decode_nonneg(value)?;
+                        }
+                        types::HOP_LIMIT => {
+                            // Last occurrence wins, as in the full decode —
+                            // which errors on an empty value, so erroring
+                            // here preserves the peek⊆decode error contract.
+                            header.hop_limit = match value {
+                                [] => return Err(TlvError::BadValue("empty hop limit")),
+                                [v] => PeekedHopLimit::Patchable {
+                                    value: *v,
+                                    offset: value.as_ptr() as usize - payload.as_ptr() as usize,
+                                },
+                                _ => PeekedHopLimit::Opaque,
+                            };
                         }
                         _ => {}
                     }
@@ -861,6 +954,26 @@ fn decode_name_value(value: &[u8], backing: Option<&Payload>) -> Result<Name, Tl
             Some(p) => Component::from_payload(p.view_of(value)),
             None => Component::from_bytes(value.to_vec()),
         });
+    }
+    Ok(Name::from_components(components))
+}
+
+/// [`decode_name_value`] for the peek ladder's commit points: a first TLV
+/// walk counts the components so the vector is allocated exactly once —
+/// the decode-free pipeline materializes a `Name` on every relay/suppress
+/// commit, so the incremental-growth reallocations are measurable there.
+fn decode_name_value_counted(value: &[u8], backing: &Payload) -> Result<Name, TlvError> {
+    let mut nr = TlvReader::new(value);
+    let mut count = 0usize;
+    while !nr.is_at_end() {
+        nr.read_tlv()?;
+        count += 1;
+    }
+    let mut nr = TlvReader::new(value);
+    let mut components = Vec::with_capacity(count);
+    while !nr.is_at_end() {
+        let (_, value) = nr.read_tlv()?;
+        components.push(Component::from_payload(backing.view_of(value)));
     }
     Ok(Name::from_components(components))
 }
@@ -1078,6 +1191,118 @@ mod tests {
     }
 
     #[test]
+    fn hop_limit_decrement_patches_a_warm_cache_byte_for_byte() {
+        // The decrement must rewrite exactly one byte of the cached image
+        // (the copy-on-write relay transform), and the result must equal a
+        // fresh decode→decrement→encode.
+        let i = Interest::new(name())
+            .with_nonce(0xfeed_f00d)
+            .with_hop_limit(7)
+            .with_app_parameters(vec![5; 128]);
+        let incoming = Payload::from(i.encode());
+        let mut relayed = Interest::decode_payload(&incoming).expect("decode");
+        assert!(relayed.decrement_hop_limit());
+        let patched = relayed.wire();
+        let diffs: Vec<usize> = incoming
+            .iter()
+            .zip(patched.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(at, _)| at)
+            .collect();
+        assert_eq!(diffs.len(), 1, "exactly one byte must change");
+        assert_eq!(patched[diffs[0]], 6);
+        assert_eq!(
+            &*patched,
+            &i.with_hop_limit(6).encode()[..],
+            "patched image must equal a fresh encode of the decrement"
+        );
+    }
+
+    #[test]
+    fn no_op_mutations_keep_the_wire_cache() {
+        let i = Interest::new(name())
+            .with_can_be_prefix(true)
+            .with_nonce(9)
+            .with_lifetime_ms(1_000)
+            .with_hop_limit(4)
+            .with_app_parameters(vec![1, 2, 3]);
+        let before = i.wire();
+        let same = i
+            .with_can_be_prefix(true)
+            .with_must_be_fresh(false)
+            .with_nonce(9)
+            .with_lifetime_ms(1_000)
+            .with_hop_limit(4)
+            .with_app_parameters(vec![1, 2, 3]);
+        assert!(
+            Payload::ptr_eq(&before, &same.wire()),
+            "no-op mutations must not invalidate the encode-once cache"
+        );
+        let changed = same.with_nonce(10);
+        assert!(!Payload::ptr_eq(&before, &changed.wire()));
+    }
+
+    #[test]
+    fn peek_hop_limit_mirrors_decode_including_non_canonical_forms() {
+        // Absent.
+        let plain = Interest::new(name()).with_nonce(1);
+        let buf = Payload::from(plain.encode());
+        let Ok(PacketHeader::Interest(h)) = Packet::peek_header(&buf) else {
+            panic!("peek must classify an Interest");
+        };
+        assert_eq!(h.hop_limit, PeekedHopLimit::Absent);
+
+        // Multi-byte (non-canonical) value: decode succeeds taking the
+        // first byte, but a byte patch would not match a re-encode, so the
+        // peek must flag it opaque rather than patchable.
+        let mut body = Vec::new();
+        encode_name(&mut body, &name());
+        tlv::write_tlv(&mut body, types::NONCE, &7u32.to_be_bytes());
+        tlv::write_tlv(&mut body, types::HOP_LIMIT, &[3, 9]);
+        let mut wire = Vec::new();
+        tlv::write_tlv(&mut wire, types::INTEREST, &body);
+        let buf = Payload::from(wire);
+        assert_eq!(
+            Interest::decode(&buf).expect("decode accepts").hop_limit(),
+            Some(3)
+        );
+        let Ok(PacketHeader::Interest(h)) = Packet::peek_header(&buf) else {
+            panic!("peek must classify an Interest");
+        };
+        assert_eq!(h.hop_limit, PeekedHopLimit::Opaque);
+        assert_eq!(hop_limit_value_offset(&buf), None);
+
+        // Empty value: both the peek and the full decode must reject it.
+        let mut body = Vec::new();
+        encode_name(&mut body, &name());
+        tlv::write_tlv(&mut body, types::NONCE, &7u32.to_be_bytes());
+        tlv::write_tlv(&mut body, types::HOP_LIMIT, &[]);
+        let mut wire = Vec::new();
+        tlv::write_tlv(&mut wire, types::INTEREST, &body);
+        let buf = Payload::from(wire);
+        assert!(Interest::decode(&buf).is_err());
+        assert!(Packet::peek_header(&buf).is_err());
+
+        // Repeated fields: last occurrence wins, as in decode.
+        let mut body = Vec::new();
+        encode_name(&mut body, &name());
+        tlv::write_tlv(&mut body, types::NONCE, &7u32.to_be_bytes());
+        tlv::write_tlv(&mut body, types::HOP_LIMIT, &[3, 9]);
+        tlv::write_tlv(&mut body, types::HOP_LIMIT, &[4]);
+        let mut wire = Vec::new();
+        tlv::write_tlv(&mut wire, types::INTEREST, &body);
+        let buf = Payload::from(wire);
+        let Ok(PacketHeader::Interest(h)) = Packet::peek_header(&buf) else {
+            panic!("peek must classify an Interest");
+        };
+        let PeekedHopLimit::Patchable { value: 4, offset } = h.hop_limit else {
+            panic!("last canonical hop limit must win: {:?}", h.hop_limit);
+        };
+        assert_eq!(hop_limit_value_offset(&buf), Some(offset));
+    }
+
+    #[test]
     fn equality_ignores_wire_cache_state() {
         let a = Data::new(name(), vec![3; 16]);
         let b = a.clone();
@@ -1122,6 +1347,11 @@ mod tests {
         assert!(h.can_be_prefix && h.must_be_fresh);
         assert_eq!(h.nonce, 0xdead_beef);
         assert_eq!(h.lifetime_ms, 2_500);
+        let PeekedHopLimit::Patchable { value, offset } = h.hop_limit else {
+            panic!("canonical hop limit must peek as patchable");
+        };
+        assert_eq!(value, 5);
+        assert_eq!(buf[offset], 5, "offset must address the hop-limit byte");
         assert_eq!(&h.to_name(&buf).expect("valid name"), i.name());
 
         // Lifetime defaults exactly as the full decode does when absent.

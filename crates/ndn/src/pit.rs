@@ -5,12 +5,14 @@
 //! stops broadcast re-flooding loops), and routes returning Data back to the
 //! downstream faces that asked for it.
 
+use crate::arena::{Arena, ArenaRef};
 use crate::face::FaceId;
 use crate::hash::FxBuildHasher;
 use crate::name::Name;
 use crate::tlv::TlvReader;
 use dapes_netsim::time::SimTime;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// One pending Interest.
 #[derive(Clone, Debug)]
@@ -30,7 +32,7 @@ pub struct PitEntry {
     pub last_forward: Option<SimTime>,
     /// The name's canonical wire-value key, shared with the wire index so
     /// aggregation and removal never re-encode the name.
-    pub(crate) wire_key: std::sync::Arc<[u8]>,
+    pub(crate) wire_key: Arc<[u8]>,
 }
 
 impl PitEntry {
@@ -51,56 +53,145 @@ pub enum PitInsert {
     DuplicateNonce,
 }
 
-/// The wire-index mirror of one entry: just what the overhearing fast path
-/// probes (duplicate nonces and CanBePrefix matching).
+/// What the peek resolution ladder learns from its single PIT probe:
+/// enough to answer both the duplicate-nonce and the would-be-new
+/// questions, regardless of which table generation backs the PIT.
+#[derive(Clone, Copy, Debug)]
+pub struct PitProbe<'a> {
+    /// Whether any aggregated Interest had CanBePrefix set.
+    pub can_be_prefix: bool,
+    /// Nonces recorded for the name.
+    pub nonces: &'a [u32],
+}
+
+/// The wire-index mirror of one legacy-generation entry: just what the
+/// overhearing fast path probes (duplicate nonces and CanBePrefix
+/// matching).
 #[derive(Clone, Debug)]
 struct WireEntry {
     can_be_prefix: bool,
     nonces: Vec<u32>,
 }
 
+/// The two table generations a PIT can run on. Behaviour is identical;
+/// only the cost model differs, which is exactly what the scheduler
+/// benchmark's eager-vs-lazy axis prices.
+#[derive(Clone, Debug)]
+enum Tables {
+    /// Current generation: entries live in a generation-tagged [`Arena`];
+    /// the single *wire index* — a hash map keyed by
+    /// [`Name::to_wire_value`] — holds only `Copy` handles into it.
+    Wire {
+        arena: Arena<PitEntry>,
+        index: HashMap<Arc<[u8]>, ArenaRef, FxBuildHasher>,
+    },
+    /// Pre-arena generation, kept as a benchmarkable cost model of the
+    /// old control plane: a `Name`-keyed ordered map owning the entries,
+    /// plus a wire mirror that duplicates per-name nonce state. Every
+    /// insert pays a tree search over component `Arc`s and keeps two
+    /// structures coherent.
+    Legacy {
+        entries: BTreeMap<Name, PitEntry>,
+        mirror: HashMap<Arc<[u8]>, WireEntry, FxBuildHasher>,
+    },
+}
+
+impl Default for Tables {
+    fn default() -> Self {
+        Tables::Wire {
+            arena: Arena::new(),
+            index: HashMap::default(),
+        }
+    }
+}
+
 /// The Pending Interest Table.
 ///
-/// Alongside the canonical `Name`-keyed map, the PIT maintains a *wire
-/// index* keyed by [`Name::to_wire_value`]: peeked frames carry their name
-/// as a borrowed byte slice, and the index answers duplicate-nonce and
-/// PIT-match probes against that slice directly — no `Name` is built, no
-/// component `Arc`s are touched. The index only ever holds canonical
+/// Entries live in a generation-tagged [`Arena`]; the single *wire index* —
+/// a hash map keyed by [`Name::to_wire_value`] — holds only `Copy` handles
+/// into it. One index serves both pipelines: the full-decode path encodes
+/// the Interest name once per probe, and peeked frames carry their name as
+/// a borrowed byte slice the index answers duplicate-nonce and PIT-match
+/// probes against directly — no `Name` is built, no component `Arc`s are
+/// touched. Data-to-entry prefix matching probes component boundaries of
+/// the wire key, which works because a name's canonical wire value
+/// byte-extends all of its prefixes'. The index only ever holds canonical
 /// encodings of valid names, so a frame with a non-canonical or malformed
 /// name region simply misses and falls through to the full decode path.
+///
+/// [`Pit::legacy`] instead runs on the previous table generation (a
+/// `Name`-keyed ordered map plus a duplicating wire mirror), observable-
+/// behaviour-identical but with the old cost model; the scheduler
+/// benchmark's eager modes use it so the baseline keeps pricing the
+/// control plane this generation replaced.
 #[derive(Clone, Debug, Default)]
 pub struct Pit {
-    entries: BTreeMap<Name, PitEntry>,
-    by_wire: HashMap<std::sync::Arc<[u8]>, WireEntry, FxBuildHasher>,
+    tables: Tables,
 }
 
 impl Pit {
-    /// Creates an empty PIT.
+    /// Creates an empty PIT on the wire-arena tables.
     pub fn new() -> Self {
         Pit::default()
     }
 
+    /// Creates an empty PIT on the legacy (pre-arena) table generation.
+    pub fn legacy() -> Self {
+        Pit {
+            tables: Tables::Legacy {
+                entries: BTreeMap::new(),
+                mirror: HashMap::default(),
+            },
+        }
+    }
+
     /// Number of pending entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.tables {
+            Tables::Wire { index, .. } => index.len(),
+            Tables::Legacy { entries, .. } => entries.len(),
+        }
     }
 
     /// Whether the PIT is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Approximate bytes of state (entries plus the wire index).
     pub fn state_bytes(&self) -> usize {
-        self.entries
-            .values()
-            .map(PitEntry::state_bytes)
-            .sum::<usize>()
-            + self
-                .by_wire
-                .iter()
-                .map(|(k, w)| k.len() + w.nonces.len() * 4 + 16)
-                .sum::<usize>()
+        match &self.tables {
+            Tables::Wire { arena, index } => {
+                arena.values().map(PitEntry::state_bytes).sum::<usize>()
+                    + index.keys().map(|k| k.len() + 16).sum::<usize>()
+            }
+            Tables::Legacy { entries, mirror } => {
+                entries.values().map(PitEntry::state_bytes).sum::<usize>()
+                    + mirror
+                        .iter()
+                        .map(|(k, w)| k.len() + w.nonces.len() * 4 + 16)
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Live entries in the slab arena (mirrors [`Pit::len`]; exported as
+    /// the `pit_arena_live` stat). Zero on the legacy tables, which never
+    /// touch the arena.
+    pub fn arena_live(&self) -> usize {
+        match &self.tables {
+            Tables::Wire { arena, .. } => arena.live(),
+            Tables::Legacy { .. } => 0,
+        }
+    }
+
+    /// Arena slots ever allocated — bounded by peak concurrency, not by
+    /// insert volume. Zero on the legacy tables.
+    pub fn arena_allocated(&self) -> usize {
+        match &self.tables {
+            Tables::Wire { arena, .. } => arena.allocated(),
+            Tables::Legacy { .. } => 0,
+        }
     }
 
     /// Records an incoming Interest.
@@ -112,32 +203,99 @@ impl Pit {
         ingress: FaceId,
         expiry: SimTime,
     ) -> PitInsert {
-        match self.entries.get_mut(name) {
+        match &mut self.tables {
+            Tables::Wire { .. } => self.insert_wired(
+                name,
+                &name.to_wire_value(),
+                nonce,
+                can_be_prefix,
+                ingress,
+                expiry,
+            ),
+            Tables::Legacy { entries, mirror } => match entries.get_mut(name) {
+                None => {
+                    // Encode the name once; entry and mirror share the key.
+                    let wire_key: Arc<[u8]> = name.to_wire_value().into();
+                    entries.insert(
+                        name.clone(),
+                        PitEntry {
+                            name: name.clone(),
+                            can_be_prefix,
+                            downstreams: vec![ingress],
+                            nonces: vec![nonce],
+                            expiry,
+                            last_forward: None,
+                            wire_key: wire_key.clone(),
+                        },
+                    );
+                    mirror.insert(
+                        wire_key,
+                        WireEntry {
+                            can_be_prefix,
+                            nonces: vec![nonce],
+                        },
+                    );
+                    PitInsert::New
+                }
+                Some(entry) => {
+                    if entry.nonces.contains(&nonce) {
+                        return PitInsert::DuplicateNonce;
+                    }
+                    entry.nonces.push(nonce);
+                    entry.can_be_prefix |= can_be_prefix;
+                    entry.expiry = entry.expiry.max(expiry);
+                    if !entry.downstreams.contains(&ingress) {
+                        entry.downstreams.push(ingress);
+                    }
+                    let wire = mirror
+                        .get_mut(&*entry.wire_key)
+                        .expect("wire mirror tracks entries");
+                    wire.nonces.push(nonce);
+                    wire.can_be_prefix |= can_be_prefix;
+                    PitInsert::Aggregated
+                }
+            },
+        }
+    }
+
+    /// [`Pit::insert`] with the name's canonical wire value supplied by the
+    /// caller, so a pipeline that already encoded it (for the Content Store
+    /// probe, say) does not pay for a second encoding. On the legacy
+    /// tables this is just [`Pit::insert`] — that generation keys on the
+    /// `Name` and cannot use the hint.
+    pub fn insert_wired(
+        &mut self,
+        name: &Name,
+        name_wire: &[u8],
+        nonce: u32,
+        can_be_prefix: bool,
+        ingress: FaceId,
+        expiry: SimTime,
+    ) -> PitInsert {
+        debug_assert_eq!(&*name.to_wire_value(), name_wire);
+        let handle = match &self.tables {
+            Tables::Wire { index, .. } => index.get(name_wire).copied(),
+            Tables::Legacy { .. } => {
+                return self.insert(name, nonce, can_be_prefix, ingress, expiry)
+            }
+        };
+        match handle {
             None => {
-                // Encode the name once; entry and index share the key.
-                let wire_key: std::sync::Arc<[u8]> = name.to_wire_value().into();
-                self.entries.insert(
+                self.insert_new_peeked(
                     name.clone(),
-                    PitEntry {
-                        name: name.clone(),
-                        can_be_prefix,
-                        downstreams: vec![ingress],
-                        nonces: vec![nonce],
-                        expiry,
-                        last_forward: None,
-                        wire_key: wire_key.clone(),
-                    },
-                );
-                self.by_wire.insert(
-                    wire_key,
-                    WireEntry {
-                        can_be_prefix,
-                        nonces: vec![nonce],
-                    },
+                    name_wire,
+                    nonce,
+                    can_be_prefix,
+                    ingress,
+                    expiry,
                 );
                 PitInsert::New
             }
-            Some(entry) => {
+            Some(handle) => {
+                let Tables::Wire { arena, .. } = &mut self.tables else {
+                    unreachable!("handle only exists on the wire tables");
+                };
+                let entry = arena.get_mut(handle).expect("indexed handles are live");
                 if entry.nonces.contains(&nonce) {
                     return PitInsert::DuplicateNonce;
                 }
@@ -147,27 +305,102 @@ impl Pit {
                 if !entry.downstreams.contains(&ingress) {
                     entry.downstreams.push(ingress);
                 }
-                let wire = self
-                    .by_wire
-                    .get_mut(&*entry.wire_key)
-                    .expect("wire index mirrors entries");
-                wire.nonces.push(nonce);
-                wire.can_be_prefix |= can_be_prefix;
                 PitInsert::Aggregated
+            }
+        }
+    }
+
+    /// [`Pit::insert`] specialized for a frame the resolution ladder has
+    /// already proven absent (the decode-free commit): the caller passes
+    /// the name's wire bytes, skipping the re-encode that [`Pit::insert`]
+    /// would do, hands the `Name` over by value (the commit point is its
+    /// only consumer — no clone), and gets the fresh entry back so
+    /// `last_forward` can be stamped without a second probe.
+    pub fn insert_new_peeked(
+        &mut self,
+        name: Name,
+        name_wire: &[u8],
+        nonce: u32,
+        can_be_prefix: bool,
+        ingress: FaceId,
+        expiry: SimTime,
+    ) -> &mut PitEntry {
+        debug_assert!(!self.contains_wire(name_wire), "caller proved absence");
+        debug_assert_eq!(&*name.to_wire_value(), name_wire);
+        let wire_key: Arc<[u8]> = name_wire.into();
+        match &mut self.tables {
+            Tables::Wire { arena, index } => {
+                let entry = PitEntry {
+                    name,
+                    can_be_prefix,
+                    downstreams: vec![ingress],
+                    nonces: vec![nonce],
+                    expiry,
+                    last_forward: None,
+                    wire_key: wire_key.clone(),
+                };
+                let handle = arena.insert(entry);
+                index.insert(wire_key, handle);
+                arena.get_mut(handle).expect("just inserted")
+            }
+            Tables::Legacy { entries, mirror } => {
+                mirror.insert(
+                    wire_key.clone(),
+                    WireEntry {
+                        can_be_prefix,
+                        nonces: vec![nonce],
+                    },
+                );
+                let entry = PitEntry {
+                    name: name.clone(),
+                    can_be_prefix,
+                    downstreams: vec![ingress],
+                    nonces: vec![nonce],
+                    expiry,
+                    last_forward: None,
+                    wire_key,
+                };
+                entries.entry(name).or_insert(entry)
             }
         }
     }
 
     /// Whether a pending entry exists for `name` (exact).
     pub fn contains(&self, name: &Name) -> bool {
-        self.entries.contains_key(name)
+        match &self.tables {
+            Tables::Wire { .. } => self.contains_wire(&name.to_wire_value()),
+            Tables::Legacy { entries, .. } => entries.contains_key(name),
+        }
     }
 
     /// [`Pit::contains`] against a peeked frame's borrowed name bytes — one
     /// hash probe, no `Name` construction. Exactly the condition under
     /// which [`Pit::insert`] would *not* return [`PitInsert::New`].
     pub fn contains_wire(&self, name_wire: &[u8]) -> bool {
-        self.by_wire.contains_key(name_wire)
+        match &self.tables {
+            Tables::Wire { index, .. } => index.contains_key(name_wire),
+            Tables::Legacy { mirror, .. } => mirror.contains_key(name_wire),
+        }
+    }
+
+    /// The nonce/CanBePrefix state recorded for a peeked frame's borrowed
+    /// name bytes, if any — the one probe behind both the duplicate-nonce
+    /// and the would-be-new checks, so the peek resolution ladder hashes
+    /// the name bytes once.
+    pub fn probe_wire(&self, name_wire: &[u8]) -> Option<PitProbe<'_>> {
+        match &self.tables {
+            Tables::Wire { arena, index } => index.get(name_wire).map(|&h| {
+                let e = arena.get(h).expect("indexed handles are live");
+                PitProbe {
+                    can_be_prefix: e.can_be_prefix,
+                    nonces: &e.nonces,
+                }
+            }),
+            Tables::Legacy { mirror, .. } => mirror.get(name_wire).map(|w| PitProbe {
+                can_be_prefix: w.can_be_prefix,
+                nonces: &w.nonces,
+            }),
+        }
     }
 
     /// Read-only duplicate check: whether `nonce` was already recorded for
@@ -180,9 +413,8 @@ impl Pit {
     /// [`Pit::has_nonce`] against a peeked frame's borrowed name bytes —
     /// one hash probe, no `Name` construction.
     pub fn has_nonce_wire(&self, name_wire: &[u8], nonce: u32) -> bool {
-        self.by_wire
-            .get(name_wire)
-            .is_some_and(|w| w.nonces.contains(&nonce))
+        self.probe_wire(name_wire)
+            .is_some_and(|p| p.nonces.contains(&nonce))
     }
 
     /// Read-only mirror of [`Pit::take_matching`]: whether a Data packet
@@ -198,7 +430,7 @@ impl Pit {
     /// so component boundaries found by a cheap TLV walk are the only
     /// candidate cut points.
     pub fn matches_wire(&self, name_wire: &[u8]) -> bool {
-        if self.by_wire.contains_key(name_wire) {
+        if self.contains_wire(name_wire) {
             return true;
         }
         let mut r = TlvReader::new(name_wire);
@@ -206,9 +438,8 @@ impl Pit {
         loop {
             // `boundary` ends a strict prefix of the name (k components).
             if self
-                .by_wire
-                .get(&name_wire[..boundary])
-                .is_some_and(|w| w.can_be_prefix)
+                .probe_wire(&name_wire[..boundary])
+                .is_some_and(|p| p.can_be_prefix)
             {
                 return true;
             }
@@ -226,57 +457,131 @@ impl Pit {
 
     /// Mutable access to an entry (forwarders update `last_forward`).
     pub fn entry_mut(&mut self, name: &Name) -> Option<&mut PitEntry> {
-        self.entries.get_mut(name)
+        match &mut self.tables {
+            Tables::Wire { arena, index } => {
+                let &handle = index.get(name.to_wire_value().as_slice())?;
+                arena.get_mut(handle)
+            }
+            Tables::Legacy { entries, .. } => entries.get_mut(name),
+        }
     }
 
     /// Removes and returns all entries a Data packet with `data_name`
     /// satisfies: the exact-name entry, plus any prefix entries that were
-    /// inserted with CanBePrefix.
+    /// inserted with CanBePrefix — root first, then longer prefixes, as the
+    /// boundary walk ascends. Both table generations report matches in the
+    /// same order (exact entry first, then prefixes shortest-first).
     pub fn take_matching(&mut self, data_name: &Name) -> Vec<PitEntry> {
-        let mut matched = Vec::new();
-        if let Some(e) = self.entries.remove(data_name) {
-            self.by_wire.remove(&*e.wire_key);
-            matched.push(e);
-        }
-        // Check strict prefixes for CanBePrefix entries. Names are short
-        // (typically <= 4 components), so this loop is cheap.
-        for k in 0..data_name.len() {
-            let prefix = data_name.prefix(k);
-            let is_cbp = self.entries.get(&prefix).is_some_and(|e| e.can_be_prefix);
-            if is_cbp {
-                let e = self.entries.remove(&prefix).expect("just checked");
-                self.by_wire.remove(&*e.wire_key);
-                matched.push(e);
+        match &mut self.tables {
+            Tables::Wire { arena, index } => {
+                fn evict(
+                    arena: &mut Arena<PitEntry>,
+                    index: &mut HashMap<Arc<[u8]>, ArenaRef, FxBuildHasher>,
+                    key: &[u8],
+                ) -> Option<PitEntry> {
+                    let handle = index.remove(key)?;
+                    Some(arena.remove(handle).expect("indexed handles are live"))
+                }
+                let wire = data_name.to_wire_value();
+                let mut matched = Vec::new();
+                if let Some(e) = evict(arena, index, &wire) {
+                    matched.push(e);
+                }
+                // Check strict prefixes for CanBePrefix entries: every
+                // prefix ends at a component boundary of the wire value.
+                // Names are short (typically <= 4 components), so this
+                // loop is cheap.
+                let mut r = TlvReader::new(&wire);
+                let mut boundary = 0usize;
+                loop {
+                    let is_cbp = index
+                        .get(&wire[..boundary])
+                        .and_then(|&h| arena.get(h))
+                        .is_some_and(|e| e.can_be_prefix);
+                    if is_cbp {
+                        matched.push(evict(arena, index, &wire[..boundary]).expect("just checked"));
+                    }
+                    if r.is_at_end() || r.read_tlv().is_err() {
+                        break;
+                    }
+                    boundary = wire.len() - r.remaining();
+                    if boundary >= wire.len() {
+                        // The full name is not a strict prefix; the exact
+                        // probe already ran.
+                        break;
+                    }
+                }
+                matched
+            }
+            Tables::Legacy { entries, mirror } => {
+                let mut matched = Vec::new();
+                if let Some(e) = entries.remove(data_name) {
+                    mirror.remove(&*e.wire_key);
+                    matched.push(e);
+                }
+                for k in 0..data_name.len() {
+                    let prefix = data_name.prefix(k);
+                    let is_cbp = entries.get(&prefix).is_some_and(|e| e.can_be_prefix);
+                    if is_cbp {
+                        let e = entries.remove(&prefix).expect("just checked");
+                        mirror.remove(&*e.wire_key);
+                        matched.push(e);
+                    }
+                }
+                matched
             }
         }
-        matched
     }
 
     /// Removes entries that expired at or before `now`, returning their
-    /// names (DAPES pure forwarders start suppression timers off these).
-    /// Single pass, draining names out of the dropped entries in place —
-    /// no per-entry clone and no second lookup.
+    /// names in canonical order (DAPES pure forwarders start suppression
+    /// timers off these, and callers may arm per-name timers — the sort
+    /// keeps that order independent of hash-map iteration, and identical
+    /// to the legacy tables' ordered-map walk). Each expired entry leaves
+    /// the arena *and* the wire index, so a stale dup-nonce/PIT-match can
+    /// never be reported for an expired Interest.
     pub fn expire(&mut self, now: SimTime) -> Vec<Name> {
-        let mut expired = Vec::new();
-        let mut expired_keys = Vec::new();
-        self.entries.retain(|_, e| {
-            if e.expiry <= now {
-                expired.push(std::mem::take(&mut e.name));
-                expired_keys.push(e.wire_key.clone());
-                false
-            } else {
-                true
+        match &mut self.tables {
+            Tables::Wire { arena, index } => {
+                let mut expired = Vec::new();
+                index.retain(|_, &mut handle| {
+                    if arena.get(handle).expect("indexed handles are live").expiry <= now {
+                        let mut e = arena.remove(handle).expect("just read");
+                        expired.push(std::mem::take(&mut e.name));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                expired.sort_unstable();
+                expired
             }
-        });
-        for key in expired_keys {
-            self.by_wire.remove(&*key);
+            Tables::Legacy { entries, mirror } => {
+                let mut expired = Vec::new();
+                let mut expired_keys = Vec::new();
+                entries.retain(|_, e| {
+                    if e.expiry <= now {
+                        expired.push(std::mem::take(&mut e.name));
+                        expired_keys.push(e.wire_key.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for key in expired_keys {
+                    mirror.remove(&*key);
+                }
+                expired
+            }
         }
-        expired
     }
 
     /// The soonest expiry among pending entries, to drive a cleanup timer.
     pub fn next_expiry(&self) -> Option<SimTime> {
-        self.entries.values().map(|e| e.expiry).min()
+        match &self.tables {
+            Tables::Wire { arena, .. } => arena.values().map(|e| e.expiry).min(),
+            Tables::Legacy { entries, .. } => entries.values().map(|e| e.expiry).min(),
+        }
     }
 }
 
@@ -333,6 +638,17 @@ mod tests {
         assert!(pit.has_nonce(&name("/a"), 1));
         assert!(!pit.has_nonce(&name("/a"), 2));
         assert!(!pit.has_nonce(&name("/b"), 1));
+    }
+
+    #[test]
+    fn probe_wire_is_the_single_ladder_probe() {
+        let mut pit = Pit::new();
+        pit.insert(&name("/a"), 1, false, FaceId::APP, t(4));
+        let key = name("/a").to_wire_value();
+        let probe = pit.probe_wire(&key).expect("present");
+        assert_eq!(probe.nonces, &[1]);
+        assert!(!probe.can_be_prefix);
+        assert!(pit.probe_wire(&name("/b").to_wire_value()).is_none());
     }
 
     #[test]
@@ -395,6 +711,15 @@ mod tests {
     }
 
     #[test]
+    fn root_can_be_prefix_entry_matches_everything() {
+        let mut pit = Pit::new();
+        pit.insert(&Name::root(), 1, true, FaceId::APP, t(4));
+        assert!(pit.matches(&name("/any/thing")));
+        assert_eq!(pit.take_matching(&name("/any/thing")).len(), 1);
+        assert!(pit.is_empty());
+    }
+
+    #[test]
     fn expiry_removes_and_reports() {
         let mut pit = Pit::new();
         pit.insert(&name("/a"), 1, false, FaceId::APP, t(4));
@@ -404,6 +729,99 @@ mod tests {
         assert_eq!(expired, vec![name("/a")]);
         assert_eq!(pit.len(), 1);
         assert_eq!(pit.expire(t(5)), Vec::<Name>::new());
+    }
+
+    #[test]
+    fn expire_reports_names_in_canonical_order() {
+        for mut pit in [Pit::new(), Pit::legacy()] {
+            for uri in ["/z/9", "/a/1", "/m", "/b/2/3"] {
+                pit.insert(&name(uri), 1, false, FaceId::APP, t(4));
+            }
+            let expired = pit.expire(t(4));
+            assert_eq!(
+                expired,
+                vec![name("/a/1"), name("/b/2/3"), name("/m"), name("/z/9")],
+                "order must not depend on hash-map iteration"
+            );
+        }
+    }
+
+    #[test]
+    fn expire_evicts_the_wire_index_too() {
+        // Regression: a desynced wire index would keep reporting stale
+        // dup-nonce / PIT-match outcomes to the peek fast path after the
+        // entry itself expired.
+        for mut pit in [Pit::new(), Pit::legacy()] {
+            pit.insert(&name("/col/f/0"), 7, true, FaceId::APP, t(4));
+            let key = name("/col/f/0").to_wire_value();
+            assert!(pit.contains_wire(&key));
+            assert!(pit.has_nonce_wire(&key, 7));
+            assert!(pit.matches_wire(&name("/col/f/0/seg").to_wire_value()));
+            let expired = pit.expire(t(4));
+            assert_eq!(expired, vec![name("/col/f/0")]);
+            assert!(!pit.contains_wire(&key), "wire entry must expire with it");
+            assert!(!pit.has_nonce_wire(&key, 7));
+            assert!(!pit.matches_wire(&name("/col/f/0/seg").to_wire_value()));
+            assert_eq!(pit.arena_live(), 0, "arena slot must be freed");
+        }
+    }
+
+    #[test]
+    fn take_matching_frees_arena_slots_for_reuse() {
+        let mut pit = Pit::new();
+        for round in 0..50u32 {
+            pit.insert(&name("/a"), round, false, FaceId::APP, t(4));
+            pit.insert(&name("/b"), round, false, FaceId::APP, t(4));
+            assert_eq!(pit.arena_live(), 2);
+            assert_eq!(pit.take_matching(&name("/a")).len(), 1);
+            assert_eq!(pit.take_matching(&name("/b")).len(), 1);
+        }
+        assert_eq!(pit.arena_live(), 0);
+        assert_eq!(
+            pit.arena_allocated(),
+            2,
+            "allocation must track peak concurrency, not volume"
+        );
+    }
+
+    #[test]
+    fn legacy_tables_behave_identically() {
+        // The benchmark compares the two table generations on cost alone,
+        // which is only fair if every observable outcome agrees.
+        let mut wire = Pit::new();
+        let mut legacy = Pit::legacy();
+        let script: &[(&str, u32, bool)] = &[
+            ("/col/f/0", 1, false),
+            ("/col/f/0", 1, false), // duplicate nonce
+            ("/col/f/0", 2, false), // aggregation
+            ("/col", 3, true),
+            ("/adv/n/7", 4, false),
+            ("/adv/n/8", 5, false),
+        ];
+        for &(uri, nonce, cbp) in script {
+            assert_eq!(
+                wire.insert(&name(uri), nonce, cbp, FaceId::WIRELESS, t(4)),
+                legacy.insert(&name(uri), nonce, cbp, FaceId::WIRELESS, t(4)),
+                "insert {uri} nonce {nonce}"
+            );
+        }
+        assert_eq!(wire.len(), legacy.len());
+        for probe in ["/col/f/0", "/col/f/9", "/adv/n/7", "/none"] {
+            assert_eq!(wire.matches(&name(probe)), legacy.matches(&name(probe)));
+            let key = name(probe).to_wire_value();
+            assert_eq!(wire.contains_wire(&key), legacy.contains_wire(&key));
+            assert_eq!(wire.has_nonce_wire(&key, 1), legacy.has_nonce_wire(&key, 1));
+        }
+        let w = wire.take_matching(&name("/col/f/0"));
+        let l = legacy.take_matching(&name("/col/f/0"));
+        assert_eq!(w.len(), l.len());
+        for (a, b) in w.iter().zip(&l) {
+            assert_eq!(a.name, b.name, "match order must agree");
+            assert_eq!(a.nonces, b.nonces);
+            assert_eq!(a.downstreams, b.downstreams);
+        }
+        assert_eq!(wire.expire(t(4)), legacy.expire(t(4)));
+        assert!(wire.is_empty() && legacy.is_empty());
     }
 
     #[test]

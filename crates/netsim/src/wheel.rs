@@ -388,6 +388,31 @@ mod tests {
         assert_eq!(w.len(), 0);
     }
 
+    #[test]
+    fn push_at_exactly_the_overflow_horizon_boundary() {
+        // With the cursor at 0, the horizon's last in-wheel instant is
+        // 2^CAPACITY_BITS - 1 and the very next microsecond must overflow —
+        // and both must still pop in order, including an entry pushed at
+        // the exact boundary after the wheel jumps windows.
+        const HORIZON: u64 = 1 << CAPACITY_BITS;
+        let mut w = TimerWheel::new();
+        w.push(HORIZON - 1, 1, "last-in-wheel");
+        w.push(HORIZON, 2, "first-overflow");
+        assert_eq!(w.overflow.len(), 1, "boundary entry must overflow");
+        assert_eq!(w.peek_time(), Some(HORIZON - 1));
+        assert_eq!(w.pop().map(|e| e.item), Some("last-in-wheel"));
+        assert_eq!(w.pop().map(|e| e.item), Some("first-overflow"));
+        // The refill moved the cursor into the second window: a same-window
+        // push lands in the slots, the third window's base overflows again.
+        w.push(HORIZON + 5, 3, "second-window");
+        assert_eq!(w.overflow.len(), 0);
+        w.push(2 * HORIZON, 4, "third-window");
+        assert_eq!(w.overflow.len(), 1);
+        assert_eq!(w.pop().map(|e| e.item), Some("second-window"));
+        assert_eq!(w.pop().map(|e| e.item), Some("third-window"));
+        assert!(w.pop().is_none());
+    }
+
     /// The load-bearing property: the wheel pops the exact sequence a
     /// min-heap pops, under randomized interleaved pushes and pops across
     /// every level's time scale.

@@ -145,6 +145,11 @@ struct MacState {
     queue: VecDeque<PendingFrame>,
     transmitting: bool,
     cw: u32,
+    /// Earliest carrier-sense retry currently in the event queue, if any.
+    /// Deferrals whose retry time lands at or after it are batched onto
+    /// that one event instead of queueing another: a busy burst ends with
+    /// one retry wake-up per node, not one per overheard transmission.
+    retry_at: Option<SimTime>,
 }
 
 struct NodeSlot {
@@ -381,6 +386,7 @@ impl World {
                 queue: VecDeque::new(),
                 transmitting: false,
                 cw: self.cfg.phy.cw_min,
+                retry_at: None,
             },
         });
         id
@@ -587,7 +593,12 @@ impl World {
                 self.nodes[node.0 as usize].mac.queue.push_back(*frame);
                 self.mac_try(node);
             }
-            EventKind::MacTry { node } => self.mac_try(node),
+            EventKind::MacTry { node } => {
+                // This wake-up *is* the recorded retry (or an earlier one
+                // that supersedes it); a fresh deferral may schedule anew.
+                self.nodes[node.0 as usize].mac.retry_at = None;
+                self.mac_try(node);
+            }
             EventKind::TxEnd { tx_id } => self.finish_tx(tx_id),
             EventKind::DeliverBatch(batch) => self.dispatch_batch(*batch),
             EventKind::Deliver { receiver, frame } => {
@@ -795,7 +806,13 @@ impl World {
             mac.cw = (mac.cw * 2).min(self.cfg.phy.cw_max);
             let slots = self.rng.gen_range(0..self.nodes[idx].mac.cw) as u64;
             let retry = busy_until + self.cfg.phy.difs + self.cfg.phy.slot * slots;
-            self.push_event(retry, EventKind::MacTry { node });
+            // Batch onto an already-queued retry unless this one is
+            // strictly earlier — one wake-up per busy burst, not one per
+            // deferral.
+            if self.nodes[idx].mac.retry_at.is_none_or(|at| retry < at) {
+                self.nodes[idx].mac.retry_at = Some(retry);
+                self.push_event(retry, EventKind::MacTry { node });
+            }
             return;
         }
         let frame = self.nodes[idx]
@@ -1153,6 +1170,34 @@ mod tests {
         w.run_until(SimTime::from_secs(5));
         assert_eq!(w.stack::<Chatter>(c).expect("chatter").heard.len(), 2);
         assert!(w.stats().mac_deferrals >= 1);
+    }
+
+    #[test]
+    fn batched_mac_retries_never_strand_queued_frames() {
+        // B enqueues a burst of beacons while A's long slow frame keeps the
+        // medium busy: every beacon's carrier-sense deferral lands in the
+        // same busy period, so the retries collapse onto one wake-up event.
+        // The batching must still drain B's whole queue once the air clears.
+        let mut cfg = lossless();
+        cfg.phy.rate_mbps = 0.05; // ~16 ms of air per 100-byte frame
+        let mut w = World::new(cfg);
+        let _a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(1, 10)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Chatter::new(5, 1)), // all 5 fall inside A's frame
+        );
+        let c = w.add_node(
+            Box::new(Stationary::new(Point::new(5.0, 5.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.run_until(SimTime::from_secs(5));
+        assert!(w.stats().mac_deferrals >= 4, "burst must hit carrier sense");
+        let heard = &w.stack::<Chatter>(c).expect("chatter").heard;
+        let from_b = heard.iter().filter(|(_, src)| *src == b).count();
+        assert_eq!(from_b, 5, "batched retries must still send every frame");
     }
 
     #[test]

@@ -45,31 +45,41 @@ fn tampered_metadata_is_rejected_end_to_end() {
 #[test]
 fn repo_pattern_one_transmission_serves_two_peers() {
     // The paper's scenario-2 insight: requests from either peer satisfy
-    // both, so co-located downloads cost fewer transmissions than double a
-    // single download.
-    let frames_with_downloaders = |extra: bool| {
-        // 10% loss as in the original formulation: retransmissions make the
-        // single-download baseline realistic rather than best-case.
-        let mut b = ScenarioBuilder::new(9)
-            .collection(1, 16 * 1024)
-            .loss(0.10)
-            .producer_at(0.0, 0.0)
-            .downloader_at(20.0, 0.0);
-        if extra {
-            b = b.downloader_at(0.0, 20.0);
-        }
-        let mut sc = b.build();
-        sc.run_until_complete(SimTime::from_secs(300));
-        assert!(sc.all_complete());
-        sc.world.stats().tx_frames
+    // both, so the producer answers co-located downloads with barely more
+    // Data transmissions than a single download — PIT aggregation merges
+    // concurrent requests and each broadcast is overheard by both peers.
+    // `packets_served` isolates the producer's data plane; total frame
+    // counts would be dominated by the per-peer control chatter (and by
+    // loss-pattern luck: retransmission noise across seeds is larger than
+    // the effect). 10% loss as in the original formulation, summed over
+    // three seeds.
+    let served_with_downloaders = |extra: bool| {
+        [9, 10, 11]
+            .into_iter()
+            .map(|seed| {
+                let mut b = ScenarioBuilder::new(seed)
+                    .collection(1, 16 * 1024)
+                    .loss(0.10)
+                    .producer_at(0.0, 0.0)
+                    .downloader_at(20.0, 0.0);
+                if extra {
+                    b = b.downloader_at(0.0, 20.0);
+                }
+                let mut sc = b.build();
+                sc.run_until_complete(SimTime::from_secs(300));
+                assert!(sc.all_complete());
+                sc.peer(sc.producers[0]).unwrap().stats().packets_served
+            })
+            .sum::<u64>()
     };
-    let single = frames_with_downloaders(false);
-    let double = frames_with_downloaders(true);
+    let single = served_with_downloaders(false);
+    let double = served_with_downloaders(true);
     assert!(
         (double as f64) < 1.9 * single as f64,
-        "two co-located downloads ({double} frames) should cost less than \
-         2x one download ({single} frames): broadcast data and PIT \
-         aggregation let one transmission serve both peers"
+        "two co-located downloads ({double} packets served) should cost the \
+         producer less than 2x one download ({single} packets served): \
+         broadcast data and PIT aggregation let one transmission serve both \
+         peers"
     );
 }
 

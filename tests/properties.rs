@@ -52,6 +52,71 @@ proptest! {
     }
 
     #[test]
+    fn relay_byte_patch_equals_decode_decrement_encode(
+        name in arb_name(),
+        nonce in any::<u32>(),
+        lifetime in 1u64..100_000,
+        cbp in any::<bool>(),
+        mbf in any::<bool>(),
+        hops in proptest::option::of(any::<u8>()),
+        params in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)),
+    ) {
+        // The decode-free relay path rewrites the single HopLimit byte on a
+        // copied frame. That is only sound if the patched bytes are exactly
+        // what the eager path's decode → decrement → re-encode would send,
+        // for every encodable Interest.
+        use dapes_ndn::packet::{Packet, PacketHeader, PeekedHopLimit};
+        use dapes_netsim::payload::Payload;
+
+        let mut interest = Interest::new(name)
+            .with_nonce(nonce)
+            .with_lifetime_ms(lifetime)
+            .with_can_be_prefix(cbp)
+            .with_must_be_fresh(mbf);
+        if let Some(h) = hops {
+            interest = interest.with_hop_limit(h);
+        }
+        if let Some(p) = params {
+            interest = interest.with_app_parameters(p);
+        }
+        let frame = Payload::from(interest.encode());
+        let PacketHeader::Interest(header) = Packet::peek_header(&frame).unwrap() else {
+            panic!("interest frame peeked as data");
+        };
+        match header.hop_limit {
+            PeekedHopLimit::Absent => {
+                prop_assert_eq!(hops, None);
+                // No hop limit: the relay forwards the frame unchanged, and
+                // the eager path re-encodes the identical bytes.
+                let mut eager = Interest::decode(frame.as_slice()).unwrap();
+                prop_assert!(eager.decrement_hop_limit());
+                prop_assert_eq!(eager.encode().as_slice(), frame.as_slice());
+            }
+            PeekedHopLimit::Patchable { value, offset } => {
+                prop_assert_eq!(Some(value), hops);
+                if value <= 1 {
+                    // Exhausted: both paths commit state and transmit
+                    // nothing.
+                    let mut eager = Interest::decode(frame.as_slice()).unwrap();
+                    prop_assert!(!eager.decrement_hop_limit());
+                } else {
+                    let mut patched = frame.as_slice().to_vec();
+                    patched[offset] = value - 1;
+                    let mut eager = Interest::decode(frame.as_slice()).unwrap();
+                    prop_assert!(eager.decrement_hop_limit());
+                    prop_assert_eq!(&eager.encode(), &patched);
+                    // And the patched frame decodes back to the decremented
+                    // Interest, so downstream hops agree too.
+                    prop_assert_eq!(Interest::decode(&patched).unwrap(), eager);
+                }
+            }
+            PeekedHopLimit::Opaque => {
+                panic!("canonical encoder produced a non-patchable hop limit");
+            }
+        }
+    }
+
+    #[test]
     fn data_wire_round_trips_and_verifies(
         name in arb_name(),
         content in proptest::collection::vec(any::<u8>(), 0..512),
