@@ -1,0 +1,81 @@
+//! Adversarial benchmark: runs the benign control cell plus the four
+//! attack cells (spoof / tamper / replay / flood), gates on the defense
+//! invariants and writes `BENCH_adversarial.json` plus a Prometheus
+//! text-format dump of the benign cell's simulator counters.
+//!
+//! ```text
+//! cargo run --release -p dapes-bench --bin adversarial            # dense
+//! cargo run --release -p dapes-bench --bin adversarial -- --quick # CI smoke
+//! cargo run ... -- --out BENCH_adversarial.json --prom-out BENCH_adversarial.prom
+//! ```
+//!
+//! The gate (exit 1 on first violation): every cell completes its
+//! transfer, every attack cell's rejection counters equal the hostile
+//! frames actually delivered, no attack slows completion beyond
+//! [`MAX_SLOWDOWN`]× benign, the stale-peer sweep fires everywhere, and
+//! the benign cell shows zero hostile traffic and zero rejections.
+//!
+//! [`MAX_SLOWDOWN`]: dapes_bench::adversarial::MAX_SLOWDOWN
+
+use dapes_bench::adversarial::{render_report, run_all, AdversarialParams, AttackMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
+    let out = arg("--out").unwrap_or_else(|| "BENCH_adversarial.json".to_owned());
+    let prom_out = arg("--prom-out");
+    let mut params = if quick {
+        AdversarialParams::smoke()
+    } else {
+        AdversarialParams::dense()
+    };
+    if let Some(s) = arg("--seed") {
+        params.seed = s.parse().expect("--seed");
+    }
+    eprintln!(
+        "adversarial: seed {}, {} files x {} B, {} s horizon",
+        params.seed, params.files, params.file_size, params.run_secs
+    );
+
+    let outcomes = run_all(&params);
+    for o in &outcomes {
+        eprintln!(
+            "  {:<7}: done={} at {:>6.2} s, {:>5} frames ({:>4.1}% overhead), \
+             hostile {:>4} delivered / {:>4} sent, rejected bad-sig {} replay {}/{} \
+             tamper {} flood {}, expired {}, exact={}",
+            o.mode.label(),
+            o.completed,
+            o.completion_secs,
+            o.tx_frames,
+            o.overhead_ratio * 100.0,
+            o.hostile_delivered_total(),
+            o.hostile_sent,
+            o.defense.adverts_rejected_bad_sig,
+            o.defense.adverts_rejected_replay,
+            o.defense.interests_rejected_replay,
+            o.defense.segments_rejected_tamper,
+            o.defense.flood_frames_dropped,
+            o.defense.peers_expired,
+            o.exact_accounting,
+        );
+    }
+
+    let json = render_report(&params, &outcomes);
+    std::fs::write(&out, &json).expect("write BENCH_adversarial.json");
+    eprintln!("wrote {out}");
+    if let Some(prom) = prom_out {
+        let benign = outcomes
+            .iter()
+            .find(|o| o.mode == AttackMode::Benign)
+            .expect("benign cell always runs");
+        std::fs::write(&prom, &benign.prometheus).expect("write prometheus dump");
+        eprintln!("wrote {prom}");
+    }
+
+    if let Err(msg) = dapes_bench::adversarial::gate(&outcomes) {
+        eprintln!("GATE VIOLATION: {msg}");
+        std::process::exit(1);
+    }
+    eprintln!("gate: all defense invariants hold");
+}

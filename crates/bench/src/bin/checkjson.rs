@@ -1,16 +1,19 @@
 //! Validates committed/generated `BENCH_*.json` reports against the schema
 //! the CI gate relies on, and renders the step-summary speedup table.
+//! Files ending in `.prom` are validated as Prometheus text-format metric
+//! dumps instead.
 //!
 //! ```text
 //! cargo run -p dapes-bench --bin checkjson -- BENCH_sched.json BENCH_hotpath.json
 //! cargo run -p dapes-bench --bin checkjson -- --summary BENCH_sched_smoke.json
+//! cargo run -p dapes-bench --bin checkjson -- BENCH_adversarial.json BENCH_adversarial.prom
 //! ```
 //!
 //! The actual checks live in [`dapes_bench::check`] (unit-tested there);
 //! this binary only does argument handling and exit codes. Exits non-zero
 //! on the first violation, so a malformed or hand-mangled report fails CI.
 
-use dapes_bench::check::{summary, validate};
+use dapes_bench::check::{summary, validate, validate_prometheus};
 use dapes_bench::json::parse;
 
 fn fail(file: &str, msg: &str) -> ! {
@@ -29,6 +32,13 @@ fn main() {
     for file in files {
         let text = std::fs::read_to_string(file)
             .unwrap_or_else(|e| fail(file, &format!("unreadable: {e}")));
+        if file.ends_with(".prom") {
+            if let Err(e) = validate_prometheus(&text) {
+                fail(file, &e);
+            }
+            eprintln!("checkjson: {file}: OK (prometheus)");
+            continue;
+        }
         let doc = parse(&text).unwrap_or_else(|e| fail(file, &format!("invalid JSON: {e}")));
         if let Err(e) = validate(&doc) {
             fail(file, &e);

@@ -1,0 +1,51 @@
+//! Runs one scenario and emits the simulator's counters as a Prometheus
+//! text-format dump — the scrape-friendly observability surface next to the
+//! JSON reports.
+//!
+//! ```text
+//! cargo run --release -p dapes-bench --bin metrics                 # stdout
+//! cargo run ... --bin metrics -- --attack tamper --out run.prom    # file
+//! cargo run ... --bin metrics -- --seed 9 --secs 120
+//! ```
+//!
+//! `--attack` selects a cell of the adversarial benchmark (`benign`,
+//! `spoof`, `tamper`, `replay`, `flood`); the default is the benign cell.
+//! The dump is `checkjson`-compatible (`checkjson file.prom`).
+
+use dapes_bench::adversarial::{run_mode, AdversarialParams, AttackMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
+    let mode = match arg("--attack").as_deref() {
+        None | Some("benign") => AttackMode::Benign,
+        Some("spoof") => AttackMode::Spoof,
+        Some("tamper") => AttackMode::Tamper,
+        Some("replay") => AttackMode::Replay,
+        Some("flood") => AttackMode::Flood,
+        Some(other) => {
+            panic!("--attack must be one of benign/spoof/tamper/replay/flood, got {other:?}")
+        }
+    };
+    let mut params = AdversarialParams::smoke();
+    if let Some(s) = arg("--seed") {
+        params.seed = s.parse().expect("--seed");
+    }
+    if let Some(s) = arg("--secs") {
+        params.run_secs = s.parse().expect("--secs");
+    }
+    let outcome = run_mode(&params, mode);
+    eprintln!(
+        "metrics: {} cell, completed={}, {} frames on the air",
+        outcome.mode.label(),
+        outcome.completed,
+        outcome.tx_frames
+    );
+    match arg("--out") {
+        Some(path) => {
+            std::fs::write(&path, &outcome.prometheus).expect("write metrics dump");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{}", outcome.prometheus),
+    }
+}

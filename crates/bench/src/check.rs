@@ -41,9 +41,130 @@ pub fn mode_entries(doc: &Value) -> Result<Vec<&Value>, String> {
     }
 }
 
-/// Validates one parsed report document against the CI schema.
+/// The attack modes an adversarial report must cover, exactly once each.
+pub const REQUIRED_ATTACK_MODES: [&str; 5] = ["benign", "spoof", "tamper", "replay", "flood"];
+
+/// Per-attack-entry defense counters; all must be present and non-negative.
+const ATTACK_COUNTERS: [&str; 8] = [
+    "adverts_rejected_bad_sig",
+    "adverts_rejected_replay",
+    "peers_expired",
+    "segments_rejected_tamper",
+    "interests_rejected_replay",
+    "flood_frames_dropped",
+    "hostile_delivered",
+    "hostile_sent",
+];
+
+/// Validates the adversarial report shape: header fields, one entry per
+/// required attack mode, non-negative counters, boolean `completed` and
+/// `exact_accounting` flags that are both `true`.
+fn validate_adversarial(doc: &Value) -> Result<(), String> {
+    require_num(doc, "nodes")?;
+    require_num(doc, "seed")?;
+    let window = require_num(doc, "replay_window_ms")?;
+    if window <= 0.0 {
+        return Err(format!(
+            "\"replay_window_ms\" must be positive, got {window}"
+        ));
+    }
+    let attacks = doc
+        .get("attacks")
+        .and_then(Value::as_array)
+        .ok_or("\"attacks\" must be an array")?;
+    let mut seen = Vec::new();
+    for entry in attacks {
+        let mode = require_str(entry, "mode")?;
+        if seen.contains(&mode.to_string()) {
+            return Err(format!("duplicate attack mode \"{mode}\""));
+        }
+        seen.push(mode.to_string());
+        for key in ["completed", "exact_accounting"] {
+            match entry.get(key) {
+                Some(Value::Bool(true)) => {}
+                Some(Value::Bool(false)) => {
+                    return Err(format!(
+                        "mode \"{mode}\": \"{key}\" is false — gate violated"
+                    ))
+                }
+                _ => return Err(format!("mode \"{mode}\": missing or non-bool \"{key}\"")),
+            }
+        }
+        for key in ["completion_secs", "tx_frames", "overhead_ratio"] {
+            let n = require_num(entry, key).map_err(|e| format!("mode \"{mode}\": {e}"))?;
+            if n < 0.0 {
+                return Err(format!("mode \"{mode}\": \"{key}\" is negative ({n})"));
+            }
+        }
+        for key in ATTACK_COUNTERS {
+            let n = require_num(entry, key).map_err(|e| format!("mode \"{mode}\": {e}"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!(
+                    "mode \"{mode}\": counter \"{key}\" must be a non-negative integer, got {n}"
+                ));
+            }
+        }
+    }
+    for required in REQUIRED_ATTACK_MODES {
+        if !seen.iter().any(|m| m == required) {
+            return Err(format!("missing required attack mode \"{required}\""));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a Prometheus text-format metrics dump: every non-empty line is
+/// a `# HELP`/`# TYPE` comment or a `name[{labels}] value` sample with a
+/// finite, non-negative value and a `dapes_`-prefixed metric name.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if !(rest.starts_with("HELP dapes_") || rest.starts_with("TYPE dapes_")) {
+                return Err(format!("line {}: malformed comment {line:?}", i + 1));
+            }
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value in sample {line:?}", i + 1))?;
+        let name = name_part.split('{').next().unwrap_or(name_part);
+        if !name.starts_with("dapes_")
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '{' || c == '}')
+        {
+            return Err(format!("line {}: bad metric name {name:?}", i + 1));
+        }
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("line {}: non-numeric value {value_part:?}", i + 1))?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!(
+                "line {}: metric {name} has invalid value {value}",
+                i + 1
+            ));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in the metrics dump".into());
+    }
+    Ok(())
+}
+
+/// Validates one parsed report document against the CI schema. Documents
+/// carrying an `attacks` key use the adversarial shape; everything else is
+/// a perf report (scheduler or hot-path shape).
 pub fn validate(doc: &Value) -> Result<(), String> {
     require_str(doc, "scenario")?;
+    if doc.get("attacks").is_some() {
+        return validate_adversarial(doc);
+    }
     require_num(doc, "nodes")?;
     require_num(doc, "seed")?;
     let speedup = require_num(doc, "speedup_events_per_sec")?;
@@ -67,6 +188,38 @@ pub fn validate(doc: &Value) -> Result<(), String> {
 pub fn summary(doc: &Value) -> Result<String, String> {
     let scenario = require_str(doc, "scenario")?;
     let nodes = require_num(doc, "nodes")?;
+    if let Some(attacks) = doc.get("attacks").and_then(Value::as_array) {
+        let mut out = format!(
+            "### `{scenario}` ({nodes} nodes) — defenses vs attack modes\n\n\
+             | mode | done (s) | overhead | hostile rx | rejected | exact |\n\
+             | --- | ---: | ---: | ---: | ---: | --- |\n"
+        );
+        for entry in attacks {
+            let mode = require_str(entry, "mode")?;
+            let rejected: f64 = [
+                "adverts_rejected_bad_sig",
+                "adverts_rejected_replay",
+                "segments_rejected_tamper",
+                "interests_rejected_replay",
+                "flood_frames_dropped",
+            ]
+            .iter()
+            .map(|k| entry.get(k).and_then(Value::as_f64).unwrap_or(0.0))
+            .sum();
+            out.push_str(&format!(
+                "| `{mode}` | {:.2} | {:.1}% | {:.0} | {rejected:.0} | {} |\n",
+                require_num(entry, "completion_secs")?,
+                require_num(entry, "overhead_ratio")? * 100.0,
+                require_num(entry, "hostile_delivered")?,
+                if matches!(entry.get("exact_accounting"), Some(Value::Bool(true))) {
+                    "yes"
+                } else {
+                    "NO"
+                },
+            ));
+        }
+        return Ok(out);
+    }
     let speedup = require_num(doc, "speedup_events_per_sec")?;
     let mut out = format!(
         "### `{scenario}` ({nodes} nodes) — {speedup:.2}x events/sec\n\n\
@@ -164,6 +317,127 @@ mod tests {
         let doc = parse(&sched_doc("2.0", entry)).expect("parses");
         let err = validate(&doc).expect_err("infinite wall_secs");
         assert!(err.contains("wall_secs") && err.contains("\"m\""), "{err}");
+    }
+
+    fn attack_entry(mode: &str, extra: &str) -> String {
+        format!(
+            "{{\"mode\": \"{mode}\", \"completed\": true, \"completion_secs\": 9.5, \
+              \"tx_frames\": 120, \"overhead_ratio\": 0.4, \
+              \"adverts_rejected_bad_sig\": 0, \"adverts_rejected_replay\": 0, \
+              \"peers_expired\": 1, \"segments_rejected_tamper\": 0, \
+              \"interests_rejected_replay\": 0, \"flood_frames_dropped\": 0, \
+              \"hostile_delivered\": 0, \"hostile_sent\": 0, \
+              \"exact_accounting\": true{extra}}}"
+        )
+    }
+
+    fn adversarial_doc(entries: &[String]) -> String {
+        format!(
+            "{{\"scenario\": \"adversarial\", \"nodes\": 3, \"seed\": 7, \
+             \"replay_window_ms\": 5000, \"attacks\": [{}]}}",
+            entries.join(", ")
+        )
+    }
+
+    fn full_adversarial_doc() -> String {
+        let entries: Vec<String> = REQUIRED_ATTACK_MODES
+            .iter()
+            .map(|m| attack_entry(m, ""))
+            .collect();
+        adversarial_doc(&entries)
+    }
+
+    #[test]
+    fn accepts_a_well_formed_adversarial_report() {
+        let doc = parse(&full_adversarial_doc()).expect("parses");
+        assert_eq!(validate(&doc), Ok(()));
+        let table = summary(&doc).expect("summary renders");
+        assert!(
+            table.contains("`flood`") && table.contains("yes"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn rejects_adversarial_report_missing_an_attack_mode() {
+        let entries: Vec<String> = ["benign", "spoof", "tamper", "replay"]
+            .iter()
+            .map(|m| attack_entry(m, ""))
+            .collect();
+        let doc = parse(&adversarial_doc(&entries)).expect("parses");
+        let err = validate(&doc).expect_err("missing flood");
+        assert!(err.contains("\"flood\""), "{err}");
+    }
+
+    #[test]
+    fn rejects_negative_and_fractional_defense_counters() {
+        for bad in ["-1", "0.5"] {
+            let mut entries: Vec<String> = ["benign", "spoof", "tamper", "replay"]
+                .iter()
+                .map(|m| attack_entry(m, ""))
+                .collect();
+            entries.push(attack_entry("flood", "").replace(
+                "\"flood_frames_dropped\": 0",
+                &format!("\"flood_frames_dropped\": {bad}"),
+            ));
+            let doc = parse(&adversarial_doc(&entries)).expect("parses");
+            let err = validate(&doc).expect_err("bad counter");
+            assert!(err.contains("flood_frames_dropped"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_failed_accounting_and_incomplete_transfers() {
+        for (key, want) in [
+            ("exact_accounting", "gate violated"),
+            ("completed", "gate violated"),
+        ] {
+            let mut entries: Vec<String> = ["benign", "spoof", "tamper", "replay"]
+                .iter()
+                .map(|m| attack_entry(m, ""))
+                .collect();
+            entries.push(
+                attack_entry("flood", "")
+                    .replace(&format!("\"{key}\": true"), &format!("\"{key}\": false")),
+            );
+            let doc = parse(&adversarial_doc(&entries)).expect("parses");
+            let err = validate(&doc).expect_err("false gate flag");
+            assert!(err.contains(want), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_attack_modes() {
+        let mut entries: Vec<String> = REQUIRED_ATTACK_MODES
+            .iter()
+            .map(|m| attack_entry(m, ""))
+            .collect();
+        entries.push(attack_entry("spoof", ""));
+        let doc = parse(&adversarial_doc(&entries)).expect("parses");
+        let err = validate(&doc).expect_err("duplicate spoof");
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_validator_accepts_well_formed_dumps() {
+        let text = "# HELP dapes_tx_frames Frames transmitted.\n\
+                    # TYPE dapes_tx_frames counter\n\
+                    dapes_tx_frames 42\n\
+                    dapes_delivered_by_kind{kind=\"1\"} 7\n";
+        assert_eq!(validate_prometheus(text), Ok(()));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_bad_lines() {
+        for (text, why) in [
+            ("", "empty dump"),
+            ("# HELP other_metric x\nother_metric 1\n", "foreign prefix"),
+            ("dapes_tx_frames -1\n", "negative value"),
+            ("dapes_tx_frames NaN\n", "non-finite value"),
+            ("dapes_tx_frames\n", "no value"),
+        ] {
+            assert!(validate_prometheus(text).is_err(), "must reject: {why}");
+        }
     }
 
     #[test]

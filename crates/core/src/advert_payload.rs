@@ -15,14 +15,33 @@ pub fn encode_bitmap_params(peer: u32, bitmap: &Bitmap) -> Vec<u8> {
     out
 }
 
-/// Decodes a payload produced by [`encode_bitmap_params`].
+/// Decodes a payload produced by [`encode_bitmap_params`]. Length-strict:
+/// trailing bytes (such as an unstripped [`crate::auth`] envelope) are
+/// rejected, so the sealed and plain forms never alias.
 pub fn decode_bitmap_params(wire: &[u8]) -> Option<(u32, Bitmap)> {
     if wire.len() < 4 {
         return None;
     }
     let peer = u32::from_be_bytes(wire[..4].try_into().ok()?);
     let bitmap = Bitmap::from_wire(&wire[4..])?;
+    if wire.len() != 4 + Bitmap::wire_size(bitmap.len()) {
+        return None;
+    }
     Some((peer, bitmap))
+}
+
+/// Decodes a bitmap payload that may carry the signed-advert envelope
+/// ([`crate::auth`]): tries the plain encoding first, then once more with
+/// the envelope trailer stripped — *without verifying it*.
+///
+/// This is for forwarding-plane peeks (the multi-hop bitmap decision,
+/// opportunistic overhearing sites behind the authenticated screen) that
+/// only need the advertised bits and must work identically whichever side
+/// of the `signed_adverts` toggle produced the frame. Consumers that admit
+/// the advert into protocol state authenticate via [`crate::auth::open`]
+/// first.
+pub fn decode_bitmap_params_maybe_sealed(wire: &[u8]) -> Option<(u32, Bitmap)> {
+    decode_bitmap_params(wire).or_else(|| crate::auth::strip(wire).and_then(decode_bitmap_params))
 }
 
 #[cfg(test)]
@@ -46,6 +65,22 @@ mod tests {
         assert!(decode_bitmap_params(&wire[..3]).is_none());
         assert!(decode_bitmap_params(&wire[..wire.len() - 1]).is_none());
         assert!(decode_bitmap_params(&[]).is_none());
+    }
+
+    #[test]
+    fn maybe_sealed_accepts_both_forms() {
+        use dapes_crypto::signing::TrustAnchor;
+        let mut b = Bitmap::new(64);
+        b.set(5);
+        let plain = encode_bitmap_params(3, &b);
+        assert_eq!(
+            decode_bitmap_params_maybe_sealed(&plain),
+            Some((3, b.clone()))
+        );
+        let anchor = TrustAnchor::from_seed(b"advert-payload-tests");
+        let sealed = crate::auth::seal(&plain, 42, &anchor.keypair("peer-3"));
+        assert!(decode_bitmap_params(&sealed).is_none(), "trailer rejected");
+        assert_eq!(decode_bitmap_params_maybe_sealed(&sealed), Some((3, b)));
     }
 
     #[test]

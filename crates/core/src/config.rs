@@ -124,6 +124,24 @@ pub struct DapesConfig {
     /// bit-identical either way — the toggle exists for equivalence tests
     /// and the scheduler benchmark's decode-regime axis.
     pub relay_patch: bool,
+    /// Seal bitmap advertisements and discovery replies in the signed
+    /// envelope ([`crate::auth`]): a monotonic per-producer timestamp plus
+    /// a trust-anchor signature over the payload, verified (and
+    /// replay-checked) before any announcement touches protocol state.
+    /// Default-on; toggling it off reproduces the pre-authentication wire
+    /// format byte for byte, so benign golden traces stay bit-identical
+    /// with the adversarial axis disabled.
+    pub signed_adverts: bool,
+    /// How far in the past a sealed announcement's timestamp may lie before
+    /// it is rejected as a replay (alongside the per-producer high-water
+    /// mark, which catches re-injections inside the window). Must exceed
+    /// the longest benign re-serve path — a discovery reply answered from
+    /// a neighbor's Content Store within its 1 s freshness, or a bitmap
+    /// reply served inside its ~2 s advertisement round — with margin.
+    pub replay_window_ms: u64,
+    /// Producers unheard for this long are swept from the replay table —
+    /// the stale-peer expiry of the authenticated discovery set.
+    pub peer_ttl_ms: u64,
 }
 
 impl Default for DapesConfig {
@@ -153,6 +171,9 @@ impl Default for DapesConfig {
             tick: SimDuration::from_millis(100),
             lazy_peek: true,
             relay_patch: true,
+            signed_adverts: true,
+            replay_window_ms: 5_000,
+            peer_ttl_ms: 10_000,
         }
     }
 }
@@ -209,5 +230,13 @@ mod tests {
         let c = DapesConfig::single_hop();
         assert!(!c.multihop);
         assert!(c.peba);
+    }
+
+    #[test]
+    fn signed_adverts_default_on_with_paper_scale_windows() {
+        let c = DapesConfig::default();
+        assert!(c.signed_adverts);
+        assert_eq!(c.replay_window_ms, 5_000);
+        assert_eq!(c.peer_ttl_ms, 10_000);
     }
 }

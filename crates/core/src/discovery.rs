@@ -128,6 +128,19 @@ impl DiscoveryInfo {
         }
         Some(DiscoveryInfo { peer, offers })
     }
+
+    /// Parses a discovery payload that may carry the signed-advert envelope
+    /// ([`crate::auth`]): tries the plain encoding first, then once more
+    /// with the envelope trailer stripped — *without verifying it*.
+    ///
+    /// Like [`crate::advert_payload::decode_bitmap_params_maybe_sealed`],
+    /// this serves sites that only peek at the announcement; consumers that
+    /// admit it into the discovery set authenticate via
+    /// [`crate::auth::open`] first.
+    pub fn from_wire_maybe_sealed(wire: &[u8]) -> Option<Self> {
+        DiscoveryInfo::from_wire(wire)
+            .or_else(|| crate::auth::strip(wire).and_then(DiscoveryInfo::from_wire))
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +213,27 @@ mod tests {
             offers: vec![],
         };
         assert_eq!(DiscoveryInfo::from_wire(&info.to_wire()), Some(info));
+    }
+
+    #[test]
+    fn maybe_sealed_accepts_both_forms() {
+        use dapes_crypto::signing::TrustAnchor;
+        let info = DiscoveryInfo {
+            peer: 5,
+            offers: vec![],
+        };
+        let plain = info.to_wire();
+        assert_eq!(
+            DiscoveryInfo::from_wire_maybe_sealed(&plain),
+            Some(info.clone())
+        );
+        let anchor = TrustAnchor::from_seed(b"discovery-tests");
+        let sealed = crate::auth::seal(&plain, 9, &anchor.keypair("peer-5"));
+        assert!(
+            DiscoveryInfo::from_wire(&sealed).is_none(),
+            "trailer rejected"
+        );
+        assert_eq!(DiscoveryInfo::from_wire_maybe_sealed(&sealed), Some(info));
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! * [`multihop`] — forwarding/suppression over the NDN stateful forwarding
 //!   plane, for pure forwarders and DAPES intermediate nodes (§V);
 //! * [`peer`] — the complete peer state machine, runnable on the
-//!   [`dapes_netsim`] simulator.
+//!   [`dapes_netsim`] simulator;
+//! * [`auth`] — the signed advert/discovery envelope, monotonic stamps and
+//!   the replay high-water-mark guard;
+//! * [`adversary`] — attacker node types (forger, tamperer, replayer,
+//!   flooder) for the adversarial scenario axis.
 //!
 //! # Quick start
 //!
@@ -48,8 +52,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod advert;
 pub mod advert_payload;
+pub mod auth;
 pub mod bitmap;
 pub mod collection;
 pub mod config;
@@ -63,7 +69,9 @@ pub mod stats;
 
 /// Glob-import of the commonly used types.
 pub mod prelude {
+    pub use crate::adversary::{Adversary, AdversaryKind};
     pub use crate::advert::AdvertScheduler;
+    pub use crate::auth::{MonotonicStamp, ReplayGuard, ReplayVerdict};
     pub use crate::bitmap::Bitmap;
     pub use crate::collection::{Collection, CollectionSpec, FileSpec};
     pub use crate::config::{AdvertSchedule, BitmapBudget, DapesConfig};

@@ -294,7 +294,7 @@ impl MultihopState {
         };
         let requester_bitmap = interest
             .app_parameters()
-            .and_then(crate::advert_payload::decode_bitmap_params)
+            .and_then(crate::advert_payload::decode_bitmap_params_maybe_sealed)
             .map(|(_, bm)| bm);
         match requester_bitmap {
             Some(req) => {

@@ -14,7 +14,8 @@
 //!   NDN-only caching and probabilistic forwarding per §V-A.
 
 use crate::advert::AdvertScheduler;
-use crate::advert_payload::{decode_bitmap_params, encode_bitmap_params};
+use crate::advert_payload::{decode_bitmap_params_maybe_sealed, encode_bitmap_params};
+use crate::auth::{self, MonotonicStamp, OpenError, ReplayGuard, ReplayVerdict};
 use crate::bitmap::Bitmap;
 use crate::collection::{regenerate_packet, Collection};
 use crate::config::DapesConfig;
@@ -67,6 +68,11 @@ const TOKEN_TICK: u64 = 1 << 56;
 const TOKEN_DISCOVERY: u64 = 2 << 56;
 const TOKEN_PENDING: u64 = 3 << 56;
 const TOKEN_MASK: u64 = 0xff << 56;
+
+/// Overheard-nonce journal capacity: enough for several replay windows of
+/// traffic in a dense cell, bounded so a nonce-minting flooder cannot grow
+/// it without limit.
+const NONCE_JOURNAL_CAP: usize = 4096;
 
 #[derive(Debug)]
 enum PendingPayload {
@@ -172,6 +178,13 @@ pub struct DapesPeer {
     next_pending: u64,
     encounter_active: bool,
     stats: PeerStats,
+    /// Monotonic timestamp source for sealing our own announcements.
+    stamp: MonotonicStamp,
+    /// Per-producer high-water marks for verified announcements.
+    replay: ReplayGuard,
+    /// First-seen times of overheard Interest nonces: a nonce re-injected
+    /// after the replay window is a replayed Interest, not a wireless echo.
+    nonce_journal: BTreeMap<u32, SimTime>,
 }
 
 impl DapesPeer {
@@ -222,6 +235,11 @@ impl DapesPeer {
         }
         let discovery =
             DiscoveryState::new(cfg.discovery_min, cfg.discovery_max, cfg.discovery_recent);
+        let replay = ReplayGuard::new(
+            256,
+            SimDuration::from_millis(cfg.replay_window_ms),
+            SimDuration::from_millis(cfg.peer_ttl_ms),
+        );
         DapesPeer {
             id,
             cfg,
@@ -239,6 +257,9 @@ impl DapesPeer {
             next_pending: 0,
             encounter_active: false,
             stats: PeerStats::default(),
+            stamp: MonotonicStamp::default(),
+            replay,
+            nonce_journal: BTreeMap::new(),
         }
     }
 
@@ -300,6 +321,13 @@ impl DapesPeer {
         *self.forwarder.stats()
     }
 
+    /// Read access to the forwarder's Content Store, for tests asserting
+    /// cache hygiene (a tampered segment must never be cached, or it would
+    /// be re-served to later Interests with the peer's own authority).
+    pub fn content_store(&self) -> &dapes_ndn::cs::ContentStore {
+        self.forwarder.cs()
+    }
+
     /// Number of scheduled-but-unfired transmissions (diagnostics).
     pub fn pending_count(&self) -> usize {
         self.pending.len()
@@ -339,6 +367,12 @@ impl DapesPeer {
     /// recover. A Content-Store hit on our own Interest is delivered
     /// straight to the application.
     fn express_interest(&mut self, ctx: &mut NodeCtx<'_>, interest: Interest, kind: FrameKind) {
+        if self.cfg.signed_adverts {
+            // Journal our own nonce: we never hear our own transmission, so
+            // without this a replayed copy of our own Interest would pass
+            // the replay screen unrecognized.
+            self.journal_nonce(ctx.now, interest.nonce());
+        }
         let actions = self
             .forwarder
             .process_interest(ctx.now, &interest, FaceId::APP);
@@ -449,7 +483,8 @@ impl DapesPeer {
                     peer: self.id,
                     offers: self.current_offers(),
                 };
-                let data = Data::new(namespace::discovery_reply_name(self.id), info.to_wire())
+                let content = self.seal_announcement(ctx.now, info.to_wire());
+                let data = Data::new(namespace::discovery_reply_name(self.id), content)
                     // Short freshness: discovery state changes as peers move, so
                     // caches must not answer discovery probes indefinitely.
                     .with_freshness_ms(1_000)
@@ -474,7 +509,8 @@ impl DapesPeer {
                     self.stats.bitmaps_cancelled += 1;
                     return;
                 }
-                let data = Data::new(reply_name, encode_bitmap_params(self.id, &my))
+                let content = self.seal_announcement(ctx.now, encode_bitmap_params(self.id, &my));
+                let data = Data::new(reply_name, content)
                     .signed(&self.anchor.keypair(&format!("peer-{}", self.id)));
                 self.stats.bitmaps_sent += 1;
                 self.next_pending += 1;
@@ -513,11 +549,15 @@ impl DapesPeer {
                 };
                 self.advert_round += 1;
                 let name = namespace::bitmap_interest_name(&collection, self.id, self.advert_round);
+                let params = self.seal_announcement(ctx.now, encode_bitmap_params(self.id, &my));
                 let interest = Interest::new(name)
                     .with_can_be_prefix(true)
                     .with_nonce(ctx.rng().gen())
                     .with_lifetime_ms(2_000)
-                    .with_app_parameters(encode_bitmap_params(self.id, &my));
+                    .with_app_parameters(params);
+                if self.cfg.signed_adverts {
+                    self.journal_nonce(ctx.now, interest.nonce());
+                }
                 self.stats.bitmaps_sent += 1;
                 self.next_pending += 1;
                 let tx_token = self.next_pending;
@@ -544,6 +584,21 @@ impl DapesPeer {
                 }
             }
         }
+    }
+
+    /// Seals an announcement payload under our producer key when
+    /// `signed_adverts` is on; otherwise returns it untouched, which keeps
+    /// the axis-off wire format byte-identical to the pre-auth one.
+    fn seal_announcement(&mut self, now: SimTime, base: Vec<u8>) -> Vec<u8> {
+        if !self.cfg.signed_adverts {
+            return base;
+        }
+        let ts = self.stamp.next(now);
+        auth::seal(
+            &base,
+            ts,
+            &self.anchor.keypair(&format!("peer-{}", self.id)),
+        )
     }
 
     fn current_offers(&self) -> Vec<OfferedCollection> {
@@ -835,8 +890,13 @@ impl DapesPeer {
                 d.advert.reset();
             }
         }
-        // The Interest carries the origin's bitmap: learn it.
-        if let Some((peer, bm)) = interest.app_parameters().and_then(decode_bitmap_params) {
+        // The Interest carries the origin's bitmap: learn it. The envelope
+        // (if any) was authenticated by the `on_frame` screen before the
+        // Interest reached the forwarder, so stripping unverified is safe.
+        if let Some((peer, bm)) = interest
+            .app_parameters()
+            .and_then(decode_bitmap_params_maybe_sealed)
+        {
             self.handle_bitmap_seen(ctx, &collection, peer, &bm);
         }
         // Reply with our bitmap if we can describe this collection.
@@ -1193,6 +1253,15 @@ impl DapesPeer {
     fn tick(&mut self, ctx: &mut NodeCtx<'_>) {
         self.shared.borrow_mut().sweep(ctx.now);
         self.forwarder.expire(ctx.now);
+        if self.cfg.signed_adverts {
+            self.stats.peers_expired += self.replay.sweep(ctx.now) as u64;
+            // Nonce journal retention outlives the replay window by a wide
+            // margin so a re-injection is still recognized, then entries
+            // age out.
+            let keep = SimDuration::from_micros(self.replay_window().as_micros() * 4);
+            let now = ctx.now;
+            self.nonce_journal.retain(|_, &mut t| now.since(t) <= keep);
+        }
 
         // Encounter transitions.
         let neighbors = self.shared.borrow().neighbor_count();
@@ -1273,6 +1342,9 @@ impl DapesPeer {
                         // (downstream APP) already exists; a fresh nonce lets
                         // neighbors treat it as new.
                         let interest = Interest::new(name).with_nonce(ctx.rng().gen());
+                        if self.cfg.signed_adverts {
+                            self.journal_nonce(ctx.now, interest.nonce());
+                        }
                         let delay_us = ctx
                             .rng()
                             .gen_range(0..self.cfg.tx_window.as_micros().max(1));
@@ -1332,12 +1404,24 @@ impl NetStack for DapesPeer {
     }
 
     fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame) {
+        if self.cfg.signed_adverts && self.screen_frame(ctx, frame) {
+            return;
+        }
         if self.cfg.lazy_peek && self.on_frame_peeked(ctx, frame) {
             return;
         }
         let Ok(packet) = Packet::decode_payload(&frame.payload) else {
             return;
         };
+        if self.cfg.signed_adverts {
+            let hostile = match &packet {
+                Packet::Interest(interest) => self.screen_interest(ctx, interest),
+                Packet::Data(data) => self.screen_data(ctx, data),
+            };
+            if hostile {
+                return;
+            }
+        }
         if self.role == NodeRole::Dapes {
             self.discovery.note_peer_heard(ctx.now);
             self.shared.borrow_mut().note_peer(frame.src.0, ctx.now);
@@ -1369,13 +1453,19 @@ impl NetStack for DapesPeer {
                             replier,
                             ..
                         }) => {
-                            if let Some((peer, bm)) = decode_bitmap_params(data.content()) {
+                            // Sealed or plain: authentication already ran in
+                            // the `screen_data` gate when the axis is on.
+                            if let Some((peer, bm)) =
+                                decode_bitmap_params_maybe_sealed(data.content())
+                            {
                                 let peer = replier.unwrap_or(peer);
                                 self.handle_bitmap_seen(ctx, &collection, peer, &bm);
                             }
                         }
                         Some(DapesName::Discovery { .. }) => {
-                            if let Some(info) = DiscoveryInfo::from_wire(data.content()) {
+                            if let Some(info) =
+                                DiscoveryInfo::from_wire_maybe_sealed(data.content())
+                            {
                                 self.handle_discovery_info(ctx, &info);
                             }
                         }
@@ -1749,6 +1839,130 @@ impl DapesPeer {
             Some(_) => false,
             // Non-DAPES names have no overhearing semantics.
             None => true,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Adversarial screening (`signed_adverts`)
+    // ------------------------------------------------------------------
+
+    fn replay_window(&self) -> SimDuration {
+        SimDuration::from_millis(self.cfg.replay_window_ms)
+    }
+
+    /// Pre-decode screening: drops frames whose header peek fails (the
+    /// noise-flood sink) and Interests whose nonce was first overheard
+    /// longer than the replay window ago (re-injected Interests). Runs
+    /// before the lazy/eager split so a replayed Interest can never be
+    /// answered from the Content Store or refresh its old PIT entry.
+    /// Makes no RNG draws, so the lazy/eager toggle equivalence holds.
+    fn screen_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame) -> bool {
+        let Ok(header) = Packet::peek_header(&frame.payload) else {
+            self.stats.flood_frames_dropped += 1;
+            return true;
+        };
+        if let PacketHeader::Interest(h) = header {
+            match self.nonce_journal.get(&h.nonce) {
+                Some(&first_seen) if ctx.now.since(first_seen) > self.replay_window() => {
+                    self.stats.interests_rejected_replay += 1;
+                    return true;
+                }
+                // A recent re-hearing: an honest wireless echo or relay.
+                Some(_) => {}
+                None => self.journal_nonce(ctx.now, h.nonce),
+            }
+        }
+        false
+    }
+
+    /// Records the first-seen time of an Interest nonce (overheard or our
+    /// own transmission), evicting the oldest entry at capacity
+    /// (deterministic: ties break on the smaller nonce).
+    fn journal_nonce(&mut self, now: SimTime, nonce: u32) {
+        if self.nonce_journal.contains_key(&nonce) {
+            return;
+        }
+        if self.nonce_journal.len() >= NONCE_JOURNAL_CAP {
+            if let Some(oldest) = self
+                .nonce_journal
+                .iter()
+                .min_by_key(|(nonce, &t)| (t, **nonce))
+                .map(|(nonce, _)| *nonce)
+            {
+                self.nonce_journal.remove(&oldest);
+            }
+        }
+        self.nonce_journal.insert(nonce, now);
+    }
+
+    /// Authenticates a bitmap Interest's sealed advertisement before the
+    /// forwarder or `handle_bitmap_seen` touch it. Other Interests pass:
+    /// discovery probes carry only the bare prober id and content/metadata
+    /// Interests carry no announcement at all.
+    fn screen_interest(&mut self, ctx: &mut NodeCtx<'_>, interest: &Interest) -> bool {
+        if !matches!(
+            namespace::classify(interest.name()),
+            Some(DapesName::Bitmap { .. })
+        ) {
+            return false;
+        }
+        match interest.app_parameters() {
+            Some(params) => self.screen_announcement(ctx, params),
+            None => false,
+        }
+    }
+
+    /// Screens an overheard Data packet before any protocol state —
+    /// including the Content Store — can absorb it: announcements must
+    /// open under the trust anchor and pass the replay guard;
+    /// content/metadata segments must carry a valid signature.
+    fn screen_data(&mut self, ctx: &mut NodeCtx<'_>, data: &Data) -> bool {
+        match namespace::classify(data.name()) {
+            Some(DapesName::Bitmap { .. }) | Some(DapesName::Discovery { .. }) => {
+                self.screen_announcement(ctx, data.content())
+            }
+            Some(DapesName::Content { .. }) | Some(DapesName::Metadata { .. }) => {
+                if data.verify(&self.anchor) {
+                    false
+                } else {
+                    self.stats.segments_rejected_tamper += 1;
+                    true
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Opens a sealed announcement: counts and drops bad signatures and
+    /// replays. The claimed producer is the peer id leading the base
+    /// payload (both the bitmap and the discovery encodings start with
+    /// it), so a forged producer name fails signature verification.
+    fn screen_announcement(&mut self, ctx: &mut NodeCtx<'_>, sealed: &[u8]) -> bool {
+        let claimed = auth::strip(sealed)
+            .filter(|base| base.len() >= 4)
+            .map(|base| u32::from_be_bytes(base[..4].try_into().expect("4 bytes")));
+        let Some(claimed) = claimed else {
+            // No room for an envelope at all: an unsigned or truncated
+            // announcement in a signed deployment is a forgery.
+            self.stats.adverts_rejected_bad_sig += 1;
+            return true;
+        };
+        let producer = format!("peer-{claimed}");
+        match auth::open(sealed, &producer, &self.anchor) {
+            Ok((_base, ts)) => {
+                let key_id = self.anchor.key_id_for(&producer);
+                match self.replay.check(key_id, ts, ctx.now) {
+                    ReplayVerdict::Fresh | ReplayVerdict::Duplicate => false,
+                    ReplayVerdict::Replayed => {
+                        self.stats.adverts_rejected_replay += 1;
+                        true
+                    }
+                }
+            }
+            Err(OpenError::BadSignature) | Err(OpenError::Replay) => {
+                self.stats.adverts_rejected_bad_sig += 1;
+                true
+            }
         }
     }
 

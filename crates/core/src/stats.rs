@@ -99,6 +99,28 @@ pub struct PeerStats {
     /// [`PeerStats::peek_relayed`], which also counts hop-exhausted relays
     /// that transmit nothing.
     pub frames_relay_patched: u64,
+    /// Sealed adverts/discovery replies dropped for a bad or forged
+    /// signature (wrong tag, truncated envelope, or a key id that does not
+    /// match the claimed producer).
+    pub adverts_rejected_bad_sig: u64,
+    /// Sealed adverts/discovery replies dropped by the replay guard
+    /// (timestamp at or below the producer's high-water mark, or older
+    /// than the replay window).
+    pub adverts_rejected_replay: u64,
+    /// Producers swept from the replay table after going unheard for the
+    /// peer TTL (stale-peer expiry of the authenticated discovery set).
+    pub peers_expired: u64,
+    /// Content/metadata Data frames dropped before any Content Store or
+    /// PIT state was touched because their signature failed to verify.
+    pub segments_rejected_tamper: u64,
+    /// Interests dropped as duplicate nonces that arrived *after* the PIT
+    /// entry's own lifetime was refreshed by a replayed copy — i.e. the
+    /// dup-nonce drops attributable to re-injected (not merely flooded)
+    /// Interests.
+    pub interests_rejected_replay: u64,
+    /// Frames that failed to parse as NDN packets at all and were dropped
+    /// on the floor (the noise-flood sink).
+    pub flood_frames_dropped: u64,
     /// Completion time of all wanted collections, once reached.
     pub completed_at: Option<SimTime>,
 }

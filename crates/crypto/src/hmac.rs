@@ -134,6 +134,24 @@ mod tests {
     }
 
     #[test]
+    fn verify_tag_rejects_every_single_bit_flip() {
+        // Exhaustive: all 256 single-bit corruptions of the 32-byte tag
+        // must fail verification. A MAC with any blind spot here would let
+        // a tampered segment through the adversarial screens.
+        let tag = hmac_sha256(b"key", b"the segment body under test");
+        for byte in 0..32 {
+            for bit in 0..8 {
+                let mut bytes = tag.into_bytes();
+                bytes[byte] ^= 1 << bit;
+                assert!(
+                    !verify_tag(&tag, &Digest::from_bytes(bytes)),
+                    "flip of byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn exactly_block_sized_key_is_used_verbatim() {
         // A 64-byte key must not be hashed; 65 bytes must be.
         let key64 = [0x11u8; 64];

@@ -15,6 +15,31 @@
 //! KeyLocator. All signing flows through the [`Signer`]/[`Verifier`] traits,
 //! so a real asymmetric scheme can be dropped in without touching protocol
 //! code.
+//!
+//! # The advert-signing flow
+//!
+//! The authenticated control plane (`dapes-core`'s `auth` module) builds on
+//! these primitives. A producer's discovery reply or bitmap advertisement
+//! is *sealed*: the plaintext advert is suffixed with a monotonic
+//! microsecond timestamp and then signed with the producer's
+//! [`ProducerKey`] — `sealed = advert ‖ timestamp ‖ Signature`. A receiver
+//! derives the claimed producer's key id from the peer id carried inside
+//! the advert ([`TrustAnchor::key_id_for`]), recomputes the tag over
+//! `advert ‖ timestamp`, and compares in constant time. Only then does the
+//! timestamp feed the per-producer replay guard: a stamp at or below the
+//! producer's high-water mark — or older than the replay window — is
+//! rejected as a replay even though its signature is genuine.
+//!
+//! # Caveat: a shared anchor is a shared secret
+//!
+//! Because the anchor is symmetric, *any* holder of the anchor can mint a
+//! valid signature for *any* producer name — the scheme authenticates
+//! "someone inside the trust domain", not a specific peer. That matches
+//! the paper's threat model (the attacker is outside the common local
+//! trust anchor), and the adversarial suite's forger accordingly signs
+//! under a *rogue* anchor and is rejected. An insider attacker would
+//! require the asymmetric drop-in replacement behind [`Signer`] /
+//! [`Verifier`]; nothing in the protocol code would change.
 
 use crate::digest::Digest;
 use crate::hmac::{hmac_sha256, verify_tag};

@@ -19,6 +19,12 @@ pub struct Stats {
     pub tx_by_kind: BTreeMap<FrameKind, u64>,
     /// Per-receiver deliveries that succeeded.
     pub delivered: u64,
+    /// Per-receiver deliveries, broken down by protocol kind. The
+    /// adversarial benches anchor their accounting here: a defense counter
+    /// must equal the *deliveries* of the matching hostile kind (frames
+    /// lost to collisions or channel loss were never seen, so they cannot
+    /// be rejected).
+    pub delivered_by_kind: BTreeMap<FrameKind, u64>,
     /// Payload bytes handed to receivers, all through one shared buffer per
     /// transmission (`delivered × payload length`, zero copies).
     pub delivered_payload_bytes: u64,
@@ -78,12 +84,101 @@ impl Stats {
         }
     }
 
+    /// Records one successful per-receiver delivery.
+    pub(crate) fn record_delivery(&mut self, kind: FrameKind, payload_len: usize) {
+        self.delivered += 1;
+        self.delivered_payload_bytes += payload_len as u64;
+        *self.delivered_by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Total deliveries for a set of kinds (the adversarial benches'
+    /// hostile-frame denominator).
+    pub fn delivered_for_kinds(&self, kinds: &[FrameKind]) -> u64 {
+        kinds
+            .iter()
+            .map(|k| self.delivered_by_kind.get(k).copied().unwrap_or(0))
+            .sum()
+    }
+
     /// Total transmissions for a set of kinds (a figure's overhead series).
     pub fn tx_for_kinds(&self, kinds: &[FrameKind]) -> u64 {
         kinds
             .iter()
             .map(|k| self.tx_by_kind.get(k).copied().unwrap_or(0))
             .sum()
+    }
+
+    /// Renders the run counters in Prometheus text exposition format.
+    ///
+    /// Every metric is prefixed `dapes_` and carries `# HELP` / `# TYPE`
+    /// headers; per-kind breakdowns use a `kind` label. The adversarial
+    /// bench emits this dump next to its JSON report and `checkjson`
+    /// validates the shape, so scrape pipelines can ingest a run without
+    /// parsing the report.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP dapes_{name} {help}\n# TYPE dapes_{name} counter\ndapes_{name} {value}\n"
+            ));
+        };
+        counter("tx_frames_total", "Frames transmitted.", self.tx_frames);
+        counter(
+            "tx_payload_bytes_total",
+            "Payload bytes transmitted.",
+            self.tx_payload_bytes,
+        );
+        counter(
+            "delivered_total",
+            "Per-receiver deliveries that succeeded.",
+            self.delivered,
+        );
+        counter(
+            "delivered_payload_bytes_total",
+            "Payload bytes handed to receivers.",
+            self.delivered_payload_bytes,
+        );
+        counter(
+            "collision_drops_total",
+            "Per-receiver drops due to overlapping transmissions.",
+            self.collision_drops,
+        );
+        counter(
+            "channel_losses_total",
+            "Per-receiver drops due to random channel loss.",
+            self.channel_losses,
+        );
+        counter(
+            "mac_deferrals_total",
+            "MAC deferrals due to carrier sense.",
+            self.mac_deferrals,
+        );
+        counter(
+            "event_dispatches_total",
+            "Scheduler event dispatches.",
+            self.event_dispatches,
+        );
+        out.push_str(concat!(
+            "# HELP dapes_tx_by_kind_total Frames transmitted, by protocol kind.\n",
+            "# TYPE dapes_tx_by_kind_total counter\n"
+        ));
+        for (kind, count) in &self.tx_by_kind {
+            out.push_str(&format!(
+                "dapes_tx_by_kind_total{{kind=\"{}\"}} {count}\n",
+                kind.0
+            ));
+        }
+        out.push_str(concat!(
+            "# HELP dapes_delivered_by_kind_total Per-receiver deliveries, by protocol kind.\n",
+            "# TYPE dapes_delivered_by_kind_total counter\n"
+        ));
+        for (kind, count) in &self.delivered_by_kind {
+            out.push_str(&format!(
+                "dapes_delivered_by_kind_total{{kind=\"{}\"}} {count}\n",
+                kind.0
+            ));
+        }
+        out
     }
 
     /// Fraction of per-receiver outcomes that were collision drops.
@@ -120,6 +215,38 @@ mod tests {
         let mut s = Stats::new(1);
         s.record_tx(7, FrameKind(1), 1);
         assert_eq!(s.tx_frames, 1);
+    }
+
+    #[test]
+    fn record_delivery_updates_kind_breakdown() {
+        let mut s = Stats::new(2);
+        s.record_delivery(FrameKind(8), 100);
+        s.record_delivery(FrameKind(8), 100);
+        s.record_delivery(FrameKind(30), 64);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.delivered_payload_bytes, 264);
+        assert_eq!(s.delivered_by_kind[&FrameKind(8)], 2);
+        assert_eq!(s.delivered_for_kinds(&[FrameKind(30)]), 1);
+        assert_eq!(s.delivered_for_kinds(&[FrameKind(9)]), 0);
+    }
+
+    #[test]
+    fn prometheus_dump_has_help_type_and_values() {
+        let mut s = Stats::new(1);
+        s.record_tx(0, FrameKind(5), 40);
+        s.record_delivery(FrameKind(5), 40);
+        let text = s.to_prometheus();
+        assert!(text.contains("# HELP dapes_tx_frames_total"));
+        assert!(text.contains("# TYPE dapes_tx_frames_total counter"));
+        assert!(text.contains("dapes_tx_frames_total 1\n"));
+        assert!(text.contains("dapes_tx_by_kind_total{kind=\"5\"} 1\n"));
+        assert!(text.contains("dapes_delivered_by_kind_total{kind=\"5\"} 1\n"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.starts_with("dapes_"),
+                "unexpected line {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -908,8 +908,7 @@ impl World {
                 self.stats.channel_losses += 1;
                 continue;
             }
-            self.stats.delivered += 1;
-            self.stats.delivered_payload_bytes += payload_len;
+            self.stats.record_delivery(kind, payload_len as usize);
             deliveries.push(receiver);
         }
         self.candidate_buf = candidates;

@@ -63,7 +63,14 @@ pub fn overhead_ratio(stats: &Stats) -> f64 {
 
 /// Panics unless every transmitted frame carries a known DAPES kind.
 pub fn assert_frames_classified(stats: &Stats) {
-    let classified = stats.tx_for_kinds(&kinds::ALL_DAPES);
+    assert_frames_classified_among(stats, &kinds::ALL_DAPES);
+}
+
+/// Panics unless every transmitted frame carries one of `allowed` kinds.
+/// Adversarial scenarios pass the DAPES kinds plus
+/// [`dapes_core::adversary::attack_kinds::ALL`].
+pub fn assert_frames_classified_among(stats: &Stats, allowed: &[FrameKind]) {
+    let classified = stats.tx_for_kinds(allowed);
     assert_eq!(
         classified, stats.tx_frames,
         "unclassified frames on the air: {} classified of {} total",
@@ -107,7 +114,16 @@ pub fn assert_scenario(label: &str, scenario: &Scenario, golden: &GoldenMetrics)
     }
     let stats = scenario.world.stats();
     if golden.all_frames_classified {
-        assert_frames_classified(stats);
+        if scenario.adversaries.is_empty() {
+            assert_frames_classified(stats);
+        } else {
+            let allowed: Vec<FrameKind> = kinds::ALL_DAPES
+                .iter()
+                .chain(dapes_core::adversary::attack_kinds::ALL.iter())
+                .copied()
+                .collect();
+            assert_frames_classified_among(stats, &allowed);
+        }
     }
     if let Some(cap) = golden.max_tx_frames {
         assert!(

@@ -71,7 +71,7 @@ impl Topology {
     /// Builds the scenario for one `(topology, seed)` cell.
     pub fn build(&self, seed: u64, params: &MatrixParams) -> Scenario {
         let r = params.range;
-        let base = ScenarioBuilder::new(seed)
+        let mut base = ScenarioBuilder::new(seed)
             .range(r)
             .loss(params.loss)
             .delivery(params.delivery)
@@ -79,6 +79,16 @@ impl Topology {
             .delivery_events(params.delivery_events)
             .collection_params(params.collection.clone())
             .config(params.config.clone());
+        // Attackers sit near the topology's hub, in radio range of the
+        // producer. They are instantiated after every honest peer, so the
+        // honest layout is unchanged by the adversarial axis.
+        let hub = match *self {
+            Topology::MobileSwarm { .. } => (150.0, 150.0),
+            _ => (0.0, 0.0),
+        };
+        for &kind in &params.adversaries {
+            base = base.adversary_at(kind, hub.0 + r / 4.0, hub.1 + r / 6.0);
+        }
         match *self {
             Topology::AdjacentPair => base
                 .producer_at(0.0, 0.0)
@@ -143,6 +153,10 @@ pub struct MatrixParams {
     pub collection: CollectionParams,
     /// The DAPES configuration (topologies may override single knobs).
     pub config: DapesConfig,
+    /// Attacker nodes dropped into every cell (the adversarial axis).
+    /// Each is placed near the topology's hub, in radio range of the
+    /// producer; empty means a benign matrix.
+    pub adversaries: Vec<AdversaryKind>,
     /// Receiver-selection algorithm (grid by default; equivalence tests
     /// run the same cells brute-force and compare traces).
     pub delivery: DeliveryMode,
@@ -161,6 +175,7 @@ impl Default for MatrixParams {
             loss: 0.0,
             collection: CollectionParams::default(),
             config: DapesConfig::default(),
+            adversaries: Vec::new(),
             delivery: DeliveryMode::default(),
             queue: QueueMode::default(),
             delivery_events: DeliveryEvents::default(),

@@ -151,6 +151,14 @@ struct PeerSpec {
     anchor: Option<TrustAnchor>,
 }
 
+#[derive(Debug)]
+struct AdversarySpec {
+    kind: AdversaryKind,
+    mobility: MobilityPreset,
+    replay_delay: Option<SimDuration>,
+    period: Option<SimDuration>,
+}
+
 /// Builder for a deterministic DAPES scenario. Every knob defaults to the
 /// values the pre-existing test suites used, so a two-peer test is one
 /// producer call, one downloader call and `build()`.
@@ -165,6 +173,7 @@ pub struct ScenarioBuilder {
     cfg: DapesConfig,
     anchor: TrustAnchor,
     peers: Vec<PeerSpec>,
+    adversaries: Vec<AdversarySpec>,
     delivery: DeliveryMode,
     queue: QueueMode,
     delivery_events: DeliveryEvents,
@@ -185,6 +194,7 @@ impl ScenarioBuilder {
             cfg: DapesConfig::default(),
             anchor: shared_anchor(),
             peers: Vec::new(),
+            adversaries: Vec::new(),
             delivery: DeliveryMode::default(),
             queue: QueueMode::default(),
             delivery_events: DeliveryEvents::default(),
@@ -330,6 +340,44 @@ impl ScenarioBuilder {
         self.peer(PeerRole::PureForwarder, MobilityPreset::at(x, y))
     }
 
+    /// Adds an attacker node running the given hostile behavior, keyed to
+    /// the [`rogue_anchor`]. Adversaries are instantiated after every
+    /// honest peer, so honest node ids are unchanged by their presence;
+    /// the forger's victim is the scenario's first producer.
+    pub fn adversary(mut self, kind: AdversaryKind, mobility: MobilityPreset) -> Self {
+        self.adversaries.push(AdversarySpec {
+            kind,
+            mobility,
+            replay_delay: None,
+            period: None,
+        });
+        self
+    }
+
+    /// Stationary adversary at `(x, y)`.
+    pub fn adversary_at(self, kind: AdversaryKind, x: f64, y: f64) -> Self {
+        self.adversary(kind, MobilityPreset::at(x, y))
+    }
+
+    /// Adds an attacker with explicit timing: `period` for the periodic
+    /// behaviors (flood, forge), `replay_delay` for the replayer's hold
+    /// time (must exceed the honest peers' `replay_window_ms`).
+    pub fn adversary_with_timing(
+        mut self,
+        kind: AdversaryKind,
+        mobility: MobilityPreset,
+        period: Option<SimDuration>,
+        replay_delay: Option<SimDuration>,
+    ) -> Self {
+        self.adversaries.push(AdversarySpec {
+            kind,
+            mobility,
+            replay_delay,
+            period,
+        });
+        self
+    }
+
     /// `n` random-walking downloaders placed by the scenario's seeded RNG.
     pub fn mobile_downloaders(mut self, n: usize) -> Self {
         for _ in 0..n {
@@ -393,6 +441,7 @@ impl ScenarioBuilder {
         let mut relays = Vec::new();
         let mut forwarders = Vec::new();
 
+        let honest = self.peers.len();
         for (i, spec) in self.peers.into_iter().enumerate() {
             let id = i as u32;
             let cfg = spec.cfg.unwrap_or_else(|| self.cfg.clone());
@@ -428,12 +477,38 @@ impl ScenarioBuilder {
             }
         }
 
+        // Attackers join after every honest peer, so honest node ids are
+        // independent of the adversarial axis. The forger impersonates the
+        // first producer (peer ids equal insertion order).
+        let victim = producers.first().map_or(0, |n| n.0);
+        let mut adversaries = Vec::new();
+        for (j, spec) in self.adversaries.into_iter().enumerate() {
+            let id = (honest + j) as u32;
+            let mut adv = Adversary::new(id, spec.kind, victim, rogue_anchor());
+            if let Some(p) = spec.period {
+                adv = adv.with_period(p);
+            }
+            if let Some(d) = spec.replay_delay {
+                adv = adv.with_replay_delay(d);
+            }
+            let mobility = match spec.mobility {
+                MobilityPreset::RandomWalk(_) => {
+                    let x = placement_rng.gen_range(0.0..self.field.0);
+                    let y = placement_rng.gen_range(0.0..self.field.1);
+                    MobilityPreset::RandomWalk(Point::new(x, y))
+                }
+                other => other,
+            };
+            adversaries.push(world.add_node(mobility.into_mobility(), Box::new(adv)));
+        }
+
         Scenario {
             world,
             producers,
             downloaders,
             relays,
             forwarders,
+            adversaries,
             collection,
             anchor: self.anchor,
             loss_schedule: self.loss_schedule,
@@ -454,6 +529,8 @@ pub struct Scenario {
     pub relays: Vec<NodeId>,
     /// Pure-forwarder node ids.
     pub forwarders: Vec<NodeId>,
+    /// Adversary node ids (always after every honest peer).
+    pub adversaries: Vec<NodeId>,
     /// The shared collection.
     pub collection: Rc<Collection>,
     /// The default trust anchor.
@@ -466,6 +543,19 @@ impl Scenario {
     /// The DAPES peer at `node`, if it is one.
     pub fn peer(&self, node: NodeId) -> Option<&DapesPeer> {
         self.world.stack::<DapesPeer>(node)
+    }
+
+    /// The adversary stack at `node`, if it is one.
+    pub fn adversary(&self, node: NodeId) -> Option<&Adversary> {
+        self.world.stack::<Adversary>(node)
+    }
+
+    /// Sums one honest-side defense counter over every DAPES peer.
+    pub fn defense_total<F: Fn(&PeerStats) -> u64>(&self, pick: F) -> u64 {
+        (0..self.world.node_count())
+            .filter_map(|i| self.peer(NodeId(i as u32)))
+            .map(|p| pick(p.stats()))
+            .sum()
     }
 
     /// Whether `node` completed all wanted downloads.

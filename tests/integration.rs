@@ -23,9 +23,17 @@ fn dapes_swarm_with_mobility_loss_and_forwarders_completes() {
 #[test]
 fn tampered_metadata_is_rejected_end_to_end() {
     // A forged producer (different trust anchor) serves a same-named
-    // collection; the downloader must reject its metadata signature.
+    // collection; the downloader must reject its metadata signature. With
+    // signed adverts off the forged announcement is believed, so the
+    // rejection happens at the data plane — the pre-authentication
+    // behaviour this test pins down.
+    let cfg = DapesConfig {
+        signed_adverts: false,
+        ..DapesConfig::default()
+    };
     let mut sc = ScenarioBuilder::new(5)
         .collection(1, 4 * 1024)
+        .config(cfg)
         .peer_with_anchor(
             PeerRole::Producer,
             MobilityPreset::at(0.0, 0.0),
@@ -41,6 +49,144 @@ fn tampered_metadata_is_rejected_end_to_end() {
         "signature rejections should be recorded"
     );
 }
+
+#[test]
+fn forged_producer_is_rejected_at_the_announcement_layer() {
+    // Same forged producer, default config: the signed control plane
+    // rejects the announcement itself, so the downloader never learns of
+    // the collection, never spends Interests on it, and no tampered bytes
+    // reach the data plane.
+    let mut sc = ScenarioBuilder::new(5)
+        .collection(1, 4 * 1024)
+        .peer_with_anchor(
+            PeerRole::Producer,
+            MobilityPreset::at(0.0, 0.0),
+            rogue_anchor(),
+        )
+        .downloader_at(20.0, 0.0)
+        .build();
+    let done = sc.run_until_complete(SimTime::from_secs(60));
+    assert!(!done, "forged collection must never complete");
+    let stats = sc.peer(sc.downloaders[0]).expect("peer").stats().clone();
+    assert!(
+        stats.adverts_rejected_bad_sig > 0,
+        "forged announcements should be rejected at the control plane"
+    );
+    assert_eq!(
+        stats.verify_failures, 0,
+        "no tampered data should ever be requested"
+    );
+}
+
+#[test]
+fn tampered_segments_never_enter_the_content_store() {
+    // A fast tamperer answers the downloader's content Interests with
+    // unsigned junk before the producer's jittered reply arrives. The junk
+    // must be rejected *before* Content Store insertion: a cached tampered
+    // segment would be re-served to later Interests under the caching
+    // peer's own authority, laundering the tamper. After the run, every
+    // cached Data under the collection namespace must still verify.
+    use dapes_core::adversary::AdversaryKind;
+    let mut sc = ScenarioBuilder::new(7)
+        .collection(1, 8 * 1024)
+        .producer_at(0.0, 0.0)
+        .downloader_at(48.0, 0.0)
+        .adversary_at(AdversaryKind::SegmentTamperer, 90.0, 0.0)
+        .build();
+    assert!(
+        sc.run_until_complete(SimTime::from_secs(120)),
+        "the transfer must survive the tamperer"
+    );
+    assert!(
+        sc.defense_total(|s| s.segments_rejected_tamper) > 0,
+        "the tamperer must have been heard and rejected"
+    );
+    let collection = sc.collection.clone();
+    let anchor = sc.anchor.clone();
+    for &node in sc.downloaders.iter().chain(&sc.producers) {
+        let peer = sc.peer(node).expect("honest peer");
+        for idx in 0..collection.total_packets() {
+            let name = collection
+                .index()
+                .packet_name(collection.name(), idx)
+                .expect("packet name");
+            if let Some(cached) = peer.content_store().lookup_exact(&name) {
+                assert!(
+                    cached.verify(&anchor),
+                    "node {node:?} cached an unverifiable segment {name}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_sweeps_the_adversarial_axis() {
+    // The scenario matrix gains an adversarial axis: the same topology
+    // cells, now with attacker nodes present, must stay green (completion
+    // plus the golden invariants, hostile frame kinds classified).
+    use dapes_core::adversary::AdversaryKind;
+    let cells = ScenarioMatrix::new()
+        .topologies([Topology::AdjacentPair, Topology::Star { downloaders: 2 }])
+        .seeds([1, 2])
+        .params(MatrixParams {
+            adversaries: vec![AdversaryKind::NoiseFlooder, AdversaryKind::SpoofForger],
+            ..MatrixParams::default()
+        })
+        .run();
+    assert_eq!(cells.len(), 4);
+    for cell in &cells {
+        assert_eq!(
+            cell.completed,
+            cell.downloaders,
+            "{}/seed-{} failed under attack",
+            cell.topology.label(),
+            cell.seed
+        );
+    }
+}
+
+#[test]
+fn benign_run_with_axis_off_matches_the_pre_auth_trace() {
+    // With `signed_adverts: false` the authenticated control plane must be
+    // byte-invisible: no envelopes on the wire, no screening, no RNG
+    // draws — the exact trace the repo produced before the axis existed.
+    // The fingerprint below was captured from the pre-auth tree (commit
+    // bc59c87) running this identical scenario; equality pins the benign
+    // wire format bit-for-bit.
+    let run = || {
+        let cfg = DapesConfig {
+            signed_adverts: false,
+            ..DapesConfig::default()
+        };
+        let mut sc = ScenarioBuilder::new(42)
+            .collection(1, 4096)
+            .config(cfg)
+            .producer_at(0.0, 0.0)
+            .downloader_at(20.0, 0.0)
+            .build();
+        assert!(sc.run_until_complete(SimTime::from_secs(120)));
+        let s = sc.world.stats();
+        (s.tx_frames, s.tx_payload_bytes, s.delivered)
+    };
+    let fingerprint = run();
+    assert_eq!(fingerprint, run(), "axis-off run must be deterministic");
+    assert_eq!(
+        fingerprint,
+        (
+            PRE_AUTH_TX_FRAMES,
+            PRE_AUTH_TX_PAYLOAD_BYTES,
+            PRE_AUTH_DELIVERED
+        ),
+        "axis-off trace diverged from the pre-auth wire format"
+    );
+}
+
+// Captured from the pre-auth tree (commit bc59c87) for the seed-42
+// adjacent-pair scenario above; see `benign_run_with_axis_off_matches_the_pre_auth_trace`.
+const PRE_AUTH_TX_FRAMES: u64 = 16;
+const PRE_AUTH_TX_PAYLOAD_BYTES: u64 = 5634;
+const PRE_AUTH_DELIVERED: u64 = 16;
 
 #[test]
 fn repo_pattern_one_transmission_serves_two_peers() {
