@@ -18,6 +18,7 @@
 
 pub mod adversarial;
 pub mod check;
+pub mod cs;
 pub mod figures;
 pub mod hotpath;
 pub mod json;

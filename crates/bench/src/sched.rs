@@ -278,6 +278,10 @@ impl SchedStack {
     fn new(id: u32, mode: SchedMode, params: &SchedParams) -> Self {
         let mut forwarder = Forwarder::new(ForwarderConfig {
             cs_capacity: 64,
+            // Count-capped FIFO on both table generations: the pre-budget
+            // store, so the cross-mode trace stays byte-identical.
+            cs_budget_bytes: None,
+            cs_policy: Default::default(),
             cache_unsolicited: false,
             rebroadcast_faces: vec![FaceId::WIRELESS],
             deliver_on_aggregate: Vec::new(),

@@ -2,6 +2,7 @@
 
 use crate::metadata::MetadataFormat;
 use crate::rpf::{RpfVariant, StartPacket};
+use dapes_ndn::cs::EvictionPolicyKind;
 use dapes_netsim::time::SimDuration;
 
 /// How many bitmaps to collect in an encounter before/while fetching data
@@ -99,8 +100,16 @@ pub struct DapesConfig {
     pub advert_interval: SimDuration,
     /// Encounter-history capacity (encounter-based RPF).
     pub encounter_history: usize,
-    /// Content Store capacity in packets.
+    /// Content Store capacity in packets (used when `cs_budget_bytes`
+    /// is unset).
     pub cs_capacity: usize,
+    /// Content Store memory budget in bytes (wire-size accounted). When
+    /// set, it replaces the packet-count cap; `None` keeps the historical
+    /// count-capped store bit-identical.
+    pub cs_budget_bytes: Option<usize>,
+    /// Content Store eviction policy (FIFO is the trace-equivalence
+    /// baseline).
+    pub cs_policy: EvictionPolicyKind,
     /// How long a forwarded Interest may wait for data before suppression.
     pub response_timeout: SimDuration,
     /// How long a suppression lasts.
@@ -166,6 +175,8 @@ impl Default for DapesConfig {
             advert_interval: SimDuration::from_secs(2),
             encounter_history: 16,
             cs_capacity: 4096,
+            cs_budget_bytes: None,
+            cs_policy: EvictionPolicyKind::Fifo,
             response_timeout: SimDuration::from_millis(400),
             suppress_duration: SimDuration::from_secs(2),
             tick: SimDuration::from_millis(100),

@@ -219,6 +219,8 @@ impl DapesPeer {
         let shared = Rc::new(RefCell::new(shared));
         let fwd_cfg = ForwarderConfig {
             cs_capacity: cfg.cs_capacity,
+            cs_budget_bytes: cfg.cs_budget_bytes,
+            cs_policy: cfg.cs_policy,
             cache_unsolicited: role == NodeRole::PureForwarder,
             rebroadcast_faces: vec![FaceId::WIRELESS],
             deliver_on_aggregate: vec![FaceId::APP],
@@ -287,6 +289,21 @@ impl DapesPeer {
                 segments,
             },
         );
+    }
+
+    /// Seeds a chunked file's catalog and segments straight into this
+    /// peer's Content Store (the repo-side bootstrap of the segment
+    /// pipeline): overheard Interests for the catalog or any segment are
+    /// answered from cache without touching the download protocol.
+    /// Registers the collection prefix so Interests route here, and
+    /// returns the number of packets inserted.
+    pub fn seed_chunked_file(
+        &mut self,
+        file: &crate::pipeline::ChunkedFile,
+        now: SimTime,
+    ) -> usize {
+        self.register_collection_prefix(file.collection());
+        file.seed_into(self.forwarder.cs_mut(), now)
     }
 
     /// Protocol statistics.
@@ -1992,5 +2009,45 @@ fn response_kind_for(data: &Data) -> FrameKind {
         Some(DapesName::Metadata { .. }) => kinds::METADATA_DATA,
         Some(DapesName::Content { .. }) => kinds::CONTENT_DATA,
         None => FrameKind::UNKNOWN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ChunkedFile;
+    use dapes_ndn::cs::EvictionPolicyKind;
+
+    #[test]
+    fn seeding_a_chunked_file_populates_a_budgeted_store() {
+        let budget = 64 * 1024;
+        let cfg = DapesConfig {
+            cs_budget_bytes: Some(budget),
+            cs_policy: EvictionPolicyKind::Lru,
+            ..DapesConfig::default()
+        };
+        let anchor = TrustAnchor::from_seed(b"seed-test");
+        let mut peer = DapesPeer::new(0, cfg, anchor, WantPolicy::Nothing);
+        let col = Name::from_uri("/damaged-bridge-1533783192");
+        let file = ChunkedFile::synthetic(&col, "pic", 5000, 1024);
+        let inserted = peer.seed_chunked_file(&file, SimTime::ZERO);
+        assert_eq!(inserted, file.chunk_count() + 1);
+        let cs = peer.content_store();
+        assert_eq!(cs.len(), inserted);
+        assert_eq!(cs.policy_kind(), EvictionPolicyKind::Lru);
+        assert!(
+            cs.lookup_exact(&namespace::catalog_name(&col, "pic"))
+                .is_some(),
+            "catalog resident"
+        );
+        for seq in 0..file.chunk_count() as u64 {
+            assert!(
+                cs.lookup_exact(&namespace::packet_name(&col, "pic", seq))
+                    .is_some(),
+                "segment {seq} resident"
+            );
+        }
+        assert!(cs.resident_bytes() <= budget, "within the byte budget");
+        cs.audit().expect("exact accounting");
     }
 }

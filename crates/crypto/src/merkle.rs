@@ -92,6 +92,21 @@ impl MerkleTree {
         MerkleTree { levels }
     }
 
+    /// Builds a tree over a byte buffer split into `chunk_size`-byte
+    /// leaves (the last chunk may be short). This is the chunked-file
+    /// pipeline's shape: one leaf per segment Data packet.
+    ///
+    /// An empty buffer produces the same single-node tree as an empty
+    /// leaf iterator, so `root()` is always defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is 0.
+    pub fn from_chunks(bytes: &[u8], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Self::from_leaves(bytes.chunks(chunk_size))
+    }
+
     /// The root digest.
     pub fn root(&self) -> Digest {
         self.levels.last().expect("nonempty")[0]
@@ -314,6 +329,22 @@ mod tests {
         p2[7][0] ^= 1;
         let t2 = MerkleTree::from_leaves(p2.iter().map(|v| v.as_slice()));
         assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn from_chunks_matches_explicit_leaves() {
+        let bytes: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for chunk in [1usize, 7, 64, 999, 1000, 4096] {
+            let t = MerkleTree::from_chunks(&bytes, chunk);
+            let explicit = MerkleTree::from_leaves(bytes.chunks(chunk));
+            assert_eq!(t, explicit, "chunk={chunk}");
+            assert_eq!(t.leaf_count(), bytes.len().div_ceil(chunk));
+        }
+        // Empty buffer: same defined root as the empty iterator.
+        assert_eq!(
+            MerkleTree::from_chunks(&[], 64).root(),
+            MerkleTree::from_leaves(std::iter::empty()).root()
+        );
     }
 
     #[test]

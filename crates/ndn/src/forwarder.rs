@@ -19,7 +19,7 @@
 //! downstreams; unsolicited Data is cached when the forwarder is configured
 //! as an overhearing "pure forwarder" (§V-A).
 
-use crate::cs::ContentStore;
+use crate::cs::{ContentStore, CsBudget, EvictionPolicyKind};
 use crate::face::FaceId;
 use crate::fib::Fib;
 use crate::name::{wire_value_is_well_formed, Name};
@@ -183,8 +183,17 @@ pub enum PeekOutcome {
 /// Forwarder configuration.
 #[derive(Clone, Debug)]
 pub struct ForwarderConfig {
-    /// Content Store capacity in packets.
+    /// Content Store capacity in packets, used when no byte budget is
+    /// set (and always on the legacy tables, which predate byte budgets).
     pub cs_capacity: usize,
+    /// Content Store memory budget in bytes (wire-size accounted). When
+    /// set, it replaces the packet-count cap on the wire-arena tables;
+    /// `None` keeps the historical count-capped store bit-identical.
+    pub cs_budget_bytes: Option<usize>,
+    /// Content Store eviction policy. The default, FIFO, is the
+    /// trace-equivalence baseline; the legacy tables are always FIFO
+    /// regardless of this knob.
+    pub cs_policy: EvictionPolicyKind,
     /// Cache Data that matched no PIT entry (pure-forwarder overhearing).
     pub cache_unsolicited: bool,
     /// Faces on which Data may be sent back out the face it arrived on.
@@ -221,6 +230,8 @@ impl Default for ForwarderConfig {
     fn default() -> Self {
         ForwarderConfig {
             cs_capacity: 4096,
+            cs_budget_bytes: None,
+            cs_policy: EvictionPolicyKind::Fifo,
             cache_unsolicited: false,
             rebroadcast_faces: Vec::new(),
             deliver_on_aggregate: Vec::new(),
@@ -280,7 +291,11 @@ impl Forwarder {
         let (cs, pit) = if cfg.legacy_tables {
             (ContentStore::legacy(cfg.cs_capacity), Pit::legacy())
         } else {
-            (ContentStore::new(cfg.cs_capacity), Pit::new())
+            let budget = match cfg.cs_budget_bytes {
+                Some(bytes) => CsBudget::Bytes(bytes),
+                None => CsBudget::Count(cfg.cs_capacity),
+            };
+            (ContentStore::with_budget(budget, cfg.cs_policy), Pit::new())
         };
         Forwarder {
             cs,

@@ -542,6 +542,124 @@ proptest! {
     }
 }
 
+mod cs_properties {
+    //! Budgeted-Content-Store properties: every eviction policy must keep
+    //! exact byte accounting and audit-clean indexes under arbitrary
+    //! insert/lookup/reshape churn, serve everything that fits, and the
+    //! chunked-file pipeline must round-trip through its catalog for any
+    //! geometry.
+
+    use dapes_core::pipeline::{Catalog, ChunkedFile};
+    use dapes_ndn::cs::{ContentStore, CsBudget, EvictionPolicyKind};
+    use dapes_ndn::name::Name;
+    use dapes_ndn::packet::Data;
+    use dapes_netsim::time::SimTime;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn every_policy_keeps_exact_accounting_under_churn(
+            ops in proptest::collection::vec((0u8..8, 0u64..24, 0usize..96), 1..64),
+            budget in 256usize..4096,
+        ) {
+            // Random inserts, lookups and budget reshapes (shrink, grow,
+            // switch to a count cap, zero out) against every policy. After
+            // every single op the audit must hold: tracked bytes equal the
+            // sum of live entry sizes, no index key dangles, the policy
+            // tracks exactly the live handles, and counters decompose.
+            for policy in EvictionPolicyKind::ALL {
+                let mut cs = ContentStore::with_budget(CsBudget::Bytes(budget), policy);
+                let t = SimTime::from_secs(1);
+                for &(op, key, size) in &ops {
+                    let name = Name::from_uri(&format!("/p/{key}"));
+                    match op {
+                        0..=3 => cs.insert(Data::new(name, vec![0xAB; size]), t),
+                        4 => {
+                            if let Some(d) = cs.lookup(&name, false, false, t) {
+                                prop_assert_eq!(d.name(), &name);
+                            }
+                        }
+                        5 => {
+                            if let Some(d) = cs.lookup(&name.prefix(1), true, false, t) {
+                                prop_assert!(name.prefix(1).is_prefix_of(d.name()));
+                            }
+                        }
+                        6 => cs.set_budget(CsBudget::Bytes(size * 8)),
+                        _ => cs.set_budget(CsBudget::Count(key as usize / 4)),
+                    }
+                    prop_assert_eq!(cs.audit(), Ok(()));
+                }
+                let s = cs.stats();
+                prop_assert_eq!(s.hits + s.misses, s.lookups, "{policy:?}");
+            }
+        }
+
+        #[test]
+        fn every_policy_serves_everything_that_fits(
+            keys in proptest::collection::vec(0u64..64, 1..32),
+        ) {
+            // With a budget the whole working set fits under, eviction
+            // policy must be unobservable: every inserted name hits.
+            for policy in EvictionPolicyKind::ALL {
+                let mut cs = ContentStore::with_budget(CsBudget::Bytes(1 << 20), policy);
+                let t = SimTime::from_secs(1);
+                for &key in &keys {
+                    cs.insert(
+                        Data::new(Name::from_uri(&format!("/p/{key}")), vec![1; 16]),
+                        t,
+                    );
+                }
+                for &key in &keys {
+                    let name = Name::from_uri(&format!("/p/{key}"));
+                    let d = cs.lookup(&name, false, false, t);
+                    prop_assert!(d.is_some(), "{policy:?} lost /p/{key}");
+                    prop_assert_eq!(d.unwrap().name(), &name);
+                }
+                let s = cs.stats();
+                prop_assert_eq!(s.misses, 0, "{policy:?}");
+                prop_assert_eq!(s.hits, keys.len() as u64, "{policy:?}");
+                prop_assert_eq!(cs.audit(), Ok(()));
+            }
+        }
+
+        #[test]
+        fn chunk_pipeline_round_trips_for_any_geometry(
+            size in 0usize..5000,
+            chunk_size in 1usize..512,
+            probe in any::<usize>(),
+        ) {
+            let col = Name::from_uri("/prop-col-1533783192");
+            let f = ChunkedFile::synthetic(&col, "f", size, chunk_size);
+            let catalog = Catalog::decode(f.catalog_data().content()).unwrap();
+            prop_assert_eq!(catalog, f.catalog());
+            prop_assert_eq!(catalog.size_bytes as usize, size);
+            prop_assert_eq!(catalog.chunk_count as usize, f.chunk_count());
+            // A probed segment verifies against the catalog; its proof
+            // must not validate any other segment's payload.
+            let idx = probe % f.chunk_count();
+            let seg = f.segment(idx).unwrap();
+            let proof = f.prove(idx).unwrap();
+            prop_assert!(ChunkedFile::verify_segment(&catalog, &proof, idx, &seg));
+            let other = (idx + 1) % f.chunk_count();
+            if other != idx {
+                let wrong = f.segment(other).unwrap();
+                prop_assert!(!ChunkedFile::verify_segment(&catalog, &proof, idx, &wrong));
+            }
+            // Reassembling every chunk and re-chunking reproduces the
+            // exact Merkle root: the pipeline is lossless.
+            let mut rebuilt = Vec::new();
+            for i in 0..f.chunk_count() {
+                rebuilt.extend_from_slice(f.chunk(i).unwrap());
+            }
+            prop_assert_eq!(rebuilt.len(), size);
+            let g = ChunkedFile::from_bytes(&col, "f", rebuilt, chunk_size);
+            prop_assert_eq!(g.root(), f.root());
+        }
+    }
+}
+
 mod sched_properties {
     //! Scheduler-refactor properties: the timer wheel must pop the exact
     //! `(time, seq)` sequence a min-heap pops, the world's two queue modes
