@@ -1,0 +1,72 @@
+//! Fault-injection benchmark: sweeps crash counts × partition durations
+//! over one swarm, gates on the recovery invariants and writes
+//! `BENCH_faults.json`.
+//!
+//! ```text
+//! cargo run --release -p dapes-bench --bin faults            # dense
+//! cargo run --release -p dapes-bench --bin faults -- --quick # CI smoke
+//! cargo run ... -- --out BENCH_faults.json --seed 9
+//! ```
+//!
+//! The gate (exit 1 on first violation): every transfer completes after
+//! the heal, resumed downloaders re-fetch zero held segments, the fault
+//! counters account exactly for each cell's plan, every cell's double run
+//! is bit-identical, and the sweep exercises each recovery mechanism
+//! (salvage resume, partition drops, backoff give-ups) at least once.
+
+use dapes_bench::faults::{gate, render_report, run_all, FaultParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
+    let out = arg("--out").unwrap_or_else(|| "BENCH_faults.json".to_owned());
+    let mut params = if quick {
+        FaultParams::smoke()
+    } else {
+        FaultParams::dense()
+    };
+    if let Some(s) = arg("--seed") {
+        params.seed = s.parse().expect("--seed");
+    }
+    eprintln!(
+        "faults: seed {}, {} files x {} B, crash at {:.1} s, cut at {:.1} s",
+        params.seed,
+        params.files,
+        params.file_size,
+        params.crash_at_us as f64 / 1e6,
+        params.cut_at_us as f64 / 1e6,
+    );
+
+    let outcomes = run_all(&params);
+    for o in &outcomes {
+        eprintln!(
+            "  {:<13}: done={} at {:>6.2} s, {:>5} frames, crashes {}/{} restarts, \
+             {:>4} part-drops, retx {:>3} (gave up {:>2}), resumed-skip {:>3}, \
+             refetch {}, stale {}, deterministic={}",
+            o.label,
+            o.completed,
+            o.completion_secs,
+            o.tx_frames,
+            o.node_crashes,
+            o.node_restarts,
+            o.partition_drops,
+            o.retransmissions,
+            o.retx_give_ups,
+            o.resumed_segments_skipped,
+            o.resumed_refetch,
+            o.stale_events_suppressed,
+            o.deterministic,
+        );
+    }
+
+    let json = render_report(&params, &outcomes);
+    std::fs::write(&out, &json).expect("write BENCH_faults.json");
+    eprintln!("wrote {out}");
+
+    if let Err(msg) = gate(&outcomes) {
+        eprintln!("GATE VIOLATION: {msg}");
+        std::process::exit(1);
+    }
+    eprintln!("gate: all recovery invariants hold");
+}

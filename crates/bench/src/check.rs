@@ -113,6 +113,97 @@ fn validate_adversarial(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-cell counters of the fault-injection report; all must be present,
+/// non-negative integers.
+const FAULT_COUNTERS: [&str; 11] = [
+    "crashes",
+    "partition_secs",
+    "node_crashes",
+    "node_restarts",
+    "partitions_cut",
+    "partitions_healed",
+    "partition_drops",
+    "stale_events_suppressed",
+    "retransmissions",
+    "retx_give_ups",
+    "resumed_segments_skipped",
+];
+
+/// Validates the fault-injection report shape: header fields, per-cell
+/// entries with true `completed`/`deterministic` gate flags, non-negative
+/// integer counters, a `resumed_refetch` that is exactly zero (any resumed
+/// re-fetch is a recovery bug), and sweep-level coverage: at least one
+/// cell each with resume skips, partition drops and backoff give-ups.
+fn validate_faults(doc: &Value) -> Result<(), String> {
+    require_num(doc, "nodes")?;
+    require_num(doc, "seed")?;
+    let cells = doc
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("\"cells\" must be an array")?;
+    if cells.is_empty() {
+        return Err("\"cells\" array is empty — the sweep measured nothing".into());
+    }
+    let mut seen = Vec::new();
+    let mut any_resume = false;
+    let mut any_drop = false;
+    let mut any_give_up = false;
+    for entry in cells {
+        let label = require_str(entry, "label")?;
+        if seen.contains(&label.to_string()) {
+            return Err(format!("duplicate cell \"{label}\""));
+        }
+        seen.push(label.to_string());
+        for key in ["completed", "deterministic"] {
+            match entry.get(key) {
+                Some(Value::Bool(true)) => {}
+                Some(Value::Bool(false)) => {
+                    return Err(format!(
+                        "cell \"{label}\": \"{key}\" is false — gate violated"
+                    ))
+                }
+                _ => return Err(format!("cell \"{label}\": missing or non-bool \"{key}\"")),
+            }
+        }
+        for key in ["completion_secs", "tx_frames"] {
+            let n = require_num(entry, key).map_err(|e| format!("cell \"{label}\": {e}"))?;
+            if n < 0.0 {
+                return Err(format!("cell \"{label}\": \"{key}\" is negative ({n})"));
+            }
+        }
+        for key in FAULT_COUNTERS {
+            let n = require_num(entry, key).map_err(|e| format!("cell \"{label}\": {e}"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!(
+                    "cell \"{label}\": counter \"{key}\" must be a non-negative integer, got {n}"
+                ));
+            }
+        }
+        let refetch =
+            require_num(entry, "resumed_refetch").map_err(|e| format!("cell \"{label}\": {e}"))?;
+        if refetch != 0.0 {
+            return Err(format!(
+                "cell \"{label}\": \"resumed_refetch\" is {refetch} — a resumed \
+                 downloader re-fetched held segments"
+            ));
+        }
+        let get = |key: &str| entry.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+        any_resume |= get("resumed_segments_skipped") > 0.0;
+        any_drop |= get("partition_drops") > 0.0;
+        any_give_up |= get("retx_give_ups") > 0.0;
+    }
+    if !any_resume {
+        return Err("no cell resumed a transfer from salvage".into());
+    }
+    if !any_drop {
+        return Err("no cell dropped frames on a cut link".into());
+    }
+    if !any_give_up {
+        return Err("no cell exhausted the backoff ladder".into());
+    }
+    Ok(())
+}
+
 /// Validates a Prometheus text-format metrics dump: every non-empty line is
 /// a `# HELP`/`# TYPE` comment or a `name[{labels}] value` sample with a
 /// finite, non-negative value and a `dapes_`-prefixed metric name.
@@ -252,8 +343,9 @@ fn validate_cs(doc: &Value) -> Result<(), String> {
 
 /// Validates one parsed report document against the CI schema. Documents
 /// carrying an `attacks` key use the adversarial shape, documents with a
-/// `curves` array the Content Store shape; everything else is a perf
-/// report (scheduler or hot-path shape).
+/// `curves` array the Content Store shape, documents with a `cells` array
+/// the fault-injection shape; everything else is a perf report (scheduler
+/// or hot-path shape).
 pub fn validate(doc: &Value) -> Result<(), String> {
     require_str(doc, "scenario")?;
     if doc.get("attacks").is_some() {
@@ -261,6 +353,9 @@ pub fn validate(doc: &Value) -> Result<(), String> {
     }
     if doc.get("curves").is_some() {
         return validate_cs(doc);
+    }
+    if doc.get("cells").is_some() {
+        return validate_faults(doc);
     }
     require_num(doc, "nodes")?;
     require_num(doc, "seed")?;
@@ -332,6 +427,31 @@ pub fn summary(doc: &Value) -> Result<String, String> {
                 require_num(entry, "hit_rate")?,
                 require_num(entry, "evictions")?,
                 require_num(entry, "resident_entries")?,
+                if matches!(entry.get("deterministic"), Some(Value::Bool(true))) {
+                    "yes"
+                } else {
+                    "NO"
+                },
+            ));
+        }
+        return Ok(out);
+    }
+    if let Some(cells) = doc.get("cells").and_then(Value::as_array) {
+        let mut out = format!(
+            "### `{scenario}` ({nodes} nodes) — recovery under crash × partition sweeps\n\n\
+             | cell | done (s) | part drops | retx (gave up) | resumed skip | refetch | det |\n\
+             | --- | ---: | ---: | ---: | ---: | ---: | --- |\n"
+        );
+        for entry in cells {
+            let label = require_str(entry, "label")?;
+            out.push_str(&format!(
+                "| `{label}` | {:.2} | {:.0} | {:.0} ({:.0}) | {:.0} | {:.0} | {} |\n",
+                require_num(entry, "completion_secs")?,
+                require_num(entry, "partition_drops")?,
+                require_num(entry, "retransmissions")?,
+                require_num(entry, "retx_give_ups")?,
+                require_num(entry, "resumed_segments_skipped")?,
+                require_num(entry, "resumed_refetch")?,
                 if matches!(entry.get("deterministic"), Some(Value::Bool(true))) {
                     "yes"
                 } else {
@@ -625,6 +745,105 @@ mod tests {
             let err = validate(&doc).expect_err("bad curve entry");
             assert!(err.contains(want), "{err}");
         }
+    }
+
+    fn fault_cell(label: &str, extra_counters: (u64, u64, u64)) -> String {
+        let (drops, give_ups, skipped) = extra_counters;
+        format!(
+            "{{\"label\": \"{label}\", \"crashes\": 1, \"partition_secs\": 8, \
+              \"completed\": true, \"completion_secs\": 12.5, \"tx_frames\": 300, \
+              \"node_crashes\": 1, \"node_restarts\": 1, \
+              \"partitions_cut\": 1, \"partitions_healed\": 1, \
+              \"partition_drops\": {drops}, \"stale_events_suppressed\": 2, \
+              \"retransmissions\": 9, \"retx_give_ups\": {give_ups}, \
+              \"resumed_segments_skipped\": {skipped}, \"resumed_refetch\": 0, \
+              \"deterministic\": true}}"
+        )
+    }
+
+    fn faults_doc(cells: &[String]) -> String {
+        format!(
+            "{{\"scenario\": \"faults\", \"nodes\": 3, \"seed\": 9, \
+             \"files\": 2, \"file_size\": 16384, \"cells\": [{}]}}",
+            cells.join(", ")
+        )
+    }
+
+    fn full_faults_doc() -> String {
+        faults_doc(&[
+            fault_cell("crash1-part8", (11, 0, 20)),
+            fault_cell("crash1-part30", (40, 3, 0)),
+        ])
+    }
+
+    #[test]
+    fn accepts_a_well_formed_faults_report() {
+        let doc = parse(&full_faults_doc()).expect("parses");
+        assert_eq!(validate(&doc), Ok(()));
+        let table = summary(&doc).expect("summary renders");
+        assert!(
+            table.contains("`crash1-part30`") && table.contains("yes"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn rejects_faults_gate_flag_violations() {
+        for key in ["completed", "deterministic"] {
+            let text = full_faults_doc().replacen(
+                &format!("\"{key}\": true"),
+                &format!("\"{key}\": false"),
+                1,
+            );
+            let doc = parse(&text).expect("parses");
+            let err = validate(&doc).expect_err("false gate flag");
+            assert!(err.contains("gate violated"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_any_resumed_refetch() {
+        let text =
+            full_faults_doc().replacen("\"resumed_refetch\": 0", "\"resumed_refetch\": 3", 1);
+        let doc = parse(&text).expect("parses");
+        let err = validate(&doc).expect_err("non-zero refetch");
+        assert!(err.contains("resumed_refetch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_faults_sweep_missing_a_recovery_mechanism() {
+        for (cells, want) in [
+            (
+                vec![fault_cell("a", (5, 1, 0)), fault_cell("b", (2, 2, 0))],
+                "resumed a transfer",
+            ),
+            (
+                vec![fault_cell("a", (0, 1, 9)), fault_cell("b", (0, 2, 1))],
+                "cut link",
+            ),
+            (
+                vec![fault_cell("a", (5, 0, 9)), fault_cell("b", (2, 0, 1))],
+                "backoff ladder",
+            ),
+        ] {
+            let doc = parse(&faults_doc(&cells)).expect("parses");
+            let err = validate(&doc).expect_err("uncovered mechanism");
+            assert!(err.contains(want), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_faults_bad_counters_and_duplicates() {
+        let text =
+            full_faults_doc().replacen("\"partition_drops\": 11", "\"partition_drops\": -1", 1);
+        let err = validate(&parse(&text).expect("parses")).expect_err("negative counter");
+        assert!(err.contains("partition_drops"), "{err}");
+        let dup = faults_doc(&[fault_cell("a", (1, 1, 1)), fault_cell("a", (1, 1, 1))]);
+        let err = validate(&parse(&dup).expect("parses")).expect_err("duplicate cell");
+        assert!(err.contains("duplicate"), "{err}");
+        let empty = faults_doc(&[]);
+        let err = validate(&parse(&empty).expect("parses")).expect_err("empty cells");
+        assert!(err.contains("measured nothing"), "{err}");
     }
 
     #[test]

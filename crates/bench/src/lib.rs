@@ -19,6 +19,7 @@
 pub mod adversarial;
 pub mod check;
 pub mod cs;
+pub mod faults;
 pub mod figures;
 pub mod hotpath;
 pub mod json;

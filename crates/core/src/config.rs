@@ -83,11 +83,17 @@ pub struct DapesConfig {
     pub slot_len: SimDuration,
     /// Outstanding content Interests per download.
     pub fetch_window: usize,
-    /// Retransmission timeout for content/metadata Interests.
+    /// Base retransmission timeout for content/metadata Interests. The
+    /// effective timeout doubles per retransmission (bounded exponential
+    /// backoff) up to [`retx_backoff_cap`](Self::retx_backoff_cap).
     pub retx_timeout: SimDuration,
     /// Give up re-expressing a packet after this many retransmissions and
     /// requeue it.
     pub max_retx: u32,
+    /// Ceiling on the per-packet backed-off retransmission timeout. Keeps a
+    /// downloader probing at a bounded rate through a partition or a crashed
+    /// upstream instead of backing off into silence.
+    pub retx_backoff_cap: SimDuration,
     /// Fastest discovery beacon period.
     pub discovery_min: SimDuration,
     /// Slowest discovery beacon period (isolation backoff cap).
@@ -168,6 +174,7 @@ impl Default for DapesConfig {
             fetch_window: 4,
             retx_timeout: SimDuration::from_millis(500),
             max_retx: 8,
+            retx_backoff_cap: SimDuration::from_secs(4),
             discovery_min: SimDuration::from_secs(1),
             discovery_max: SimDuration::from_secs(8),
             discovery_recent: SimDuration::from_secs(5),

@@ -79,7 +79,7 @@ pub mod prelude {
     pub use crate::discovery::{DiscoveryInfo, OfferedCollection};
     pub use crate::metadata::{Metadata, MetadataFormat, PacketIndex};
     pub use crate::multihop::{MultihopState, NodeRole};
-    pub use crate::peer::{DapesPeer, WantPolicy};
+    pub use crate::peer::{DapesPeer, SalvagedDownload, WantPolicy};
     pub use crate::pipeline::{Catalog, ChunkedFile};
     pub use crate::rpf::{RpfVariant, StartPacket};
     pub use crate::stats::{kinds, PeerStats};

@@ -199,8 +199,10 @@ impl MultihopState {
     }
 
     /// Periodic sweep: expire pending forwards into suppressions and drop
-    /// stale neighbors and lapsed suppressions.
-    pub fn sweep(&mut self, now: SimTime) {
+    /// stale neighbors and lapsed suppressions. Returns the number of
+    /// neighbors expired (crashed or departed peers leaving the strategy's
+    /// view).
+    pub fn sweep(&mut self, now: SimTime) -> usize {
         let timeout = self.response_timeout;
         let mut to_suppress = Vec::new();
         self.pending_response.retain(|name, &mut at| {
@@ -217,8 +219,10 @@ impl MultihopState {
         }
         self.suppressed.retain(|_, &mut until| until > now);
         let nt = self.neighbor_timeout;
+        let before = self.neighbors.len();
         self.neighbors
             .retain(|_, info| now.since(info.last_heard) <= nt);
+        before - self.neighbors.len()
     }
 
     /// Count of live neighbors.

@@ -141,6 +141,10 @@ struct Download {
     advert: AdvertScheduler,
     history: EncounterHistory,
     completed_at: Option<SimTime>,
+    /// Segments salvaged from a previous incarnation (crash + restart):
+    /// a content Interest for any of these is a resume bug, counted in
+    /// [`PeerStats::resumed_refetch`].
+    resumed: Option<Bitmap>,
 }
 
 impl Download {
@@ -185,6 +189,29 @@ pub struct DapesPeer {
     /// First-seen times of overheard Interest nonces: a nonce re-injected
     /// after the replay window is a replayed Interest, not a wireless echo.
     nonce_journal: BTreeMap<u32, SimTime>,
+    /// Download state restored from a crashed incarnation, pending until
+    /// the catalog is re-fetched and the download re-activates.
+    salvaged: BTreeMap<Name, SalvagedDownload>,
+}
+
+/// Download state that survives a crash: what a wreck yields to the fresh
+/// stack that replaces it, so a restarted downloader completes without
+/// re-fetching segments it already verified.
+///
+/// Obtained from the dead peer with [`DapesPeer::salvage`] and handed to
+/// its successor with [`DapesPeer::restore`]; the successor re-fetches the
+/// catalog through the normal discovery path and folds the salvaged
+/// segments in when the download re-activates.
+#[derive(Clone, Debug)]
+pub struct SalvagedDownload {
+    /// The collection the download was for.
+    pub collection: Name,
+    /// Surviving segments: global packet index plus the retained content
+    /// leaf hash for files still awaiting Merkle verification (`None` once
+    /// a file verified and dropped its hashes).
+    pub segments: Vec<(usize, Option<Digest>)>,
+    /// Per-file verification flags at crash time.
+    pub files_verified: Vec<bool>,
 }
 
 impl DapesPeer {
@@ -262,6 +289,37 @@ impl DapesPeer {
             stamp: MonotonicStamp::default(),
             replay,
             nonce_journal: BTreeMap::new(),
+            salvaged: BTreeMap::new(),
+        }
+    }
+
+    /// Extracts the download state worth keeping across a crash: one
+    /// [`SalvagedDownload`] per download whose catalog had been fetched
+    /// (completed downloads included, so a finished peer does not restart
+    /// from zero). Call on the wreck from a restart stack factory.
+    pub fn salvage(&self) -> Vec<SalvagedDownload> {
+        self.downloads
+            .values()
+            .filter(|d| d.phase != Phase::FetchingMetadata)
+            .map(|d| SalvagedDownload {
+                collection: d.collection.clone(),
+                segments: d
+                    .have
+                    .iter_set()
+                    .map(|i| (i, d.leaf_hashes.get(i).copied().flatten()))
+                    .collect(),
+                files_verified: d.files_verified.clone(),
+            })
+            .collect()
+    }
+
+    /// Installs salvaged download state into a freshly-booted peer. The
+    /// segments are folded into the matching download when its catalog is
+    /// re-fetched ([`PeerStats::resumed_segments_skipped`] counts them);
+    /// until then they sit pending. Call before the first callback runs.
+    pub fn restore(&mut self, salvaged: Vec<SalvagedDownload>) {
+        for s in salvaged {
+            self.salvaged.insert(s.collection.clone(), s);
         }
     }
 
@@ -707,6 +765,7 @@ impl DapesPeer {
             advert: AdvertScheduler::new(self.cfg.peba, self.cfg.tx_window, self.cfg.slot_len),
             history: EncounterHistory::new(self.cfg.encounter_history),
             completed_at: None,
+            resumed: None,
         };
         self.downloads.insert(offer.collection.clone(), download);
         self.request_metadata_segment(ctx, &offer.collection, 0);
@@ -779,6 +838,7 @@ impl DapesPeer {
             sh.indices.insert(collection.clone(), index.clone());
             sh.have.insert(collection.clone(), Bitmap::new(total));
         }
+        let salvaged = self.salvaged.remove(collection);
         let Some(d) = self.downloads.get_mut(collection) else {
             return;
         };
@@ -787,11 +847,55 @@ impl DapesPeer {
         d.have = Bitmap::new(total);
         d.leaf_hashes = vec![None; total];
         d.files_verified = vec![false; files];
-        d.phase = Phase::Active;
+        // Resume after restart: fold in what the previous incarnation held.
+        // The catalog was re-fetched (it binds the segment names and Merkle
+        // roots), but every salvaged segment — with its retained leaf hash,
+        // so later file verification still has all leaves — is marked held
+        // and never re-fetched.
+        let mut resumed_complete = false;
+        if let Some(s) = salvaged {
+            let mut skipped = 0u64;
+            for (idx, leaf) in s.segments {
+                if idx < total && !d.have.get(idx) {
+                    d.have.set(idx);
+                    d.leaf_hashes[idx] = leaf;
+                    skipped += 1;
+                }
+            }
+            for (pos, &v) in s.files_verified.iter().enumerate().take(files) {
+                if v {
+                    d.files_verified[pos] = true;
+                }
+            }
+            d.resumed = Some(d.have.clone());
+            self.stats.resumed_segments_skipped += skipped;
+            if let Some(have) = self.shared.borrow_mut().have.get_mut(collection) {
+                have.union_with(&d.have);
+            }
+            resumed_complete = files > 0 && d.files_verified.iter().all(|&v| v);
+        }
+        d.phase = if resumed_complete {
+            Phase::Complete
+        } else {
+            Phase::Active
+        };
+        if resumed_complete {
+            d.completed_at = Some(ctx.now);
+        }
         d.queue_dirty = true;
         ctx.note_state_inserts(2);
-        // Open the first advertisement round immediately.
-        self.open_advert_round(ctx, collection);
+        if resumed_complete {
+            if self
+                .downloads
+                .values()
+                .all(|dl| dl.phase == Phase::Complete)
+            {
+                self.stats.complete(ctx.now);
+            }
+        } else {
+            // Open the first advertisement round immediately.
+            self.open_advert_round(ctx, collection);
+        }
     }
 
     fn open_advert_round(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name) {
@@ -1042,6 +1146,15 @@ impl DapesPeer {
             else {
                 continue;
             };
+            // A fetch for a salvaged segment means resume is broken — the
+            // `have` check above must have skipped it. Counted, not fixed
+            // up, so the fault benches can gate on it staying zero.
+            if d.resumed
+                .as_ref()
+                .is_some_and(|r| idx < r.len() && r.get(idx))
+            {
+                self.stats.resumed_refetch += 1;
+            }
             d.outstanding.insert(idx, (ctx.now, 0));
             self.stats.interests_sent += 1;
             let interest = Interest::new(name).with_nonce(ctx.rng().gen());
@@ -1268,7 +1381,7 @@ impl DapesPeer {
     // ------------------------------------------------------------------
 
     fn tick(&mut self, ctx: &mut NodeCtx<'_>) {
-        self.shared.borrow_mut().sweep(ctx.now);
+        self.stats.neighbors_expired += self.shared.borrow_mut().sweep(ctx.now) as u64;
         self.forwarder.expire(ctx.now);
         if self.cfg.signed_adverts {
             self.stats.peers_expired += self.replay.sweep(ctx.now) as u64;
@@ -1304,7 +1417,8 @@ impl DapesPeer {
 
     fn sweep_download(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name) {
         let now = ctx.now;
-        let retx_timeout = self.cfg.retx_timeout;
+        let base = self.cfg.retx_timeout;
+        let cap = self.cfg.retx_backoff_cap;
         let max_retx = self.cfg.max_retx;
 
         // Metadata retransmissions.
@@ -1316,22 +1430,46 @@ impl DapesPeer {
             };
             match d.phase {
                 Phase::FetchingMetadata => {
+                    let mut gave_up: Vec<u32> = Vec::new();
                     for (&seg, (sent, retx)) in d.meta_outstanding.iter_mut() {
-                        if now.since(*sent) > retx_timeout {
+                        if now.since(*sent) > backed_off_timeout(base, cap, *retx) {
                             *sent = now;
                             *retx += 1;
                             if *retx <= max_retx {
                                 meta_retx.push(seg);
+                            } else {
+                                gave_up.push(seg);
                             }
+                        }
+                    }
+                    self.stats.retx_give_ups += gave_up.len() as u64;
+                    for seg in gave_up {
+                        d.meta_outstanding.remove(&seg);
+                    }
+                    // Once every outstanding catalog segment has given up,
+                    // start a fresh windowed round (fresh backoff) while a
+                    // peer is in range — segment 0 when the catalog size is
+                    // still unknown. A restarted or long-partitioned
+                    // downloader recovers here instead of stalling forever.
+                    if meta_retx.is_empty()
+                        && d.meta_outstanding.is_empty()
+                        && self.encounter_active
+                    {
+                        if d.assembler.total().is_none() {
+                            meta_retx.push(0);
+                        } else {
+                            let window = self.cfg.fetch_window.max(1);
+                            meta_retx.extend(d.assembler.missing().into_iter().take(window));
                         }
                     }
                 }
                 Phase::Active => {
-                    // Content retransmissions / requeues.
+                    // Content retransmissions / requeues, each Interest on
+                    // its own backed-off clock.
                     let mut requeue: Vec<usize> = Vec::new();
                     let mut resend: Vec<usize> = Vec::new();
                     for (&idx, (sent, retx)) in d.outstanding.iter_mut() {
-                        if now.since(*sent) > retx_timeout {
+                        if now.since(*sent) > backed_off_timeout(base, cap, *retx) {
                             if *retx >= max_retx {
                                 requeue.push(idx);
                             } else {
@@ -1341,6 +1479,7 @@ impl DapesPeer {
                             }
                         }
                     }
+                    self.stats.retx_give_ups += requeue.len() as u64;
                     for idx in requeue {
                         d.outstanding.remove(&idx);
                         d.queue_dirty = true;
@@ -2000,6 +2139,17 @@ impl DapesPeer {
             _ => {}
         }
     }
+}
+
+/// Bounded exponential backoff: the effective retransmission timeout after
+/// `retx` attempts is `base << retx`, saturating, clamped to `cap` — a
+/// downloader keeps probing through an outage at the capped rate instead of
+/// backing off into silence.
+fn backed_off_timeout(base: SimDuration, cap: SimDuration, retx: u32) -> SimDuration {
+    let base_us = base.as_micros().max(1);
+    let cap_us = cap.as_micros().max(base_us);
+    let scaled = base_us.saturating_mul(1u64 << retx.min(16));
+    SimDuration::from_micros(scaled.min(cap_us))
 }
 
 fn response_kind_for(data: &Data) -> FrameKind {

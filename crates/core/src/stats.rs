@@ -121,6 +121,20 @@ pub struct PeerStats {
     /// Frames that failed to parse as NDN packets at all and were dropped
     /// on the floor (the noise-flood sink).
     pub flood_frames_dropped: u64,
+    /// Outstanding fetches abandoned after `max_retx` backed-off
+    /// retransmissions (content packets are requeued for a later window;
+    /// metadata segments re-enter the fetch plan on the next encounter).
+    pub retx_give_ups: u64,
+    /// Neighbors expired from the multi-hop neighbor table after going
+    /// unheard for the neighbor timeout — crashed or departed peers leaving
+    /// the forwarding strategy's view.
+    pub neighbors_expired: u64,
+    /// Segments a restarted downloader salvaged from its previous
+    /// incarnation and never re-fetched.
+    pub resumed_segments_skipped: u64,
+    /// Content Interests sent for a segment the salvaged state already
+    /// held — always zero unless resume is broken.
+    pub resumed_refetch: u64,
     /// Completion time of all wanted collections, once reached.
     pub completed_at: Option<SimTime>,
 }

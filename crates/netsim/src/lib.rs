@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod geometry;
 pub mod grid;
 pub mod mobility;
@@ -43,6 +44,7 @@ pub mod world;
 
 /// Convenient glob-import of the types nearly every user needs.
 pub mod prelude {
+    pub use crate::fault::{FaultAction, FaultPlan};
     pub use crate::geometry::Point;
     pub use crate::grid::SpatialGrid;
     pub use crate::mobility::{Mobility, RandomDirection, ScriptedMobility, Stationary};
@@ -52,7 +54,9 @@ pub mod prelude {
     pub use crate::stats::Stats;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::wheel::TimerWheel;
-    pub use crate::world::{DeliveryEvents, DeliveryMode, QueueMode, World, WorldConfig};
+    pub use crate::world::{
+        DeliveryEvents, DeliveryMode, QueueMode, StackFactory, World, WorldConfig,
+    };
 }
 
 pub use prelude::*;

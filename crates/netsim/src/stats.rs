@@ -63,6 +63,25 @@ pub struct Stats {
     pub state_inserts: u64,
     /// Per-node transmission counts, indexed by `NodeId.0`.
     pub tx_per_node: Vec<u64>,
+    /// Nodes crashed by a fault plan (restartable).
+    pub node_crashes: u64,
+    /// Crashed nodes rebooted with a fresh stack.
+    pub node_restarts: u64,
+    /// Dormant nodes booted late by a fault plan.
+    pub node_joins: u64,
+    /// Nodes removed permanently by a fault plan.
+    pub node_leaves: u64,
+    /// Partition cuts applied (one per `Cut` action, however many links).
+    pub partitions_cut: u64,
+    /// Partition heals applied (one per `Heal` action).
+    pub partitions_healed: u64,
+    /// In-range deliveries suppressed because the sender→receiver link was
+    /// cut by an active partition.
+    pub partition_drops: u64,
+    /// Timer or delayed-send events that popped after their node's
+    /// incarnation died (crash/leave/restart) and were suppressed instead of
+    /// firing into the fresh stack. Their slab slots are still freed.
+    pub stale_events_suppressed: u64,
 }
 
 impl Stats {
@@ -157,6 +176,46 @@ impl Stats {
             "event_dispatches_total",
             "Scheduler event dispatches.",
             self.event_dispatches,
+        );
+        counter(
+            "node_crashes_total",
+            "Nodes crashed by a fault plan.",
+            self.node_crashes,
+        );
+        counter(
+            "node_restarts_total",
+            "Crashed nodes rebooted with a fresh stack.",
+            self.node_restarts,
+        );
+        counter(
+            "node_joins_total",
+            "Dormant nodes booted late by a fault plan.",
+            self.node_joins,
+        );
+        counter(
+            "node_leaves_total",
+            "Nodes removed permanently by a fault plan.",
+            self.node_leaves,
+        );
+        counter(
+            "partitions_cut_total",
+            "Partition cuts applied.",
+            self.partitions_cut,
+        );
+        counter(
+            "partitions_healed_total",
+            "Partition heals applied.",
+            self.partitions_healed,
+        );
+        counter(
+            "partition_drops_total",
+            "In-range deliveries suppressed by an active partition.",
+            self.partition_drops,
+        );
+        counter(
+            "stale_events_suppressed_total",
+            "Events suppressed after their node incarnation died.",
+            self.stale_events_suppressed,
         );
         out.push_str(concat!(
             "# HELP dapes_tx_by_kind_total Frames transmitted, by protocol kind.\n",

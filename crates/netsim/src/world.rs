@@ -17,6 +17,7 @@
 //!   [`TxOutcome::collided`] — the signal PEBA reacts to.
 //! * **Loss.** Independent Bernoulli loss per receiver (paper: 10 %).
 
+use crate::fault::{FaultAction, FaultPlan};
 use crate::geometry::Point;
 use crate::grid::SpatialGrid;
 use crate::mobility::Mobility;
@@ -29,7 +30,13 @@ use crate::wheel::{TimerWheel, WheelEntry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+/// Builds the replacement stack for a node being restarted by a
+/// [`FaultAction::Restart`]. The second argument is the crashed incarnation
+/// (the "wreck"), available for downcast-and-salvage; `None` when the crash
+/// predates any factory or the node left permanently.
+pub type StackFactory = Box<dyn FnMut(NodeId, Option<&dyn NetStack>) -> Box<dyn NetStack>>;
 
 /// How receivers are selected per transmission.
 ///
@@ -156,6 +163,16 @@ struct NodeSlot {
     mobility: Box<dyn Mobility>,
     stack: Option<Box<dyn NetStack>>,
     mac: MacState,
+    /// Incarnation counter, bumped on crash/leave. Timer and delayed-send
+    /// events carry the epoch they were armed under; a mismatch at dispatch
+    /// means the arming incarnation is dead and the event is suppressed
+    /// (its slab slot is still freed), so a restarted stack can never
+    /// receive a predecessor's callbacks.
+    epoch: u32,
+    /// A stack parked outside the dispatch path: the wreck of a crashed
+    /// node (kept as the salvage source for a restart) or a late joiner
+    /// waiting for its `FaultAction::Join`.
+    dormant: Option<Box<dyn NetStack>>,
 }
 
 #[derive(Debug)]
@@ -190,9 +207,13 @@ enum EventKind {
         node: NodeId,
         token: u64,
         handle: TimerHandle,
+        /// The node incarnation that armed the timer (see [`NodeSlot::epoch`]).
+        epoch: u32,
     },
     MacEnqueue {
         node: NodeId,
+        /// The node incarnation that issued the delayed send.
+        epoch: u32,
         /// Boxed: a `PendingFrame` is wider than every other variant, and
         /// every queue entry would pay for it inline.
         frame: Box<PendingFrame>,
@@ -218,6 +239,10 @@ enum EventKind {
     TxDone {
         node: NodeId,
         outcome: TxOutcome,
+    },
+    /// One scripted fault from the world's [`FaultPlan`], by action index.
+    Fault {
+        idx: u32,
     },
 }
 
@@ -336,6 +361,22 @@ pub struct World {
     /// Longest frame air time seen so far, bounding how long a finished
     /// transmission can still matter for collision checks.
     longest_air: SimDuration,
+    /// The fault script, indexed by the `Fault` events scheduled at start.
+    fault_actions: Vec<(SimTime, FaultAction)>,
+    /// Currently severed links as unordered node-id pairs (`min`, `max`).
+    links_cut: BTreeSet<(u32, u32)>,
+    /// Builds replacement stacks for `FaultAction::Restart`.
+    stack_factory: Option<StackFactory>,
+}
+
+/// Canonical (unordered) key for a link between two nodes, so `links_cut`
+/// stores each severed pair exactly once regardless of direction.
+fn link_key(a: NodeId, b: NodeId) -> (u32, u32) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
 }
 
 impl World {
@@ -361,6 +402,9 @@ impl World {
             grid,
             candidate_buf: Vec::new(),
             longest_air: SimDuration::ZERO,
+            fault_actions: Vec::new(),
+            links_cut: BTreeSet::new(),
+            stack_factory: None,
             cfg,
         }
     }
@@ -388,8 +432,38 @@ impl World {
                 cw: self.cfg.phy.cw_min,
                 retry_at: None,
             },
+            epoch: 0,
+            dormant: None,
         });
         id
+    }
+
+    /// Attaches a fault script: each action becomes one ordinary event in
+    /// the shared queue, so traces stay bit-identical across every
+    /// [`QueueMode`] / [`DeliveryEvents`] pairing with the plan applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started. Actions naming a node id
+    /// that was never added panic when they fire.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "fault plans must be set before the run starts"
+        );
+        self.fault_actions = plan.actions;
+    }
+
+    /// Installs the factory that builds replacement stacks for
+    /// [`FaultAction::Restart`] events. Required before any restart fires.
+    pub fn set_stack_factory(&mut self, factory: StackFactory) {
+        self.stack_factory = Some(factory);
+    }
+
+    /// Whether `node`'s stack is currently live (not crashed, departed, or
+    /// dormant awaiting a late join).
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].stack.is_some()
     }
 
     /// Current simulation time.
@@ -518,6 +592,24 @@ impl World {
             std::mem::swap(&mut s.arrival_events, &mut self.stats.arrival_events);
             s
         };
+        // Schedule the fault script before any `on_start` runs: the fault
+        // events' queue positions are then a pure function of the plan,
+        // identical in every queue and delivery-event mode. Late joiners are
+        // parked dormant here so the start loop skips them.
+        for i in 0..self.fault_actions.len() {
+            let t = self.fault_actions[i].0;
+            let join = match &self.fault_actions[i].1 {
+                FaultAction::Join(node) => Some(*node),
+                _ => None,
+            };
+            if let Some(node) = join {
+                let slot = &mut self.nodes[node.0 as usize];
+                if let Some(stack) = slot.stack.take() {
+                    slot.dormant = Some(stack);
+                }
+            }
+            self.push_event(t, EventKind::Fault { idx: i as u32 });
+        }
         for i in 0..self.nodes.len() {
             self.with_stack(NodeId(i as u32), |stack, ctx| stack.on_start(ctx));
         }
@@ -584,12 +676,23 @@ impl World {
                 node,
                 token,
                 handle,
+                epoch,
             } => {
+                // Fire (freeing the slab slot) unconditionally; run the
+                // callback only for the incarnation that armed the timer.
                 if self.timers.fire(handle) {
-                    self.with_stack(node, |stack, ctx| stack.on_timer(ctx, token));
+                    if self.nodes[node.0 as usize].epoch == epoch {
+                        self.with_stack(node, |stack, ctx| stack.on_timer(ctx, token));
+                    } else {
+                        self.stats.stale_events_suppressed += 1;
+                    }
                 }
             }
-            EventKind::MacEnqueue { node, frame } => {
+            EventKind::MacEnqueue { node, epoch, frame } => {
+                if self.nodes[node.0 as usize].epoch != epoch {
+                    self.stats.stale_events_suppressed += 1;
+                    return;
+                }
                 self.nodes[node.0 as usize].mac.queue.push_back(*frame);
                 self.mac_try(node);
             }
@@ -607,6 +710,7 @@ impl World {
             EventKind::TxDone { node, outcome } => {
                 self.with_stack(node, |stack, ctx| stack.on_tx_done(ctx, outcome));
             }
+            EventKind::Fault { idx } => self.apply_fault(idx as usize),
             EventKind::MobilityChange { node } => {
                 let field = self.cfg.field;
                 let slot = &mut self.nodes[node.0 as usize];
@@ -619,6 +723,95 @@ impl World {
                 self.grid.update(node, a, b);
             }
         }
+    }
+
+    fn apply_fault(&mut self, idx: usize) {
+        let action = self.fault_actions[idx].1.clone();
+        match action {
+            FaultAction::Crash(node) => self.fault_crash(node, true),
+            FaultAction::Leave(node) => self.fault_crash(node, false),
+            FaultAction::Restart(node) => self.fault_restart(node),
+            FaultAction::Join(node) => self.fault_join(node),
+            FaultAction::Cut { a, b } => {
+                for &x in &a {
+                    for &y in &b {
+                        if x != y {
+                            self.links_cut.insert(link_key(x, y));
+                        }
+                    }
+                }
+                self.stats.partitions_cut += 1;
+            }
+            FaultAction::Heal { a, b } => {
+                for &x in &a {
+                    for &y in &b {
+                        self.links_cut.remove(&link_key(x, y));
+                    }
+                }
+                self.stats.partitions_healed += 1;
+            }
+        }
+    }
+
+    /// Kills a node: the stack leaves the dispatch path, queued MAC frames
+    /// are discarded, and the epoch bump suppresses every timer or delayed
+    /// send armed by the dead incarnation when it pops. A frame already on
+    /// the air completes — `finish_tx` clears `transmitting` as usual, and
+    /// its follow-up `MacTry` finds an empty queue. Crashing an already-dead
+    /// node is a no-op.
+    fn fault_crash(&mut self, node: NodeId, restartable: bool) {
+        let idx = node.0 as usize;
+        let Some(stack) = self.nodes[idx].stack.take() else {
+            return;
+        };
+        let slot = &mut self.nodes[idx];
+        slot.epoch = slot.epoch.wrapping_add(1);
+        slot.mac.queue.clear();
+        slot.mac.retry_at = None;
+        slot.mac.cw = self.cfg.phy.cw_min;
+        if restartable {
+            // Parked outside the dispatch path: receives no callbacks, and
+            // exists only so a restart factory can salvage its state.
+            slot.dormant = Some(stack);
+            self.stats.node_crashes += 1;
+        } else {
+            slot.dormant = None;
+            self.stats.node_leaves += 1;
+        }
+    }
+
+    /// Boots a fresh stack (from the world's factory) at a crashed node's
+    /// position. State is lost except what the factory salvages from the
+    /// wreck. Restarting a live node is a no-op.
+    fn fault_restart(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if self.nodes[idx].stack.is_some() {
+            return;
+        }
+        let wreck = self.nodes[idx].dormant.take();
+        let mut factory = self
+            .stack_factory
+            .take()
+            .expect("FaultAction::Restart requires World::set_stack_factory");
+        let fresh = factory(node, wreck.as_deref());
+        self.stack_factory = Some(factory);
+        self.nodes[idx].stack = Some(fresh);
+        self.stats.node_restarts += 1;
+        self.with_stack(node, |stack, ctx| stack.on_start(ctx));
+    }
+
+    /// First boot of a late joiner parked dormant since world start.
+    fn fault_join(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if self.nodes[idx].stack.is_some() {
+            return;
+        }
+        let Some(stack) = self.nodes[idx].dormant.take() else {
+            return;
+        };
+        self.nodes[idx].stack = Some(stack);
+        self.stats.node_joins += 1;
+        self.with_stack(node, |stack, ctx| stack.on_start(ctx));
     }
 
     fn with_stack<F: FnOnce(&mut dyn NetStack, &mut NodeCtx<'_>)>(&mut self, node: NodeId, f: F) {
@@ -757,6 +950,7 @@ impl World {
                             self.now + delay,
                             EventKind::MacEnqueue {
                                 node,
+                                epoch: self.nodes[node.0 as usize].epoch,
                                 frame: Box::new(frame),
                             },
                         );
@@ -769,6 +963,7 @@ impl World {
                             node,
                             token,
                             handle,
+                            epoch: self.nodes[node.0 as usize].epoch,
                         },
                     );
                 }
@@ -893,6 +1088,14 @@ impl World {
             }
             let rpos = self.nodes[j].mobility.position(self.now);
             if !sender_pos.within(&rpos, self.cfg.range) {
+                continue;
+            }
+            // A cut link suppresses delivery at the receiver without
+            // consuming a loss draw — the partition is an addressing/trust
+            // severance, not a channel effect, so it must not perturb the
+            // RNG stream of unrelated receivers.
+            if !self.links_cut.is_empty() && self.links_cut.contains(&link_key(sender, receiver)) {
+                self.stats.partition_drops += 1;
                 continue;
             }
             // Interference: any other transmission overlapping [start, end)
@@ -1690,5 +1893,294 @@ mod tests {
             p0.distance(&p1) > 1.0,
             "node did not move: {p0:?} -> {p1:?}"
         );
+    }
+
+    /// Satellite regression: a node crashed with armed timers (and a delayed
+    /// send in flight toward its MAC queue) must have every pending event's
+    /// slab slot freed when it pops — suppressed, not fired into a dead or
+    /// restarted incarnation — under both queue modes.
+    #[test]
+    fn crash_with_armed_timers_frees_slots_and_suppresses_fires() {
+        #[derive(Debug, Default)]
+        struct Armer;
+        impl NetStack for Armer {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                // Retx-style ladder: timers at 100..500 ms plus one delayed
+                // send that would hit the MAC queue at 250 ms.
+                for i in 1..=5u64 {
+                    ctx.set_timer(SimDuration::from_millis(100 * i), i);
+                }
+                ctx.send_frame(
+                    vec![0xCD; 50],
+                    FrameKind(9),
+                    0,
+                    SimDuration::from_millis(250),
+                );
+            }
+            fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: &Frame) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+                // Only the 100 ms rung fires before the 150 ms crash; it
+                // transmits so the test can count pre-crash activity.
+                ctx.send_frame(vec![0xEE; 20], FrameKind(9), 0, SimDuration::ZERO);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        for queue in [QueueMode::Wheel, QueueMode::Heap] {
+            let mut cfg = lossless();
+            cfg.queue = queue;
+            let mut w = World::new(cfg);
+            let a = w.add_node(Box::new(Stationary::new(Point::new(0.0, 0.0))), {
+                Box::new(Armer) as Box<dyn NetStack>
+            });
+            w.set_fault_plan(FaultPlan::new().crash_at(SimTime::from_micros(150_000), a));
+            w.run_until(SimTime::from_secs(2));
+            assert_eq!(w.stats().node_crashes, 1);
+            assert_eq!(
+                w.stats().tx_frames,
+                1,
+                "{queue:?}: only the pre-crash timer's frame may air"
+            );
+            // Four timers (200..500 ms) plus the 250 ms delayed send pop
+            // after the crash: all suppressed, none lost.
+            assert_eq!(w.stats().stale_events_suppressed, 5, "{queue:?}");
+            assert_eq!(
+                w.live_timers(),
+                0,
+                "{queue:?}: suppressed timers must still free their slab slots"
+            );
+        }
+    }
+
+    #[test]
+    fn restart_reboots_a_fresh_stack_and_hands_over_the_wreck() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let mut w = World::new(lossless());
+        // 20 beacons every 50 ms; crashed at 220 ms after 4 made the air.
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(20, 50)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        let wreck_beacons = Rc::new(Cell::new(u32::MAX));
+        let seen = Rc::clone(&wreck_beacons);
+        w.set_stack_factory(Box::new(move |_node, wreck| {
+            if let Some(old) = wreck.and_then(|s| s.as_any().downcast_ref::<Chatter>()) {
+                seen.set(old.beacons);
+            }
+            Box::new(Chatter::new(3, 10))
+        }));
+        w.set_fault_plan(
+            FaultPlan::new()
+                .crash_at(SimTime::from_micros(220_000), a)
+                .restart_at(SimTime::from_secs(1), a),
+        );
+        w.run_until(SimTime::from_micros(600_000));
+        assert!(!w.node_alive(a), "crashed node must read as dead");
+        assert_eq!(w.stack::<Chatter>(b).expect("listener").heard.len(), 4);
+        w.run_until(SimTime::from_secs(2));
+        assert!(w.node_alive(a));
+        assert_eq!(w.stats().node_crashes, 1);
+        assert_eq!(w.stats().node_restarts, 1);
+        assert_eq!(
+            wreck_beacons.get(),
+            16,
+            "factory must receive the wreck with its surviving state"
+        );
+        // 4 pre-crash beacons + 3 from the fresh incarnation; the dead
+        // window contributes nothing.
+        assert_eq!(w.stack::<Chatter>(b).expect("listener").heard.len(), 7);
+    }
+
+    #[test]
+    fn late_joiner_stays_dormant_until_its_join_time() {
+        let mut w = World::new(lossless());
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(5, 10)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.set_fault_plan(FaultPlan::new().join_at(SimTime::from_secs(1), a));
+        w.run_until(SimTime::from_micros(500_000));
+        assert!(!w.node_alive(a), "joiner must be dormant before join time");
+        assert!(w.stack::<Chatter>(b).expect("listener").heard.is_empty());
+        w.run_until(SimTime::from_secs(3));
+        assert_eq!(w.stats().node_joins, 1);
+        assert_eq!(w.stack::<Chatter>(b).expect("listener").heard.len(), 5);
+    }
+
+    #[test]
+    fn leave_silences_a_node_permanently() {
+        let mut w = World::new(lossless());
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(100, 50)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.set_fault_plan(FaultPlan::new().leave_at(SimTime::from_micros(320_000), a));
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.stats().node_leaves, 1);
+        assert!(!w.node_alive(a));
+        assert_eq!(
+            w.stack::<Chatter>(b).expect("listener").heard.len(),
+            6,
+            "only the pre-leave beacons (50..300 ms) may arrive"
+        );
+    }
+
+    #[test]
+    fn partition_blocks_in_range_delivery_until_heal() {
+        let mut w = World::new(lossless());
+        let a = w.add_node(
+            Box::new(Stationary::new(Point::new(0.0, 0.0))),
+            Box::new(Chatter::new(20, 100)),
+        );
+        let b = w.add_node(
+            Box::new(Stationary::new(Point::new(10.0, 0.0))),
+            Box::new(Chatter::new(0, 0)),
+        );
+        w.set_fault_plan(FaultPlan::new().partition(
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            [a],
+            [b],
+        ));
+        w.run_until(SimTime::from_secs(5));
+        assert_eq!(w.stats().partitions_cut, 1);
+        assert_eq!(w.stats().partitions_healed, 1);
+        let drops = w.stats().partition_drops;
+        assert!((8..=10).contains(&drops), "cut window drops: {drops}");
+        let heard = w.stack::<Chatter>(b).expect("listener").heard.len() as u64;
+        assert_eq!(heard + drops, 20, "every beacon is delivered or cut");
+        assert_eq!(w.stats().tx_frames, 20, "the cut must not silence the MAC");
+    }
+
+    /// Chatter fingerprint with a full fault plan applied: crash+restart,
+    /// late join, permanent leave, and a group partition — the determinism
+    /// contract must hold with faults exactly as it does without.
+    fn chatter_fault_trace(
+        delivery: DeliveryMode,
+        queue: QueueMode,
+        delivery_events: DeliveryEvents,
+        seed: u64,
+    ) -> (u64, u64, u64, u64, u64, u64, u64) {
+        let mut w = World::new(WorldConfig {
+            seed,
+            delivery,
+            queue,
+            delivery_events,
+            ..WorldConfig::default()
+        });
+        for i in 0..12 {
+            let p = Point::new(25.0 * i as f64, 10.0 * (i % 3) as f64);
+            let mobility: Box<dyn Mobility> = if i % 2 == 0 {
+                Box::new(Stationary::new(p))
+            } else {
+                Box::new(crate::mobility::RandomDirection::new(p))
+            };
+            w.add_node(mobility, Box::new(Chatter::new(20, 7 + i as u64)));
+        }
+        w.set_stack_factory(Box::new(|node, _wreck| {
+            Box::new(Chatter::new(20, 7 + node.0 as u64))
+        }));
+        let group_a = [NodeId(0), NodeId(1), NodeId(2)];
+        let group_b = [NodeId(3), NodeId(4), NodeId(5)];
+        w.set_fault_plan(
+            FaultPlan::new()
+                .join_at(SimTime::from_secs(2), NodeId(11))
+                .crash_at(SimTime::from_secs(5), NodeId(3))
+                .partition(
+                    SimTime::from_secs(8),
+                    SimTime::from_secs(15),
+                    group_a,
+                    group_b,
+                )
+                .restart_at(SimTime::from_secs(12), NodeId(3))
+                .leave_at(SimTime::from_secs(20), NodeId(9)),
+        );
+        w.run_until(SimTime::from_secs(30));
+        (
+            w.stats().tx_frames,
+            w.stats().delivered,
+            w.stats().channel_losses,
+            w.stats().collision_drops,
+            w.stats().delivered_payload_bytes,
+            w.stats().partition_drops,
+            w.stats().stale_events_suppressed,
+        )
+    }
+
+    #[test]
+    fn fault_traces_identical_across_queue_modes() {
+        for seed in [1, 7, 99] {
+            assert_eq!(
+                chatter_fault_trace(
+                    DeliveryMode::Grid,
+                    QueueMode::Wheel,
+                    DeliveryEvents::default(),
+                    seed
+                ),
+                chatter_fault_trace(
+                    DeliveryMode::Grid,
+                    QueueMode::Heap,
+                    DeliveryEvents::default(),
+                    seed
+                ),
+                "fault-plan queue modes diverged for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_traces_identical_across_delivery_event_modes() {
+        for seed in [1, 7] {
+            for queue in [QueueMode::Wheel, QueueMode::Heap] {
+                assert_eq!(
+                    chatter_fault_trace(DeliveryMode::Grid, queue, DeliveryEvents::Batched, seed),
+                    chatter_fault_trace(
+                        DeliveryMode::Grid,
+                        queue,
+                        DeliveryEvents::PerReceiver,
+                        seed
+                    ),
+                    "fault-plan delivery-event modes diverged for seed {seed} under {queue:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_traces_identical_across_delivery_modes() {
+        for seed in [1, 7] {
+            assert_eq!(
+                chatter_fault_trace(
+                    DeliveryMode::Grid,
+                    QueueMode::Wheel,
+                    DeliveryEvents::default(),
+                    seed
+                ),
+                chatter_fault_trace(
+                    DeliveryMode::BruteForce,
+                    QueueMode::Wheel,
+                    DeliveryEvents::default(),
+                    seed
+                ),
+                "fault-plan delivery modes diverged for seed {seed}"
+            );
+        }
     }
 }

@@ -53,8 +53,8 @@ pub mod prelude {
     };
     pub use crate::matrix::{MatrixCell, MatrixParams, ScenarioMatrix, Topology};
     pub use crate::scenario::{
-        rogue_anchor, shared_anchor, CollectionParams, MobilityPreset, PeerRole, Scenario,
-        ScenarioBuilder,
+        rogue_anchor, shared_anchor, CollectionParams, FaultProfile, MobilityPreset, PeerRole,
+        Scenario, ScenarioBuilder,
     };
     pub use crate::zipf::ZipfSampler;
 }

@@ -7,7 +7,9 @@
 //! single hand-tuned setup.
 
 use crate::golden::{assert_scenario, GoldenMetrics};
-use crate::scenario::{CollectionParams, MobilityPreset, PeerRole, Scenario, ScenarioBuilder};
+use crate::scenario::{
+    CollectionParams, FaultProfile, MobilityPreset, PeerRole, Scenario, ScenarioBuilder,
+};
 use dapes_core::prelude::*;
 use dapes_netsim::prelude::*;
 
@@ -68,6 +70,18 @@ impl Topology {
         }
     }
 
+    /// The completion deadline with a fault axis applied: the base deadline
+    /// plus the time until the last fault event, so a cell has as long to
+    /// recover as it had to transfer.
+    pub fn deadline_with_faults(&self, faults: &[FaultProfile]) -> SimTime {
+        let last = faults
+            .iter()
+            .map(FaultProfile::last_event)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        SimTime::from_micros(self.deadline().as_micros() + last.as_micros())
+    }
+
     /// Builds the scenario for one `(topology, seed)` cell.
     pub fn build(&self, seed: u64, params: &MatrixParams) -> Scenario {
         let r = params.range;
@@ -89,6 +103,7 @@ impl Topology {
         for &kind in &params.adversaries {
             base = base.adversary_at(kind, hub.0 + r / 4.0, hub.1 + r / 6.0);
         }
+        base = base.faults(params.faults.iter().cloned());
         match *self {
             Topology::AdjacentPair => base
                 .producer_at(0.0, 0.0)
@@ -157,6 +172,11 @@ pub struct MatrixParams {
     /// Each is placed near the topology's hub, in radio range of the
     /// producer; empty means a benign matrix.
     pub adversaries: Vec<AdversaryKind>,
+    /// Fault profiles applied to every cell (the churn axis): crash/restart,
+    /// permanent departure or partition-and-heal of role-relative nodes.
+    /// Cell deadlines extend by the last fault instant; empty means a
+    /// fault-free matrix.
+    pub faults: Vec<FaultProfile>,
     /// Receiver-selection algorithm (grid by default; equivalence tests
     /// run the same cells brute-force and compare traces).
     pub delivery: DeliveryMode,
@@ -176,6 +196,7 @@ impl Default for MatrixParams {
             collection: CollectionParams::default(),
             config: DapesConfig::default(),
             adversaries: Vec::new(),
+            faults: Vec::new(),
             delivery: DeliveryMode::default(),
             queue: QueueMode::default(),
             delivery_events: DeliveryEvents::default(),
@@ -269,9 +290,10 @@ impl ScenarioMatrix {
     /// Runs one cell to its deadline and checks invariants.
     pub fn run_cell(&self, topology: Topology, seed: u64) -> MatrixCell {
         let label = format!("{}/seed-{seed}", topology.label());
+        let deadline = topology.deadline_with_faults(&self.params.faults);
         let run = || {
             let mut sc = topology.build(seed, &self.params);
-            sc.run_until_complete(topology.deadline());
+            sc.run_until_complete(deadline);
             sc
         };
         let sc = run();

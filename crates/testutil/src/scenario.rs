@@ -130,6 +130,53 @@ impl MobilityPreset {
     }
 }
 
+/// Role-relative fault recipes, resolved to concrete node ids at build
+/// time — the same profile list works across topologies whose node counts
+/// differ. Resolved profiles are appended to the scenario's [`FaultPlan`].
+#[derive(Clone, Debug)]
+pub enum FaultProfile {
+    /// Crash the `index`-th downloader at `crash` and restart it at
+    /// `restart`; the fresh stack salvages the wreck's held segments and
+    /// resumes the transfer.
+    CrashRestartDownloader {
+        /// Position in the scenario's downloader list.
+        index: usize,
+        /// Crash instant.
+        crash: SimTime,
+        /// Restart instant (must be after `crash`).
+        restart: SimTime,
+    },
+    /// Remove the `index`-th downloader permanently at `at`.
+    LeaveDownloader {
+        /// Position in the scenario's downloader list.
+        index: usize,
+        /// Departure instant.
+        at: SimTime,
+    },
+    /// Sever every link between the `index`-th downloader and the rest of
+    /// the network from `cut` to `heal` — a clean partition-and-heal with
+    /// no mobility involved.
+    IsolateDownloader {
+        /// Position in the scenario's downloader list.
+        index: usize,
+        /// Cut instant.
+        cut: SimTime,
+        /// Heal instant (must be at or after `cut`).
+        heal: SimTime,
+    },
+}
+
+impl FaultProfile {
+    /// The profile's last scheduled instant, for deadline extension.
+    pub fn last_event(&self) -> SimTime {
+        match *self {
+            FaultProfile::CrashRestartDownloader { restart, .. } => restart,
+            FaultProfile::LeaveDownloader { at, .. } => at,
+            FaultProfile::IsolateDownloader { heal, .. } => heal,
+        }
+    }
+}
+
 /// What a peer does in the scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PeerRole {
@@ -177,6 +224,8 @@ pub struct ScenarioBuilder {
     delivery: DeliveryMode,
     queue: QueueMode,
     delivery_events: DeliveryEvents,
+    fault_plan: FaultPlan,
+    fault_profiles: Vec<FaultProfile>,
 }
 
 impl ScenarioBuilder {
@@ -198,7 +247,25 @@ impl ScenarioBuilder {
             delivery: DeliveryMode::default(),
             queue: QueueMode::default(),
             delivery_events: DeliveryEvents::default(),
+            fault_plan: FaultPlan::new(),
+            fault_profiles: Vec::new(),
         }
+    }
+
+    /// Attaches an explicit node-id [`FaultPlan`] (crash/restart/join/
+    /// leave/partition script) to the built world. Node ids are assigned in
+    /// peer-insertion order, so a plan can be written against the builder
+    /// calls. Combines with [`ScenarioBuilder::faults`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Adds role-relative [`FaultProfile`]s, resolved against the actual
+    /// downloader list at build time and appended to the fault plan.
+    pub fn faults<I: IntoIterator<Item = FaultProfile>>(mut self, profiles: I) -> Self {
+        self.fault_profiles.extend(profiles);
+        self
     }
 
     /// Radio range in metres.
@@ -442,10 +509,12 @@ impl ScenarioBuilder {
         let mut forwarders = Vec::new();
 
         let honest = self.peers.len();
+        let mut recipes: Vec<(PeerRole, DapesConfig, TrustAnchor)> = Vec::with_capacity(honest);
         for (i, spec) in self.peers.into_iter().enumerate() {
             let id = i as u32;
             let cfg = spec.cfg.unwrap_or_else(|| self.cfg.clone());
             let anchor = spec.anchor.unwrap_or_else(|| self.anchor.clone());
+            recipes.push((spec.role, cfg.clone(), anchor.clone()));
             let mobility = match spec.mobility {
                 // Random walkers get their start drawn here so placement is
                 // a pure function of the scenario seed.
@@ -500,6 +569,63 @@ impl ScenarioBuilder {
                 other => other,
             };
             adversaries.push(world.add_node(mobility.into_mobility(), Box::new(adv)));
+        }
+
+        // Resolve role-relative fault profiles now that node ids exist and
+        // append them to the explicit plan.
+        let mut plan = self.fault_plan;
+        let all_nodes: Vec<NodeId> = (0..world.node_count() as u32).map(NodeId).collect();
+        for profile in self.fault_profiles {
+            match profile {
+                FaultProfile::CrashRestartDownloader {
+                    index,
+                    crash,
+                    restart,
+                } => {
+                    let node = downloaders[index];
+                    plan = plan.crash_at(crash, node).restart_at(restart, node);
+                }
+                FaultProfile::LeaveDownloader { index, at } => {
+                    plan = plan.leave_at(at, downloaders[index]);
+                }
+                FaultProfile::IsolateDownloader { index, cut, heal } => {
+                    let node = downloaders[index];
+                    let rest: Vec<NodeId> =
+                        all_nodes.iter().copied().filter(|&n| n != node).collect();
+                    plan = plan.partition(cut, heal, [node], rest);
+                }
+            }
+        }
+
+        // Restart recipes: a fresh stack per honest node id (same role,
+        // config and anchor as the original), salvaging download state from
+        // the wreck so a restarted downloader resumes instead of starting
+        // over. Installed unconditionally — a plan set later on the world
+        // still finds it.
+        let factory_collection = collection.clone();
+        world.set_stack_factory(Box::new(move |node, wreck| {
+            let (role, cfg, anchor) = recipes
+                .get(node.0 as usize)
+                .cloned()
+                .expect("fault plans may only restart honest peers");
+            let id = node.0;
+            let mut peer = match role {
+                PeerRole::Producer => {
+                    let mut p = DapesPeer::new(id, cfg, anchor, WantPolicy::Nothing);
+                    p.add_production(factory_collection.clone());
+                    p
+                }
+                PeerRole::Downloader => DapesPeer::new(id, cfg, anchor, WantPolicy::Everything),
+                PeerRole::Relay => DapesPeer::new(id, cfg, anchor, WantPolicy::Nothing),
+                PeerRole::PureForwarder => DapesPeer::pure_forwarder(id, cfg, anchor),
+            };
+            if let Some(old) = wreck.and_then(|w| w.as_any().downcast_ref::<DapesPeer>()) {
+                peer.restore(old.salvage());
+            }
+            Box::new(peer)
+        }));
+        if !plan.is_empty() {
+            world.set_fault_plan(plan);
         }
 
         Scenario {

@@ -340,3 +340,77 @@ fn bench_scenario_api_runs_one_tiny_trial() {
         r.downloaders
     );
 }
+
+#[test]
+fn crashed_downloader_resumes_after_restart_without_refetching() {
+    // The downloader crashes mid-transfer (the fault-free run finishes at
+    // ~1.3 s, so 0.8 s lands inside it), loses its stack, and restarts
+    // cold except for the salvage the harness hands back. It must finish
+    // the collection after the reboot, skip every segment it already held,
+    // and never put a resumed segment back on the air.
+    let mut sc = ScenarioBuilder::new(9)
+        .collection(4, 32 * 1024)
+        .producer_at(0.0, 0.0)
+        .downloader_at(20.0, 0.0)
+        .faults([FaultProfile::CrashRestartDownloader {
+            index: 0,
+            crash: SimTime::from_micros(800_000),
+            restart: SimTime::from_secs(3),
+        }])
+        .build();
+    let done = sc.run_until_complete(SimTime::from_secs(120));
+    assert!(done, "restarted downloader should still complete");
+    let world = sc.world.stats().clone();
+    assert_eq!(world.node_crashes, 1);
+    assert_eq!(world.node_restarts, 1);
+    // The fault interrupted a live transfer and the resume did real work:
+    // held segments were skipped, and none of them was re-requested.
+    let skipped = sc.defense_total(|s| s.resumed_segments_skipped);
+    assert!(
+        skipped > 0,
+        "resume should skip segments held at crash time"
+    );
+    assert_eq!(
+        sc.defense_total(|s| s.resumed_refetch),
+        0,
+        "a resumed downloader must not re-fetch a held segment"
+    );
+    assert_scenario("crash-restart", &sc, &GoldenMetrics::with_min_packets(16));
+}
+
+#[test]
+fn partitioned_downloader_backs_off_gives_up_and_recovers_on_heal() {
+    // The downloader is cut off mid-transfer for 30 s — longer than the
+    // full backoff ladder (0.5 s doubling to the 4 s cap over max_retx=8
+    // tries ≈ 23.5 s), so its outstanding Interests must be abandoned, and
+    // the give-up accounted. After the heal the refill path re-requests
+    // what is still missing and the transfer completes.
+    let mut sc = ScenarioBuilder::new(9)
+        .collection(4, 32 * 1024)
+        .producer_at(0.0, 0.0)
+        .downloader_at(20.0, 0.0)
+        .faults([FaultProfile::IsolateDownloader {
+            index: 0,
+            cut: SimTime::from_micros(700_000),
+            heal: SimTime::from_secs(30),
+        }])
+        .build();
+    let done = sc.run_until_complete(SimTime::from_secs(180));
+    assert!(done, "download should complete after the partition heals");
+    let world = sc.world.stats().clone();
+    assert_eq!(world.partitions_cut, 1);
+    assert_eq!(world.partitions_healed, 1);
+    assert!(
+        world.partition_drops > 0,
+        "in-range frames must be dropped while the link is cut"
+    );
+    // Counter decomposition: the outage forced retransmissions, and the
+    // backoff ladder ran dry at least once before the heal.
+    let stats = sc.peer(sc.downloaders[0]).expect("peer").stats().clone();
+    assert!(stats.retransmissions > 0, "outage should force retx");
+    assert!(
+        stats.retx_give_ups > 0,
+        "a 30 s outage should exhaust the backoff ladder"
+    );
+    assert_scenario("partition-heal", &sc, &GoldenMetrics::with_min_packets(16));
+}

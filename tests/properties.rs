@@ -910,3 +910,65 @@ mod sched_properties {
         }
     }
 }
+
+mod fault_properties {
+    //! Fault-injection properties: a crash/restart at a *random* simulated
+    //! time during a transfer — before, during or after the download is
+    //! active — must still end in 100 % completion, and the whole faulted
+    //! run must stay bit-identical across the two event-queue backends.
+
+    use dapes_netsim::prelude::*;
+    use dapes_testutil::prelude::*;
+    use proptest::prelude::*;
+
+    /// One faulted run; the returned tuple is the determinism fingerprint.
+    fn faulted_run(
+        seed: u64,
+        dist: f64,
+        crash_us: u64,
+        restart_us: u64,
+        queue: QueueMode,
+    ) -> (bool, u64, u64, Vec<Option<SimTime>>) {
+        let mut sc = ScenarioBuilder::new(seed)
+            .queue(queue)
+            .collection(2, 16 * 1024)
+            .producer_at(0.0, 0.0)
+            .downloader_at(dist, 0.0)
+            .downloader_at(0.0, dist)
+            .faults([FaultProfile::CrashRestartDownloader {
+                index: 0,
+                crash: SimTime::from_micros(crash_us),
+                restart: SimTime::from_micros(restart_us),
+            }])
+            .build();
+        let done = sc.run_until_complete(SimTime::from_secs(240));
+        let s = sc.world.stats();
+        (
+            done,
+            s.tx_frames,
+            s.stale_events_suppressed,
+            sc.completion_times(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn crash_restart_completes_and_is_queue_mode_invariant(
+            seed in 0u64..1000,
+            dist in 10.0f64..40.0,
+            crash_us in 200_000u64..2_500_000,
+            gap_us in 500_000u64..5_000_000,
+        ) {
+            let restart_us = crash_us + gap_us;
+            let wheel = faulted_run(seed, dist, crash_us, restart_us, QueueMode::Wheel);
+            prop_assert!(
+                wheel.0,
+                "every downloader must complete after the restart (seed {seed})"
+            );
+            let heap = faulted_run(seed, dist, crash_us, restart_us, QueueMode::Heap);
+            prop_assert_eq!(&wheel, &heap, "queue modes diverged under faults");
+        }
+    }
+}
