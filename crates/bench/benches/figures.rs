@@ -6,7 +6,6 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dapes_bench::{run_trial, Protocol, ScenarioParams};
-use dapes_core::prelude::DapesConfig;
 use dapes_netsim::time::SimTime;
 
 fn tiny() -> ScenarioParams {
@@ -28,7 +27,7 @@ fn bench_trials(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2e_trial");
     group.sample_size(10);
     group.bench_function("dapes_tiny_swarm", |b| {
-        b.iter(|| run_trial(&Protocol::Dapes(DapesConfig::default()), &tiny()))
+        b.iter(|| run_trial(&Protocol::Dapes(Box::default()), &tiny()))
     });
     group.bench_function("bithoc_tiny_swarm", |b| {
         b.iter(|| run_trial(&Protocol::Bithoc, &tiny()))

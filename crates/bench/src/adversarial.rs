@@ -250,7 +250,7 @@ pub fn run_mode(params: &AdversarialParams, mode: AttackMode) -> AttackOutcome {
         hostile_delivered,
         hostile_sent,
         exact_accounting,
-        prometheus: stats.to_prometheus(),
+        prometheus: crate::prom::export(stats, &crate::prom::peer_totals(&sc)),
     }
 }
 

@@ -6,6 +6,7 @@
 //! cargo run --release -p dapes-bench --bin cs            # dense (1.2M objects)
 //! cargo run --release -p dapes-bench --bin cs -- --quick # CI smoke
 //! cargo run ... -- --out BENCH_cs.json --seed 42
+//! cargo run ... -- --prom-out BENCH_cs.prom   # Prometheus dump
 //! ```
 //!
 //! The gate (exit 1 on first violation): the FIFO wire-arena trace is
@@ -73,6 +74,21 @@ fn main() {
     let json = render_report(&params, &run);
     std::fs::write(&out, &json).expect("write BENCH_cs.json");
     eprintln!("wrote {out}");
+    if let Some(path) = arg("--prom-out") {
+        // The store microbench has no simulated world or DAPES peers, so
+        // the shared sections report zeros; the labeled `dapes_cs_*`
+        // samples carry the sweep.
+        let dump = format!(
+            "{}{}",
+            dapes_bench::prom::export(
+                &dapes_netsim::stats::Stats::new(0),
+                &dapes_core::stats::PeerStats::default(),
+            ),
+            dapes_bench::prom::cs_section(&run)
+        );
+        std::fs::write(&path, dump).expect("write prometheus dump");
+        eprintln!("wrote {path}");
+    }
 
     if let Err(msg) = gate(&run) {
         eprintln!("GATE VIOLATION: {msg}");

@@ -6,6 +6,7 @@
 //! cargo run --release -p dapes-bench --bin faults            # dense
 //! cargo run --release -p dapes-bench --bin faults -- --quick # CI smoke
 //! cargo run ... -- --out BENCH_faults.json --seed 9
+//! cargo run ... -- --prom-out BENCH_faults.prom   # Prometheus dump
 //! ```
 //!
 //! The gate (exit 1 on first violation): every transfer completes after
@@ -63,6 +64,13 @@ fn main() {
     let json = render_report(&params, &outcomes);
     std::fs::write(&out, &json).expect("write BENCH_faults.json");
     eprintln!("wrote {out}");
+    if let Some(path) = arg("--prom-out") {
+        // The last cell sweeps the most faults (max crashes + longest
+        // partition), so its counters are the richest dump.
+        let cell = outcomes.last().expect("the sweep ran at least one cell");
+        std::fs::write(&path, &cell.prometheus).expect("write prometheus dump");
+        eprintln!("wrote {path} ({} cell)", cell.label);
+    }
 
     if let Err(msg) = gate(&outcomes) {
         eprintln!("GATE VIOLATION: {msg}");

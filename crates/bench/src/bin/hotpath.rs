@@ -6,9 +6,11 @@
 //! cargo run --release -p dapes-bench --bin hotpath            # dense (280 nodes)
 //! cargo run --release -p dapes-bench --bin hotpath -- --quick # CI smoke
 //! cargo run ... -- --out path/to/BENCH_hotpath.json
+//! cargo run ... -- --prom-out BENCH_hotpath.prom   # Prometheus dump
 //! ```
 
 use dapes_bench::hotpath::{render_report, run_hotpath, HotpathMode, HotpathParams};
+use dapes_core::stats::PeerStats;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -97,6 +99,13 @@ fn main() {
     let json = render_report(&params, &baseline, &optimized);
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
     eprintln!("wrote {out}");
+    if let Some(path) = arg("--prom-out") {
+        // The relay swarm runs bench stacks, not DAPES peers, so the peer
+        // section reports zeros.
+        let dump = dapes_bench::prom::export(&optimized.stats, &PeerStats::default());
+        std::fs::write(&path, dump).expect("write prometheus dump");
+        eprintln!("wrote {path} (zero-copy run)");
+    }
 
     if let Some(min) = min_speedup {
         if speedup < min {

@@ -8,7 +8,17 @@
 //! cargo run ... -- --out path/to/BENCH_sched.json
 //! cargo run ... -- --quick --min-speedup 1.0   # exit non-zero on regression
 //! cargo run ... -- --relay-patch off           # drop the decode-free-relay axis
+//! cargo run ... -- --cores 1,2,4               # sharded-engine cores axis
+//! cargo run ... -- --cores-nodes 100000        # scale the cores-axis swarm
+//! cargo run ... -- --min-shard-speedup 1.0     # gate the sharded speedup
+//! cargo run ... -- --prom-out BENCH_sched.prom # Prometheus dump
 //! ```
+//!
+//! The cores axis reruns the optimized profile on the sharded multi-core
+//! engine at each shard count (first entry always `1`, the sequential
+//! reference) and records it in the report next to the twelve-mode sweep.
+//! `--cores-nodes` scales the cores-axis swarm while preserving density
+//! (field side grows by the square root of the node ratio).
 //!
 //! `--relay-patch` selects the decode-free-relay axis of the sweep: `both`
 //! (default) runs all twelve modes, `on` keeps only the patched lazy modes
@@ -16,7 +26,22 @@
 //! CI matrix runs `on` and `off` so a regression in either relay path gates
 //! the merge on its own.
 
-use dapes_bench::sched::{render_report, run_sched, trace_of, SchedMode, SchedParams};
+use dapes_bench::sched::{render_report, run_sched, trace_of, SchedMode, SchedParams, SchedResult};
+use dapes_core::stats::PeerStats;
+
+/// Writes the shared Prometheus dump for the most interesting run: the
+/// deepest sharded cores-axis entry when one ran, else the last swept
+/// mode. The advert swarm runs bench stacks, not DAPES peers, so the
+/// peer section reports zeros.
+fn write_prom(path: &str, results: &[SchedResult], cores_axis: &[SchedResult]) {
+    let r = cores_axis
+        .last()
+        .or_else(|| results.last())
+        .expect("at least one run");
+    let dump = dapes_bench::prom::export(&r.stats, &PeerStats::default());
+    std::fs::write(path, dump).expect("write prometheus dump");
+    eprintln!("wrote {path} ({} run)", r.mode.label());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -48,15 +73,42 @@ fn main() {
     if let Some(t) = arg("--tick-ms") {
         params.tick_ms = t.parse().expect("--tick-ms");
     }
+    let cores_list: Vec<usize> = arg("--cores")
+        .map(|v| {
+            v.split(',')
+                .map(|c| c.trim().parse().expect("--cores"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    assert_eq!(
+        cores_list.first(),
+        Some(&1),
+        "--cores must start at 1 (the sequential reference run)"
+    );
+    // The cores axis may run at its own (usually much larger) scale: the
+    // per-shard active-transmission scans shrink with the shard count, so
+    // the sharded engine's gains grow with swarm size at fixed density.
+    let mut cores_params = params;
+    if let Some(n) = arg("--cores-nodes") {
+        let nodes: usize = n.parse().expect("--cores-nodes");
+        // Preserve density: scale the field side by sqrt(node ratio).
+        cores_params.field = params.field * (nodes as f64 / params.nodes as f64).sqrt();
+        cores_params.nodes = nodes;
+    }
+    if let Some(r) = arg("--cores-rounds") {
+        cores_params.rounds = r.parse().expect("--cores-rounds");
+    }
+    let min_shard_speedup: Option<f64> =
+        arg("--min-shard-speedup").map(|v| v.parse().expect("--min-shard-speedup"));
     let mut modes: Vec<SchedMode> = match arg("--relay-patch").as_deref() {
         None | Some("both") => SchedMode::sweep(),
         Some("on") => SchedMode::sweep()
             .into_iter()
-            .filter(|m| m.relay_patch == m.lazy_decode)
+            .filter(|m| m.exec.relay_patch == m.exec.lazy_peek)
             .collect(),
         Some("off") => SchedMode::sweep()
             .into_iter()
-            .filter(|m| !m.relay_patch)
+            .filter(|m| !m.exec.relay_patch)
             .collect(),
         Some(other) => panic!("--relay-patch must be on, off or both, got {other:?}"),
     };
@@ -114,15 +166,57 @@ fn main() {
             "modes must run the same protocol trace for the comparison to be fair"
         );
         // Event counts additionally agree within a delivery-event class.
-        if r.mode.delivery == results[0].mode.delivery {
+        if r.mode.exec.delivery_events == results[0].mode.exec.delivery_events {
             assert_eq!(r.events, results[0].events, "{}", r.mode.label());
         }
     }
+
+    // The sharded cores axis: the optimized profile at increasing shard
+    // counts, on the (possibly scaled) cores-axis scenario.
+    eprintln!(
+        "perf_sched cores axis: {} nodes, field {:.0} m, cores {:?}",
+        cores_params.nodes, cores_params.field, cores_list
+    );
+    let mut cores_axis = Vec::new();
+    for &cores in &cores_list {
+        let mode = SchedMode::optimized().with_cores(cores);
+        let best = (0..if cores_params.nodes > 20_000 { 1 } else { reps })
+            .map(|_| run_sched(&cores_params, mode))
+            .reduce(|a, b| if a.wall_secs <= b.wall_secs { a } else { b })
+            .expect("at least one repetition");
+        eprintln!(
+            "  {:<24}: {:>9.0} events/s  ({:.2} s wall, {} sim events, {} border-exported / {} injected, {} windows)",
+            best.mode.label(),
+            best.events_per_sec,
+            best.wall_secs,
+            best.sim_events,
+            best.border_tx_exported,
+            best.border_rx_injected,
+            best.sync_windows,
+        );
+        cores_axis.push(best);
+    }
+    let shard_speedup = match cores_axis.split_first() {
+        Some((seq, rest)) if !rest.is_empty() => {
+            rest.iter()
+                .map(|r| r.events_per_sec)
+                .fold(f64::NEG_INFINITY, f64::max)
+                / seq.events_per_sec.max(1e-9)
+        }
+        _ => 1.0,
+    };
+    if cores_axis.len() > 1 {
+        eprintln!("  shard speedup: {shard_speedup:.2}x events/s over the sequential run");
+    }
+
     let Some(baseline) = results.iter().find(|r| r.mode == SchedMode::baseline()) else {
         // `--only` filtered the baseline out: nothing to compare against.
-        let json = render_report(&params, &results);
+        let json = render_report(&params, &results, &cores_params, &cores_axis);
         std::fs::write(&out, json).expect("write BENCH_sched.json");
         eprintln!("wrote {out} (no baseline mode swept; speedup gate skipped)");
+        if let Some(path) = arg("--prom-out") {
+            write_prom(&path, &results, &cores_axis);
+        }
         return;
     };
     // The fully-optimized mode under the selected axis: the patched wheel/
@@ -142,9 +236,12 @@ fn main() {
         baseline.mode.label(),
     );
 
-    let json = render_report(&params, &results);
+    let json = render_report(&params, &results, &cores_params, &cores_axis);
     std::fs::write(&out, json).expect("write BENCH_sched.json");
     eprintln!("wrote {out}");
+    if let Some(path) = arg("--prom-out") {
+        write_prom(&path, &results, &cores_axis);
+    }
 
     if let Some(min) = min_speedup {
         if speedup < min {
@@ -153,6 +250,15 @@ fn main() {
                  over {}",
                 optimized.mode.label(),
                 baseline.mode.label(),
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(min) = min_shard_speedup {
+        if shard_speedup < min {
+            eprintln!(
+                "REGRESSION: shard speedup {shard_speedup:.2}x events/s is below the \
+                 required {min:.2}x over the sequential cores-axis run"
             );
             std::process::exit(1);
         }

@@ -2,9 +2,9 @@ fn main() {
     use dapes_core::prelude::*;
     use dapes_crypto::signing::TrustAnchor;
     use dapes_netsim::prelude::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
     let anchor = TrustAnchor::from_seed(b"x");
-    let col = Rc::new(Collection::build(CollectionSpec {
+    let col = Arc::new(Collection::build(CollectionSpec {
         name: dapes_ndn::name::Name::from_uri("/c"),
         files: vec![FileSpec::new("f", 8192)],
         packet_size: 1024,

@@ -341,6 +341,65 @@ fn validate_cs(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-cores-axis-entry counters of the scheduler report; all must be
+/// present, non-negative integers.
+const CORES_COUNTERS: [&str; 4] = [
+    "cores",
+    "border_tx_exported",
+    "border_rx_injected",
+    "sync_windows",
+];
+
+/// Validates the sharded cores axis of the scheduler report: a finite
+/// positive `shard_speedup_events_per_sec`, a non-empty `cores_axis`
+/// whose first entry is the sequential reference (`cores` = 1), and per
+/// entry positive timings plus non-negative integer shard counters.
+fn validate_cores_axis(doc: &Value) -> Result<(), String> {
+    let shard_speedup = require_num(doc, "shard_speedup_events_per_sec")?;
+    if shard_speedup <= 0.0 {
+        return Err(format!(
+            "\"shard_speedup_events_per_sec\" must be positive, got {shard_speedup}"
+        ));
+    }
+    let axis = doc
+        .get("cores_axis")
+        .and_then(Value::as_array)
+        .ok_or("\"cores_axis\" must be an array")?;
+    if axis.is_empty() {
+        return Err("\"cores_axis\" array is empty — the sharded engine measured nothing".into());
+    }
+    for (i, entry) in axis.iter().enumerate() {
+        let mode = require_str(entry, "mode")?;
+        for key in ["wall_secs", "events_per_sec"] {
+            let n = require_num(entry, key).map_err(|e| format!("cores entry \"{mode}\": {e}"))?;
+            if n <= 0.0 {
+                return Err(format!(
+                    "cores entry \"{mode}\": \"{key}\" must be positive, got {n}"
+                ));
+            }
+        }
+        for key in CORES_COUNTERS {
+            let n = require_num(entry, key).map_err(|e| format!("cores entry \"{mode}\": {e}"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!(
+                    "cores entry \"{mode}\": counter \"{key}\" must be a non-negative \
+                     integer, got {n}"
+                ));
+            }
+        }
+        if i == 0 {
+            let cores = entry.get("cores").and_then(Value::as_f64).unwrap_or(0.0);
+            if cores != 1.0 {
+                return Err(format!(
+                    "the first cores-axis entry must be the sequential reference \
+                     (cores = 1), got {cores}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validates one parsed report document against the CI schema. Documents
 /// carrying an `attacks` key use the adversarial shape, documents with a
 /// `curves` array the Content Store shape, documents with a `cells` array
@@ -370,6 +429,11 @@ pub fn validate(doc: &Value) -> Result<(), String> {
         for key in ["wall_secs", "events_per_sec", "tx_frames", "delivered"] {
             require_num(entry, key).map_err(|e| format!("mode \"{mode}\": {e}"))?;
         }
+    }
+    // The scheduler report additionally commits the sharded cores axis;
+    // the hot-path shape has no sharded engine and carries neither key.
+    if require_str(doc, "scenario")? == "perf_sched" {
+        validate_cores_axis(doc)?;
     }
     Ok(())
 }
@@ -487,6 +551,37 @@ pub fn summary(doc: &Value) -> Result<String, String> {
             opt_u64(entry, "cs_arena_live"),
         ));
     }
+    if let Some(axis) = doc.get("cores_axis").and_then(Value::as_array) {
+        if !axis.is_empty() {
+            let shard_speedup = doc
+                .get("shard_speedup_events_per_sec")
+                .and_then(Value::as_f64)
+                .unwrap_or(1.0);
+            let axis_nodes = doc
+                .get("cores_axis_nodes")
+                .and_then(Value::as_f64)
+                .unwrap_or(nodes);
+            out.push_str(&format!(
+                "\n**Sharded engine** ({axis_nodes:.0} nodes) — {shard_speedup:.2}x \
+                 events/sec over the sequential run\n\n\
+                 | mode | cores | events/sec | vs 1 core | border tx/rx | windows |\n\
+                 | --- | ---: | ---: | ---: | ---: | ---: |\n"
+            ));
+            let seq_eps = require_num(&axis[0], "events_per_sec")?.max(1e-9);
+            for entry in axis {
+                let mode = require_str(entry, "mode")?;
+                let eps = require_num(entry, "events_per_sec")?;
+                out.push_str(&format!(
+                    "| `{mode}` | {} | {eps:.0} | {:.2}x | {}/{} | {} |\n",
+                    opt_u64(entry, "cores"),
+                    eps / seq_eps,
+                    opt_u64(entry, "border_tx_exported"),
+                    opt_u64(entry, "border_rx_injected"),
+                    opt_u64(entry, "sync_windows"),
+                ));
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -495,10 +590,23 @@ mod tests {
     use super::*;
     use crate::json::parse;
 
+    fn cores_entry(cores: u64, eps: f64) -> String {
+        format!(
+            "{{\"mode\": \"wheel_lazy_batched_patch_c{cores}\", \"cores\": {cores}, \
+              \"wall_secs\": 1.0, \"events_per_sec\": {eps}, \"tx_frames\": 5, \
+              \"delivered\": 9, \"border_tx_exported\": 4, \
+              \"border_rx_injected\": 4, \"sync_windows\": 12}}"
+        )
+    }
+
     fn sched_doc(speedup: &str, modes_body: &str) -> String {
         format!(
             "{{\"scenario\": \"perf_sched\", \"nodes\": 4, \"seed\": 1, \
-             \"speedup_events_per_sec\": {speedup}, \"modes\": [{modes_body}]}}"
+             \"speedup_events_per_sec\": {speedup}, \"modes\": [{modes_body}], \
+             \"shard_speedup_events_per_sec\": 1.5, \
+             \"cores_axis_nodes\": 4, \"cores_axis\": [{}, {}]}}",
+            cores_entry(1, 10.0),
+            cores_entry(4, 15.0),
         )
     }
 
@@ -514,6 +622,70 @@ mod tests {
         let table = summary(&doc).expect("summary renders");
         assert!(table.contains("`heap_eager_perrecv`"));
         assert!(table.contains("2.50x"));
+        // The sharded cores axis renders as its own table.
+        assert!(table.contains("Sharded engine"), "{table}");
+        assert!(table.contains("`wheel_lazy_batched_patch_c4`"), "{table}");
+        assert!(table.contains("1.50x"), "{table}");
+    }
+
+    #[test]
+    fn rejects_a_sched_report_without_the_cores_axis() {
+        let doc_text = sched_doc("2.5", mode_entry())
+            .replace(", \"cores_axis_nodes\": 4", "")
+            .replace(
+                &format!(
+                    ", \"cores_axis\": [{}, {}]",
+                    cores_entry(1, 10.0),
+                    cores_entry(4, 15.0)
+                ),
+                "",
+            );
+        let doc = parse(&doc_text).expect("parses");
+        let err = validate(&doc).expect_err("missing cores_axis");
+        assert!(err.contains("cores_axis"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_cores_axis_not_anchored_at_one_core() {
+        let doc_text =
+            sched_doc("2.5", mode_entry()).replace(&cores_entry(1, 10.0), &cores_entry(2, 10.0));
+        let doc = parse(&doc_text).expect("parses");
+        let err = validate(&doc).expect_err("first entry not sequential");
+        assert!(err.contains("sequential reference"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fractional_border_counters() {
+        let doc_text = sched_doc("2.5", mode_entry())
+            .replace("\"border_tx_exported\": 4", "\"border_tx_exported\": 4.5");
+        let doc = parse(&doc_text).expect("parses");
+        let err = validate(&doc).expect_err("fractional border counter");
+        assert!(err.contains("border_tx_exported"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_non_positive_shard_speedup() {
+        let doc_text = sched_doc("2.5", mode_entry()).replace(
+            "\"shard_speedup_events_per_sec\": 1.5",
+            "\"shard_speedup_events_per_sec\": 0",
+        );
+        let doc = parse(&doc_text).expect("parses");
+        let err = validate(&doc).expect_err("zero shard speedup");
+        assert!(err.contains("shard_speedup_events_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn hotpath_shape_needs_no_cores_axis() {
+        let doc = parse(
+            "{\"scenario\": \"perf_hotpath\", \"nodes\": 4, \"seed\": 1, \
+             \"speedup_events_per_sec\": 2.0, \
+             \"baseline\": {\"mode\": \"legacy\", \"wall_secs\": 1.0, \
+              \"events_per_sec\": 10.0, \"tx_frames\": 5, \"delivered\": 9}, \
+             \"optimized\": {\"mode\": \"zero_copy\", \"wall_secs\": 0.5, \
+              \"events_per_sec\": 20.0, \"tx_frames\": 5, \"delivered\": 9}}",
+        )
+        .expect("parses");
+        assert_eq!(validate(&doc), Ok(()));
     }
 
     #[test]

@@ -148,6 +148,9 @@ pub struct FaultOutcome {
     pub resumed_refetch: u64,
     /// Whether a second run of the cell was bit-identical.
     pub deterministic: bool,
+    /// Prometheus text-format dump of the cell (simulator counters plus
+    /// aggregated peer counters), via [`crate::prom::export`].
+    pub prometheus: String,
 }
 
 /// Builds and runs one cell (twice — the second run checks determinism).
@@ -201,6 +204,7 @@ pub fn run_cell(params: &FaultParams, crashes: usize, partition_secs: u64) -> Fa
         resumed_segments_skipped: sc.defense_total(|s| s.resumed_segments_skipped),
         resumed_refetch: sc.defense_total(|s| s.resumed_refetch),
         deterministic,
+        prometheus: crate::prom::export(stats, &crate::prom::peer_totals(&sc)),
     }
 }
 

@@ -10,7 +10,7 @@ use crate::scenario::{run_trials, Protocol};
 use dapes_core::prelude::*;
 
 fn dapes(cfg: DapesConfig) -> Protocol {
-    Protocol::Dapes(cfg)
+    Protocol::Dapes(Box::new(cfg))
 }
 
 fn cfg_with(f: impl FnOnce(&mut DapesConfig)) -> DapesConfig {
@@ -285,7 +285,7 @@ fn sweep_ranges(profile: Profile, title: &str, series: &[(&str, DapesConfig)], m
 fn compare_protocols(profile: Profile, title: &str, metric: Metric) {
     let mut table = Table::new(title, &header_with_ranges(profile, "protocol"));
     let protocols: Vec<(&str, Protocol)> = vec![
-        ("DAPES", Protocol::Dapes(DapesConfig::default())),
+        ("DAPES", Protocol::Dapes(Box::default())),
         ("Bithoc", Protocol::Bithoc),
         ("Ekta", Protocol::Ekta),
     ];

@@ -282,6 +282,9 @@ pub struct HotpathResult {
     pub delivered_payload_bytes: u64,
     /// Bytes deep-copied by the stacks (re-encodes + cache clones).
     pub bytes_cloned: u64,
+    /// The full simulator counters of the run, for the shared Prometheus
+    /// export.
+    pub stats: Stats,
 }
 
 /// Runs the hot-path scenario under one cost model.
@@ -290,7 +293,7 @@ pub fn run_hotpath(params: &HotpathParams, mode: HotpathMode) -> HotpathResult {
         field: (params.field, params.field),
         range: params.range,
         seed: params.seed,
-        delivery: mode.delivery(),
+        exec: ExecProfile::default().with_delivery(mode.delivery()),
         ..WorldConfig::default()
     });
     // Deterministic placement from the scenario seed, independent of the
@@ -329,6 +332,7 @@ pub fn run_hotpath(params: &HotpathParams, mode: HotpathMode) -> HotpathResult {
         delivered: s.delivered,
         delivered_payload_bytes: s.delivered_payload_bytes,
         bytes_cloned,
+        stats: s.clone(),
     }
 }
 

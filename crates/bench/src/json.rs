@@ -292,14 +292,20 @@ mod tests {
 
     #[test]
     fn parses_the_report_shapes() {
+        let params = crate::sched::SchedParams {
+            nodes: 4,
+            ..crate::sched::SchedParams::dense()
+        };
         let sched = crate::sched::render_report(
-            &crate::sched::SchedParams {
-                nodes: 4,
-                ..crate::sched::SchedParams::dense()
-            },
+            &params,
             &[
                 dummy_result(crate::sched::SchedMode::baseline()),
                 dummy_result(crate::sched::SchedMode::optimized()),
+            ],
+            &params,
+            &[
+                dummy_result(crate::sched::SchedMode::optimized()),
+                dummy_result(crate::sched::SchedMode::optimized().with_cores(2)),
             ],
         );
         let v = parse(&sched).expect("sched report parses");
@@ -312,6 +318,14 @@ mod tests {
             .and_then(Value::as_f64)
             .is_some());
         assert_eq!(v.get("modes").and_then(Value::as_array).unwrap().len(), 2);
+        assert_eq!(
+            v.get("cores_axis").and_then(Value::as_array).unwrap().len(),
+            2
+        );
+        assert!(v
+            .get("shard_speedup_events_per_sec")
+            .and_then(Value::as_f64)
+            .is_some());
     }
 
     fn dummy_result(mode: crate::sched::SchedMode) -> crate::sched::SchedResult {
@@ -334,6 +348,11 @@ mod tests {
             cs_arena_live: 0,
             arrival_events: 1,
             timer_slots_allocated: 0,
+            cores: mode.exec.cores as u64,
+            border_tx_exported: 0,
+            border_rx_injected: 0,
+            sync_windows: 0,
+            stats: Default::default(),
         }
     }
 }

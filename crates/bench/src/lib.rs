@@ -24,6 +24,7 @@ pub mod figures;
 pub mod hotpath;
 pub mod json;
 pub mod profile;
+pub mod prom;
 pub mod report;
 pub mod scenario;
 pub mod sched;

@@ -16,13 +16,13 @@ use dapes_netsim::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which protocol stack populates the swarm.
 #[derive(Clone, Debug)]
 pub enum Protocol {
     /// DAPES with the given configuration.
-    Dapes(DapesConfig),
+    Dapes(Box<DapesConfig>),
     /// The Bithoc baseline (DSDV + HELLO floods + TCP-lite).
     Bithoc,
     /// The Ekta baseline (DSR + DHT + UDP).
@@ -143,7 +143,7 @@ pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
 
     match protocol {
         Protocol::Dapes(cfg) => {
-            let collection = Rc::new(Collection::build(CollectionSpec {
+            let collection = Arc::new(Collection::build(CollectionSpec {
                 name: dapes_ndn::name::Name::from_uri(collection_name),
                 files: (0..params.n_files)
                     .map(|i| {
@@ -160,9 +160,14 @@ pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
             // Stationary: node 0 seeds, the rest download.
             for (i, pos) in stationary.iter().enumerate() {
                 let mut peer = if i == 0 {
-                    DapesPeer::new(next_id, cfg.clone(), anchor.clone(), WantPolicy::Nothing)
+                    DapesPeer::new(
+                        next_id,
+                        (**cfg).clone(),
+                        anchor.clone(),
+                        WantPolicy::Nothing,
+                    )
                 } else {
-                    DapesPeer::new(next_id, cfg.clone(), anchor.clone(), want.clone())
+                    DapesPeer::new(next_id, (**cfg).clone(), anchor.clone(), want.clone())
                 };
                 if i == 0 {
                     peer.add_production(collection.clone());
@@ -175,7 +180,7 @@ pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
             }
             // Mobile downloaders.
             for _ in 0..params.mobile_downloaders {
-                let peer = DapesPeer::new(next_id, cfg.clone(), anchor.clone(), want.clone());
+                let peer = DapesPeer::new(next_id, (**cfg).clone(), anchor.clone(), want.clone());
                 let id = world.add_node(
                     Box::new(RandomDirection::new(random_point(&mut placement_rng))),
                     Box::new(peer),
@@ -185,8 +190,12 @@ pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
             }
             // Intermediate DAPES nodes.
             for _ in 0..params.intermediates {
-                let peer =
-                    DapesPeer::new(next_id, cfg.clone(), anchor.clone(), WantPolicy::Nothing);
+                let peer = DapesPeer::new(
+                    next_id,
+                    (**cfg).clone(),
+                    anchor.clone(),
+                    WantPolicy::Nothing,
+                );
                 world.add_node(
                     Box::new(RandomDirection::new(random_point(&mut placement_rng))),
                     Box::new(peer),
@@ -195,7 +204,7 @@ pub fn run_trial(protocol: &Protocol, params: &ScenarioParams) -> TrialResult {
             }
             // Pure forwarders.
             for _ in 0..params.pure_forwarders {
-                let peer = DapesPeer::pure_forwarder(next_id, cfg.clone(), anchor.clone());
+                let peer = DapesPeer::pure_forwarder(next_id, (**cfg).clone(), anchor.clone());
                 world.add_node(
                     Box::new(RandomDirection::new(random_point(&mut placement_rng))),
                     Box::new(peer),
@@ -447,7 +456,7 @@ mod tests {
 
     #[test]
     fn dapes_tiny_scenario_completes() {
-        let r = run_trial(&Protocol::Dapes(DapesConfig::default()), &tiny_params(11));
+        let r = run_trial(&Protocol::Dapes(Box::default()), &tiny_params(11));
         assert_eq!(r.downloaders, 3);
         assert!(
             r.completed >= 2,
@@ -484,8 +493,8 @@ mod tests {
     #[test]
     fn trials_are_deterministic() {
         let p = tiny_params(14);
-        let a = run_trial(&Protocol::Dapes(DapesConfig::default()), &p);
-        let b = run_trial(&Protocol::Dapes(DapesConfig::default()), &p);
+        let a = run_trial(&Protocol::Dapes(Box::default()), &p);
+        let b = run_trial(&Protocol::Dapes(Box::default()), &p);
         assert_eq!(a.transmissions, b.transmissions);
         assert_eq!(a.avg_download_time_s, b.avg_download_time_s);
     }

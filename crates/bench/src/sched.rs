@@ -68,27 +68,17 @@ const TOKEN_RETRY: u64 = 2;
 const TOKEN_TICK: u64 = 3;
 const TOKEN_DECOY: u64 = 4;
 
-/// One scheduler cost model: an event-queue implementation, a decode regime
-/// for overheard frames, a delivery-event granularity, and whether novel
-/// Interests are relayed decode-free by hop-limit byte patch. Protocol
-/// traces are bit-identical across all twelve combinations.
+/// One scheduler cost model: a thin wrapper over [`ExecProfile`], the
+/// simulator's unified execution-strategy value. The bench keeps the
+/// wrapper for its sweep/report vocabulary (`baseline`, `optimized`,
+/// `sweep`), but every knob — queue, decode regime, delivery granularity,
+/// relay patch, table generation, shard count — lives on the profile, and
+/// report labels come from [`ExecProfile::label`]. Protocol traces are
+/// bit-identical across all twelve single-core combinations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SchedMode {
-    /// Event queue (wheel also enables the command-buffer pool).
-    pub queue: QueueMode,
-    /// Whether overheard frames are resolved by header peek when possible.
-    /// This axis also selects the PIT/CS table generation: eager modes run
-    /// the legacy `Name`-keyed tables of the control plane they price,
-    /// lazy modes the wire-indexed slab arenas the peek ladder needs.
-    pub lazy_decode: bool,
-    /// Delivery-event granularity (batched fan-out vs one event per
-    /// receiver).
-    pub delivery: DeliveryEvents,
-    /// Whether the forwarder re-broadcasts relayable Interests straight
-    /// from the received bytes, patching the hop-limit byte copy-on-write
-    /// instead of decode → decrement → re-encode. Only meaningful with
-    /// `lazy_decode` (the eager path never sees a peeked header).
-    pub relay_patch: bool,
+    /// The execution profile this mode prices.
+    pub exec: ExecProfile,
 }
 
 impl SchedMode {
@@ -97,36 +87,41 @@ impl SchedMode {
     /// tables, one scheduled receive event per receiver.
     pub fn baseline() -> Self {
         SchedMode {
-            queue: QueueMode::Heap,
-            lazy_decode: false,
-            delivery: DeliveryEvents::PerReceiver,
-            relay_patch: false,
+            exec: ExecProfile::baseline(),
         }
     }
 
     /// The optimized control plane: timer wheel, pooled buffers, lazy peek
-    /// with decode-free relays, one batched arrival event per transmission.
+    /// with decode-free relays, one batched arrival event per transmission
+    /// (one core — the twelve-mode sweep prices single-core strategies;
+    /// shard counts are the separate cores axis).
     pub fn optimized() -> Self {
         SchedMode {
-            queue: QueueMode::Wheel,
-            lazy_decode: true,
-            delivery: DeliveryEvents::Batched,
-            relay_patch: true,
+            exec: ExecProfile::default(),
         }
     }
 
+    /// This mode on `cores` spatial shards ([`ShardedWorld`] when `> 1`).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.exec = self.exec.with_cores(cores);
+        self
+    }
+
     /// All twelve combinations (the relay-patch axis only exists on top of
-    /// lazy decoding), baseline first and optimized last.
+    /// lazy decoding; the decode axis selects the PIT/CS table generation),
+    /// baseline first and optimized last.
     pub fn sweep() -> Vec<SchedMode> {
         let mut modes = Vec::new();
-        for delivery in [DeliveryEvents::PerReceiver, DeliveryEvents::Batched] {
+        for delivery_events in [DeliveryEvents::PerReceiver, DeliveryEvents::Batched] {
             for queue in [QueueMode::Heap, QueueMode::Wheel] {
-                for (lazy_decode, relay_patch) in [(false, false), (true, false), (true, true)] {
+                for (lazy, patch) in [(false, false), (true, false), (true, true)] {
                     modes.push(SchedMode {
-                        queue,
-                        lazy_decode,
-                        delivery,
-                        relay_patch,
+                        exec: ExecProfile::default()
+                            .with_queue(queue)
+                            .with_delivery_events(delivery_events)
+                            .with_lazy_peek(lazy)
+                            .with_relay_patch(patch)
+                            .with_legacy_tables(!lazy),
                     });
                 }
             }
@@ -134,30 +129,9 @@ impl SchedMode {
         modes
     }
 
-    /// Label used in the JSON report.
-    pub fn label(self) -> &'static str {
-        match (
-            self.queue,
-            self.lazy_decode,
-            self.delivery,
-            self.relay_patch,
-        ) {
-            (QueueMode::Heap, false, DeliveryEvents::PerReceiver, false) => "heap_eager_perrecv",
-            (QueueMode::Heap, true, DeliveryEvents::PerReceiver, false) => "heap_lazy_perrecv",
-            (QueueMode::Heap, true, DeliveryEvents::PerReceiver, true) => "heap_lazy_perrecv_patch",
-            (QueueMode::Wheel, false, DeliveryEvents::PerReceiver, false) => "wheel_eager_perrecv",
-            (QueueMode::Wheel, true, DeliveryEvents::PerReceiver, false) => "wheel_lazy_perrecv",
-            (QueueMode::Wheel, true, DeliveryEvents::PerReceiver, true) => {
-                "wheel_lazy_perrecv_patch"
-            }
-            (QueueMode::Heap, false, DeliveryEvents::Batched, false) => "heap_eager_batched",
-            (QueueMode::Heap, true, DeliveryEvents::Batched, false) => "heap_lazy_batched",
-            (QueueMode::Heap, true, DeliveryEvents::Batched, true) => "heap_lazy_batched_patch",
-            (QueueMode::Wheel, false, DeliveryEvents::Batched, false) => "wheel_eager_batched",
-            (QueueMode::Wheel, true, DeliveryEvents::Batched, false) => "wheel_lazy_batched",
-            (QueueMode::Wheel, true, DeliveryEvents::Batched, true) => "wheel_lazy_batched_patch",
-            _ => "unlabeled", // eager + patch never runs (sweep skips it)
-        }
+    /// Label used in the JSON report — [`ExecProfile::label`] verbatim.
+    pub fn label(&self) -> String {
+        self.exec.label()
     }
 }
 
@@ -285,12 +259,12 @@ impl SchedStack {
             cache_unsolicited: false,
             rebroadcast_faces: vec![FaceId::WIRELESS],
             deliver_on_aggregate: Vec::new(),
-            relay_patch: mode.relay_patch,
+            relay_patch: mode.exec.relay_patch,
             // The eager modes price the pre-refactor control plane, whose
             // PIT/CS ran on `Name`-keyed tables; the lazy modes run the
             // wire-indexed slab arenas the peek ladder was built around.
             // Behaviour (and thus the cross-mode trace) is identical.
-            legacy_tables: !mode.lazy_decode,
+            legacy_tables: mode.exec.legacy_tables,
         });
         // The advert namespace is relayable; our own corner of it also
         // reaches the application so we can answer probes for it. Nothing
@@ -304,7 +278,7 @@ impl SchedStack {
         forwarder.fib_mut().register(own, FaceId::WIRELESS);
         SchedStack {
             id,
-            lazy_decode: mode.lazy_decode,
+            lazy_decode: mode.exec.lazy_peek,
             forwarder,
             rounds_left: params.rounds,
             round: 0,
@@ -644,16 +618,28 @@ pub struct SchedResult {
     pub arrival_events: u64,
     /// Timer slots ever allocated (peak concurrent timers, not volume).
     pub timer_slots_allocated: usize,
+    /// Shards the run executed on (1 = the sequential engine).
+    pub cores: u64,
+    /// Frames whose radio disc crossed a shard border and were exported.
+    pub border_tx_exported: u64,
+    /// Foreign-frame injections received across shard borders.
+    pub border_rx_injected: u64,
+    /// Conservative synchronization windows the sharded run stepped.
+    pub sync_windows: u64,
+    /// The full simulator counters of the run (merged over shards), for
+    /// the shared Prometheus export.
+    pub stats: Stats,
 }
 
-/// Runs the scheduler scenario under one cost model.
+/// Runs the scheduler scenario under one cost model. Modes with
+/// `exec.cores > 1` run on the sharded engine; one core runs the (bit-
+/// identical) sequential world through the same wrapper.
 pub fn run_sched(params: &SchedParams, mode: SchedMode) -> SchedResult {
-    let mut world = World::new(WorldConfig {
+    let mut world = ShardedWorld::new(WorldConfig {
         field: (params.field, params.field),
         range: params.range,
         seed: params.seed,
-        queue: mode.queue,
-        delivery_events: mode.delivery,
+        exec: mode.exec,
         ..WorldConfig::default()
     });
     let mut place = SmallRng::seed_from_u64(params.seed ^ 0x5DEECE66D);
@@ -690,7 +676,7 @@ pub fn run_sched(params: &SchedParams, mode: SchedMode) -> SchedResult {
     // events that never hit the queue; fold them back in so the throughput
     // numerator is mode-invariant (in per-receiver mode each of them *is* a
     // queue pop, already counted).
-    let folded = match mode.delivery {
+    let folded = match mode.exec.delivery_events {
         DeliveryEvents::Batched => s.delivered,
         DeliveryEvents::PerReceiver => 0,
     };
@@ -713,6 +699,11 @@ pub fn run_sched(params: &SchedParams, mode: SchedMode) -> SchedResult {
         cs_arena_live: cs_live,
         arrival_events: s.arrival_events,
         timer_slots_allocated: world.timer_slots_allocated(),
+        cores: s.shards.max(1),
+        border_tx_exported: s.border_tx_exported,
+        border_rx_injected: s.border_rx_injected,
+        sync_windows: s.sync_windows,
+        stats: s,
     }
 }
 
@@ -731,14 +722,26 @@ pub fn trace_of(r: &SchedResult) -> (u64, u64, u64, u64) {
     )
 }
 
-/// Renders all four runs plus the headline ratio as the `BENCH_sched.json`
-/// document.
-pub fn render_report(params: &SchedParams, results: &[SchedResult]) -> String {
+/// Renders the twelve-mode sweep, the sharded cores axis, and the headline
+/// ratios as the `BENCH_sched.json` document.
+///
+/// `cores_axis` holds runs of the optimized profile at increasing shard
+/// counts (first entry `cores = 1`, the sequential engine), measured on the
+/// scenario described by `cores_params` — the main sweep's params by
+/// default, a density-preserving scaled swarm when the cores axis was run
+/// at a different size.
+pub fn render_report(
+    params: &SchedParams,
+    results: &[SchedResult],
+    cores_params: &SchedParams,
+    cores_axis: &[SchedResult],
+) -> String {
     fn entry(r: &SchedResult) -> String {
         format!(
             concat!(
                 "{{\n",
                 "    \"mode\": \"{}\",\n",
+                "    \"cores\": {},\n",
                 "    \"wall_secs\": {:.4},\n",
                 "    \"events_popped\": {},\n",
                 "    \"sim_events\": {},\n",
@@ -755,10 +758,14 @@ pub fn render_report(params: &SchedParams, results: &[SchedResult]) -> String {
                 "    \"full_decodes\": {},\n",
                 "    \"pit_arena_live\": {},\n",
                 "    \"cs_arena_live\": {},\n",
-                "    \"timer_slots_allocated\": {}\n",
+                "    \"timer_slots_allocated\": {},\n",
+                "    \"border_tx_exported\": {},\n",
+                "    \"border_rx_injected\": {},\n",
+                "    \"sync_windows\": {}\n",
                 "  }}"
             ),
             r.mode.label(),
+            r.cores,
             r.wall_secs,
             r.events,
             r.sim_events,
@@ -776,6 +783,9 @@ pub fn render_report(params: &SchedParams, results: &[SchedResult]) -> String {
             r.pit_arena_live,
             r.cs_arena_live,
             r.timer_slots_allocated,
+            r.border_tx_exported,
+            r.border_rx_injected,
+            r.sync_windows,
         )
     }
     // Fall back to the first run when the baseline was filtered out of the
@@ -793,6 +803,18 @@ pub fn render_report(params: &SchedParams, results: &[SchedResult]) -> String {
         .or(results.last())
         .expect("at least one run");
     let modes: Vec<String> = results.iter().map(entry).collect();
+    let cores_entries: Vec<String> = cores_axis.iter().map(entry).collect();
+    // Shard speedup: best multi-shard throughput over the axis' sequential
+    // run (1.0 when the axis holds fewer than two entries).
+    let shard_speedup = match cores_axis.split_first() {
+        Some((seq, rest)) if !rest.is_empty() => {
+            rest.iter()
+                .map(|r| r.events_per_sec)
+                .fold(f64::NEG_INFINITY, f64::max)
+                / seq.events_per_sec.max(1e-9)
+        }
+        _ => 1.0,
+    };
     format!(
         concat!(
             "{{\n",
@@ -806,7 +828,11 @@ pub fn render_report(params: &SchedParams, results: &[SchedResult]) -> String {
             "  \"reply_bytes\": {},\n",
             "  \"seed\": {},\n",
             "  \"modes\": [{}],\n",
-            "  \"speedup_events_per_sec\": {:.2}\n",
+            "  \"speedup_events_per_sec\": {:.2},\n",
+            "  \"cores_axis_nodes\": {},\n",
+            "  \"cores_axis_field_m\": {},\n",
+            "  \"cores_axis\": [{}],\n",
+            "  \"shard_speedup_events_per_sec\": {:.2}\n",
             "}}\n"
         ),
         params.nodes,
@@ -819,6 +845,10 @@ pub fn render_report(params: &SchedParams, results: &[SchedResult]) -> String {
         params.seed,
         modes.join(", "),
         optimized.events_per_sec / baseline.events_per_sec.max(1e-9),
+        cores_params.nodes,
+        cores_params.field,
+        cores_entries.join(", "),
+        shard_speedup,
     )
 }
 
@@ -851,7 +881,7 @@ mod tests {
                 runs[0].mode.label()
             );
             // Event counts only match within a delivery-event class.
-            if r.mode.delivery == runs[0].mode.delivery {
+            if r.mode.exec.delivery_events == runs[0].mode.exec.delivery_events {
                 assert_eq!(r.events, runs[0].events, "{}", r.mode.label());
             }
         }
@@ -897,12 +927,43 @@ mod tests {
             run_sched(&params, SchedMode::baseline()),
             run_sched(&params, SchedMode::optimized()),
         ];
-        let json = render_report(&params, &runs);
+        let cores_axis = vec![
+            run_sched(&params, SchedMode::optimized()),
+            run_sched(&params, SchedMode::optimized().with_cores(2)),
+        ];
+        let json = render_report(&params, &runs, &params, &cores_axis);
         assert!(json.contains("\"scenario\": \"perf_sched\""));
         assert!(json.contains("\"heap_eager_perrecv\""));
         assert!(json.contains("\"wheel_lazy_batched_patch\""));
+        assert!(json.contains("\"wheel_lazy_batched_patch_c2\""));
         assert!(json.contains("\"speedup_events_per_sec\""));
         assert!(json.contains("\"peek_fib_drops\""));
+        assert!(json.contains("\"cores_axis\""));
+        assert!(json.contains("\"shard_speedup_events_per_sec\""));
+        assert!(json.contains("\"border_tx_exported\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn sharded_run_exchanges_border_traffic_and_stays_metric_close() {
+        let params = tiny();
+        let seq = run_sched(&params, SchedMode::optimized());
+        let sharded = run_sched(&params, SchedMode::optimized().with_cores(2));
+        assert_eq!(seq.cores, 1);
+        assert_eq!(sharded.cores, 2);
+        assert!(sharded.border_tx_exported > 0, "bands must exchange frames");
+        assert!(sharded.border_rx_injected >= sharded.border_tx_exported);
+        assert!(sharded.sync_windows > 0);
+        // The sharded trace is metric-equivalent, not bit-identical: the
+        // same protocol runs, so aggregate traffic lands within a loose
+        // envelope of the sequential run (tolerance documented in
+        // `ShardedWorld`; the proptest suite tightens this per-metric).
+        let ratio = sharded.tx_frames as f64 / seq.tx_frames.max(1) as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "tx_frames diverged: sharded {} vs sequential {}",
+            sharded.tx_frames,
+            seq.tx_frames
+        );
     }
 }

@@ -21,7 +21,7 @@ use crate::report::Table;
 use dapes_core::prelude::*;
 use dapes_crypto::signing::TrustAnchor;
 use dapes_netsim::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 struct ScenarioOutcome {
     download_time_s: f64,
@@ -32,9 +32,9 @@ struct ScenarioOutcome {
     page_faults: u64,
 }
 
-fn build_collection(profile: Profile) -> Rc<Collection> {
+fn build_collection(profile: Profile) -> Arc<Collection> {
     let p = profile.base_params();
-    Rc::new(Collection::build(CollectionSpec {
+    Arc::new(Collection::build(CollectionSpec {
         name: dapes_ndn::name::Name::from_uri("/damaged-bridge-1533783192"),
         files: (0..p.n_files)
             .map(|i| dapes_core::collection::FileSpec::new(format!("file-{i}"), p.file_size))

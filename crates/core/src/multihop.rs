@@ -24,9 +24,9 @@ use dapes_ndn::packet::Interest;
 use dapes_netsim::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
+
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// What a node understands about DAPES.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -375,12 +375,12 @@ impl MultihopState {
 /// face; Interests heard from the air are delivered to the application (if
 /// the FIB says so) and re-broadcast only when [`MultihopState`] approves.
 pub struct DapesStrategy {
-    shared: Rc<RefCell<MultihopState>>,
+    shared: Arc<Mutex<MultihopState>>,
 }
 
 impl DapesStrategy {
     /// Creates the strategy around shared state.
-    pub fn new(shared: Rc<RefCell<MultihopState>>) -> Self {
+    pub fn new(shared: Arc<Mutex<MultihopState>>) -> Self {
         DapesStrategy { shared }
     }
 }
@@ -401,7 +401,12 @@ impl Strategy for DapesStrategy {
                     if ingress == FaceId::APP {
                         // Our own Interest: always goes to the air.
                         faces.push(FaceId::WIRELESS);
-                    } else if self.shared.borrow_mut().should_forward(interest, now) {
+                    } else if self
+                        .shared
+                        .lock()
+                        .expect("multihop state")
+                        .should_forward(interest, now)
+                    {
                         faces.push(FaceId::WIRELESS);
                     }
                 }
@@ -444,7 +449,12 @@ impl Strategy for DapesStrategy {
                     if ingress == FaceId::APP {
                         // Our own Interest: always goes to the air.
                         faces.push(FaceId::WIRELESS);
-                    } else if self.shared.borrow_mut().should_forward_named(name, now)? {
+                    } else if self
+                        .shared
+                        .lock()
+                        .expect("multihop state")
+                        .should_forward_named(name, now)?
+                    {
                         faces.push(FaceId::WIRELESS);
                     }
                 }
@@ -592,7 +602,7 @@ mod tests {
 
     #[test]
     fn strategy_always_airs_local_interests() {
-        let shared = Rc::new(RefCell::new(MultihopState::new(
+        let shared = Arc::new(Mutex::new(MultihopState::new(
             NodeRole::Dapes,
             true,
             0.0,
@@ -606,7 +616,7 @@ mod tests {
 
     #[test]
     fn strategy_gates_relayed_interests() {
-        let shared = Rc::new(RefCell::new(MultihopState::new(
+        let shared = Arc::new(Mutex::new(MultihopState::new(
             NodeRole::PureForwarder,
             true,
             0.0,
@@ -622,7 +632,7 @@ mod tests {
         );
         // p=0: only the app face survives.
         assert_eq!(d, Decision::Forward(vec![FaceId::APP]));
-        shared.borrow_mut().forward_prob = 1.0;
+        shared.lock().expect("multihop state").forward_prob = 1.0;
         let d = strat.decide(
             &i,
             FaceId::WIRELESS,
@@ -637,13 +647,13 @@ mod tests {
         // Two states seeded identically: one driven through the name-only
         // path, one through the payload path. Every decision (and therefore
         // every RNG draw) must line up.
-        let a = Rc::new(RefCell::new(MultihopState::new(
+        let a = Arc::new(Mutex::new(MultihopState::new(
             NodeRole::Dapes,
             true,
             0.5,
             7,
         )));
-        let b = Rc::new(RefCell::new(MultihopState::new(
+        let b = Arc::new(Mutex::new(MultihopState::new(
             NodeRole::Dapes,
             true,
             0.5,
@@ -664,7 +674,7 @@ mod tests {
 
     #[test]
     fn header_decision_defers_on_bitmap_interests_without_touching_state() {
-        let shared = Rc::new(RefCell::new(MultihopState::new(
+        let shared = Arc::new(Mutex::new(MultihopState::new(
             NodeRole::Dapes,
             true,
             0.5,
@@ -684,7 +694,7 @@ mod tests {
         );
         // The deferral must not have consumed an RNG draw: a fresh
         // same-seed state stays in lockstep afterwards.
-        let fresh = Rc::new(RefCell::new(MultihopState::new(
+        let fresh = Arc::new(Mutex::new(MultihopState::new(
             NodeRole::Dapes,
             true,
             0.5,
@@ -694,10 +704,12 @@ mod tests {
             let name = Name::from_uri(&format!("/col/f/{i}"));
             assert_eq!(
                 shared
-                    .borrow_mut()
+                    .lock()
+                    .expect("multihop state")
                     .should_forward_named(&name, SimTime::ZERO),
                 fresh
-                    .borrow_mut()
+                    .lock()
+                    .expect("multihop state")
                     .should_forward_named(&name, SimTime::ZERO),
                 "RNG streams diverged at draw {i}"
             );

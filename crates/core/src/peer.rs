@@ -38,9 +38,9 @@ use dapes_netsim::radio::{Frame, FrameKind};
 use dapes_netsim::time::{SimDuration, SimTime};
 use rand::Rng;
 use std::any::Any;
-use std::cell::RefCell;
+
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Which collections a peer tries to download.
 #[derive(Clone, Debug, Default)]
@@ -120,7 +120,7 @@ struct Download {
     assembler: MetadataAssembler,
     /// Outstanding metadata segment requests: seg -> (sent, retx count).
     meta_outstanding: BTreeMap<u32, (SimTime, u32)>,
-    metadata: Option<Rc<Metadata>>,
+    metadata: Option<Arc<Metadata>>,
     index: Option<PacketIndex>,
     have: Bitmap,
     /// Per-packet content leaf hashes retained until the file verifies
@@ -160,8 +160,8 @@ impl Download {
 
 /// A collection this peer produces or fully seeds.
 struct Seed {
-    collection: Rc<Collection>,
-    segments: Rc<Vec<Data>>,
+    collection: Arc<Collection>,
+    segments: Arc<Vec<Data>>,
 }
 
 /// The DAPES application peer (a [`NetStack`] for the simulator).
@@ -171,7 +171,7 @@ pub struct DapesPeer {
     anchor: TrustAnchor,
     role: NodeRole,
     forwarder: Forwarder,
-    shared: Rc<RefCell<MultihopState>>,
+    shared: Arc<Mutex<MultihopState>>,
     seeding: BTreeMap<Name, Seed>,
     downloads: BTreeMap<Name, Download>,
     wanted: WantPolicy,
@@ -243,7 +243,7 @@ impl DapesPeer {
         shared.response_timeout = cfg.response_timeout;
         shared.suppress_duration = cfg.suppress_duration;
         shared.neighbor_timeout = cfg.neighbor_timeout;
-        let shared = Rc::new(RefCell::new(shared));
+        let shared = Arc::new(Mutex::new(shared));
         let fwd_cfg = ForwarderConfig {
             cs_capacity: cfg.cs_capacity,
             cs_budget_bytes: cfg.cs_budget_bytes,
@@ -251,7 +251,7 @@ impl DapesPeer {
             cache_unsolicited: role == NodeRole::PureForwarder,
             rebroadcast_faces: vec![FaceId::WIRELESS],
             deliver_on_aggregate: vec![FaceId::APP],
-            relay_patch: cfg.relay_patch,
+            relay_patch: cfg.exec.relay_patch,
             legacy_tables: false,
         };
         let mut forwarder =
@@ -330,12 +330,12 @@ impl DapesPeer {
 
     /// Registers a collection this peer produces: it seeds all packets and
     /// serves signed metadata.
-    pub fn add_production(&mut self, collection: Rc<Collection>) {
+    pub fn add_production(&mut self, collection: Arc<Collection>) {
         let name = collection.name().clone();
-        let segments = Rc::new(collection.metadata_segments(&self.anchor));
+        let segments = Arc::new(collection.metadata_segments(&self.anchor));
         let total = collection.total_packets();
         {
-            let mut sh = self.shared.borrow_mut();
+            let mut sh = self.shared.lock().expect("multihop state");
             sh.indices.insert(name.clone(), collection.index().clone());
             sh.have.insert(name.clone(), Bitmap::full(total));
         }
@@ -388,7 +388,10 @@ impl DapesPeer {
 
     /// The multi-hop forwarding accuracy (§VI-D's 83 % metric).
     pub fn forward_accuracy(&self) -> Option<f64> {
-        self.shared.borrow().forward_accuracy()
+        self.shared
+            .lock()
+            .expect("multihop state")
+            .forward_accuracy()
     }
 
     /// The NDN forwarder's decision statistics.
@@ -410,7 +413,7 @@ impl DapesPeer {
 
     /// Forward success/failure counters.
     pub fn forward_counts(&self) -> (u64, u64) {
-        let sh = self.shared.borrow();
+        let sh = self.shared.lock().expect("multihop state");
         (sh.forward_successes, sh.forward_failures)
     }
 
@@ -548,7 +551,10 @@ impl DapesPeer {
         match p.payload {
             PendingPayload::Raw(wire) => {
                 if let Some(name) = &p.forwarded_name {
-                    self.shared.borrow_mut().note_forwarded(name, ctx.now);
+                    self.shared
+                        .lock()
+                        .expect("multihop state")
+                        .note_forwarded(name, ctx.now);
                     self.stats.interests_forwarded += 1;
                 }
                 ctx.send_frame(wire, p.kind, 0, SimDuration::ZERO);
@@ -723,7 +729,7 @@ impl DapesPeer {
             return;
         }
         {
-            let mut sh = self.shared.borrow_mut();
+            let mut sh = self.shared.lock().expect("multihop state");
             let entry = sh.note_peer(info.peer, ctx.now);
             let _ = entry;
             for offer in &info.offers {
@@ -834,7 +840,7 @@ impl DapesPeer {
         let index = meta.index();
         let files = meta.files.len();
         {
-            let mut sh = self.shared.borrow_mut();
+            let mut sh = self.shared.lock().expect("multihop state");
             sh.indices.insert(collection.clone(), index.clone());
             sh.have.insert(collection.clone(), Bitmap::new(total));
         }
@@ -842,7 +848,7 @@ impl DapesPeer {
         let Some(d) = self.downloads.get_mut(collection) else {
             return;
         };
-        d.metadata = Some(Rc::new(meta));
+        d.metadata = Some(Arc::new(meta));
         d.index = Some(index);
         d.have = Bitmap::new(total);
         d.leaf_hashes = vec![None; total];
@@ -869,7 +875,13 @@ impl DapesPeer {
             }
             d.resumed = Some(d.have.clone());
             self.stats.resumed_segments_skipped += skipped;
-            if let Some(have) = self.shared.borrow_mut().have.get_mut(collection) {
+            if let Some(have) = self
+                .shared
+                .lock()
+                .expect("multihop state")
+                .have
+                .get_mut(collection)
+            {
                 have.union_with(&d.have);
             }
             resumed_complete = files > 0 && d.files_verified.iter().all(|&v| v);
@@ -941,9 +953,12 @@ impl DapesPeer {
             return;
         }
         self.discovery.note_peer_heard(ctx.now);
-        self.shared
-            .borrow_mut()
-            .record_bitmap(peer, collection, bitmap.clone(), ctx.now);
+        self.shared.lock().expect("multihop state").record_bitmap(
+            peer,
+            collection,
+            bitmap.clone(),
+            ctx.now,
+        );
         ctx.note_state_inserts(1);
         let Some(d) = self.downloads.get_mut(collection) else {
             return;
@@ -1059,7 +1074,7 @@ impl DapesPeer {
     // ------------------------------------------------------------------
 
     fn rebuild_queue(&mut self, collection: &Name) {
-        let sh = self.shared.borrow();
+        let sh = self.shared.lock().expect("multihop state");
         let Some(d) = self.downloads.get_mut(collection) else {
             return;
         };
@@ -1106,7 +1121,7 @@ impl DapesPeer {
 
     fn refill_fetches(&mut self, ctx: &mut NodeCtx<'_>, collection: &Name) {
         let interested = {
-            let sh = self.shared.borrow();
+            let sh = self.shared.lock().expect("multihop state");
             sh.neighbors
                 .values()
                 .filter(|i| i.wants.contains(collection) || i.bitmaps.contains_key(collection))
@@ -1199,7 +1214,13 @@ impl DapesPeer {
         d.outstanding.remove(&idx);
         d.have.set(idx);
         self.stats.data_received += 1;
-        if let Some(have) = self.shared.borrow_mut().have.get_mut(collection) {
+        if let Some(have) = self
+            .shared
+            .lock()
+            .expect("multihop state")
+            .have
+            .get_mut(collection)
+        {
             if idx < have.len() {
                 have.set(idx);
             }
@@ -1266,7 +1287,10 @@ impl DapesPeer {
                     if params.len() == 4 {
                         let peer = u32::from_be_bytes(params.try_into().expect("4 bytes"));
                         if peer != self.id {
-                            self.shared.borrow_mut().note_peer(peer, ctx.now);
+                            self.shared
+                                .lock()
+                                .expect("multihop state")
+                                .note_peer(peer, ctx.now);
                             self.discovery.note_peer_heard(ctx.now);
                         }
                     }
@@ -1381,7 +1405,8 @@ impl DapesPeer {
     // ------------------------------------------------------------------
 
     fn tick(&mut self, ctx: &mut NodeCtx<'_>) {
-        self.stats.neighbors_expired += self.shared.borrow_mut().sweep(ctx.now) as u64;
+        self.stats.neighbors_expired +=
+            self.shared.lock().expect("multihop state").sweep(ctx.now) as u64;
         self.forwarder.expire(ctx.now);
         if self.cfg.signed_adverts {
             self.stats.peers_expired += self.replay.sweep(ctx.now) as u64;
@@ -1394,7 +1419,7 @@ impl DapesPeer {
         }
 
         // Encounter transitions.
-        let neighbors = self.shared.borrow().neighbor_count();
+        let neighbors = self.shared.lock().expect("multihop state").neighbor_count();
         if neighbors == 0 && self.encounter_active {
             self.encounter_active = false;
             for d in self.downloads.values_mut() {
@@ -1563,7 +1588,7 @@ impl NetStack for DapesPeer {
         if self.cfg.signed_adverts && self.screen_frame(ctx, frame) {
             return;
         }
-        if self.cfg.lazy_peek && self.on_frame_peeked(ctx, frame) {
+        if self.cfg.exec.lazy_peek && self.on_frame_peeked(ctx, frame) {
             return;
         }
         let Ok(packet) = Packet::decode_payload(&frame.payload) else {
@@ -1580,7 +1605,10 @@ impl NetStack for DapesPeer {
         }
         if self.role == NodeRole::Dapes {
             self.discovery.note_peer_heard(ctx.now);
-            self.shared.borrow_mut().note_peer(frame.src.0, ctx.now);
+            self.shared
+                .lock()
+                .expect("multihop state")
+                .note_peer(frame.src.0, ctx.now);
         }
         match packet {
             Packet::Interest(interest) => {
@@ -1599,7 +1627,10 @@ impl NetStack for DapesPeer {
                 // responses/forwards and settles multi-hop bookkeeping.
                 let dname = data.name().clone();
                 self.cancel_pending_where(ctx, |p| p.cancel_on_data.as_ref() == Some(&dname));
-                self.shared.borrow_mut().note_data_seen(&dname);
+                self.shared
+                    .lock()
+                    .expect("multihop state")
+                    .note_data_seen(&dname);
 
                 // DAPES-level overhearing before the forwarder pipeline.
                 if self.role == NodeRole::Dapes {
@@ -1632,18 +1663,16 @@ impl NetStack for DapesPeer {
                         }) => {
                             // Note the sender has this packet.
                             let idx = {
-                                let sh = self.shared.borrow();
+                                let sh = self.shared.lock().expect("multihop state");
                                 sh.indices
                                     .get(&collection)
                                     .and_then(|ix| ix.global_index(&file, seq))
                             };
                             if let Some(idx) = idx {
-                                self.shared.borrow_mut().note_neighbor_has(
-                                    frame.src.0,
-                                    &collection,
-                                    idx,
-                                    ctx.now,
-                                );
+                                self.shared
+                                    .lock()
+                                    .expect("multihop state")
+                                    .note_neighbor_has(frame.src.0, &collection, idx, ctx.now);
                             }
                         }
                         _ => {}
@@ -1762,7 +1791,7 @@ impl NetStack for DapesPeer {
 
     fn live_state_bytes(&self) -> usize {
         self.forwarder.state_bytes()
-            + self.shared.borrow().state_bytes()
+            + self.shared.lock().expect("multihop state").state_bytes()
             + self
                 .downloads
                 .values()
@@ -1894,7 +1923,10 @@ impl DapesPeer {
                 };
                 if self.role == NodeRole::Dapes {
                     self.discovery.note_peer_heard(ctx.now);
-                    self.shared.borrow_mut().note_peer(frame.src.0, ctx.now);
+                    self.shared
+                        .lock()
+                        .expect("multihop state")
+                        .note_peer(frame.src.0, ctx.now);
                 }
                 // Cancel our own redundant pending forward, comparing the
                 // stored name against the frame's borrowed bytes — the
@@ -1938,10 +1970,16 @@ impl DapesPeer {
                 // `data_resolvable_by_name` ruled them out).
                 if self.role == NodeRole::Dapes {
                     self.discovery.note_peer_heard(ctx.now);
-                    self.shared.borrow_mut().note_peer(frame.src.0, ctx.now);
+                    self.shared
+                        .lock()
+                        .expect("multihop state")
+                        .note_peer(frame.src.0, ctx.now);
                 }
                 self.cancel_pending_where(ctx, |p| p.cancel_on_data.as_ref() == Some(&dname));
-                self.shared.borrow_mut().note_data_seen(&dname);
+                self.shared
+                    .lock()
+                    .expect("multihop state")
+                    .note_data_seen(&dname);
                 if self.role == NodeRole::Dapes {
                     if let Some(DapesName::Content {
                         collection,
@@ -1950,18 +1988,16 @@ impl DapesPeer {
                     }) = namespace::classify(&dname)
                     {
                         let idx = {
-                            let sh = self.shared.borrow();
+                            let sh = self.shared.lock().expect("multihop state");
                             sh.indices
                                 .get(&collection)
                                 .and_then(|ix| ix.global_index(&file, seq))
                         };
                         if let Some(idx) = idx {
-                            self.shared.borrow_mut().note_neighbor_has(
-                                frame.src.0,
-                                &collection,
-                                idx,
-                                ctx.now,
-                            );
+                            self.shared
+                                .lock()
+                                .expect("multihop state")
+                                .note_neighbor_has(frame.src.0, &collection, idx, ctx.now);
                         }
                     }
                 }

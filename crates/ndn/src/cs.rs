@@ -161,7 +161,7 @@ impl EvictionPolicyKind {
 /// [`on_hit`]: EvictionPolicy::on_hit
 /// [`pop_victim`]: EvictionPolicy::pop_victim
 /// [`clear`]: EvictionPolicy::clear
-pub trait EvictionPolicy: std::fmt::Debug {
+pub trait EvictionPolicy: std::fmt::Debug + Send {
     /// Which built-in (or closest) flavour this policy is.
     fn kind(&self) -> EvictionPolicyKind;
     /// A new entry entered the store.

@@ -73,7 +73,10 @@ pub enum Decision {
 }
 
 /// Chooses egress faces for Interests that need forwarding.
-pub trait Strategy {
+///
+/// `Send` so forwarders can live inside stacks driven by the sharded
+/// multi-core engine; strategies hold only per-node state.
+pub trait Strategy: Send {
     /// Decides forwarding for `interest` arriving on `ingress`, given the
     /// FIB's `nexthops` (already excluding `ingress`).
     fn decide(

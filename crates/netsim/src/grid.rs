@@ -106,6 +106,19 @@ impl SpatialGrid {
         self.add_to_cells(node, span);
     }
 
+    /// Registers `node` as absent: it holds its id slot (preserving the
+    /// id-order invariant) but occupies no cells and never appears in
+    /// candidate scans. The sharded engine uses this for shadow slots of
+    /// nodes owned by another shard.
+    pub fn insert_absent(&mut self, node: NodeId) {
+        assert_eq!(
+            node.0 as usize,
+            self.spans.len(),
+            "grid nodes must be inserted in id order"
+        );
+        self.spans.push(None);
+    }
+
     /// Re-registers `node` for a new movement segment from `a` to `b`.
     pub fn update(&mut self, node: NodeId, a: Point, b: Point) {
         let span = self.span_for(a, b);

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod fault;
 pub mod geometry;
 pub mod grid;
@@ -37,6 +38,7 @@ pub mod mobility;
 pub mod node;
 pub mod payload;
 pub mod radio;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod wheel;
@@ -44,18 +46,20 @@ pub mod world;
 
 /// Convenient glob-import of the types nearly every user needs.
 pub mod prelude {
+    pub use crate::exec::ExecProfile;
     pub use crate::fault::{FaultAction, FaultPlan};
-    pub use crate::geometry::Point;
+    pub use crate::geometry::{Point, Rect};
     pub use crate::grid::SpatialGrid;
     pub use crate::mobility::{Mobility, RandomDirection, ScriptedMobility, Stationary};
     pub use crate::node::{NetStack, NodeCtx, NodeId, TimerHandle, TxOutcome};
     pub use crate::payload::Payload;
     pub use crate::radio::{Frame, FrameKind, PhyConfig};
+    pub use crate::shard::ShardedWorld;
     pub use crate::stats::Stats;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::wheel::TimerWheel;
     pub use crate::world::{
-        DeliveryEvents, DeliveryMode, QueueMode, StackFactory, World, WorldConfig,
+        DeliveryEvents, DeliveryMode, ForeignFrame, QueueMode, StackFactory, World, WorldConfig,
     };
 }
 

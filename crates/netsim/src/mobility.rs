@@ -13,8 +13,10 @@ use rand::Rng;
 use std::fmt::Debug;
 
 /// How a node moves. Positions are queried analytically between *segment
-/// changes*, so the simulator never ticks idle nodes.
-pub trait Mobility: Debug {
+/// changes*, so the simulator never ticks idle nodes. `Send` because the
+/// sharded engine moves each shard's world onto its own thread between
+/// synchronization barriers.
+pub trait Mobility: Debug + Send {
     /// Position at time `now`. Must be piecewise-deterministic: two queries
     /// at the same instant return the same point.
     fn position(&self, now: SimTime) -> Point;

@@ -143,9 +143,12 @@ pub struct TxOutcome {
 
 /// A protocol stack living on one node.
 ///
-/// All methods take `&mut self` plus a command-buffering [`NodeCtx`]; the
-/// simulator is single-threaded and callbacks never nest.
-pub trait NetStack {
+/// All methods take `&mut self` plus a command-buffering [`NodeCtx`];
+/// callbacks never nest, and each stack is only ever driven by one event
+/// loop at a time. The `Send` bound exists for the sharded engine, which
+/// moves each shard's world (stacks included) onto its own thread between
+/// synchronization barriers — stacks need no internal locking.
+pub trait NetStack: Send {
     /// Invoked once at simulation start.
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>);
 

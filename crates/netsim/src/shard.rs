@@ -1,0 +1,606 @@
+//! Sharded multi-core world: spatial partitioning with conservative
+//! lookahead synchronization.
+//!
+//! [`ShardedWorld`] splits the field into `cores` equal-width vertical
+//! bands and runs one full [`World`] (own event queue, timer wheel, MAC
+//! state, RNG stream) per band. Shards advance in lockstep windows of one
+//! *lookahead* — by default the shortest possible frame air time
+//! ([`PhyConfig::tx_duration`] of an empty payload), the soonest any
+//! transmission could influence a neighbour. Within a window each shard
+//! runs independently; transmissions whose radio disc reaches another
+//! shard's node region are exported as [`ForeignFrame`]s and injected
+//! into the destination shards at the next window boundary, where they
+//! fan out to local receivers under the ordinary range / partition /
+//! loss rules.
+//!
+//! # Determinism contract
+//!
+//! * `cores = 1` delegates [`run_until`](ShardedWorld::run_until)
+//!   directly to the single inner [`World`] — runs are **bit-identical**
+//!   to the sequential engine (gated by the golden-trace tests).
+//! * `cores > 1` is deterministic per `(seed, cores)` pair: shards never
+//!   share mutable state inside a window and the boundary exchange is
+//!   single-threaded in shard order, so thread scheduling cannot change
+//!   the outcome. Against the sequential engine the runs are
+//!   **metric-equivalent** within a documented tolerance, not
+//!   bit-identical: cross-border frames are delivered at the window
+//!   boundary instead of their exact finish instant, border senders do
+//!   not carrier-sense or collide across the border, and each shard
+//!   draws from its own RNG stream.
+//!
+//! Every shard world is seeded `seed + shard_index` (wrapping), so shard
+//! 0 of a single-shard run reproduces the sequential RNG stream exactly.
+//!
+//! [`PhyConfig::tx_duration`]: crate::radio::PhyConfig::tx_duration
+//! [`ForeignFrame`]: crate::world::ForeignFrame
+
+use crate::fault::{FaultAction, FaultPlan};
+use crate::geometry::{Point, Rect};
+use crate::mobility::Mobility;
+use crate::node::{NetStack, NodeId};
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use crate::world::{StackFactory, World, WorldConfig};
+use std::sync::{Arc, Mutex};
+
+/// Speed bound (m/s) used to widen export regions for intra-window
+/// mobility. The stock models top out at 10 m/s; doubling that keeps
+/// scripted traces with faster legs conservative too.
+const MOBILITY_SLACK_MPS: f64 = 20.0;
+
+/// Fixed extra margin (metres) added to export regions so boundary
+/// contact never rounds a crossing away.
+const MOBILITY_SLACK_FLOOR_M: f64 = 1.0;
+
+/// A spatially sharded simulation world.
+///
+/// Construct with a [`WorldConfig`] whose
+/// [`ExecProfile::cores`](crate::exec::ExecProfile) selects the shard
+/// count, add nodes exactly as with [`World`], and drive with
+/// [`run_until`](Self::run_until). Node ids are global: every shard holds
+/// a slot for every node (shadow slots for foreign nodes), so queries
+/// like [`position_of`](Self::position_of) and downcasts like
+/// [`stack`](Self::stack) take the same ids the sequential engine would
+/// have assigned.
+pub struct ShardedWorld {
+    shards: Vec<World>,
+    /// Owning shard per node, indexed by `NodeId.0`.
+    owner: Vec<u32>,
+    band_width: f64,
+    lookahead: SimDuration,
+    /// Export-region expansion covering intra-window mobility.
+    slack: f64,
+    range: f64,
+    now: SimTime,
+    sync_windows: u64,
+    parallel: bool,
+}
+
+impl ShardedWorld {
+    /// Creates an empty sharded world with `cfg.exec.cores` shards.
+    ///
+    /// The lookahead window is `cfg.exec.lookahead` when set, otherwise
+    /// the minimum frame air time (empty payload) — the soonest a
+    /// transmission can cross a border.
+    pub fn new(cfg: WorldConfig) -> Self {
+        let cores = cfg.exec.cores.max(1);
+        let lookahead = cfg
+            .exec
+            .lookahead
+            .unwrap_or_else(|| cfg.phy.tx_duration(0))
+            .max(SimDuration::from_micros(1));
+        let slack = MOBILITY_SLACK_MPS * lookahead.as_secs_f64() + MOBILITY_SLACK_FLOOR_M;
+        let parallel = std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false);
+        let mut shards = Vec::with_capacity(cores);
+        for i in 0..cores {
+            let mut shard_cfg = cfg.clone();
+            shard_cfg.exec.cores = 1;
+            shard_cfg.seed = cfg.seed.wrapping_add(i as u64);
+            shards.push(World::new(shard_cfg));
+        }
+        ShardedWorld {
+            shards,
+            owner: Vec::new(),
+            band_width: cfg.field.0 / cores as f64,
+            lookahead,
+            slack,
+            range: cfg.range,
+            now: SimTime::ZERO,
+            sync_windows: 0,
+            parallel,
+        }
+    }
+
+    /// The shard owning a point: equal-width vertical bands along x.
+    fn band_of(&self, p: Point) -> usize {
+        let n = self.shards.len();
+        if n == 1 || self.band_width <= 0.0 {
+            return 0;
+        }
+        ((p.x.max(0.0) / self.band_width) as usize).min(n - 1)
+    }
+
+    /// Adds a node, returning its globally aligned id. The shard owning
+    /// the node's *starting* position gets the real node; every other
+    /// shard gets a shadow slot so ids stay aligned. Ownership is fixed
+    /// for the run — a node that wanders across the band line keeps its
+    /// home shard (its border transmissions cross as foreign frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started.
+    pub fn add_node(&mut self, mobility: Box<dyn Mobility>, stack: Box<dyn NetStack>) -> NodeId {
+        let pos = mobility.position(SimTime::ZERO);
+        let owner = self.band_of(pos);
+        let mut real = Some((mobility, stack));
+        let mut id = None;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let assigned = if i == owner {
+                let (mobility, stack) = real.take().expect("one owner");
+                shard.add_node(mobility, stack)
+            } else {
+                shard.add_shadow_node(pos)
+            };
+            match id {
+                None => id = Some(assigned),
+                Some(prev) => assert_eq!(prev, assigned, "shard node ids diverged"),
+            }
+        }
+        self.owner.push(owner as u32);
+        id.expect("at least one shard")
+    }
+
+    /// Attaches a fault script. Node-scoped actions (crash, restart,
+    /// join, leave) go to the node's owning shard only; link-scoped
+    /// actions (cut, heal) are broadcast to every shard so both local
+    /// deliveries and foreign-frame injections honour the partition.
+    /// Merged [`Stats`] take the max of `partitions_cut` /
+    /// `partitions_healed` across shards, keeping the run-wide counts
+    /// identical to the sequential engine's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let n = self.shards.len();
+        let mut per_shard: Vec<Vec<(SimTime, FaultAction)>> = vec![Vec::new(); n];
+        for (t, action) in plan.actions {
+            match action {
+                FaultAction::Crash(node)
+                | FaultAction::Restart(node)
+                | FaultAction::Join(node)
+                | FaultAction::Leave(node) => {
+                    let owner = self.owner[node.0 as usize] as usize;
+                    per_shard[owner].push((t, action));
+                }
+                FaultAction::Cut { .. } | FaultAction::Heal { .. } => {
+                    for actions in &mut per_shard {
+                        actions.push((t, action.clone()));
+                    }
+                }
+            }
+        }
+        for (shard, actions) in self.shards.iter_mut().zip(per_shard) {
+            shard.set_fault_plan(FaultPlan { actions });
+        }
+    }
+
+    /// Installs the restart stack factory, shared across shards behind a
+    /// mutex (restarts fire on one shard at a time, so the lock is
+    /// uncontended in practice).
+    pub fn set_stack_factory(&mut self, factory: StackFactory) {
+        let shared = Arc::new(Mutex::new(factory));
+        for shard in &mut self.shards {
+            let f = Arc::clone(&shared);
+            shard.set_stack_factory(Box::new(move |node, wreck| {
+                (*f.lock().expect("stack factory lock"))(node, wreck)
+            }));
+        }
+    }
+
+    /// Runs one synchronization window: refresh export regions from the
+    /// shards' current node bounds, advance every shard to `target`
+    /// (in parallel when the host has more than one core), then exchange
+    /// border-crossing frames in shard order.
+    fn step_window(&mut self, deadline: SimTime) {
+        let target = (self.now + self.lookahead).min(deadline);
+        let n = self.shards.len();
+        let bounds: Vec<Option<Rect>> = self.shards.iter().map(|s| s.local_node_bounds()).collect();
+        for i in 0..n {
+            let regions = (0..n)
+                .filter(|&j| j != i)
+                .filter_map(|j| bounds[j].map(|r| r.expanded(self.slack)))
+                .collect();
+            self.shards[i].set_export_regions(regions);
+        }
+        if self.parallel {
+            std::thread::scope(|scope| {
+                for shard in &mut self.shards {
+                    scope.spawn(move || shard.run_until(target));
+                }
+            });
+        } else {
+            for shard in &mut self.shards {
+                shard.run_until(target);
+            }
+        }
+        for i in 0..n {
+            let outbox = self.shards[i].take_border_outbox();
+            for frame in outbox {
+                for (j, bound) in bounds.iter().enumerate().take(n) {
+                    if j == i {
+                        continue;
+                    }
+                    let Some(rect) = bound else { continue };
+                    if rect
+                        .expanded(self.slack)
+                        .intersects_disc(frame.src_pos, self.range)
+                    {
+                        self.shards[j].inject_foreign(target, frame.clone());
+                    }
+                }
+            }
+        }
+        self.sync_windows += 1;
+        self.now = target;
+    }
+
+    /// Runs the simulation until `deadline` (inclusive of events at it).
+    ///
+    /// With one shard this delegates directly to [`World::run_until`]
+    /// and is bit-identical to the sequential engine. With more, the
+    /// window loop runs and a final flush dispatches frames injected at
+    /// the last boundary.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if self.shards.len() == 1 {
+            self.shards[0].run_until(deadline);
+            self.now = self.now.max(deadline);
+            return;
+        }
+        while self.now < deadline {
+            self.step_window(deadline);
+        }
+        // Frames exchanged at the final boundary were injected at
+        // `deadline` after the shards had already run past it; one more
+        // (inclusive) pass delivers them. Their replies, if any, are
+        // scheduled strictly later and stay queued for the next call.
+        for shard in &mut self.shards {
+            shard.run_until(deadline);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs until `pred` returns true or until `deadline`, consulting the
+    /// predicate at *window boundaries* (every `lookahead`). Returns
+    /// `true` when the predicate fired. Coarser than
+    /// [`World::run_until_cond`]'s instant boundaries — completion times
+    /// observed through this method quantize to the lookahead.
+    pub fn run_until_cond<F: FnMut(&ShardedWorld) -> bool>(
+        &mut self,
+        deadline: SimTime,
+        mut pred: F,
+    ) -> bool {
+        if pred(self) {
+            return true;
+        }
+        while self.now < deadline {
+            self.step_window(deadline);
+            if pred(self) {
+                return true;
+            }
+        }
+        for shard in &mut self.shards {
+            shard.run_until(deadline);
+        }
+        pred(self)
+    }
+
+    /// Current simulation time (the last window boundary reached).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes (global — identical in every shard).
+    pub fn node_count(&self) -> usize {
+        self.shards.first().map_or(0, |s| s.node_count())
+    }
+
+    /// Number of shards.
+    pub fn cores(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead window.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The configured radio range.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Merged run statistics: per-shard counters folded with
+    /// [`Stats::merge`], stamped with the shard count and (for
+    /// multi-shard runs) the lookahead and window count.
+    pub fn stats(&self) -> Stats {
+        let mut merged = Stats::new(0);
+        for shard in &self.shards {
+            merged.merge(shard.stats());
+        }
+        merged.shards = self.shards.len() as u64;
+        if self.shards.len() > 1 {
+            merged.lookahead_micros = self.lookahead.as_micros();
+            merged.sync_windows = self.sync_windows;
+        }
+        merged
+    }
+
+    /// Whether `node`'s stack is currently live, per its owning shard.
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.owner_shard(node).node_alive(node)
+    }
+
+    /// Position of `node` at its owning shard's current time.
+    pub fn position_of(&self, node: NodeId) -> Point {
+        self.owner_shard(node).position_of(node)
+    }
+
+    /// Immutable downcast access to a node's stack (owning shard).
+    pub fn stack<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.owner_shard(node).stack(node)
+    }
+
+    /// Mutable downcast access to a node's stack (owning shard).
+    pub fn stack_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        let owner = self.owner[node.0 as usize] as usize;
+        self.shards[owner].stack_mut(node)
+    }
+
+    /// Changes the Bernoulli frame-loss rate on every shard from now on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        for shard in &mut self.shards {
+            shard.set_loss_rate(rate);
+        }
+    }
+
+    /// Sum of live protocol state bytes over all shards (shadow slots
+    /// hold no stack, so each node counts exactly once).
+    pub fn live_state_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.live_state_bytes()).sum()
+    }
+
+    /// Timer slots ever allocated, summed over the shards' wheels.
+    pub fn timer_slots_allocated(&self) -> usize {
+        self.shards.iter().map(|s| s.timer_slots_allocated()).sum()
+    }
+
+    fn owner_shard(&self, node: NodeId) -> &World {
+        &self.shards[self.owner[node.0 as usize] as usize]
+    }
+}
+
+impl std::fmt::Debug for ShardedWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedWorld")
+            .field("shards", &self.shards.len())
+            .field("nodes", &self.node_count())
+            .field("lookahead", &self.lookahead)
+            .field("now", &self.now)
+            .field("sync_windows", &self.sync_windows)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecProfile;
+    use crate::mobility::Stationary;
+    use crate::node::NodeCtx;
+    use crate::radio::{Frame, FrameKind};
+    use std::any::Any;
+
+    const BEACON: FrameKind = FrameKind(7);
+
+    /// Broadcasts a 32-byte beacon every 100 ms and counts what it hears.
+    #[derive(Debug, Default)]
+    struct Beacon {
+        sent: u64,
+        heard: u64,
+    }
+
+    impl NetStack for Beacon {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(100), 0);
+        }
+
+        fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, frame: &Frame) {
+            if frame.kind == BEACON {
+                self.heard += 1;
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+            ctx.send_frame(vec![0u8; 32], BEACON, 0, SimDuration::ZERO);
+            self.sent += 1;
+            ctx.set_timer(SimDuration::from_millis(100), 0);
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn cfg(seed: u64, cores: usize) -> WorldConfig {
+        WorldConfig {
+            field: (300.0, 100.0),
+            range: 60.0,
+            seed,
+            exec: ExecProfile::default().with_cores(cores),
+            ..WorldConfig::default()
+        }
+    }
+
+    /// A chain spanning both halves of the 300 m field, 25 m spacing.
+    fn chain_positions() -> Vec<Point> {
+        (0..12)
+            .map(|i| Point::new(12.5 + 25.0 * i as f64, 50.0))
+            .collect()
+    }
+
+    #[test]
+    fn single_shard_is_bit_identical_to_sequential_world() {
+        let mut seq = World::new(cfg(42, 1));
+        for p in chain_positions() {
+            seq.add_node(Box::new(Stationary::new(p)), Box::<Beacon>::default());
+        }
+        seq.run_until(SimTime::from_secs(3));
+
+        let mut sharded = ShardedWorld::new(cfg(42, 1));
+        let mut ids = Vec::new();
+        for p in chain_positions() {
+            ids.push(sharded.add_node(Box::new(Stationary::new(p)), Box::<Beacon>::default()));
+        }
+        sharded.run_until(SimTime::from_secs(3));
+
+        let a = seq.stats();
+        let b = sharded.stats();
+        assert_eq!(a.tx_frames, b.tx_frames);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.collision_drops, b.collision_drops);
+        assert_eq!(a.channel_losses, b.channel_losses);
+        assert_eq!(a.mac_deferrals, b.mac_deferrals);
+        assert_eq!(a.event_dispatches, b.event_dispatches);
+        assert_eq!(a.tx_per_node, b.tx_per_node);
+        assert_eq!(a.delivered_by_kind, b.delivered_by_kind);
+        assert_eq!(b.shards, 1);
+        assert_eq!(b.border_tx_exported, 0);
+        for id in ids {
+            let s = seq.stack::<Beacon>(id).expect("seq stack");
+            let h = sharded.stack::<Beacon>(id).expect("sharded stack");
+            assert_eq!((s.sent, s.heard), (h.sent, h.heard), "node {id:?}");
+        }
+    }
+
+    #[test]
+    fn two_shards_exchange_border_traffic() {
+        let mut w = ShardedWorld::new(cfg(7, 2));
+        // One node per band, 40 m apart across the x=150 band line.
+        let left = w.add_node(
+            Box::new(Stationary::new(Point::new(130.0, 50.0))),
+            Box::<Beacon>::default(),
+        );
+        let right = w.add_node(
+            Box::new(Stationary::new(Point::new(170.0, 50.0))),
+            Box::<Beacon>::default(),
+        );
+        assert_eq!(w.node_count(), 2);
+        w.run_until(SimTime::from_secs(2));
+        let stats = w.stats();
+        assert_eq!(stats.shards, 2);
+        assert!(stats.sync_windows > 0, "no synchronization windows ran");
+        assert!(stats.lookahead_micros > 0);
+        assert!(
+            stats.border_tx_exported > 0,
+            "border transmissions never exported"
+        );
+        assert!(
+            stats.border_rx_injected > 0,
+            "border transmissions never injected"
+        );
+        // ~20 beacons each at 10% loss: both sides must hear the other.
+        let l = w.stack::<Beacon>(left).expect("left stack");
+        let r = w.stack::<Beacon>(right).expect("right stack");
+        assert!(l.sent >= 19 && r.sent >= 19);
+        assert!(l.heard > 0, "left never heard across the border");
+        assert!(r.heard > 0, "right never heard across the border");
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic_per_seed_and_cores() {
+        let run = |seed: u64| {
+            let mut w = ShardedWorld::new(cfg(seed, 4));
+            for p in chain_positions() {
+                w.add_node(Box::new(Stationary::new(p)), Box::<Beacon>::default());
+            }
+            w.run_until(SimTime::from_secs(2));
+            let s = w.stats();
+            (
+                s.tx_frames,
+                s.delivered,
+                s.border_tx_exported,
+                s.border_rx_injected,
+                s.tx_per_node,
+            )
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).1, 0);
+    }
+
+    #[test]
+    fn fault_actions_route_to_owning_shards() {
+        let mut w = ShardedWorld::new(cfg(11, 2));
+        let left = w.add_node(
+            Box::new(Stationary::new(Point::new(130.0, 50.0))),
+            Box::<Beacon>::default(),
+        );
+        let right = w.add_node(
+            Box::new(Stationary::new(Point::new(170.0, 50.0))),
+            Box::<Beacon>::default(),
+        );
+        w.set_fault_plan(
+            FaultPlan::new()
+                .crash_at(SimTime::from_micros(500 * 1000), right)
+                .restart_at(SimTime::from_micros(900 * 1000), right)
+                .partition(
+                    SimTime::from_micros(1200 * 1000),
+                    SimTime::from_micros(1600 * 1000),
+                    [left],
+                    [right],
+                ),
+        );
+        w.set_stack_factory(Box::new(|_, _| Box::<Beacon>::default()));
+        w.run_until(SimTime::from_micros(700 * 1000));
+        assert!(!w.node_alive(right), "crash did not reach the owning shard");
+        assert!(w.node_alive(left));
+        w.run_until(SimTime::from_secs(2));
+        assert!(
+            w.node_alive(right),
+            "restart did not reach the owning shard"
+        );
+        let stats = w.stats();
+        assert_eq!(stats.node_crashes, 1);
+        assert_eq!(stats.node_restarts, 1);
+        // Cut/Heal are broadcast to both shards; merged counts must not
+        // double.
+        assert_eq!(stats.partitions_cut, 1);
+        assert_eq!(stats.partitions_healed, 1);
+        assert!(
+            stats.partition_drops > 0,
+            "cross-border link cut never dropped a delivery"
+        );
+    }
+
+    #[test]
+    fn run_until_cond_observes_state_at_window_boundaries() {
+        let mut w = ShardedWorld::new(cfg(3, 2));
+        for p in chain_positions() {
+            w.add_node(Box::new(Stationary::new(p)), Box::<Beacon>::default());
+        }
+        let fired = w.run_until_cond(SimTime::from_secs(5), |w| w.stats().delivered >= 50);
+        assert!(fired, "predicate never fired");
+        assert!(w.stats().delivered >= 50);
+        assert!(w.now() < SimTime::from_secs(5));
+    }
+}

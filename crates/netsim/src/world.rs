@@ -17,10 +17,11 @@
 //!   [`TxOutcome::collided`] — the signal PEBA reacts to.
 //! * **Loss.** Independent Bernoulli loss per receiver (paper: 10 %).
 
+use crate::exec::ExecProfile;
 use crate::fault::{FaultAction, FaultPlan};
-use crate::geometry::Point;
+use crate::geometry::{Point, Rect};
 use crate::grid::SpatialGrid;
-use crate::mobility::Mobility;
+use crate::mobility::{Mobility, Stationary};
 use crate::node::{Command, NetStack, NodeCtx, NodeId, TimerHandle, TxOutcome};
 use crate::payload::Payload;
 use crate::radio::{Frame, FrameKind, PhyConfig};
@@ -35,8 +36,9 @@ use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 /// Builds the replacement stack for a node being restarted by a
 /// [`FaultAction::Restart`]. The second argument is the crashed incarnation
 /// (the "wreck"), available for downcast-and-salvage; `None` when the crash
-/// predates any factory or the node left permanently.
-pub type StackFactory = Box<dyn FnMut(NodeId, Option<&dyn NetStack>) -> Box<dyn NetStack>>;
+/// predates any factory or the node left permanently. `Send` so the sharded
+/// engine can hand a shared factory to per-thread shards.
+pub type StackFactory = Box<dyn FnMut(NodeId, Option<&dyn NetStack>) -> Box<dyn NetStack> + Send>;
 
 /// How receivers are selected per transmission.
 ///
@@ -108,6 +110,10 @@ pub enum DeliveryEvents {
 }
 
 /// Static configuration of a simulation run.
+///
+/// Execution-strategy knobs (queue, delivery, event granularity, cores)
+/// live in [`ExecProfile`]; the loose per-knob setters survive one release
+/// as deprecated forwarding shims.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
     /// Field dimensions in metres (paper: 300 × 300).
@@ -118,12 +124,9 @@ pub struct WorldConfig {
     pub phy: PhyConfig,
     /// RNG seed; equal seeds give bit-identical runs.
     pub seed: u64,
-    /// Receiver-selection algorithm.
-    pub delivery: DeliveryMode,
-    /// Event-queue implementation.
-    pub queue: QueueMode,
-    /// Delivery-event granularity (batched by default).
-    pub delivery_events: DeliveryEvents,
+    /// Execution strategy: queue/delivery/event-granularity plus the
+    /// sharded engine's `cores` and `lookahead`.
+    pub exec: ExecProfile,
 }
 
 impl Default for WorldConfig {
@@ -133,10 +136,40 @@ impl Default for WorldConfig {
             range: 60.0,
             phy: PhyConfig::default(),
             seed: 1,
-            delivery: DeliveryMode::Grid,
-            queue: QueueMode::Wheel,
-            delivery_events: DeliveryEvents::Batched,
+            exec: ExecProfile::default(),
         }
+    }
+}
+
+impl WorldConfig {
+    /// Sets the receiver-selection algorithm.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `exec.delivery` / `ExecProfile::with_delivery`"
+    )]
+    pub fn with_delivery(mut self, delivery: DeliveryMode) -> Self {
+        self.exec.delivery = delivery;
+        self
+    }
+
+    /// Sets the event-queue implementation.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `exec.queue` / `ExecProfile::with_queue`"
+    )]
+    pub fn with_queue(mut self, queue: QueueMode) -> Self {
+        self.exec.queue = queue;
+        self
+    }
+
+    /// Sets the delivery-event granularity.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `exec.delivery_events` / `ExecProfile::with_delivery_events`"
+    )]
+    pub fn with_delivery_events(mut self, delivery_events: DeliveryEvents) -> Self {
+        self.exec.delivery_events = delivery_events;
+        self
     }
 }
 
@@ -162,6 +195,10 @@ struct MacState {
 struct NodeSlot {
     mobility: Box<dyn Mobility>,
     stack: Option<Box<dyn NetStack>>,
+    /// True for a placeholder slot representing a node owned by another
+    /// shard: never in the grid, never dispatched, exists only so node ids
+    /// (and per-node stats arrays) stay globally aligned across shards.
+    shadow: bool,
     mac: MacState,
     /// Incarnation counter, bumped on crash/leave. Timer and delayed-send
     /// events carry the epoch they were armed under; a mismatch at dispatch
@@ -186,6 +223,24 @@ struct ActiveTx {
     payload: Payload,
     token: u64,
     seq: u64,
+}
+
+/// A transmission whose radio disc crossed a shard border, exported by the
+/// owning shard at the end of a synchronization window and injected into
+/// every shard whose receivers it could reach. Carries everything a remote
+/// shard needs to run its own range/partition/loss checks.
+#[derive(Clone, Debug)]
+pub struct ForeignFrame {
+    /// Transmitting node (a shadow slot in the receiving shard).
+    pub src: NodeId,
+    /// Sender position at transmission end, for the remote range check.
+    pub src_pos: Point,
+    /// Protocol tag for accounting.
+    pub kind: FrameKind,
+    /// The shared wire bytes (cheap `Arc` clone).
+    pub payload: Payload,
+    /// The owning shard's transmission sequence number.
+    pub seq: u64,
 }
 
 /// One transmission's precomputed deliveries, carried by a single
@@ -244,6 +299,11 @@ enum EventKind {
     Fault {
         idx: u32,
     },
+    /// A border-crossing transmission from another shard, injected at a
+    /// window boundary; delivered with local range/partition/loss checks
+    /// but without carrier-sense or collision coupling (the sharded
+    /// engine's documented tolerance).
+    Foreign(Box<ForeignFrame>),
 }
 
 struct Event {
@@ -367,6 +427,14 @@ pub struct World {
     links_cut: BTreeSet<(u32, u32)>,
     /// Builds replacement stacks for `FaultAction::Restart`.
     stack_factory: Option<StackFactory>,
+    /// Regions of the field occupied by *other* shards' receivers
+    /// (expanded by radio range). A finished transmission whose disc
+    /// touches one is exported through `border_outbox`. Empty outside the
+    /// sharded engine — the sequential fast path pays one `is_empty` check.
+    export_regions: Vec<Rect>,
+    /// Border-crossing transmissions awaiting pickup by the shard
+    /// coordinator at the next window boundary.
+    border_outbox: Vec<ForeignFrame>,
 }
 
 /// Canonical (unordered) key for a link between two nodes, so `links_cut`
@@ -386,7 +454,7 @@ impl World {
         let grid = SpatialGrid::new(cfg.field, cfg.range.max(1e-6));
         World {
             now: SimTime::ZERO,
-            queue: EventQueue::new(cfg.queue),
+            queue: EventQueue::new(cfg.exec.queue),
             event_seq: 0,
             nodes: Vec::new(),
             active_tx: Vec::new(),
@@ -405,6 +473,8 @@ impl World {
             fault_actions: Vec::new(),
             links_cut: BTreeSet::new(),
             stack_factory: None,
+            export_regions: Vec::new(),
+            border_outbox: Vec::new(),
             cfg,
         }
     }
@@ -426,6 +496,35 @@ impl World {
         self.nodes.push(NodeSlot {
             mobility,
             stack: Some(stack),
+            shadow: false,
+            mac: MacState {
+                queue: VecDeque::new(),
+                transmitting: false,
+                cw: self.cfg.phy.cw_min,
+                retry_at: None,
+            },
+            epoch: 0,
+            dormant: None,
+        });
+        id
+    }
+
+    /// Adds a placeholder slot for a node owned by another shard: it holds
+    /// the id (keeping node ids globally aligned across shard worlds and
+    /// per-node stats arrays element-wise mergeable) but never enters the
+    /// spatial grid, never transmits, and never receives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started.
+    pub fn add_shadow_node(&mut self, pos: Point) -> NodeId {
+        assert!(!self.started, "nodes must be added before the run starts");
+        let id = NodeId(self.nodes.len() as u32);
+        self.grid.insert_absent(id);
+        self.nodes.push(NodeSlot {
+            mobility: Box::new(Stationary::new(pos)),
+            stack: None,
+            shadow: true,
             mac: MacState {
                 queue: VecDeque::new(),
                 transmitting: false,
@@ -512,7 +611,7 @@ impl World {
     /// ascending by id. Served from the spatial grid in O(k) unless the
     /// world was configured with [`DeliveryMode::BruteForce`].
     pub fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
-        match self.cfg.delivery {
+        match self.cfg.exec.delivery {
             DeliveryMode::BruteForce => self.neighbors_of_brute(node),
             DeliveryMode::Grid => {
                 let p = self.position_of(node);
@@ -631,8 +730,15 @@ impl World {
         self.now = deadline.max(self.now);
     }
 
-    /// Runs until `pred` returns true (checked after every event) or until
-    /// `deadline`. Returns `true` when the predicate fired.
+    /// Runs until `pred` returns true or until `deadline`. Returns `true`
+    /// when the predicate fired.
+    ///
+    /// The predicate is consulted at *instant boundaries*: every event
+    /// scheduled at the current simulation instant — a whole transmission's
+    /// delivery fan-out included — is dispatched before `pred` runs. Both
+    /// [`DeliveryEvents`] granularities therefore expose the exact same
+    /// sequence of states to early-stopping predicates; a per-receiver
+    /// fan-out can no longer be interrupted mid-transmission.
     pub fn run_until_cond<F: FnMut(&World) -> bool>(
         &mut self,
         deadline: SimTime,
@@ -646,10 +752,18 @@ impl World {
             if t > deadline {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked");
-            self.now = ev.time;
-            self.stats.event_dispatches += 1;
-            self.dispatch(ev.kind);
+            // Drain the instant completely (including events the dispatches
+            // themselves push at the same time) before checking `pred`.
+            loop {
+                let ev = self.queue.pop().expect("peeked");
+                self.now = ev.time;
+                self.stats.event_dispatches += 1;
+                self.dispatch(ev.kind);
+                match self.queue.next_time() {
+                    Some(next) if next == t => {}
+                    _ => break,
+                }
+            }
             if pred(self) {
                 return true;
             }
@@ -668,6 +782,48 @@ impl World {
     /// by the total number armed over the run (the no-leak property).
     pub fn timer_slots_allocated(&self) -> usize {
         self.timers.allocated()
+    }
+
+    /// Installs the regions of the field occupied by other shards'
+    /// receivers (already expanded by radio range plus mobility slack).
+    /// A finished transmission whose disc touches one of them is exported
+    /// through [`World::take_border_outbox`]. The shard coordinator
+    /// refreshes these each synchronization window.
+    pub fn set_export_regions(&mut self, regions: Vec<Rect>) {
+        self.export_regions = regions;
+    }
+
+    /// Drains the border-crossing transmissions recorded since the last
+    /// call, in transmission order.
+    pub fn take_border_outbox(&mut self) -> Vec<ForeignFrame> {
+        std::mem::take(&mut self.border_outbox)
+    }
+
+    /// Schedules a border-crossing transmission from another shard for
+    /// delivery at `at` (the next window boundary). Receivers get the same
+    /// range/partition/loss checks as local deliveries; carrier sense and
+    /// collision interference do not couple across shards.
+    pub fn inject_foreign(&mut self, at: SimTime, frame: ForeignFrame) {
+        self.push_event(at.max(self.now), EventKind::Foreign(Box::new(frame)));
+    }
+
+    /// Bounding box of this shard's own (non-shadow) nodes at the current
+    /// time, or `None` when the shard owns no nodes. The coordinator
+    /// expands these by radio range plus a mobility slack to build the
+    /// export regions other shards filter against.
+    pub fn local_node_bounds(&self) -> Option<Rect> {
+        let mut bounds: Option<Rect> = None;
+        for slot in &self.nodes {
+            if slot.shadow {
+                continue;
+            }
+            let p = slot.mobility.position(self.now);
+            match &mut bounds {
+                Some(r) => r.include(p),
+                None => bounds = Some(Rect::new(p, p)),
+            }
+        }
+        bounds
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -711,6 +867,7 @@ impl World {
                 self.with_stack(node, |stack, ctx| stack.on_tx_done(ctx, outcome));
             }
             EventKind::Fault { idx } => self.apply_fault(idx as usize),
+            EventKind::Foreign(frame) => self.deliver_foreign(*frame),
             EventKind::MobilityChange { node } => {
                 let field = self.cfg.field;
                 let slot = &mut self.nodes[node.0 as usize];
@@ -824,7 +981,7 @@ impl World {
         // nest, so steady state is a single warm allocation for the whole
         // run. The heap baseline allocates fresh per callback, reproducing
         // the pre-pool cost model (every callback counts as a pool miss).
-        let pooled = self.cfg.queue == QueueMode::Wheel;
+        let pooled = self.cfg.exec.queue == QueueMode::Wheel;
         let buf = if pooled { self.cmd_pool.pop() } else { None };
         let buf = match buf {
             Some(b) => {
@@ -871,7 +1028,7 @@ impl World {
             sender,
             outcome,
         } = batch;
-        let pooled = self.cfg.queue == QueueMode::Wheel;
+        let pooled = self.cfg.exec.queue == QueueMode::Wheel;
         let mut commands = match if pooled { self.cmd_pool.pop() } else { None } {
             Some(b) => {
                 self.stats.cmd_pool_hits += 1;
@@ -926,6 +1083,59 @@ impl World {
         }
         receivers.clear();
         self.recv_pool.push(receivers);
+    }
+
+    /// Delivers a border-crossing transmission from another shard: the same
+    /// range / partition / Bernoulli-loss checks as a local delivery (in
+    /// ascending node order, against this shard's own RNG stream), then one
+    /// `on_frame` per surviving receiver. No carrier-sense or collision
+    /// coupling — the documented cross-shard tolerance.
+    fn deliver_foreign(&mut self, f: ForeignFrame) {
+        self.stats.border_rx_injected += 1;
+        let mut candidates = std::mem::take(&mut self.candidate_buf);
+        match self.cfg.exec.delivery {
+            DeliveryMode::Grid => {
+                self.grid
+                    .candidates_into(f.src_pos, self.cfg.range, &mut candidates)
+            }
+            DeliveryMode::BruteForce => {
+                candidates.clear();
+                candidates.extend((0..self.nodes.len() as u32).map(NodeId));
+            }
+        }
+        let mut deliveries: Vec<NodeId> = self.recv_pool.pop().unwrap_or_default();
+        for &receiver in &candidates {
+            let j = receiver.0 as usize;
+            if receiver == f.src || self.nodes[j].stack.is_none() {
+                continue;
+            }
+            let rpos = self.nodes[j].mobility.position(self.now);
+            if !f.src_pos.within(&rpos, self.cfg.range) {
+                continue;
+            }
+            if !self.links_cut.is_empty() && self.links_cut.contains(&link_key(f.src, receiver)) {
+                self.stats.partition_drops += 1;
+                continue;
+            }
+            if self.cfg.phy.loss_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.phy.loss_rate {
+                self.stats.channel_losses += 1;
+                continue;
+            }
+            self.stats.record_delivery(f.kind, f.payload.len());
+            deliveries.push(receiver);
+        }
+        self.candidate_buf = candidates;
+        let frame = Frame {
+            src: f.src,
+            kind: f.kind,
+            payload: f.payload,
+            seq: f.seq,
+        };
+        for &receiver in &deliveries {
+            self.with_stack(receiver, |stack, ctx| stack.on_frame(ctx, &frame));
+        }
+        deliveries.clear();
+        self.recv_pool.push(deliveries);
     }
 
     fn apply_commands(&mut self, node: NodeId, commands: &mut Vec<Command>) {
@@ -1058,7 +1268,7 @@ impl World {
         // in the same node order as the brute-force scan.
         let payload_len = self.active_tx[tx_idx].payload.len() as u64;
         let mut candidates = std::mem::take(&mut self.candidate_buf);
-        match self.cfg.delivery {
+        match self.cfg.exec.delivery {
             DeliveryMode::Grid => {
                 self.grid
                     .candidates_into(sender_pos, self.cfg.range, &mut candidates)
@@ -1140,12 +1350,32 @@ impl World {
             collided: sender_collided,
         };
 
+        // A transmission whose radio disc reaches into another shard's
+        // receiver region is exported for window-boundary injection there.
+        // The local delivery below is unaffected, so a single-shard run
+        // (empty regions) is bit-identical to the pre-sharding engine.
+        if !self.export_regions.is_empty()
+            && self
+                .export_regions
+                .iter()
+                .any(|r| r.intersects_disc(sender_pos, self.cfg.range))
+        {
+            self.stats.border_tx_exported += 1;
+            self.border_outbox.push(ForeignFrame {
+                src: sender,
+                src_pos: sender_pos,
+                kind,
+                payload: frame.payload.clone(),
+                seq: frame.seq,
+            });
+        }
+
         // Outcomes (and therefore the loss draws) are already settled above;
         // what remains is handing the frame to each receiver's stack. Both
         // event granularities dispatch the exact same callback sequence —
         // receivers ascending, then the sender's outcome — so the toggle is
         // invisible to protocol traces.
-        match self.cfg.delivery_events {
+        match self.cfg.exec.delivery_events {
             DeliveryEvents::Batched => {
                 self.stats.arrival_events += 1;
                 self.push_event(
@@ -1570,9 +1800,12 @@ mod tests {
     ) -> (u64, u64, u64, u64, u64) {
         let mut w = World::new(WorldConfig {
             seed,
-            delivery,
-            queue,
-            delivery_events,
+            exec: ExecProfile {
+                delivery,
+                queue,
+                delivery_events,
+                ..ExecProfile::default()
+            },
             ..WorldConfig::default()
         });
         for i in 0..12 {
@@ -1641,7 +1874,7 @@ mod tests {
     fn batched_mode_enqueues_one_arrival_event_per_transmission() {
         let run = |delivery_events: DeliveryEvents| {
             let mut cfg = lossless();
-            cfg.delivery_events = delivery_events;
+            cfg.exec.delivery_events = delivery_events;
             let mut w = World::new(cfg);
             w.add_node(
                 Box::new(Stationary::new(Point::new(0.0, 0.0))),
@@ -1678,7 +1911,7 @@ mod tests {
         // buffer once; per-receiver mode claims it once per callback.
         let run = |delivery_events: DeliveryEvents| {
             let mut cfg = lossless();
-            cfg.delivery_events = delivery_events;
+            cfg.exec.delivery_events = delivery_events;
             let mut w = World::new(cfg);
             w.add_node(
                 Box::new(Stationary::new(Point::new(0.0, 0.0))),
@@ -1718,7 +1951,7 @@ mod tests {
     #[test]
     fn heap_mode_disables_the_command_pool() {
         let mut cfg = lossless();
-        cfg.queue = QueueMode::Heap;
+        cfg.exec.queue = QueueMode::Heap;
         let mut w = World::new(cfg);
         w.add_node(
             Box::new(Stationary::new(Point::new(0.0, 0.0))),
@@ -1770,7 +2003,7 @@ mod tests {
         }
         for queue in [QueueMode::Wheel, QueueMode::Heap] {
             let mut cfg = lossless();
-            cfg.queue = queue;
+            cfg.exec.queue = queue;
             let mut w = World::new(cfg);
             let a = w.add_node(
                 Box::new(Stationary::new(Point::new(0.0, 0.0))),
@@ -1932,7 +2165,7 @@ mod tests {
         }
         for queue in [QueueMode::Wheel, QueueMode::Heap] {
             let mut cfg = lossless();
-            cfg.queue = queue;
+            cfg.exec.queue = queue;
             let mut w = World::new(cfg);
             let a = w.add_node(Box::new(Stationary::new(Point::new(0.0, 0.0))), {
                 Box::new(Armer) as Box<dyn NetStack>
@@ -1958,8 +2191,8 @@ mod tests {
 
     #[test]
     fn restart_reboots_a_fresh_stack_and_hands_over_the_wreck() {
-        use std::cell::Cell;
-        use std::rc::Rc;
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
         let mut w = World::new(lossless());
         // 20 beacons every 50 ms; crashed at 220 ms after 4 made the air.
         let a = w.add_node(
@@ -1970,11 +2203,11 @@ mod tests {
             Box::new(Stationary::new(Point::new(10.0, 0.0))),
             Box::new(Chatter::new(0, 0)),
         );
-        let wreck_beacons = Rc::new(Cell::new(u32::MAX));
-        let seen = Rc::clone(&wreck_beacons);
+        let wreck_beacons = Arc::new(AtomicU32::new(u32::MAX));
+        let seen = Arc::clone(&wreck_beacons);
         w.set_stack_factory(Box::new(move |_node, wreck| {
             if let Some(old) = wreck.and_then(|s| s.as_any().downcast_ref::<Chatter>()) {
-                seen.set(old.beacons);
+                seen.store(old.beacons, Ordering::Relaxed);
             }
             Box::new(Chatter::new(3, 10))
         }));
@@ -1991,7 +2224,7 @@ mod tests {
         assert_eq!(w.stats().node_crashes, 1);
         assert_eq!(w.stats().node_restarts, 1);
         assert_eq!(
-            wreck_beacons.get(),
+            wreck_beacons.load(Ordering::Relaxed),
             16,
             "factory must receive the wreck with its surviving state"
         );
@@ -2080,9 +2313,12 @@ mod tests {
     ) -> (u64, u64, u64, u64, u64, u64, u64) {
         let mut w = World::new(WorldConfig {
             seed,
-            delivery,
-            queue,
-            delivery_events,
+            exec: ExecProfile {
+                delivery,
+                queue,
+                delivery_events,
+                ..ExecProfile::default()
+            },
             ..WorldConfig::default()
         });
         for i in 0..12 {

@@ -9,6 +9,7 @@
 use crate::golden::{assert_scenario, GoldenMetrics};
 use crate::scenario::{
     CollectionParams, FaultProfile, MobilityPreset, PeerRole, Scenario, ScenarioBuilder,
+    ShardedScenario,
 };
 use dapes_core::prelude::*;
 use dapes_netsim::prelude::*;
@@ -83,14 +84,27 @@ impl Topology {
     }
 
     /// Builds the scenario for one `(topology, seed)` cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params.exec.cores > 1`; multi-core cells go through
+    /// [`build_sharded`](Self::build_sharded).
     pub fn build(&self, seed: u64, params: &MatrixParams) -> Scenario {
+        self.builder(seed, params).build()
+    }
+
+    /// Builds the same cell on the sharded multi-core engine.
+    pub fn build_sharded(&self, seed: u64, params: &MatrixParams) -> ShardedScenario {
+        self.builder(seed, params).build_sharded()
+    }
+
+    /// The fully configured builder for one `(topology, seed)` cell.
+    fn builder(&self, seed: u64, params: &MatrixParams) -> ScenarioBuilder {
         let r = params.range;
         let mut base = ScenarioBuilder::new(seed)
             .range(r)
             .loss(params.loss)
-            .delivery(params.delivery)
-            .queue(params.queue)
-            .delivery_events(params.delivery_events)
+            .exec(params.exec)
             .collection_params(params.collection.clone())
             .config(params.config.clone());
         // Attackers sit near the topology's hub, in radio range of the
@@ -105,10 +119,7 @@ impl Topology {
         }
         base = base.faults(params.faults.iter().cloned());
         match *self {
-            Topology::AdjacentPair => base
-                .producer_at(0.0, 0.0)
-                .downloader_at(r / 3.0, 0.0)
-                .build(),
+            Topology::AdjacentPair => base.producer_at(0.0, 0.0).downloader_at(r / 3.0, 0.0),
             Topology::Chain { relays } => {
                 let spacing = 0.85 * r;
                 // The paper forwards with p = 0.2 by default; a chain test
@@ -119,7 +130,7 @@ impl Topology {
                 for i in 0..relays {
                     b = b.relay_at(spacing * (i + 1) as f64, 0.0);
                 }
-                b.downloader_at(spacing * (relays + 1) as f64, 0.0).build()
+                b.downloader_at(spacing * (relays + 1) as f64, 0.0)
             }
             Topology::Star { downloaders } => {
                 let mut b = base.producer_at(0.0, 0.0);
@@ -128,7 +139,7 @@ impl Topology {
                     let theta = std::f64::consts::TAU * i as f64 / downloaders as f64;
                     b = b.downloader_at(radius * theta.cos(), radius * theta.sin());
                 }
-                b.build()
+                b
             }
             Topology::PartitionedFerry => {
                 let far = 5.0 * r;
@@ -143,7 +154,6 @@ impl Topology {
                         },
                     )
                     .downloader_at(far, 0.0)
-                    .build()
             }
             Topology::MobileSwarm {
                 downloaders,
@@ -151,8 +161,7 @@ impl Topology {
             } => base
                 .producer_at(150.0, 150.0)
                 .mobile_downloaders(downloaders)
-                .mobile_pure_forwarders(forwarders)
-                .build(),
+                .mobile_pure_forwarders(forwarders),
         }
     }
 }
@@ -177,15 +186,11 @@ pub struct MatrixParams {
     /// Cell deadlines extend by the last fault instant; empty means a
     /// fault-free matrix.
     pub faults: Vec<FaultProfile>,
-    /// Receiver-selection algorithm (grid by default; equivalence tests
-    /// run the same cells brute-force and compare traces).
-    pub delivery: DeliveryMode,
-    /// Event-queue implementation (wheel by default; equivalence tests run
-    /// the same cells on the heap and compare traces).
-    pub queue: QueueMode,
-    /// Delivery-event granularity (batched by default; equivalence tests
-    /// run the same cells per-receiver and compare traces).
-    pub delivery_events: DeliveryEvents,
+    /// Execution-strategy profile shared by every cell: queue, delivery,
+    /// delivery-event granularity, decode regime and shard count.
+    /// Equivalence tests run the same cells under differing profiles and
+    /// compare traces; `cores > 1` routes cells onto the sharded engine.
+    pub exec: ExecProfile,
 }
 
 impl Default for MatrixParams {
@@ -197,9 +202,7 @@ impl Default for MatrixParams {
             config: DapesConfig::default(),
             adversaries: Vec::new(),
             faults: Vec::new(),
-            delivery: DeliveryMode::default(),
-            queue: QueueMode::default(),
-            delivery_events: DeliveryEvents::default(),
+            exec: ExecProfile::default(),
         }
     }
 }
@@ -287,8 +290,15 @@ impl ScenarioMatrix {
         self
     }
 
-    /// Runs one cell to its deadline and checks invariants.
+    /// Runs one cell to its deadline and checks invariants. Cells whose
+    /// profile asks for more than one core run on the sharded engine
+    /// instead (with the determinism re-run but without the golden
+    /// asserts, whose expectations are calibrated on event-exact
+    /// sequential observability).
     pub fn run_cell(&self, topology: Topology, seed: u64) -> MatrixCell {
+        if self.params.exec.cores > 1 {
+            return self.run_cell_sharded(topology, seed);
+        }
         let label = format!("{}/seed-{seed}", topology.label());
         let deadline = topology.deadline_with_faults(&self.params.faults);
         let run = || {
@@ -324,6 +334,49 @@ impl ScenarioMatrix {
                 .and_then(|v| v.into_iter().max()),
             tx_frames: sc.world.stats().tx_frames,
             overhead_ratio: crate::golden::overhead_ratio(sc.world.stats()),
+        }
+    }
+
+    /// The sharded-engine variant of [`run_cell`](Self::run_cell).
+    fn run_cell_sharded(&self, topology: Topology, seed: u64) -> MatrixCell {
+        let label = format!(
+            "{}/seed-{seed}/cores-{}",
+            topology.label(),
+            self.params.exec.cores
+        );
+        let deadline = topology.deadline_with_faults(&self.params.faults);
+        let run = || {
+            let mut sc = topology.build_sharded(seed, &self.params);
+            sc.run_until_complete(deadline);
+            sc
+        };
+        let sc = run();
+        if self.check_determinism {
+            let sc2 = run();
+            assert_eq!(
+                sc.world.stats().tx_frames,
+                sc2.world.stats().tx_frames,
+                "[{label}] same seed and cores, different frame count"
+            );
+            assert_eq!(
+                sc.completion_times(),
+                sc2.completion_times(),
+                "[{label}] same seed and cores, different completion times"
+            );
+        }
+        let times = sc.completion_times();
+        MatrixCell {
+            topology,
+            seed,
+            completed: times.iter().filter(|t| t.is_some()).count(),
+            downloaders: sc.downloaders.len(),
+            finished_at: times
+                .iter()
+                .copied()
+                .collect::<Option<Vec<_>>>()
+                .and_then(|v| v.into_iter().max()),
+            tx_frames: sc.world.stats().tx_frames,
+            overhead_ratio: crate::golden::overhead_ratio(&sc.world.stats()),
         }
     }
 

@@ -6,7 +6,7 @@ use dapes_crypto::signing::TrustAnchor;
 use dapes_netsim::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The trust anchor every harness peer shares unless a test overrides it
 /// (e.g. to model a forged producer).
@@ -61,8 +61,8 @@ impl CollectionParams {
     }
 
     /// Builds the shared collection.
-    pub fn build(&self) -> Rc<Collection> {
-        Rc::new(Collection::build(CollectionSpec {
+    pub fn build(&self) -> Arc<Collection> {
+        Arc::new(Collection::build(CollectionSpec {
             name: dapes_ndn::name::Name::from_uri(&self.name),
             files: (0..self.files)
                 .map(|i| FileSpec::new(format!("file-{i}"), self.file_size))
@@ -221,9 +221,7 @@ pub struct ScenarioBuilder {
     anchor: TrustAnchor,
     peers: Vec<PeerSpec>,
     adversaries: Vec<AdversarySpec>,
-    delivery: DeliveryMode,
-    queue: QueueMode,
-    delivery_events: DeliveryEvents,
+    exec: ExecProfile,
     fault_plan: FaultPlan,
     fault_profiles: Vec<FaultProfile>,
 }
@@ -244,9 +242,7 @@ impl ScenarioBuilder {
             anchor: shared_anchor(),
             peers: Vec::new(),
             adversaries: Vec::new(),
-            delivery: DeliveryMode::default(),
-            queue: QueueMode::default(),
-            delivery_events: DeliveryEvents::default(),
+            exec: ExecProfile::default(),
             fault_plan: FaultPlan::new(),
             fault_profiles: Vec::new(),
         }
@@ -274,24 +270,38 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Receiver-selection algorithm (spatial grid by default). Equivalence
-    /// tests build the same scenario in both modes and compare traces.
+    /// The execution-strategy profile for the run: queue, delivery,
+    /// delivery-event granularity, decode regime and shard count in one
+    /// value. It configures the world *and* becomes the `exec` of the
+    /// default [`DapesConfig`] (peers added via
+    /// [`peer_with_config`](Self::peer_with_config) keep their own —
+    /// the escape hatch decode-equivalence tests rely on).
+    pub fn exec(mut self, exec: ExecProfile) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Forwarding shim for the pre-[`ExecProfile`] knob.
+    #[deprecated(since = "0.10.0", note = "use `exec` (ExecProfile::with_delivery)")]
     pub fn delivery(mut self, delivery: DeliveryMode) -> Self {
-        self.delivery = delivery;
+        self.exec.delivery = delivery;
         self
     }
 
-    /// Event-queue implementation (timer wheel by default). Equivalence
-    /// tests build the same scenario in both modes and compare traces.
+    /// Forwarding shim for the pre-[`ExecProfile`] knob.
+    #[deprecated(since = "0.10.0", note = "use `exec` (ExecProfile::with_queue)")]
     pub fn queue(mut self, queue: QueueMode) -> Self {
-        self.queue = queue;
+        self.exec.queue = queue;
         self
     }
 
-    /// Delivery-event granularity (batched by default). Equivalence tests
-    /// build the same scenario in both modes and compare traces.
+    /// Forwarding shim for the pre-[`ExecProfile`] knob.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `exec` (ExecProfile::with_delivery_events)"
+    )]
     pub fn delivery_events(mut self, delivery_events: DeliveryEvents) -> Self {
-        self.delivery_events = delivery_events;
+        self.exec.delivery_events = delivery_events;
         self
     }
 
@@ -484,11 +494,10 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Instantiates the world, collection and peers. Node ids are assigned
-    /// in insertion order; random-walk start positions come from a SplitMix
-    /// of the scenario seed, so equal builders give bit-identical runs.
-    pub fn build(self) -> Scenario {
-        let mut world = World::new(WorldConfig {
+    /// The [`WorldConfig`] this builder produces (also used by
+    /// [`build_sharded`](Self::build_sharded)).
+    fn world_config(&self) -> WorldConfig {
+        WorldConfig {
             seed: self.seed,
             range: self.range,
             field: self.field,
@@ -496,10 +505,64 @@ impl ScenarioBuilder {
                 loss_rate: self.loss,
                 ..PhyConfig::default()
             },
-            delivery: self.delivery,
-            queue: self.queue,
-            delivery_events: self.delivery_events,
-        });
+            exec: self.exec,
+        }
+    }
+
+    /// Instantiates the world, collection and peers. Node ids are assigned
+    /// in insertion order; random-walk start positions come from a SplitMix
+    /// of the scenario seed, so equal builders give bit-identical runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the profile asks for more than one core — multi-core
+    /// runs go through [`build_sharded`](Self::build_sharded), which has
+    /// different (window-boundary) observability semantics.
+    pub fn build(self) -> Scenario {
+        assert_eq!(
+            self.exec.cores, 1,
+            "exec.cores > 1: use ScenarioBuilder::build_sharded()"
+        );
+        let mut world = World::new(self.world_config());
+        let parts = self.populate(&mut world);
+        Scenario {
+            world,
+            producers: parts.producers,
+            downloaders: parts.downloaders,
+            relays: parts.relays,
+            forwarders: parts.forwarders,
+            adversaries: parts.adversaries,
+            collection: parts.collection,
+            anchor: parts.anchor,
+            loss_schedule: parts.loss_schedule,
+            schedule_applied: 0,
+        }
+    }
+
+    /// Instantiates the scenario on the sharded multi-core engine. With
+    /// `exec.cores == 1` the run is bit-identical to [`build`](Self::build)
+    /// (the sharded world delegates to a single sequential world); with
+    /// more cores it is metric-equivalent within the tolerance documented
+    /// on [`dapes_netsim::shard`].
+    pub fn build_sharded(self) -> ShardedScenario {
+        let mut world = ShardedWorld::new(self.world_config());
+        let parts = self.populate(&mut world);
+        ShardedScenario {
+            world,
+            producers: parts.producers,
+            downloaders: parts.downloaders,
+            relays: parts.relays,
+            forwarders: parts.forwarders,
+            adversaries: parts.adversaries,
+            collection: parts.collection,
+            anchor: parts.anchor,
+            loss_schedule: parts.loss_schedule,
+            schedule_applied: 0,
+        }
+    }
+
+    /// Adds every peer, adversary, fault and restart recipe to `world`.
+    fn populate<W: SimWorld>(self, world: &mut W) -> ScenarioParts {
         let collection = self.collection.build();
         let mut placement_rng = SmallRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
 
@@ -508,11 +571,19 @@ impl ScenarioBuilder {
         let mut relays = Vec::new();
         let mut forwarders = Vec::new();
 
+        // The builder's profile is the single source of truth for the
+        // run's execution strategy: it reaches peers through the default
+        // config's `exec` (per-peer overrides keep their own).
+        let default_cfg = {
+            let mut c = self.cfg.clone();
+            c.exec = self.exec;
+            c
+        };
         let honest = self.peers.len();
         let mut recipes: Vec<(PeerRole, DapesConfig, TrustAnchor)> = Vec::with_capacity(honest);
         for (i, spec) in self.peers.into_iter().enumerate() {
             let id = i as u32;
-            let cfg = spec.cfg.unwrap_or_else(|| self.cfg.clone());
+            let cfg = spec.cfg.unwrap_or_else(|| default_cfg.clone());
             let anchor = spec.anchor.unwrap_or_else(|| self.anchor.clone());
             recipes.push((spec.role, cfg.clone(), anchor.clone()));
             let mobility = match spec.mobility {
@@ -628,8 +699,7 @@ impl ScenarioBuilder {
             world.set_fault_plan(plan);
         }
 
-        Scenario {
-            world,
+        ScenarioParts {
             producers,
             downloaders,
             relays,
@@ -638,8 +708,59 @@ impl ScenarioBuilder {
             collection,
             anchor: self.anchor,
             loss_schedule: self.loss_schedule,
-            schedule_applied: 0,
         }
+    }
+}
+
+/// Everything [`ScenarioBuilder::populate`] adds around the world,
+/// engine-agnostic.
+struct ScenarioParts {
+    producers: Vec<NodeId>,
+    downloaders: Vec<NodeId>,
+    relays: Vec<NodeId>,
+    forwarders: Vec<NodeId>,
+    adversaries: Vec<NodeId>,
+    collection: Arc<Collection>,
+    anchor: TrustAnchor,
+    loss_schedule: Vec<(SimTime, f64)>,
+}
+
+/// The world operations scenario population needs, implemented by both
+/// the sequential [`World`] and the sharded engine.
+trait SimWorld {
+    fn add_node(&mut self, mobility: Box<dyn Mobility>, stack: Box<dyn NetStack>) -> NodeId;
+    fn node_count(&self) -> usize;
+    fn set_stack_factory(&mut self, factory: StackFactory);
+    fn set_fault_plan(&mut self, plan: FaultPlan);
+}
+
+impl SimWorld for World {
+    fn add_node(&mut self, mobility: Box<dyn Mobility>, stack: Box<dyn NetStack>) -> NodeId {
+        World::add_node(self, mobility, stack)
+    }
+    fn node_count(&self) -> usize {
+        World::node_count(self)
+    }
+    fn set_stack_factory(&mut self, factory: StackFactory) {
+        World::set_stack_factory(self, factory)
+    }
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        World::set_fault_plan(self, plan)
+    }
+}
+
+impl SimWorld for ShardedWorld {
+    fn add_node(&mut self, mobility: Box<dyn Mobility>, stack: Box<dyn NetStack>) -> NodeId {
+        ShardedWorld::add_node(self, mobility, stack)
+    }
+    fn node_count(&self) -> usize {
+        ShardedWorld::node_count(self)
+    }
+    fn set_stack_factory(&mut self, factory: StackFactory) {
+        ShardedWorld::set_stack_factory(self, factory)
+    }
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        ShardedWorld::set_fault_plan(self, plan)
     }
 }
 
@@ -658,7 +779,7 @@ pub struct Scenario {
     /// Adversary node ids (always after every honest peer).
     pub adversaries: Vec<NodeId>,
     /// The shared collection.
-    pub collection: Rc<Collection>,
+    pub collection: Arc<Collection>,
     /// The default trust anchor.
     pub anchor: TrustAnchor,
     loss_schedule: Vec<(SimTime, f64)>,
@@ -751,6 +872,109 @@ impl Scenario {
         self.run_until_cond(deadline, |w| {
             w.stack::<DapesPeer>(node)
                 .is_some_and(|p| p.downloads_complete())
+        })
+    }
+}
+
+/// A scenario running on the sharded multi-core engine. Mirrors
+/// [`Scenario`], with one semantic difference: predicates (and loss
+/// switches) are observed at synchronization-window boundaries, so
+/// completion times quantize to the lookahead (~hundreds of
+/// microseconds) instead of event instants.
+pub struct ShardedScenario {
+    /// The sharded simulator.
+    pub world: ShardedWorld,
+    /// Producer node ids, in insertion order.
+    pub producers: Vec<NodeId>,
+    /// Downloader node ids, in insertion order.
+    pub downloaders: Vec<NodeId>,
+    /// DAPES relay node ids.
+    pub relays: Vec<NodeId>,
+    /// Pure-forwarder node ids.
+    pub forwarders: Vec<NodeId>,
+    /// Adversary node ids (always after every honest peer).
+    pub adversaries: Vec<NodeId>,
+    /// The shared collection.
+    pub collection: Arc<Collection>,
+    /// The default trust anchor.
+    pub anchor: TrustAnchor,
+    loss_schedule: Vec<(SimTime, f64)>,
+    schedule_applied: usize,
+}
+
+impl ShardedScenario {
+    /// The DAPES peer at `node`, if it is one.
+    pub fn peer(&self, node: NodeId) -> Option<&DapesPeer> {
+        self.world.stack::<DapesPeer>(node)
+    }
+
+    /// Sums one honest-side defense counter over every DAPES peer.
+    pub fn defense_total<F: Fn(&PeerStats) -> u64>(&self, pick: F) -> u64 {
+        (0..self.world.node_count())
+            .filter_map(|i| self.peer(NodeId(i as u32)))
+            .map(|p| pick(p.stats()))
+            .sum()
+    }
+
+    /// Whether `node` completed all wanted downloads.
+    pub fn completed(&self, node: NodeId) -> bool {
+        self.peer(node).is_some_and(|p| p.downloads_complete())
+    }
+
+    /// Whether every downloader completed.
+    pub fn all_complete(&self) -> bool {
+        self.downloaders.iter().all(|&d| self.completed(d))
+    }
+
+    /// Completion times of the downloaders, in insertion order.
+    pub fn completion_times(&self) -> Vec<Option<SimTime>> {
+        self.downloaders
+            .iter()
+            .map(|&d| self.peer(d).and_then(|p| p.completed_at()))
+            .collect()
+    }
+
+    /// Runs until `deadline`, applying any loss schedule along the way.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_until_cond(deadline, |_| false);
+    }
+
+    /// Runs until the predicate fires or `deadline`, applying the loss
+    /// schedule at its switch points (quantized to window boundaries).
+    /// Returns whether the predicate fired.
+    pub fn run_until_cond<F: FnMut(&ShardedWorld) -> bool>(
+        &mut self,
+        deadline: SimTime,
+        mut pred: F,
+    ) -> bool {
+        loop {
+            let next_switch = self
+                .loss_schedule
+                .get(self.schedule_applied)
+                .map(|&(t, _)| t);
+            match next_switch {
+                Some(t) if t <= deadline => {
+                    if self.world.run_until_cond(t, &mut pred) {
+                        return true;
+                    }
+                    let (_, rate) = self.loss_schedule[self.schedule_applied];
+                    self.world.set_loss_rate(rate);
+                    self.schedule_applied += 1;
+                }
+                _ => return self.world.run_until_cond(deadline, &mut pred),
+            }
+        }
+    }
+
+    /// Runs until every downloader finished or `deadline`. Returns whether
+    /// all finished.
+    pub fn run_until_complete(&mut self, deadline: SimTime) -> bool {
+        let downloaders = self.downloaders.clone();
+        self.run_until_cond(deadline, |w| {
+            downloaders.iter().all(|&d| {
+                w.stack::<DapesPeer>(d)
+                    .is_some_and(|p| p.downloads_complete())
+            })
         })
     }
 }

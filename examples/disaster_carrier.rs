@@ -9,11 +9,11 @@
 //! Run with `cargo run --release --example disaster_carrier`.
 
 use dapes::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     let anchor = TrustAnchor::from_seed(b"rural-area-anchor");
-    let collection = Rc::new(Collection::build(CollectionSpec {
+    let collection = Arc::new(Collection::build(CollectionSpec {
         name: Name::from_uri("/damaged-bridge-1533783192"),
         files: vec![
             FileSpec::new("bridge-picture", 64 * 1024),

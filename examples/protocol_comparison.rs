@@ -8,7 +8,6 @@
 //! Run with `cargo run --release --example protocol_comparison`.
 
 use dapes_bench::{run_trial, Profile, Protocol};
-use dapes_core::prelude::DapesConfig;
 
 fn main() {
     // The paper's full 44-node topology with the quick-profile workload
@@ -28,7 +27,7 @@ fn main() {
         "protocol", "time(s)", "complete", "frames", "fwd-acc"
     );
     for (name, protocol) in [
-        ("DAPES", Protocol::Dapes(DapesConfig::default())),
+        ("DAPES", Protocol::Dapes(Box::default())),
         ("Bithoc", Protocol::Bithoc),
         ("Ekta", Protocol::Ekta),
     ] {

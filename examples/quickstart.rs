@@ -9,7 +9,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use dapes::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // The shared local trust anchor of the rural community (paper §III).
@@ -17,7 +17,7 @@ fn main() {
 
     // Resident A produces the collection: a 200 KB picture and a small
     // location file, split into 1 KB signed packets.
-    let collection = Rc::new(Collection::build(CollectionSpec {
+    let collection = Arc::new(Collection::build(CollectionSpec {
         name: Name::from_uri("/damaged-bridge-1533783192"),
         files: vec![
             FileSpec::new("bridge-picture", 200 * 1024),

@@ -104,7 +104,7 @@ fn golden_traces_bit_identical_across_delivery_modes() {
         for &seed in &seeds {
             let run = |delivery: DeliveryMode| {
                 let params = MatrixParams {
-                    delivery,
+                    exec: ExecProfile::default().with_delivery(delivery),
                     ..MatrixParams::default()
                 };
                 let mut sc = topology.build(seed, &params);

@@ -331,7 +331,7 @@ fn bench_scenario_api_runs_one_tiny_trial() {
         intermediates: 1,
         pure_forwarders: 1,
     };
-    let r = run_trial(&Protocol::Dapes(DapesConfig::default()), &params);
+    let r = run_trial(&Protocol::Dapes(Box::default()), &params);
     assert_eq!(r.downloaders, 3);
     assert!(
         r.completed >= 2,

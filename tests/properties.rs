@@ -754,7 +754,10 @@ mod sched_properties {
                 fn as_any_mut(&mut self) -> &mut dyn Any { self }
             }
             let run = |queue: QueueMode| {
-                let mut w = World::new(WorldConfig { queue, ..WorldConfig::default() });
+                let mut w = World::new(WorldConfig {
+                    exec: ExecProfile::default().with_queue(queue),
+                    ..WorldConfig::default()
+                });
                 let a = w.add_node(
                     Box::new(Stationary::new(Point::new(0.0, 0.0))),
                     Box::new(Scripted {
@@ -823,7 +826,11 @@ mod sched_properties {
                 fn as_any_mut(&mut self) -> &mut dyn Any { self }
             }
             let run = |delivery_events: DeliveryEvents| {
-                let mut cfg = WorldConfig { seed, delivery_events, ..WorldConfig::default() };
+                let mut cfg = WorldConfig {
+                    seed,
+                    exec: ExecProfile::default().with_delivery_events(delivery_events),
+                    ..WorldConfig::default()
+                };
                 cfg.phy.loss_rate = loss as f64 * 0.1;
                 let mut w = World::new(cfg);
                 let ids: Vec<NodeId> = placements
@@ -930,7 +937,7 @@ mod fault_properties {
         queue: QueueMode,
     ) -> (bool, u64, u64, Vec<Option<SimTime>>) {
         let mut sc = ScenarioBuilder::new(seed)
-            .queue(queue)
+            .exec(ExecProfile::default().with_queue(queue))
             .collection(2, 16 * 1024)
             .producer_at(0.0, 0.0)
             .downloader_at(dist, 0.0)

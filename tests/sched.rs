@@ -60,13 +60,11 @@ fn run_cell_full(
     relay_patch: bool,
 ) -> (u64, u64, u64, u64, u64, Vec<Option<SimTime>>) {
     let params = MatrixParams {
-        queue,
-        delivery_events,
-        config: dapes_core::config::DapesConfig {
-            lazy_peek,
-            relay_patch,
-            ..Default::default()
-        },
+        exec: ExecProfile::default()
+            .with_queue(queue)
+            .with_delivery_events(delivery_events)
+            .with_lazy_peek(lazy_peek)
+            .with_relay_patch(relay_patch),
         ..MatrixParams::default()
     };
     let mut sc = topology.build(seed, &params);
@@ -198,7 +196,7 @@ fn one_transmission_enqueues_one_arrival_event_in_batched_mode() {
     let topology = Topology::Star { downloaders: 3 };
     let run = |delivery_events: DeliveryEvents| {
         let params = MatrixParams {
-            delivery_events,
+            exec: ExecProfile::default().with_delivery_events(delivery_events),
             ..MatrixParams::default()
         };
         let mut sc = topology.build(1, &params);

@@ -1,0 +1,249 @@
+//! Sharded-engine equivalence suite.
+//!
+//! The sharded multi-core world ships behind the same `ExecProfile` knob
+//! as every other execution strategy, so it carries the same burden of
+//! proof: with `cores = 1` it must be *bit-identical* to the sequential
+//! engine (it delegates to a single inner `World`), and with more cores
+//! it must stay deterministic per `(seed, cores)` and metric-equivalent
+//! within the tolerance documented on `dapes_netsim::shard` — cross-
+//! border frames land at window boundaries instead of exact finish
+//! instants, and each shard draws its own RNG stream.
+
+use dapes_netsim::prelude::*;
+use dapes_testutil::prelude::*;
+use proptest::prelude::*;
+
+fn matrix_axes() -> (Vec<Topology>, Vec<u64>) {
+    (
+        vec![
+            Topology::AdjacentPair,
+            Topology::Chain { relays: 1 },
+            Topology::Star { downloaders: 3 },
+        ],
+        vec![1, 3],
+    )
+}
+
+type Fingerprint = (u64, u64, u64, u64, u64, Vec<Option<SimTime>>);
+
+fn sequential_fingerprint(sc: &Scenario) -> Fingerprint {
+    let s = sc.world.stats();
+    (
+        s.tx_frames,
+        s.delivered,
+        s.channel_losses,
+        s.collision_drops,
+        s.delivered_payload_bytes,
+        sc.completion_times(),
+    )
+}
+
+fn sharded_fingerprint(sc: &ShardedScenario) -> Fingerprint {
+    let s = sc.world.stats();
+    (
+        s.tx_frames,
+        s.delivered,
+        s.channel_losses,
+        s.collision_drops,
+        s.delivered_payload_bytes,
+        sc.completion_times(),
+    )
+}
+
+/// The golden gate: one core on the sharded engine IS the sequential
+/// engine. Every cell of the smoke matrix must produce a bit-identical
+/// trace — same frames, same losses, same byte counts, same completion
+/// instants — while the sequential side independently passes the golden
+/// metric asserts.
+#[test]
+fn cores_one_is_bit_identical_to_the_sequential_engine() {
+    let (topologies, seeds) = matrix_axes();
+    let params = MatrixParams::default();
+    for &topology in &topologies {
+        for &seed in &seeds {
+            let label = format!("{}/seed-{seed}", topology.label());
+            let mut seq = topology.build(seed, &params);
+            seq.run_until_complete(topology.deadline());
+            assert_scenario(&label, &seq, &GoldenMetrics::default());
+
+            let mut sharded = topology.build_sharded(seed, &params);
+            sharded.run_until_complete(topology.deadline());
+            let stats = sharded.world.stats();
+            assert_eq!(stats.shards, 1, "[{label}] default profile is one shard");
+            assert_eq!(
+                stats.border_tx_exported, 0,
+                "[{label}] a single shard has no border"
+            );
+            assert_eq!(
+                sharded_fingerprint(&sharded),
+                sequential_fingerprint(&seq),
+                "[{label}] cores=1 must delegate bit-identically"
+            );
+        }
+    }
+}
+
+/// A chain long enough to straddle shard bands must actually exercise the
+/// border machinery: frames exported, frames injected, windows synced —
+/// and the transfer must still complete.
+#[test]
+fn a_multi_core_chain_crosses_shard_borders_and_completes() {
+    // Chain nodes sit at x = 0, 51, 102, 153 on the 300 m field: four
+    // shards put the band lines at 75/150/225, so the relay chain spans
+    // three bands and every Interest/Data exchange crosses at least one.
+    let topology = Topology::Chain { relays: 2 };
+    let params = MatrixParams {
+        exec: ExecProfile::default().with_cores(4),
+        ..MatrixParams::default()
+    };
+    let mut sc = topology.build_sharded(1, &params);
+    let done = sc.run_until_complete(topology.deadline());
+    assert!(done, "the sharded chain transfer must complete");
+    let s = sc.world.stats();
+    assert_eq!(s.shards, 4);
+    assert!(s.sync_windows > 0, "lockstep windows must have advanced");
+    assert!(s.lookahead_micros > 0, "the lookahead must be recorded");
+    assert!(
+        s.border_tx_exported > 0,
+        "a band-straddling chain must export border frames"
+    );
+    assert!(
+        s.border_rx_injected > 0,
+        "exported frames must be injected into neighbour shards"
+    );
+}
+
+/// Runs the sequential smoke matrix once and compares each multi-core
+/// sweep against it: every cell must finish all downloads, reproduce
+/// itself bit-identically on a re-run (the matrix's determinism check),
+/// and stay within the documented metric tolerance of the sequential
+/// cell — frame counts within 2x either way, completion within the
+/// deadline and no earlier than half the sequential time.
+#[test]
+fn multi_core_cells_complete_deterministically_and_stay_metric_close() {
+    let sequential = ScenarioMatrix::new().seeds([1, 2]).run();
+    for cores in [2usize, 4, 8] {
+        let cells = ScenarioMatrix::new()
+            .seeds([1, 2])
+            .params(MatrixParams {
+                exec: ExecProfile::default().with_cores(cores),
+                ..MatrixParams::default()
+            })
+            .check_determinism(true)
+            .run();
+        assert_eq!(cells.len(), sequential.len());
+        for (cell, seq) in cells.iter().zip(&sequential) {
+            let label = format!("{}/seed-{}/cores-{cores}", cell.topology.label(), cell.seed);
+            assert_eq!(
+                cell.completed, cell.downloaders,
+                "[{label}] every downloader must complete on the sharded engine"
+            );
+            let ratio = cell.tx_frames as f64 / seq.tx_frames.max(1) as f64;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "[{label}] frame count drifted {ratio:.2}x from the sequential run \
+                 ({} vs {})",
+                cell.tx_frames,
+                seq.tx_frames
+            );
+            let (sharded_at, seq_at) = (
+                cell.finished_at.expect("all complete").as_micros(),
+                seq.finished_at.expect("all complete").as_micros(),
+            );
+            // Cross-border hops quantize to window boundaries and shards
+            // draw independent RNG streams, so completion can move in
+            // either direction — but never below half or past double the
+            // sequential instant (plus a window of slack for near-zero
+            // cells).
+            let slack = 2 * cell.topology.deadline().as_micros() / 100;
+            assert!(
+                sharded_at <= 2 * seq_at + slack && 2 * sharded_at + slack >= seq_at,
+                "[{label}] completion drifted out of tolerance: {sharded_at} us \
+                 vs sequential {seq_at} us"
+            );
+        }
+    }
+}
+
+/// The fault axis rides onto the sharded engine unchanged: a downloader
+/// crash/restart mid-transfer must still end in full completion, with the
+/// same per-(seed, cores) determinism.
+#[test]
+fn crash_restart_cells_recover_on_the_sharded_engine() {
+    let topology = Topology::Star { downloaders: 3 };
+    let params = MatrixParams {
+        exec: ExecProfile::default().with_cores(2),
+        faults: vec![FaultProfile::CrashRestartDownloader {
+            index: 0,
+            crash: SimTime::from_secs(1),
+            restart: SimTime::from_secs(4),
+        }],
+        ..MatrixParams::default()
+    };
+    let deadline = topology.deadline_with_faults(&params.faults);
+    let run = || {
+        let mut sc = topology.build_sharded(1, &params);
+        let done = sc.run_until_complete(deadline);
+        (done, sharded_fingerprint(&sc))
+    };
+    let (done, fp) = run();
+    assert!(done, "every downloader must complete after the restart");
+    let (done2, fp2) = run();
+    assert!(done2);
+    assert_eq!(fp, fp2, "faulted sharded runs must be deterministic");
+}
+
+mod sharded_properties {
+    //! Property: for *random* seeds and band-straddling placements, every
+    //! core count in {2, 4, 8} completes the transfer, reproduces itself
+    //! bit-identically, and lands within the metric tolerance of the
+    //! sequential run of the same scenario.
+
+    use super::*;
+
+    /// One two-downloader transfer straddling the x = 150 field midline
+    /// (and the 75/37.5 band lines of the deeper sweeps), on `cores`
+    /// shards. Returns the completion flag and the determinism
+    /// fingerprint.
+    fn straddling_run(seed: u64, dx: f64, cores: usize) -> (bool, Fingerprint) {
+        let mut sc = ScenarioBuilder::new(seed)
+            .exec(ExecProfile::default().with_cores(cores))
+            .collection(2, 16 * 1024)
+            .producer_at(150.0 - dx, 150.0)
+            .downloader_at(150.0 + dx, 150.0)
+            .downloader_at(150.0, 150.0 - dx)
+            .build_sharded();
+        let done = sc.run_until_complete(SimTime::from_secs(240));
+        (done, sharded_fingerprint(&sc))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn every_core_count_completes_deterministically_within_tolerance(
+            seed in 0u64..1000,
+            dx in 10.0f64..28.0,
+        ) {
+            // The sequential reference: the same builder on one core.
+            let (seq_done, seq) = straddling_run(seed, dx, 1);
+            prop_assert!(seq_done, "sequential reference failed (seed {seed})");
+            for cores in [2usize, 4, 8] {
+                let (done, fp) = straddling_run(seed, dx, cores);
+                prop_assert!(done, "cores={cores} did not complete (seed {seed})");
+                let (done2, fp2) = straddling_run(seed, dx, cores);
+                prop_assert!(done2);
+                prop_assert_eq!(
+                    &fp, &fp2,
+                    "cores={} must be deterministic (seed {})", cores, seed
+                );
+                let ratio = fp.0 as f64 / seq.0.max(1) as f64;
+                prop_assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "cores={} frame count drifted {:.2}x (seed {})",
+                    cores, ratio, seed
+                );
+            }
+        }
+    }
+}
